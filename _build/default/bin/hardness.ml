@@ -1,0 +1,128 @@
+(* Command-line front end: list, inspect, and verify the lower-bound
+   families, and run the Theorem 1.1 Alice-Bob simulation. *)
+
+open Cmdliner
+open Ch_cc
+open Ch_core
+open Ch_lbgraphs
+
+let catalog ~k =
+  let approx = Maxis_approx_lb.make_params ~ell:2 ~k:2 () in
+  let kmds r_k = Kmds_lb.make_params ~seed:1 ~k:r_k ~ell:6 ~t_count:6 ~r:2 () in
+  let steiner_p = Steiner_approx_lb.make_params ~seed:1 ~ell:6 ~t_count:5 ~r:2 () in
+  let restricted = Mds_restricted_lb.make_params ~seed:1 ~ell:6 ~t_count:6 ~r:2 () in
+  [
+    ("mds", Mds_lb.family ~k);
+    ("maxis", Maxis_lb.family ~k);
+    ("mvc", Maxis_lb.mvc_family ~k);
+    ("hampath", Hampath_lb.path_family ~k);
+    ("hamcycle", Hampath_lb.cycle_family ~k);
+    ("hamcycle-undirected", Hampath_lb.undirected_cycle_family ~k);
+    ("hampath-undirected", Hampath_lb.undirected_path_family ~k);
+    ("2ecss", Hampath_lb.ecss_family ~k);
+    ("steiner", Steiner_lb.family ~k);
+    ("maxcut", Maxcut_lb.family ~k);
+    ("2spanner", Spanner_lb.family ~k);
+    ("maxis-78-weighted", Maxis_approx_lb.weighted_family approx);
+    ("maxis-78-unweighted", Maxis_approx_lb.unweighted_family approx);
+    ("maxis-56", Maxis_approx_lb.linear_family approx);
+    ("2mds", Kmds_lb.family (kmds 2));
+    ("3mds", Kmds_lb.family (kmds 3));
+    ("steiner-node-weighted", Steiner_approx_lb.node_weighted_family steiner_p);
+    ("steiner-directed", Steiner_approx_lb.directed_family steiner_p);
+    ("mds-restricted", Mds_restricted_lb.family restricted);
+  ]
+
+let k_arg =
+  let doc = "Construction parameter k (a power of two, at least 2)." in
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc)
+
+let list_cmd =
+  let run k =
+    Printf.printf "%-24s %8s %8s %6s\n" "family" "n" "K" "cut";
+    List.iter
+      (fun (name, fam) ->
+        Printf.printf "%-24s %8d %8d %6d\n" name fam.Framework.nvertices
+          fam.Framework.input_bits (Framework.cut_size fam))
+      (catalog ~k);
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the lower-bound families and their parameters.")
+    Term.(const run $ k_arg)
+
+let family_arg =
+  let doc = "Family name (see the list command)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+
+let samples_arg =
+  let doc = "Number of random input pairs to verify." in
+  Arg.(value & opt int 20 & info [ "samples" ] ~doc)
+
+let exhaustive_arg =
+  let doc = "Verify all 4^K input pairs (K must be small)." in
+  Arg.(value & flag & info [ "exhaustive" ] ~doc)
+
+let verify_cmd =
+  let run k name samples exhaustive =
+    match List.assoc_opt name (catalog ~k) with
+    | None ->
+        Printf.eprintf "unknown family %S; try the list command\n" name;
+        1
+    | Some fam ->
+        let failures, total =
+          if exhaustive then Framework.verify_exhaustive fam
+          else Framework.verify_random ~seed:11 ~samples fam
+        in
+        let sided = Framework.check_sidedness ~seed:3 ~samples:8 fam in
+        Printf.printf
+          "%s: property verified on %d/%d input pairs; Definition 1.1 side \
+           conditions: %b\n"
+          fam.Framework.name (total - failures) total sided;
+        let lb =
+          Framework.lower_bound_rounds ~input_bits:fam.Framework.input_bits
+            ~cut:(Framework.cut_size fam) ~n:fam.Framework.nvertices
+        in
+        Printf.printf "Theorem 1.1 bound at this scale: Ω(%.1f) rounds\n" lb;
+        if failures = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify a family's defining iff-property with the exact solvers.")
+    Term.(const run $ k_arg $ family_arg $ samples_arg $ exhaustive_arg)
+
+let simulate_cmd =
+  let run k pairs =
+    let fam = Mds_lb.family ~k in
+    let target = Mds_lb.target_size ~k in
+    Printf.printf "Simulating exact-MDS CONGEST on G_{x,y} (k=%d, n=%d, cut=%d)\n" k
+      fam.Framework.nvertices (Framework.cut_size fam);
+    let all_ok = ref true in
+    for i = 0 to pairs - 1 do
+      let x = Bits.random ~seed:(3 * i) ~density:0.7 (k * k) in
+      let y = Bits.random ~seed:((3 * i) + 1) ~density:0.7 (k * k) in
+      let sim =
+        Framework.simulate_alice_bob fam ~solver:Ch_solvers.Domset.min_size
+          ~accept:(fun gamma -> gamma <= target)
+          x y
+      in
+      if not sim.Framework.decision_correct then all_ok := false;
+      Printf.printf "  pair %2d: rounds=%4d  cut bits=%6d  %s\n" i
+        sim.Framework.rounds sim.Framework.cut_bits
+        (if sim.Framework.decision_correct then "correct" else "WRONG")
+    done;
+    if !all_ok then 0 else 1
+  in
+  let pairs_arg =
+    Arg.(value & opt int 5 & info [ "pairs" ] ~doc:"Number of input pairs.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the Theorem 1.1 Alice-Bob simulation on the MDS family.")
+    Term.(const run $ k_arg $ pairs_arg)
+
+let () =
+  let info =
+    Cmd.info "hardness" ~version:"1.0"
+      ~doc:"Machine-checked constructions from Hardness of Distributed Optimization (PODC 2019)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; verify_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/alice_bob.ml: Bits Ch_cc Ch_core Ch_lbgraphs Ch_solvers Commfn Framework Mds_lb Printf

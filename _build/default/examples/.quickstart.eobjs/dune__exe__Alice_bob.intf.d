@@ -1,0 +1,1 @@
+examples/alice_bob.mli:

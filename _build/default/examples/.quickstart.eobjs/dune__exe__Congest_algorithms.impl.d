@@ -1,0 +1,1 @@
+examples/congest_algorithms.ml: Ch_congest Ch_graph Ch_solvers Domset Gather Gen Graph List Maxcut Maxcut_sample Mds_greedy Mis Mis_greedy Network Printf Props

@@ -1,0 +1,1 @@
+examples/pls_demo.ml: Array Ch_graph Ch_pls Ch_solvers Fun Gen Graph List Pls Printf Props Schemes Verif

@@ -1,0 +1,1 @@
+examples/pls_demo.mli:

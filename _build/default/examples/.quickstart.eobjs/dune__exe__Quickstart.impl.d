@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bits Ch_cc Ch_core Ch_lbgraphs Commfn Framework List Mds_lb Printf

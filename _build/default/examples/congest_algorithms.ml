@@ -1,0 +1,53 @@
+(* The paper's upper-bound side: CONGEST algorithms in the simulator.
+
+   - the generic exact algorithm (BFS + pipelined gather + local solve +
+     broadcast) that meets the Ω̃(n²) bounds at O(m + D) rounds;
+   - Theorem 2.9's (1−ε)-approximate max cut by edge sampling;
+   - the greedy O(log Δ)-approximation for MDS.
+
+   Run with: dune exec examples/congest_algorithms.exe *)
+
+open Ch_graph
+open Ch_solvers
+open Ch_congest
+
+let () =
+  let g = Gen.random_connected ~seed:12 24 0.25 in
+  Printf.printf "Network: n = %d, m = %d, diameter = %d\n\n" (Graph.n g) (Graph.m g)
+    (Props.diameter g);
+
+  (* exact MDS by learning the whole graph *)
+  let gamma, stats = Gather.solve g ~f:Domset.min_size in
+  Printf.printf "Exact MDS via gather-and-solve:\n";
+  Printf.printf "  γ(G) = %d,  rounds = %d,  messages = %d,  B = %d bits\n\n" gamma
+    stats.Network.rounds stats.Network.messages stats.Network.bandwidth;
+
+  (* Theorem 2.9 *)
+  let exact_cut = fst (Maxcut.max_cut g) in
+  Printf.printf "Theorem 2.9 (1-ε)-approximate max cut (exact optimum = %d):\n"
+    exact_cut;
+  List.iter
+    (fun p ->
+      let r = Maxcut_sample.run ~seed:7 ~p g in
+      Printf.printf
+        "  p = %.2f: sampled %3d/%d edges, estimate = %3d (%.2f of optimum), rounds = %d\n"
+        p r.Maxcut_sample.sampled_edges (Graph.m g) r.Maxcut_sample.estimate
+        (float_of_int r.Maxcut_sample.estimate /. float_of_int exact_cut)
+        r.Maxcut_sample.stats.Network.rounds)
+    [ 1.0; 0.8; 0.6; 0.4 ];
+
+  (* greedy maximal independent set *)
+  let mis_set, mis_stats = Mis_greedy.run g in
+  Printf.printf "\nGreedy maximal IS ((Δ+1)-approximation baseline):\n";
+  Printf.printf "  |I| = %d (α = %d), independent = %b, rounds = %d\n"
+    (List.length mis_set) (Mis.alpha g)
+    (Mis.is_independent g mis_set)
+    mis_stats.Network.rounds;
+
+  (* greedy MDS *)
+  let set, greedy_stats = Mds_greedy.run g in
+  Printf.printf "\nGreedy MDS (H(Δ+1)-approximation, global election per phase):\n";
+  Printf.printf "  |D| = %d (optimum %d), dominating = %b, rounds = %d\n"
+    (List.length set) gamma
+    (Domset.is_dominating g set)
+    greedy_stats.Network.rounds

@@ -1,0 +1,1 @@
+lib/cc/bits.ml: Array List Random String

@@ -1,0 +1,1 @@
+lib/cc/protocol.ml: Bits List Stdlib

@@ -1,0 +1,1 @@
+lib/cc/protocol.mli: Bits

@@ -1,0 +1,1 @@
+lib/cc/randomized.ml: Bits Protocol Random

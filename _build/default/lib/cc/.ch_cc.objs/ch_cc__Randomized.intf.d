@@ -1,0 +1,1 @@
+lib/cc/randomized.mli: Bits

@@ -1,0 +1,41 @@
+type t = bool array
+
+let length = Array.length
+
+let zeros k = Array.make k false
+
+let ones k = Array.make k true
+
+let of_list = Array.of_list
+
+let of_fun = Array.init
+
+let get (t : t) i = t.(i)
+
+let set t i b =
+  let t' = Array.copy t in
+  t'.(i) <- b;
+  t'
+
+let pair_index ~k i j =
+  if i < 0 || i >= k || j < 0 || j >= k then invalid_arg "Bits: pair index";
+  (i * k) + j
+
+let get_pair ~k t i j = t.(pair_index ~k i j)
+
+let set_pair ~k t i j b = set t (pair_index ~k i j) b
+
+let random ~seed ?(density = 0.5) k =
+  let rng = Random.State.make [| seed |] in
+  Array.init k (fun _ -> Random.State.float rng 1.0 < density)
+
+let all k =
+  if k > 20 then invalid_arg "Bits.all: length > 20";
+  List.init (1 lsl k) (fun mask -> Array.init k (fun i -> (mask lsr i) land 1 = 1))
+
+let popcount t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t
+
+let to_string t =
+  String.init (Array.length t) (fun i -> if t.(i) then '1' else '0')
+
+let equal (a : t) b = a = b

@@ -1,0 +1,37 @@
+(** Input strings for the two-party communication problems: x, y ∈ {0,1}^K.
+    The quadratic families index K = k² bits by pairs (i,j) ∈ [k]². *)
+
+type t
+
+val length : t -> int
+
+val zeros : int -> t
+
+val ones : int -> t
+
+val of_list : bool list -> t
+
+val of_fun : int -> (int -> bool) -> t
+
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> t
+(** Functional update. *)
+
+val get_pair : k:int -> t -> int -> int -> bool
+(** [get_pair ~k x i j] reads index (i,j) of a string of length k²
+    (row-major: index = i·k + j). *)
+
+val set_pair : k:int -> t -> int -> int -> bool -> t
+
+val random : seed:int -> ?density:float -> int -> t
+(** Each bit is 1 independently with probability [density] (default 0.5). *)
+
+val all : int -> t list
+(** All [2^length] strings.  @raise Invalid_argument when [length > 20]. *)
+
+val popcount : t -> int
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

@@ -1,0 +1,25 @@
+let witness x y =
+  if Bits.length x <> Bits.length y then invalid_arg "Commfn: length mismatch";
+  let rec go i =
+    if i >= Bits.length x then None
+    else if Bits.get x i && Bits.get y i then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let disj x y = witness x y = None
+
+let intersecting x y = not (disj x y)
+
+let eq x y = Bits.equal x y
+
+let cc_disj_lower_bound k = k
+
+let witness_diff x y =
+  if Bits.length x <> Bits.length y then invalid_arg "Commfn: length mismatch";
+  let rec go i =
+    if i >= Bits.length x then None
+    else if Bits.get x i <> Bits.get y i then Some i
+    else go (i + 1)
+  in
+  go 0

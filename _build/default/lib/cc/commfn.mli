@@ -1,0 +1,21 @@
+(** The two-party functions behind the lower bounds. *)
+
+val disj : Bits.t -> Bits.t -> bool
+(** Set disjointness: TRUE iff no index has x_i = y_i = 1.
+    CC(DISJ_K) = Ω(K), also for randomized protocols. *)
+
+val intersecting : Bits.t -> Bits.t -> bool
+(** ¬DISJ — the condition under which the families satisfy their
+    predicates. *)
+
+val witness : Bits.t -> Bits.t -> int option
+(** Some index with x_i = y_i = 1, if any. *)
+
+val eq : Bits.t -> Bits.t -> bool
+(** Equality: CC(EQ_K) = Θ(K) deterministically, O(log K) randomized. *)
+
+val cc_disj_lower_bound : int -> int
+(** The Ω(K) bound instantiated with constant 1: [K] bits. *)
+
+val witness_diff : Bits.t -> Bits.t -> int option
+(** Some index where x and y differ — the ¬EQ certificate. *)

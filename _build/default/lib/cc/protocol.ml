@@ -1,0 +1,32 @@
+type t = { mutable total : int }
+
+let create () = { total = 0 }
+
+let bits t = t.total
+
+let charge t b =
+  if b < 0 then invalid_arg "Protocol.charge";
+  t.total <- t.total + b
+
+let bits_for_int ~max =
+  if max < 0 then invalid_arg "Protocol.bits_for_int";
+  let rec go acc v = if v = 0 then Stdlib.max acc 1 else go (acc + 1) (v lsr 1) in
+  go 0 max
+
+let send_bool t b =
+  charge t 1;
+  b
+
+let send_int t ~max v =
+  if v < 0 || v > max then invalid_arg "Protocol.send_int: out of range";
+  charge t (bits_for_int ~max);
+  v
+
+let send_int_list t ~max vs =
+  charge t (bits_for_int ~max:(List.length vs));
+  List.iter (fun v -> ignore (send_int t ~max v)) vs;
+  vs
+
+let send_bits t b =
+  charge t (Bits.length b);
+  b

@@ -1,0 +1,31 @@
+(** Bit accounting for explicit two-party protocols.
+
+    Protocols in this repository are written as straight-line OCaml over
+    both inputs, but every datum that crosses between Alice and Bob is
+    routed through a channel that charges its encoding size; the recorded
+    total is the protocol's communication on that run. *)
+
+type t
+
+val create : unit -> t
+
+val bits : t -> int
+(** Total bits charged so far. *)
+
+val charge : t -> int -> unit
+(** Charge raw bits. *)
+
+val bits_for_int : max:int -> int
+(** Bits of a fixed-width encoding of values in [0, max]. *)
+
+val send_bool : t -> bool -> bool
+(** Charges 1 bit and hands the value to the other party. *)
+
+val send_int : t -> max:int -> int -> int
+(** Charges [bits_for_int ~max]. *)
+
+val send_int_list : t -> max:int -> int list -> int list
+(** Charges a length header plus per-element width. *)
+
+val send_bits : t -> Bits.t -> Bits.t
+(** Charges the string's length. *)

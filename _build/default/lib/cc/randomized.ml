@@ -1,0 +1,35 @@
+type outcome = { equal : bool; bits : int }
+
+let is_prime n =
+  n >= 2
+  &&
+  let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+  go 2
+
+let random_prime rng lo hi =
+  let rec go attempts =
+    if attempts > 10_000 then invalid_arg "Randomized: no prime found";
+    let candidate = lo + Random.State.int rng (hi - lo) in
+    if is_prime candidate then candidate else go (attempts + 1)
+  in
+  go 0
+
+let eq_fingerprint ~seed x y =
+  let k = Bits.length x in
+  if Bits.length y <> k then invalid_arg "Randomized.eq_fingerprint";
+  let rng = Random.State.make [| seed |] in
+  (* a shared random prime in [K², 4K²]: at most log_p(2^K) ≈ K/(2 log K)
+     of the ~K²/ln K primes can divide the difference *)
+  let lo = max 5 (k * k) in
+  let p = random_prime rng lo (4 * lo) in
+  let residue s =
+    let acc = ref 0 in
+    for i = Bits.length s - 1 downto 0 do
+      acc := ((2 * !acc) + if Bits.get s i then 1 else 0) mod p
+    done;
+    !acc
+  in
+  let ch = Protocol.create () in
+  let fx = Protocol.send_int ch ~max:(p - 1) (residue x) in
+  ignore (Protocol.send_int ch ~max:(4 * lo) p);
+  { equal = fx = residue y; bits = Protocol.bits ch }

@@ -1,0 +1,11 @@
+(** The classic randomized protocols of Section 1.3 / 5.2: public-coin
+    fingerprinting decides EQ_K with O(log K) bits and one-sided error
+    O(1/K), which is why CC_R(EQ) ≪ CC(EQ) = Θ(K) — and why deterministic
+    lower bounds via EQ say nothing about randomized algorithms. *)
+
+type outcome = { equal : bool; bits : int }
+
+val eq_fingerprint : seed:int -> Bits.t -> Bits.t -> outcome
+(** Evaluate both strings as polynomials modulo a shared random prime;
+    Alice ships her residue.  Never errs on equal strings; unequal strings
+    collide with probability O(log K / K) per run. *)

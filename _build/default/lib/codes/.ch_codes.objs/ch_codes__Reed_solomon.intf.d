@@ -1,0 +1,1 @@
+lib/codes/reed_solomon.mli:

@@ -1,0 +1,47 @@
+type t = { p : int }
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+let next_prime n =
+  let rec go n = if is_prime n then n else go (n + 1) in
+  go (max 2 n)
+
+let create p =
+  if not (is_prime p) then invalid_arg "Gf.create: modulus must be prime";
+  { p }
+
+let order f = f.p
+
+let norm f x =
+  let r = x mod f.p in
+  if r < 0 then r + f.p else r
+
+let add f a b = norm f (a + b)
+
+let sub f a b = norm f (a - b)
+
+let mul f a b = norm f (norm f a * norm f b)
+
+let rec pow f x e =
+  if e < 0 then invalid_arg "Gf.pow: negative exponent"
+  else if e = 0 then 1
+  else begin
+    let h = pow f x (e / 2) in
+    let h2 = mul f h h in
+    if e mod 2 = 0 then h2 else mul f h2 x
+  end
+
+let inv f x =
+  let x = norm f x in
+  if x = 0 then raise Division_by_zero;
+  pow f x (f.p - 2)
+
+let div f a b = mul f a (inv f b)
+
+let eval_poly f coeffs x =
+  Array.fold_right (fun c acc -> add f (mul f acc x) c) coeffs 0

@@ -1,0 +1,33 @@
+(** Arithmetic in the prime field GF(p).  The paper's Section 4.1 uses any
+    prime power q > N; primes suffice for every parameter choice here. *)
+
+type t
+(** A field, carrying its prime modulus. *)
+
+val create : int -> t
+(** @raise Invalid_argument when the modulus is not a prime at least 2. *)
+
+val order : t -> int
+
+val is_prime : int -> bool
+
+val next_prime : int -> int
+(** Smallest prime >= the argument. *)
+
+val add : t -> int -> int -> int
+
+val sub : t -> int -> int -> int
+
+val mul : t -> int -> int -> int
+
+val inv : t -> int -> int
+(** @raise Division_by_zero on 0. *)
+
+val div : t -> int -> int -> int
+
+val pow : t -> int -> int -> int
+(** [pow f x e] for [e >= 0]. *)
+
+val eval_poly : t -> int array -> int -> int
+(** Evaluate a polynomial given by its coefficient array (index = degree)
+    at a point. *)

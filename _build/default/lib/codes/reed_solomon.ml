@@ -1,0 +1,43 @@
+type t = { len : int; dim : int; field : Gf.t }
+
+let create ~len ~dim ~q =
+  if dim < 1 || len < dim then invalid_arg "Reed_solomon.create: need len >= dim >= 1";
+  if q <= len then invalid_arg "Reed_solomon.create: need q > len";
+  { len; dim; field = Gf.create q }
+
+let length t = t.len
+
+let dimension t = t.dim
+
+let field_order t = Gf.order t.field
+
+let distance t = t.len - t.dim + 1
+
+let encode t msg =
+  if Array.length msg <> t.dim then invalid_arg "Reed_solomon.encode: bad length";
+  Array.iter
+    (fun c -> if c < 0 || c >= Gf.order t.field then invalid_arg "Reed_solomon.encode: symbol")
+    msg;
+  Array.init t.len (fun x -> Gf.eval_poly t.field msg x)
+
+let hamming a b =
+  if Array.length a <> Array.length b then invalid_arg "Reed_solomon.hamming";
+  let d = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr d) a;
+  !d
+
+let injection t k =
+  let q = Gf.order t.field in
+  let capacity =
+    let rec go acc i = if i = 0 then acc else go (acc * q) (i - 1) in
+    go 1 t.dim
+  in
+  if k > capacity then invalid_arg "Reed_solomon.injection: k too large";
+  Array.init k (fun i ->
+      let msg = Array.make t.dim 0 in
+      let rest = ref i in
+      for j = 0 to t.dim - 1 do
+        msg.(j) <- !rest mod q;
+        rest := !rest / q
+      done;
+      encode t msg)

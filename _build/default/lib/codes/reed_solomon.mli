@@ -1,0 +1,28 @@
+(** Reed–Solomon codes with parameters (N, κ, N−κ+1, q), q prime > N
+    (cf. Section 4.1 of the paper): a message of κ field symbols is the
+    coefficient vector of a polynomial of degree < κ, and the codeword is
+    its evaluation at the points 0..N−1. *)
+
+type t
+
+val create : len:int -> dim:int -> q:int -> t
+(** @raise Invalid_argument unless [q] is a prime > len >= dim >= 1. *)
+
+val length : t -> int
+
+val dimension : t -> int
+
+val field_order : t -> int
+
+val distance : t -> int
+(** The designed (and actual) minimum distance N − κ + 1. *)
+
+val encode : t -> int array -> int array
+(** Encode a message of [dim] symbols in [0, q). *)
+
+val hamming : int array -> int array -> int
+
+val injection : t -> int -> int array array
+(** [injection code k]: the codewords of the first [k] messages in
+    lexicographic (base-q digit) order — the paper's injection
+    g : [k] → C.  @raise Invalid_argument when [k > q^dim]. *)

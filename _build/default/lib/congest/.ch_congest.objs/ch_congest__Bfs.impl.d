@@ -1,0 +1,1 @@
+lib/congest/bfs.ml: Array Ch_graph Encode Graph List Network Option

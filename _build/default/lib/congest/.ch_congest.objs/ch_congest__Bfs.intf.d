@@ -1,0 +1,1 @@
+lib/congest/bfs.mli: Ch_graph Graph Network

@@ -1,0 +1,1 @@
+lib/congest/gather.mli: Ch_graph Graph Network

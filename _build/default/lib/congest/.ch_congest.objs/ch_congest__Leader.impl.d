@@ -1,0 +1,1 @@
+lib/congest/leader.ml: Array Ch_graph Encode Graph List Network

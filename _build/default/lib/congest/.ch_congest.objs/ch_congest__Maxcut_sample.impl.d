@@ -1,0 +1,1 @@
+lib/congest/maxcut_sample.ml: Array Ch_graph Ch_solvers Gather Graph Maxcut Network Random

@@ -1,0 +1,1 @@
+lib/congest/maxcut_sample.mli: Ch_graph Graph Network

@@ -1,0 +1,1 @@
+lib/congest/mds_greedy.ml: Array Ch_graph Encode Fun Graph List Network

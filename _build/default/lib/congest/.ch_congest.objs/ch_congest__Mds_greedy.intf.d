@@ -1,0 +1,1 @@
+lib/congest/mds_greedy.mli: Ch_graph Graph Network

@@ -1,0 +1,1 @@
+lib/congest/mis_greedy.ml: Array Ch_graph Fun Graph List Network

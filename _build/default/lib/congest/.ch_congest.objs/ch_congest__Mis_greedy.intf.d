@@ -1,0 +1,1 @@
+lib/congest/mis_greedy.mli: Ch_graph Graph Network

@@ -1,0 +1,1 @@
+lib/congest/network.ml: Array Ch_graph Graph List Printf Random

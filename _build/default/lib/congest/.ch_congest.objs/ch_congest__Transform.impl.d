@@ -1,0 +1,1 @@
+lib/congest/transform.ml: Ch_graph Ch_solvers Digraph Graph Hamilton

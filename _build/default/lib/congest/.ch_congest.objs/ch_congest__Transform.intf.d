@@ -1,0 +1,1 @@
+lib/congest/transform.mli: Ch_graph Digraph Graph

@@ -1,0 +1,40 @@
+open Ch_graph
+
+type state = { dist : int option; parent : int; announced : bool }
+
+type result = { dist : int array; parent : int array }
+
+let algo ~root ~n : (state, int) Network.algo =
+  {
+    name = "bfs";
+    init =
+      (fun ctx ->
+        if ctx.Network.id = root then
+          { dist = Some 0; parent = -1; announced = false }
+        else { dist = None; parent = -1; announced = false });
+    round =
+      (fun ctx ~round:_ st inbox ->
+        let st =
+          match st.dist with
+          | Some _ -> st
+          | None -> (
+              match
+                List.sort (fun (_, a) (_, b) -> compare a b) inbox
+              with
+              | (sender, d) :: _ -> { st with dist = Some (d + 1); parent = sender }
+              | [] -> st)
+        in
+        match st.dist with
+        | Some d when not st.announced ->
+            ( { st with announced = true },
+              Array.to_list (Array.map (fun u -> (u, d)) ctx.Network.neighbors) )
+        | _ -> (st, []));
+    msg_bits = (fun _ -> Encode.int_bits ~max:n);
+    output = (fun st -> st.dist);
+  }
+
+let run ?(root = 0) g =
+  let states, stats = Network.run g (algo ~root ~n:(Graph.n g)) in
+  let dist = Array.map (fun (st : state) -> Option.get st.dist) states in
+  let parent = Array.map (fun (st : state) -> st.parent) states in
+  ({ dist; parent }, stats)

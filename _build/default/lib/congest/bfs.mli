@@ -1,0 +1,9 @@
+open Ch_graph
+
+(** Distributed BFS-tree construction from a root by flooding: the
+    textbook O(D)-round CONGEST primitive. *)
+
+type result = { dist : int array; parent : int array (* -1 at the root *) }
+
+val run : ?root:int -> Graph.t -> result * Network.stats
+(** @raise Failure on disconnected graphs (some vertex never terminates). *)

@@ -1,0 +1,6 @@
+let int_bits ~max =
+  if max < 0 then invalid_arg "Encode.int_bits";
+  let rec go acc v = if v = 0 then Stdlib.max acc 1 else go (acc + 1) (v lsr 1) in
+  go 0 max
+
+let id_bits ~n = int_bits ~max:(Stdlib.max 1 (n - 1))

@@ -1,0 +1,8 @@
+(** Message-size accounting: the number of bits of the fixed-width
+    encodings the CONGEST algorithms charge for. *)
+
+val int_bits : max:int -> int
+(** Width of an integer field holding values in [0, max]. *)
+
+val id_bits : n:int -> int
+(** Width of a vertex id in an n-vertex network. *)

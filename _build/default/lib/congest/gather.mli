@@ -1,0 +1,47 @@
+open Ch_graph
+
+(** The generic exact CONGEST upper bound used throughout the paper: build
+    a BFS tree, upcast every edge (and vertex weight) to the root over the
+    tree — pipelined, one record per round per tree edge — solve the
+    problem locally at the root, and broadcast the answer.  O(m + D)
+    rounds with O(log n)-bit messages; with m = O(n²) this is the O(n²)
+    algorithm the Section 2 lower bounds match.
+
+    [edge_filter] restricts which of its incident edges a vertex uploads
+    (used by the Theorem 2.9 sampling algorithm). *)
+
+type msg =
+  | Dist of int
+  | Child
+  | Edge of int * int * int
+  | Vweight of int * int
+  | Done
+  | Answer of int
+
+type state
+
+val algo :
+  ?edge_filter:(Network.ctx -> int * int * int -> bool) ->
+  root:int ->
+  f:(Graph.t -> int) ->
+  unit ->
+  (state, msg) Network.algo
+
+val solve :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?root:int ->
+  Graph.t ->
+  f:(Graph.t -> int) ->
+  int * Network.stats
+(** Every vertex outputs f(G); the first component is that answer. *)
+
+val solve_split :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?root:int ->
+  side:bool array ->
+  Graph.t ->
+  f:(Graph.t -> int) ->
+  int * Network.cut_stats
+(** {!solve} under {!Network.run_split} bit accounting. *)

@@ -1,0 +1,29 @@
+open Ch_graph
+
+type state = { best : int; decided : int option }
+
+let algo ~n : (state, int) Network.algo =
+  {
+    name = "leader";
+    init = (fun ctx -> { best = ctx.Network.id; decided = None });
+    round =
+      (fun ctx ~round st inbox ->
+        let best =
+          List.fold_left (fun acc (_, b) -> min acc b) st.best inbox
+        in
+        let fresh = best < st.best in
+        let decided = if round >= n then Some best else None in
+        let outbox =
+          if fresh || round = 0 then
+            Array.to_list (Array.map (fun u -> (u, best)) ctx.Network.neighbors)
+          else []
+        in
+        ({ best; decided }, outbox));
+    msg_bits = (fun _ -> Encode.id_bits ~n);
+    output = (fun st -> st.decided);
+  }
+
+let run g =
+  let n = Graph.n g in
+  let states, stats = Network.run g (algo ~n) in
+  (Array.map (fun st -> st.best) states, stats)

@@ -1,0 +1,8 @@
+open Ch_graph
+
+(** Leader election by min-id flooding; every vertex learns the smallest
+    id after (at most) n rounds, the classic O(n) baseline the paper's
+    Theorem 2.9 proof allows itself. *)
+
+val run : Graph.t -> int array * Network.stats
+(** Per-vertex elected leader (all equal on connected graphs). *)

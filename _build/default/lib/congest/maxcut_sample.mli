@@ -1,0 +1,22 @@
+open Ch_graph
+
+(** Theorem 2.9: a (1−ε)-approximation of the (unweighted) maximum cut in
+    Õ(n) rounds.  Every edge is sampled independently with probability p
+    (by its lower-id endpoint), the sampled subgraph is gathered at a
+    root, solved exactly there, and c*_p / p is the estimate
+    (Lemma 2.5, [51]). *)
+
+type result = {
+  estimate : int;  (** ⌊c*_p / p⌋, the (1−ε)-approximation of c*(G) *)
+  sample_optimum : int;  (** c*_p, the exact max cut of the sample *)
+  sampled_edges : int;
+  stats : Network.stats;
+}
+
+val sample_probability : ?s:int -> Graph.t -> float
+(** p = min(1, n·(log₂ n)^s / m), [s] defaulting to 1. *)
+
+val run : ?seed:int -> ?p:float -> Graph.t -> result
+(** Runs the full pipeline: per-vertex sampling, gather, exact solve at
+    the root, broadcast.  The root solves on the whole vertex set, so the
+    exact solver's limit applies: @raise Invalid_argument when n > 30. *)

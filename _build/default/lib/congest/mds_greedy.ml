@@ -1,0 +1,160 @@
+open Ch_graph
+
+type msg =
+  | Dist of int
+  | Status of bool  (* dominated? *)
+  | Cand of int * int  (* best (coverage, id) seen in subtree / from root *)
+  | Winner of int * int  (* (winner id, its coverage); coverage 0 = stop *)
+  | Joined
+
+type state = {
+  dist : int option;
+  announced : bool;
+  parent : int;
+  in_set : bool;
+  dominated : bool;
+  nbr_status : (int * bool) list;  (* neighbor -> dominated, this phase *)
+  best : int * int;  (* aggregation register, (coverage, -id) order *)
+  finished : bool;
+}
+
+(* phase layout after BFS (rounds 0..n-1):
+   each phase occupies 2n + 3 rounds starting at base = n + phase*(2n+3):
+     base          : everyone tells neighbors whether it is dominated
+     base+1..n     : converge-cast of the max (coverage, id) towards root
+     base+n+1..2n+1: root floods the winner down
+     base+2n+2     : the winner joins and notifies its neighbors *)
+let phase_layout ~n round =
+  if round < n then `Bfs
+  else begin
+    let r = round - n in
+    let span = (2 * n) + 3 in
+    let phase = r / span and off = r mod span in
+    if off = 0 then `Status phase
+    else if off <= n then `Up (phase, off)
+    else if off <= (2 * n) + 1 then `Down (phase, off - n - 1)
+    else `Join phase
+  end
+
+let better (c1, i1) (c2, i2) = if c1 <> c2 then c1 > c2 else i1 < i2
+
+let algo ~n : (state, msg) Network.algo =
+  let all_nbrs ctx msg =
+    Array.to_list (Array.map (fun u -> (u, msg)) ctx.Network.neighbors)
+  in
+  {
+    name = "mds-greedy";
+    init =
+      (fun ctx ->
+        {
+          dist = (if ctx.Network.id = 0 then Some 0 else None);
+          announced = false;
+          parent = -1;
+          in_set = false;
+          dominated = false;
+          nbr_status = [];
+          best = (-1, -1);
+          finished = false;
+        });
+    round =
+      (fun ctx ~round st inbox ->
+        match phase_layout ~n round with
+        | `Bfs -> (
+            let st =
+              match st.dist with
+              | Some _ -> st
+              | None -> (
+                  let dists =
+                    List.filter_map
+                      (function s, Dist d -> Some (s, d) | _ -> None)
+                      inbox
+                  in
+                  match List.sort (fun (_, a) (_, b) -> compare a b) dists with
+                  | (sender, d) :: _ ->
+                      { st with dist = Some (d + 1); parent = sender }
+                  | [] -> st)
+            in
+            match st.dist with
+            | Some d when not st.announced ->
+                ({ st with announced = true }, all_nbrs ctx (Dist d))
+            | _ -> (st, []))
+        | `Status _ ->
+            (* a neighbor that joined at the end of the previous phase
+               dominates us *)
+            let dominated =
+              st.dominated
+              || List.exists (function _, Joined -> true | _ -> false) inbox
+            in
+            ( { st with dominated; nbr_status = []; best = (-1, -1) },
+              all_nbrs ctx (Status dominated) )
+        | `Up (_, off) ->
+            let st =
+              if off = 1 then begin
+                (* record neighbor statuses, compute own coverage *)
+                let nbr_status =
+                  List.filter_map
+                    (function s, Status d -> Some (s, d) | _ -> None)
+                    inbox
+                in
+                let coverage =
+                  (if st.dominated then 0 else 1)
+                  + List.length (List.filter (fun (_, d) -> not d) nbr_status)
+                in
+                { st with nbr_status; best = (coverage, ctx.Network.id) }
+              end
+              else
+                List.fold_left
+                  (fun st (_, msg) ->
+                    match msg with
+                    | Cand (c, i) when better (c, i) st.best ->
+                        { st with best = (c, i) }
+                    | _ -> st)
+                  st inbox
+            in
+            if st.parent >= 0 then
+              (st, [ (st.parent, Cand (fst st.best, snd st.best)) ])
+            else (st, [])
+        | `Down (_, off) ->
+            if off = 0 && st.parent < 0 then
+              (* root announces the global winner *)
+              (st, all_nbrs ctx (Winner (snd st.best, fst st.best)))
+            else begin
+              let winner =
+                List.find_map
+                  (function _, Winner (w, c) -> Some (w, c) | _ -> None)
+                  inbox
+              in
+              match winner with
+              | Some (w, c) ->
+                  ({ st with best = (c, w) }, all_nbrs ctx (Winner (w, c)))
+              | None -> (st, [])
+            end
+        | `Join _ ->
+            let c, w = st.best in
+            if c <= 0 then ({ st with finished = true }, [])
+            else begin
+              if w = ctx.Network.id then
+                ( { st with in_set = true; dominated = true },
+                  all_nbrs ctx Joined )
+              else (st, [])
+            end);
+    msg_bits =
+      (fun msg ->
+        match msg with
+        | Dist d -> 3 + Encode.int_bits ~max:(max 1 d)
+        | Status _ -> 4
+        | Cand (c, i) | Winner (i, c) ->
+            3 + Encode.int_bits ~max:(max 1 c) + Encode.int_bits ~max:(max 1 i)
+        | Joined -> 3);
+    output = (fun st -> if st.finished then Some (if st.in_set then 1 else 0) else None);
+  }
+
+let run ?seed g =
+  let n = Graph.n g in
+  let states, stats = Network.run ?seed g (algo ~n) in
+  let set =
+    List.filter
+      (fun v -> states.(v).in_set)
+      (List.init n Fun.id)
+  in
+  (set, stats)

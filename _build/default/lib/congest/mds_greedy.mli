@@ -1,0 +1,12 @@
+open Ch_graph
+
+(** The classic sequential-greedy dominating set algorithm run as a
+    CONGEST protocol: in each phase the globally best (coverage, id)
+    candidate is elected over a BFS tree and joins the dominating set.
+    Gives the H(Δ+1) = O(log Δ) approximation the paper's Section 2.1
+    cites as the state of the art for MDS, at an O(|D|·n) round cost
+    (this is the simple baseline, not the polylog-round algorithms
+    of [26,33,34]). *)
+
+val run : ?seed:int -> Graph.t -> int list * Network.stats
+(** The dominating set found and the round statistics. *)

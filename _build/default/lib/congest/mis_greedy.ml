@@ -1,0 +1,67 @@
+open Ch_graph
+
+type status = Undecided | In | Out
+
+type state = { status : status; nbr_status : (int * status) list }
+
+let algo : (state, int) Network.algo =
+  let encode = function Undecided -> 0 | In -> 1 | Out -> 2 in
+  let decode = function 0 -> Undecided | 1 -> In | _ -> Out in
+  {
+    name = "mis-greedy";
+    init = (fun _ -> { status = Undecided; nbr_status = [] });
+    round =
+      (fun ctx ~round st inbox ->
+        let nbr_status =
+          if round = 0 then
+            Array.to_list (Array.map (fun u -> (u, Undecided)) ctx.Network.neighbors)
+          else
+            List.map (fun (u, code) -> (u, decode code)) inbox
+        in
+        let status =
+          match st.status with
+          | In -> In
+          | Out -> Out
+          | Undecided ->
+              if
+                List.exists
+                  (fun (u, s) -> s = In && u <> ctx.Network.id)
+                  nbr_status
+              then Out
+              else if
+                List.for_all
+                  (fun (u, s) -> u > ctx.Network.id || s = Out)
+                  nbr_status
+              then In
+              else Undecided
+        in
+        let outbox =
+          Array.to_list
+            (Array.map (fun u -> (u, encode status)) ctx.Network.neighbors)
+        in
+        (* stop broadcasting once everyone around has settled *)
+        let outbox =
+          if
+            status <> Undecided && round > 0
+            && List.for_all (fun (_, s) -> s <> Undecided) nbr_status
+          then []
+          else outbox
+        in
+        ({ status; nbr_status }, outbox));
+    msg_bits = (fun _ -> 2);
+    output =
+      (fun st ->
+        match st.status with
+        | Undecided -> None
+        | In -> Some 1
+        | Out -> Some 0);
+  }
+
+let run ?seed g =
+  let states, stats = Network.run ?seed g algo in
+  let set =
+    List.filter
+      (fun v -> states.(v).status = In)
+      (List.init (Graph.n g) Fun.id)
+  in
+  (set, stats)

@@ -1,0 +1,10 @@
+open Ch_graph
+
+(** The ID-greedy maximal independent set in CONGEST: an undecided vertex
+    joins when every lower-id neighbor has decided against.  A maximal IS
+    is a (Δ+1)-approximation of MaxIS — the trivial baseline against which
+    the paper's Section 4 inapproximability results are measured (the best
+    known CONGEST algorithms [7] reach ≈ Δ/2). *)
+
+val run : ?seed:int -> Graph.t -> int list * Network.stats
+(** The independent set found (maximal) and the round statistics. *)

@@ -1,0 +1,136 @@
+open Ch_graph
+
+type ctx = {
+  id : int;
+  n : int;
+  neighbors : int array;
+  edge_weight : int -> int;
+  vertex_weight : int;
+  rng : Random.State.t;
+}
+
+type ('state, 'msg) algo = {
+  name : string;
+  init : ctx -> 'state;
+  round : ctx -> round:int -> 'state -> (int * 'msg) list -> 'state * (int * 'msg) list;
+  msg_bits : 'msg -> int;
+  output : 'state -> int option;
+}
+
+type stats = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_message_bits : int;
+  bandwidth : int;
+}
+
+exception Bandwidth_exceeded of { algo : string; bits : int; bandwidth : int }
+
+let bandwidth_for ?(factor = 8) n =
+  let rec log2_ceil acc v = if v <= 1 then max acc 1 else log2_ceil (acc + 1) ((v + 1) / 2) in
+  factor * log2_ceil 0 n
+
+let make_ctxs ?(seed = 0) g =
+  Array.init (Graph.n g) (fun v ->
+      {
+        id = v;
+        n = Graph.n g;
+        neighbors = Array.of_list (Graph.neighbors g v);
+        edge_weight = (fun u -> Graph.edge_weight g v u);
+        vertex_weight = Graph.vweight g v;
+        rng = Random.State.make [| seed; v |];
+      })
+
+let run_internal ?seed ?bandwidth_factor ?max_rounds ~on_message g algo =
+  let n = Graph.n g in
+  let bandwidth = bandwidth_for ?factor:bandwidth_factor n in
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None -> (20 * n) + (10 * Graph.m g) + 100
+  in
+  let ctxs = make_ctxs ?seed g in
+  let states = Array.map (fun ctx -> algo.init ctx) ctxs in
+  let inboxes = Array.make n [] in
+  let messages = ref 0 and total_bits = ref 0 and max_bits = ref 0 in
+  let round = ref 0 in
+  let quiescent = ref false in
+  while
+    (not !quiescent)
+    || Array.exists (fun st -> algo.output st = None) states
+  do
+    if !round > max_rounds then
+      failwith
+        (Printf.sprintf "Network.run: algorithm %S did not terminate in %d rounds"
+           algo.name max_rounds);
+    let outboxes = Array.make n [] in
+    for v = 0 to n - 1 do
+      let inbox = List.rev inboxes.(v) in
+      inboxes.(v) <- [];
+      let state', outbox = algo.round ctxs.(v) ~round:!round states.(v) inbox in
+      states.(v) <- state';
+      List.iter
+        (fun (target, _) ->
+          if not (Graph.mem_edge g v target) then
+            failwith
+              (Printf.sprintf
+                 "Network.run: %S sent %d -> %d but they are not adjacent"
+                 algo.name v target))
+        outbox;
+      let targets = List.map fst outbox in
+      if List.length (List.sort_uniq compare targets) <> List.length targets then
+        failwith
+          (Printf.sprintf "Network.run: %S sent two messages on one edge" algo.name);
+      outboxes.(v) <- outbox
+    done;
+    let sent_any = ref false in
+    Array.iteri
+      (fun sender outbox ->
+        List.iter
+          (fun (target, msg) ->
+            let bits = algo.msg_bits msg in
+            if bits > bandwidth then
+              raise (Bandwidth_exceeded { algo = algo.name; bits; bandwidth });
+            sent_any := true;
+            incr messages;
+            total_bits := !total_bits + bits;
+            max_bits := max !max_bits bits;
+            on_message ~sender ~target ~bits;
+            inboxes.(target) <- (sender, msg) :: inboxes.(target))
+          outbox)
+      outboxes;
+    quiescent := not !sent_any;
+    incr round
+  done;
+  let stats =
+    {
+      rounds = !round;
+      messages = !messages;
+      total_bits = !total_bits;
+      max_message_bits = !max_bits;
+      bandwidth;
+    }
+  in
+  (states, stats)
+
+let run ?seed ?bandwidth_factor ?max_rounds g algo =
+  run_internal ?seed ?bandwidth_factor ?max_rounds
+    ~on_message:(fun ~sender:_ ~target:_ ~bits:_ -> ())
+    g algo
+
+type cut_stats = { stats : stats; cut_bits : int; cut_messages : int }
+
+let run_split ?seed ?bandwidth_factor ?max_rounds ~side g algo =
+  if Array.length side <> Graph.n g then invalid_arg "Network.run_split: side length";
+  let cut_bits = ref 0 and cut_messages = ref 0 in
+  let states, stats =
+    run_internal ?seed ?bandwidth_factor ?max_rounds
+      ~on_message:(fun ~sender ~target ~bits ->
+        if side.(sender) <> side.(target) then begin
+          cut_bits := !cut_bits + bits;
+          incr cut_messages
+        end)
+      g algo
+  in
+  (states, { stats; cut_bits = !cut_bits; cut_messages = !cut_messages })

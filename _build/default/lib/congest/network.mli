@@ -1,0 +1,69 @@
+open Ch_graph
+
+(** A synchronous CONGEST network simulator.
+
+    Vertices run the same algorithm; in each round every vertex reads its
+    inbox, updates its state, and sends at most one message per incident
+    edge.  Message sizes are declared by the algorithm and checked against
+    the bandwidth B(n) = [bandwidth_factor]·⌈log₂ n⌉ bits — the defining
+    constraint of the model. *)
+
+type ctx = {
+  id : int;
+  n : int;
+  neighbors : int array;  (** sorted *)
+  edge_weight : int -> int;  (** weight of the edge towards a neighbor *)
+  vertex_weight : int;
+  rng : Random.State.t;  (** private per-vertex randomness *)
+}
+
+type ('state, 'msg) algo = {
+  name : string;
+  init : ctx -> 'state;
+  round : ctx -> round:int -> 'state -> (int * 'msg) list -> 'state * (int * 'msg) list;
+      (** [round ctx ~round state inbox] returns the new state and the
+          outbox as [(neighbor, message)] pairs.  The inbox lists
+          [(sender, message)]. *)
+  msg_bits : 'msg -> int;
+  output : 'state -> int option;
+      (** A vertex has terminated once its output is [Some _]. *)
+}
+
+type stats = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_message_bits : int;
+  bandwidth : int;
+}
+
+exception Bandwidth_exceeded of { algo : string; bits : int; bandwidth : int }
+
+val bandwidth_for : ?factor:int -> int -> int
+(** B(n) = factor·⌈log₂ n⌉, factor defaults to 8 (an "O(log n)-bit"
+    message comfortably fits an edge id plus a weight). *)
+
+val run :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?max_rounds:int ->
+  Graph.t ->
+  ('state, 'msg) algo ->
+  'state array * stats
+(** Runs until every vertex has produced an output and no message is in
+    flight, or [max_rounds] (default [20·n + 10·m + 100]) elapses —
+    exceeding it raises [Failure]. *)
+
+type cut_stats = { stats : stats; cut_bits : int; cut_messages : int }
+
+val run_split :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?max_rounds:int ->
+  side:bool array ->
+  Graph.t ->
+  ('state, 'msg) algo ->
+  'state array * cut_stats
+(** Like {!run} but also counts the bits carried by messages crossing the
+    [side] partition — exactly what Alice and Bob must exchange to
+    simulate the algorithm in the Theorem 1.1 reduction. *)

@@ -1,0 +1,76 @@
+open Ch_graph
+open Ch_solvers
+
+let directed_to_undirected_hc dg =
+  let n = Digraph.n dg in
+  let g = Graph.create (3 * n) in
+  let v_in v = 3 * v and v_mid v = (3 * v) + 1 and v_out v = (3 * v) + 2 in
+  for v = 0 to n - 1 do
+    Graph.add_edge g (v_in v) (v_mid v);
+    Graph.add_edge g (v_mid v) (v_out v)
+  done;
+  Digraph.iter_arcs (fun u v _ -> Graph.add_edge g (v_out u) (v_in v)) dg;
+  g
+
+let directed_to_undirected_overhead = 2
+
+let undirected_to_directed_hc g =
+  let n3 = Graph.n g in
+  if n3 mod 3 <> 0 then invalid_arg "Transform.undirected_to_directed_hc";
+  let n = n3 / 3 in
+  let dg = Digraph.create n in
+  Graph.iter_edges
+    (fun a b _ ->
+      let a, b = (min a b, max a b) in
+      (* chain edges are (3v, 3v+1) and (3v+1, 3v+2); arc edges join
+         u_out = 3u+2 with v_in = 3v *)
+      if a / 3 <> b / 3 then
+        match (a mod 3, b mod 3) with
+        | 0, 2 -> Digraph.add_arc dg (b / 3) (a / 3)
+        | 2, 0 -> Digraph.add_arc dg (a / 3) (b / 3)
+        | _ -> invalid_arg "Transform.undirected_to_directed_hc: not a split graph")
+    g;
+  dg
+
+let hp_to_hc g' =
+  let n' = Graph.n g' in
+  if n' < 4 then invalid_arg "Transform.hp_to_hc";
+  let n = n' - 3 in
+  let v2 = n in
+  let g = Graph.create n in
+  Graph.iter_edges
+    (fun u v _ ->
+      let u, v = (min u v, max u v) in
+      if v < n then Graph.add_edge g u v
+      else if v = v2 && u <> 0 && not (Graph.mem_edge g 0 u) then
+        Graph.add_edge g 0 u)
+    g';
+  g
+
+let hc_to_hp g =
+  let n = Graph.n g in
+  if n < 1 then invalid_arg "Transform.hc_to_hp: empty graph";
+  let g' = Graph.create (n + 3) in
+  let v2 = n and s = n + 1 and t = n + 2 in
+  Graph.iter_edges
+    (fun u v _ ->
+      Graph.add_edge g' u v;
+      if u = 0 then Graph.add_edge g' v2 v;
+      if v = 0 then Graph.add_edge g' v2 u)
+    g;
+  Graph.add_edge g' s 0;
+  Graph.add_edge g' v2 t;
+  (g', (v2, s, t))
+
+let hc_to_hp_overhead = 2
+
+let hamiltonian_cycle_via_path g =
+  if Graph.n g < 3 then false
+  else begin
+    let g', _ = hc_to_hp g in
+    Hamilton.undirected_path g' <> None
+  end
+
+let directed_cycle_via_undirected dg =
+  if Digraph.n dg < 2 then false
+  else Hamilton.undirected_cycle (directed_to_undirected_hc dg) <> None

@@ -1,0 +1,41 @@
+open Ch_graph
+
+(** The folklore reductions of Section 2.2.2, as graph transforms plus the
+    constant round overheads with which the paper simulates them in the
+    CONGEST model (Lemmas 2.2 and 2.3). *)
+
+val directed_to_undirected_hc : Digraph.t -> Graph.t
+(** Each vertex v becomes (v_in, v_mid, v_out) = (3v, 3v+1, 3v+2); arcs
+    (u,v) become edges {u_out, v_in}.  The result has a Hamiltonian cycle
+    iff the input has a directed one. *)
+
+val directed_to_undirected_overhead : int
+(** Rounds of the simulated graph per round of the original (Lemma 2.2). *)
+
+val undirected_to_directed_hc : Graph.t -> Digraph.t
+(** Inverse of {!directed_to_undirected_hc} (the transform is injective):
+    recovers the digraph from the 3n-vertex split graph.  Used to decide
+    Hamiltonicity of the transformed graph through the Lemma 2.2
+    equivalence instead of searching the 3× larger instance. *)
+
+val hp_to_hc : Graph.t -> Graph.t
+(** Inverse of {!hc_to_hp}: merges v₂ back into vertex 0 and drops s, t. *)
+
+val hc_to_hp : Graph.t -> Graph.t * (int * int * int)
+(** Splits vertex 0 into v₁ (= old 0) and v₂ (= n) and adds pendant
+    s (= n+1) and t (= n+2): the result has a Hamiltonian path iff the
+    input has a Hamiltonian cycle.  Returns the new graph and
+    (v₂, s, t). *)
+
+val hc_to_hp_overhead : int
+(** Rounds per simulated round (Lemma 2.3; the O(D) leader election is
+    additive, not multiplicative). *)
+
+val hamiltonian_cycle_via_path : Graph.t -> bool
+(** Decide Hamiltonian cycle by composing [hc_to_hp] with a Hamiltonian
+    path decision — the Lemma 2.3 pipeline, with the search done by the
+    exact solver. *)
+
+val directed_cycle_via_undirected : Digraph.t -> bool
+(** Decide directed Hamiltonian cycle through [directed_to_undirected_hc]
+    — the Lemma 2.2 pipeline. *)

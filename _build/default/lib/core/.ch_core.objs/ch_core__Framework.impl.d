@@ -1,0 +1,1 @@
+lib/core/framework.ml: Array Bits Ch_cc Ch_congest Ch_graph Commfn Digraph Fun Graph List

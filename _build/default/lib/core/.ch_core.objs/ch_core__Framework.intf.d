@@ -1,0 +1,1 @@
+lib/core/framework.mli: Bits Ch_cc Ch_graph Digraph Graph

@@ -1,0 +1,154 @@
+open Ch_graph
+open Ch_cc
+
+type instance =
+  | Undirected of Graph.t
+  | Directed of Digraph.t
+  | With_terminals of Graph.t * int list
+  | Rooted_digraph of Digraph.t * int * int list
+
+type t = {
+  name : string;
+  params : (string * int) list;
+  input_bits : int;
+  nvertices : int;
+  side : bool array;
+  build : Bits.t -> Bits.t -> instance;
+  predicate : instance -> bool;
+  f : Bits.t -> Bits.t -> bool;
+}
+
+let graph_of = function
+  | Undirected g -> g
+  | Directed dg -> Digraph.to_undirected dg
+  | With_terminals (g, _) -> g
+  | Rooted_digraph (dg, _, _) -> Digraph.to_undirected dg
+
+(* weighted edge fingerprints of the two sides and the cut, plus vertex
+   weights per side: everything Definition 1.1 constrains *)
+let fingerprint fam instance =
+  let g = graph_of instance in
+  let side = fam.side in
+  let a_edges = ref [] and b_edges = ref [] and cut = ref [] in
+  Graph.iter_edges
+    (fun u v w ->
+      match (side.(u), side.(v)) with
+      | true, true -> a_edges := (u, v, w) :: !a_edges
+      | false, false -> b_edges := (u, v, w) :: !b_edges
+      | _ -> cut := (u, v, w) :: !cut)
+    g;
+  let weights_of keep =
+    List.filter_map
+      (fun v -> if keep v then Some (v, Graph.vweight g v) else None)
+      (List.init (Graph.n g) Fun.id)
+  in
+  ( List.sort compare !a_edges,
+    List.sort compare !b_edges,
+    List.sort compare !cut,
+    weights_of (fun v -> side.(v)),
+    weights_of (fun v -> not side.(v)) )
+
+let cut_edges fam =
+  let x = Bits.zeros fam.input_bits and y = Bits.zeros fam.input_bits in
+  let _, _, cut, _, _ = fingerprint fam (fam.build x y) in
+  List.map (fun (u, v, _) -> (u, v)) cut
+
+let cut_size fam = List.length (cut_edges fam)
+
+let verify_pair fam x y = fam.predicate (fam.build x y) = fam.f x y
+
+let verify_exhaustive fam =
+  if fam.input_bits > 10 then invalid_arg "Framework.verify_exhaustive: K > 10";
+  let inputs = Bits.all fam.input_bits in
+  let failures = ref 0 and total = ref 0 in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          incr total;
+          if not (verify_pair fam x y) then incr failures)
+        inputs)
+    inputs;
+  (!failures, !total)
+
+let corner_pairs fam =
+  let k = fam.input_bits in
+  [
+    (Bits.zeros k, Bits.zeros k);
+    (Bits.ones k, Bits.ones k);
+    (Bits.ones k, Bits.zeros k);
+    (Bits.zeros k, Bits.ones k);
+  ]
+
+let verify_random ~seed ~samples fam =
+  let k = fam.input_bits in
+  let pairs =
+    corner_pairs fam
+    @ List.init samples (fun i ->
+          (Bits.random ~seed:(seed + (2 * i)) k, Bits.random ~seed:(seed + (2 * i) + 1) k))
+  in
+  let failures =
+    List.length (List.filter (fun (x, y) -> not (verify_pair fam x y)) pairs)
+  in
+  (failures, List.length pairs)
+
+let check_sidedness ~seed ~samples fam =
+  let k = fam.input_bits in
+  let ok = ref true in
+  for i = 0 to samples - 1 do
+    let x = Bits.random ~seed:(seed + (4 * i)) k in
+    let x' = Bits.random ~seed:(seed + (4 * i) + 1) k in
+    let y = Bits.random ~seed:(seed + (4 * i) + 2) k in
+    let y' = Bits.random ~seed:(seed + (4 * i) + 3) k in
+    let _, b1, c1, _, wb1 = fingerprint fam (fam.build x y) in
+    let _, b2, c2, _, wb2 = fingerprint fam (fam.build x' y) in
+    (* changing x must leave Bob's side and the cut untouched *)
+    if not (b1 = b2 && c1 = c2 && wb1 = wb2) then ok := false;
+    let a1, _, c1, wa1, _ = fingerprint fam (fam.build x y) in
+    let a2, _, c2, wa2, _ = fingerprint fam (fam.build x y') in
+    if not (a1 = a2 && c1 = c2 && wa1 = wa2) then ok := false;
+    (* the vertex count is fixed *)
+    if Graph.n (graph_of (fam.build x y)) <> fam.nvertices then ok := false
+  done;
+  !ok
+
+let lower_bound_rounds ~input_bits ~cut ~n =
+  float_of_int (Commfn.cc_disj_lower_bound input_bits)
+  /. (float_of_int cut *. (log (float_of_int n) /. log 2.0))
+
+type simulation = {
+  decision_correct : bool;
+  cut_bits : int;
+  cut_messages : int;
+  rounds : int;
+}
+
+let simulate_alice_bob ?seed ?bandwidth_factor fam ~solver ~accept x y =
+  let g =
+    match fam.build x y with
+    | Undirected g -> g
+    | Directed _ | With_terminals _ | Rooted_digraph _ ->
+        invalid_arg "Framework.simulate_alice_bob: undirected instances only"
+  in
+  let answer, cut_stats =
+    Ch_congest.Gather.solve_split ?seed ?bandwidth_factor ~side:fam.side g
+      ~f:solver
+  in
+  {
+    decision_correct = accept answer = fam.f x y;
+    cut_bits = cut_stats.Ch_congest.Network.cut_bits;
+    cut_messages = cut_stats.Ch_congest.Network.cut_messages;
+    rounds = cut_stats.Ch_congest.Network.stats.Ch_congest.Network.rounds;
+  }
+
+let reduce ~name ~transform ~nvertices ~side ~predicate fam =
+  {
+    name;
+    params = fam.params;
+    input_bits = fam.input_bits;
+    nvertices;
+    side;
+    build = (fun x y -> transform (fam.build x y));
+    predicate;
+    f = fam.f;
+  }

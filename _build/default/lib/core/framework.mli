@@ -1,0 +1,101 @@
+open Ch_graph
+open Ch_cc
+
+(** The paper's lower-bound framework.
+
+    A {e family of lower bound graphs} (Definition 1.1) w.r.t. a function
+    f : \{0,1\}^K × \{0,1\}^K → \{TRUE,FALSE\} and a predicate P is a set
+    of graphs G_{x,y} on a fixed vertex set V = V_A ⊎ V_B such that only
+    G[V_A] depends on x, only G[V_B] depends on y, and G_{x,y} ⊨ P iff
+    f(x,y).  Theorem 1.1 turns such a family into an
+    Ω(CC(f)/(|E_cut|·log n)) round lower bound: Alice and Bob simulate a
+    CONGEST algorithm for P, exchanging only the messages that cross
+    E_cut. *)
+
+type instance =
+  | Undirected of Graph.t
+  | Directed of Digraph.t
+  | With_terminals of Graph.t * int list
+  | Rooted_digraph of Digraph.t * int * int list
+      (** graph, root, terminals — the directed Steiner instances *)
+
+type t = {
+  name : string;
+  params : (string * int) list;  (** construction parameters, e.g. [("k", 4)] *)
+  input_bits : int;  (** K: the length of each player's input *)
+  nvertices : int;
+  side : bool array;  (** [side.(v)] iff v ∈ V_A *)
+  build : Bits.t -> Bits.t -> instance;
+  predicate : instance -> bool;  (** P, decided by an exact solver *)
+  f : Bits.t -> Bits.t -> bool;  (** the communication function (e.g. ¬DISJ) *)
+}
+
+val graph_of : instance -> Graph.t
+(** The underlying undirected graph (directed instances forget
+    orientation) — used for structural measurements. *)
+
+val cut_edges : t -> (int * int) list
+(** E_cut of the family, measured on the all-zeros instance (by
+    Definition 1.1 it is the same for every instance). *)
+
+val cut_size : t -> int
+
+(** {1 Family verification} *)
+
+val verify_pair : t -> Bits.t -> Bits.t -> bool
+(** Does P(G_{x,y}) = f(x,y) hold for this input pair? *)
+
+val verify_exhaustive : t -> int * int
+(** [(failures, total)] over all 2^K × 2^K input pairs.
+    @raise Invalid_argument when [input_bits > 10]. *)
+
+val verify_random : seed:int -> samples:int -> t -> int * int
+(** [(failures, total)] over random pairs plus the all-zeros / all-ones
+    corner cases. *)
+
+val check_sidedness : seed:int -> samples:int -> t -> bool
+(** Conditions 1–3 of Definition 1.1: the vertex set is fixed, G[V_B] and
+    E_cut (edges, weights, vertex weights) do not depend on x, and
+    symmetrically for y.  Checked on random input pairs. *)
+
+(** {1 Theorem 1.1} *)
+
+val lower_bound_rounds : input_bits:int -> cut:int -> n:int -> float
+(** CC(f)/(|E_cut|·log₂ n) with CC instantiated as the Ω(K) disjointness
+    bound: the round lower bound the family certifies. *)
+
+type simulation = {
+  decision_correct : bool;
+  cut_bits : int;
+  cut_messages : int;
+  rounds : int;
+}
+
+val simulate_alice_bob :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  t ->
+  solver:(Graph.t -> int) ->
+  accept:(int -> bool) ->
+  Bits.t ->
+  Bits.t ->
+  simulation
+(** Run the generic exact CONGEST algorithm (gather + local [solver]) on
+    G_{x,y} with Alice simulating V_A and Bob V_B, count the bits crossing
+    E_cut, and check that [accept answer] equals f(x,y): the two players
+    have solved the communication problem, which is exactly the Theorem
+    1.1 argument.  Only undirected instances are supported. *)
+
+(** {1 Theorem 2.6: reductions between families} *)
+
+val reduce :
+  name:string ->
+  transform:(instance -> instance) ->
+  nvertices:int ->
+  side:bool array ->
+  predicate:(instance -> bool) ->
+  t ->
+  t
+(** A new family G′_{x,y} = transform(G_{x,y}).  The Theorem 2.6 side
+    conditions (V′ and E′ determined side-by-side) are not assumed — they
+    are re-checked by {!check_sidedness} on the result. *)

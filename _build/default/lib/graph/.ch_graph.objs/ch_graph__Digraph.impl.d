@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Array Bitset Buffer Format Graph Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/graph/expander.ml: Array Fun Gen Graph Hashtbl List

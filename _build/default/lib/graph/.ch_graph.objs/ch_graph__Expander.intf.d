@@ -1,0 +1,1 @@
+lib/graph/expander.mli: Graph

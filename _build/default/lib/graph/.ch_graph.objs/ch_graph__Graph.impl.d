@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Bitset Buffer Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/graph/props.ml: Array Bitset Digraph Fun Graph Hashtbl List Option Queue Set Union_find

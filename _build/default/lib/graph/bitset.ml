@@ -1,0 +1,153 @@
+type t = { capacity : int; words : int array }
+
+let bits_per_word = 63
+
+let nwords capacity = (capacity + bits_per_word - 1) / bits_per_word
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { capacity; words = Array.make (max 1 (nwords capacity)) 0 }
+
+let capacity t = t.capacity
+
+let full capacity =
+  let t = create capacity in
+  let wn = Array.length t.words in
+  for w = 0 to wn - 1 do
+    let lo = w * bits_per_word in
+    let hi = min t.capacity (lo + bits_per_word) in
+    let count = hi - lo in
+    if count > 0 then t.words.(w) <- (1 lsl count) - 1
+  done;
+  t
+
+let copy t = { capacity = t.capacity; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.capacity)
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let equal a b =
+  same_capacity a b;
+  a.words = b.words
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land lnot b.words.(w) <> 0 then ok := false
+  done;
+  !ok
+
+let union_into dst src =
+  same_capacity dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter_into dst src =
+  same_capacity dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let diff_into dst src =
+  same_capacity dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land lnot src.words.(w)
+  done
+
+let union a b =
+  let t = copy a in
+  union_into t b;
+  t
+
+let inter a b =
+  let t = copy a in
+  inter_into t b;
+  t
+
+let diff a b =
+  let t = copy a in
+  diff_into t b;
+  t
+
+let inter_cardinal a b =
+  same_capacity a b;
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(w) land b.words.(w))
+  done;
+  !acc
+
+let intersects a b =
+  same_capacity a b;
+  let hit = ref false in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land b.words.(w) <> 0 then hit := true
+  done;
+  !hit
+
+let lowest_bit x = popcount ((x land -x) - 1)
+
+let choose t =
+  let rec go w =
+    if w >= Array.length t.words then raise Not_found
+    else if t.words.(w) <> 0 then (w * bits_per_word) + lowest_bit t.words.(w)
+    else go (w + 1)
+  in
+  go 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let bit = !word land - !word in
+      f ((w * bits_per_word) + lowest_bit !word);
+      word := !word land lnot bit
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list capacity items =
+  let t = create capacity in
+  List.iter (add t) items;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,140 @@
+type t = {
+  n : int;
+  mutable m : int;
+  out : (int, int) Hashtbl.t array;
+  inc : (int, int) Hashtbl.t array;
+  vweight : int array;
+}
+
+let create ?(default_vweight = 1) n =
+  if n < 0 then invalid_arg "Digraph.create";
+  {
+    n;
+    m = 0;
+    out = Array.init n (fun _ -> Hashtbl.create 4);
+    inc = Array.init n (fun _ -> Hashtbl.create 4);
+    vweight = Array.make n default_vweight;
+  }
+
+let n g = g.n
+
+let m g = g.m
+
+let check g v =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Digraph: vertex %d out of [0,%d)" v g.n)
+
+let mem_arc g u v =
+  check g u;
+  check g v;
+  Hashtbl.mem g.out.(u) v
+
+let add_arc ?(w = 1) g u v =
+  check g u;
+  check g v;
+  if u = v then invalid_arg "Digraph.add_arc: self loop";
+  if Hashtbl.mem g.out.(u) v then
+    invalid_arg (Printf.sprintf "Digraph.add_arc: duplicate arc (%d,%d)" u v);
+  Hashtbl.replace g.out.(u) v w;
+  Hashtbl.replace g.inc.(v) u w;
+  g.m <- g.m + 1
+
+let arc_weight g u v =
+  check g u;
+  check g v;
+  match Hashtbl.find_opt g.out.(u) v with
+  | Some w -> w
+  | None -> raise Not_found
+
+let vweight g v =
+  check g v;
+  g.vweight.(v)
+
+let set_vweight g v w =
+  check g v;
+  g.vweight.(v) <- w
+
+let succ g v =
+  check g v;
+  Hashtbl.fold (fun u _ acc -> u :: acc) g.out.(v) [] |> List.sort compare
+
+let pred g v =
+  check g v;
+  Hashtbl.fold (fun u _ acc -> u :: acc) g.inc.(v) [] |> List.sort compare
+
+let succ_w g v =
+  check g v;
+  Hashtbl.fold (fun u w acc -> (u, w) :: acc) g.out.(v) [] |> List.sort compare
+
+let out_degree g v =
+  check g v;
+  Hashtbl.length g.out.(v)
+
+let in_degree g v =
+  check g v;
+  Hashtbl.length g.inc.(v)
+
+let iter_arcs f g =
+  for u = 0 to g.n - 1 do
+    Hashtbl.iter (fun v w -> f u v w) g.out.(u)
+  done
+
+let arcs g =
+  let acc = ref [] in
+  iter_arcs (fun u v w -> acc := (u, v, w) :: !acc) g;
+  List.sort compare !acc
+
+let copy g =
+  {
+    n = g.n;
+    m = g.m;
+    out = Array.map Hashtbl.copy g.out;
+    inc = Array.map Hashtbl.copy g.inc;
+    vweight = Array.copy g.vweight;
+  }
+
+let succ_bitsets g =
+  Array.init g.n (fun v ->
+      let set = Bitset.create g.n in
+      Hashtbl.iter (fun u _ -> Bitset.add set u) g.out.(v);
+      set)
+
+let pred_bitsets g =
+  Array.init g.n (fun v ->
+      let set = Bitset.create g.n in
+      Hashtbl.iter (fun u _ -> Bitset.add set u) g.inc.(v);
+      set)
+
+let of_arcs n arc_list =
+  let g = create n in
+  List.iter (fun (u, v) -> add_arc g u v) arc_list;
+  g
+
+let to_undirected g =
+  let u_graph = Graph.create g.n in
+  for v = 0 to g.n - 1 do
+    Graph.set_vweight u_graph v g.vweight.(v)
+  done;
+  iter_arcs
+    (fun u v w ->
+      if Graph.mem_edge u_graph u v then
+        Graph.set_edge_weight u_graph u v (min w (Graph.edge_weight u_graph u v))
+      else Graph.add_edge ~w u_graph u v)
+    g;
+  u_graph
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph n=%d m=%d@," g.n g.m;
+  iter_arcs (fun u v w -> Format.fprintf ppf "%d -> %d (w=%d)@," u v w) g;
+  Format.fprintf ppf "@]"
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  iter_arcs
+    (fun u v w ->
+      if w = 1 then Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" u v)
+      else Buffer.add_string buf (Printf.sprintf "  %d -> %d [label=%d];\n" u v w))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** Simple directed graphs on vertices [0 .. n-1] with integer arc weights
+    and integer vertex weights. *)
+
+type t
+
+val create : ?default_vweight:int -> int -> t
+
+val n : t -> int
+
+val m : t -> int
+(** Number of arcs. *)
+
+val add_arc : ?w:int -> t -> int -> int -> unit
+(** [add_arc g u v] inserts the arc [u -> v].  Antiparallel arcs are
+    allowed; duplicates and self loops are rejected. *)
+
+val mem_arc : t -> int -> int -> bool
+
+val arc_weight : t -> int -> int -> int
+(** @raise Not_found when the arc is absent. *)
+
+val vweight : t -> int -> int
+
+val set_vweight : t -> int -> int -> unit
+
+val succ : t -> int -> int list
+(** Sorted out-neighbors. *)
+
+val pred : t -> int -> int list
+(** Sorted in-neighbors. *)
+
+val succ_w : t -> int -> (int * int) list
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val arcs : t -> (int * int * int) list
+(** All arcs [(u, v, w)], sorted. *)
+
+val iter_arcs : (int -> int -> int -> unit) -> t -> unit
+
+val copy : t -> t
+
+val succ_bitsets : t -> Bitset.t array
+
+val pred_bitsets : t -> Bitset.t array
+
+val of_arcs : int -> (int * int) list -> t
+
+val to_undirected : t -> Graph.t
+(** Forget orientation; antiparallel arc pairs collapse to one edge whose
+    weight is the smaller arc weight. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?name:string -> t -> string
+(** GraphViz source for the directed graph. *)

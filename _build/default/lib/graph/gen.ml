@@ -1,0 +1,134 @@
+let path n =
+  let g = Graph.create n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  let g = path n in
+  Graph.add_edge g (n - 1) 0;
+  g
+
+let clique n =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  g
+
+let complete_bipartite a b =
+  let g = Graph.create (a + b) in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  g
+
+let star n =
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_edge g 0 v
+  done;
+  g
+
+let grid rows cols =
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.add_edge g (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.add_edge g (id r c) (id (r + 1) c)
+    done
+  done;
+  g
+
+let gnp ~seed n p =
+  let rng = Random.State.make [| seed |] in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let gnm ~seed n m =
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Gen.gnm: too many edges";
+  let rng = Random.State.make [| seed |] in
+  let g = Graph.create n in
+  let added = ref 0 in
+  while !added < m do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v && not (Graph.mem_edge g u v) then begin
+      Graph.add_edge g u v;
+      incr added
+    end
+  done;
+  g
+
+let random_regular ~seed n d =
+  if n * d mod 2 = 1 || d >= n then None
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let attempt () =
+      let stubs = Array.make (n * d) 0 in
+      for i = 0 to (n * d) - 1 do
+        stubs.(i) <- i / d
+      done;
+      for i = Array.length stubs - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let tmp = stubs.(i) in
+        stubs.(i) <- stubs.(j);
+        stubs.(j) <- tmp
+      done;
+      let g = Graph.create n in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < Array.length stubs do
+        let u = stubs.(!i) and v = stubs.(!i + 1) in
+        if u = v || Graph.mem_edge g u v then ok := false
+        else Graph.add_edge g u v;
+        i := !i + 2
+      done;
+      if !ok then Some g else None
+    in
+    let rec retry k = if k = 0 then None else
+      match attempt () with Some g -> Some g | None -> retry (k - 1)
+    in
+    retry 500
+  end
+
+let random_connected ~seed n p =
+  let rng = Random.State.make [| seed; 17 |] in
+  let g = gnp ~seed n p in
+  (* random spanning tree: attach each vertex to a random earlier one *)
+  for v = 1 to n - 1 do
+    let u = Random.State.int rng v in
+    if not (Graph.mem_edge g u v) then Graph.add_edge g u v
+  done;
+  g
+
+let random_digraph ~seed n p =
+  let rng = Random.State.make [| seed |] in
+  let g = Digraph.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Random.State.float rng 1.0 < p then Digraph.add_arc g u v
+    done
+  done;
+  g
+
+let random_weights ~seed ?(lo = 1) ?(hi = 10) g =
+  let rng = Random.State.make [| seed |] in
+  let g' = Graph.copy g in
+  List.iter
+    (fun (u, v, _) ->
+      Graph.set_edge_weight g' u v (lo + Random.State.int rng (hi - lo + 1)))
+    (Graph.edges g');
+  g'

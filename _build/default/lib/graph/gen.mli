@@ -1,0 +1,35 @@
+(** Deterministic (seeded) graph generators used by tests, examples and
+    benchmarks. *)
+
+val path : int -> Graph.t
+
+val cycle : int -> Graph.t
+
+val clique : int -> Graph.t
+
+val complete_bipartite : int -> int -> Graph.t
+
+val star : int -> Graph.t
+(** [star n]: vertex 0 joined to [1 .. n-1]. *)
+
+val grid : int -> int -> Graph.t
+
+val gnp : seed:int -> int -> float -> Graph.t
+(** Erdős–Rényi G(n,p). *)
+
+val gnm : seed:int -> int -> int -> Graph.t
+(** Uniform graph with exactly [m] edges (requires [m] at most [n(n-1)/2]). *)
+
+val random_regular : seed:int -> int -> int -> Graph.t option
+(** [random_regular ~seed n d]: a simple [d]-regular graph via the pairing
+    model with retries; [None] if [n*d] is odd or generation keeps
+    failing. *)
+
+val random_connected : seed:int -> int -> float -> Graph.t
+(** G(n,p) plus a random spanning tree, so the result is connected. *)
+
+val random_digraph : seed:int -> int -> float -> Digraph.t
+
+val random_weights : seed:int -> ?lo:int -> ?hi:int -> Graph.t -> Graph.t
+(** Fresh copy with uniform random edge weights in [[lo,hi]]
+    (defaults 1..10). *)

@@ -1,0 +1,87 @@
+(** Simple undirected graphs on vertices [0 .. n-1], with integer edge
+    weights and integer vertex weights.
+
+    Self loops and parallel edges are rejected: every lower-bound
+    construction of the paper is a simple graph, and the exact solvers
+    rely on it. *)
+
+type t
+
+val create : ?default_vweight:int -> int -> t
+(** [create n] is the edgeless graph on [n] vertices.  Every vertex weight
+    starts at [default_vweight] (default [1]). *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val add_edge : ?w:int -> t -> int -> int -> unit
+(** [add_edge ~w g u v] inserts the edge [{u,v}] with weight [w]
+    (default [1]).  @raise Invalid_argument on self loops or when the edge
+    is already present. *)
+
+val remove_edge : t -> int -> int -> unit
+(** @raise Not_found when the edge is absent. *)
+
+val set_edge_weight : t -> int -> int -> int -> unit
+(** [set_edge_weight g u v w]. @raise Not_found when the edge is absent. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val edge_weight : t -> int -> int -> int
+(** @raise Not_found when the edge is absent. *)
+
+val vweight : t -> int -> int
+
+val set_vweight : t -> int -> int -> unit
+
+val vweights : t -> int array
+(** A fresh array of all vertex weights. *)
+
+val neighbors : t -> int -> int list
+(** Sorted list of neighbors. *)
+
+val neighbors_w : t -> int -> (int * int) list
+(** Sorted list of [(neighbor, edge weight)]. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val edges : t -> (int * int * int) list
+(** All edges [(u, v, w)] with [u < v], sorted. *)
+
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+
+val total_edge_weight : t -> int
+
+val copy : t -> t
+
+val adjacency : t -> Bitset.t array
+(** [adjacency g] is the neighborhood of each vertex as a bitset; fresh
+    arrays, safe to mutate. *)
+
+val closed_adjacency : t -> Bitset.t array
+(** Like {!adjacency} but each vertex is included in its own set. *)
+
+val of_edges : ?default_vweight:int -> int -> (int * int) list -> t
+
+val of_weighted_edges : ?default_vweight:int -> int -> (int * int * int) list -> t
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the subgraph induced on [vs] (vertex weights kept),
+    together with the map from new indices to original vertices. *)
+
+val union_disjoint : t -> t -> t
+(** Disjoint union; vertices of the second graph are shifted by [n first]. *)
+
+val equal_structure : t -> t -> bool
+(** Same vertex count, weights and edge set. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?name:string -> ?highlight:int list -> t -> string
+(** GraphViz source.  Vertex weights other than 1 and edge weights other
+    than 1 appear as labels; [highlight] vertices are filled. *)

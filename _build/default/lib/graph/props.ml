@@ -1,0 +1,196 @@
+let bfs_generic g source visit =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    visit u dist.(u);
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  (dist, parent)
+
+let bfs_dist g source = fst (bfs_generic g source (fun _ _ -> ()))
+
+let bfs_tree g source = snd (bfs_generic g source (fun _ _ -> ()))
+
+let dijkstra g source =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let module Pq = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let pq = ref (Pq.singleton (0, source)) in
+  dist.(source) <- 0;
+  while not (Pq.is_empty !pq) do
+    let ((d, u) as top) = Pq.min_elt !pq in
+    pq := Pq.remove top !pq;
+    if d = dist.(u) then
+      List.iter
+        (fun (v, w) ->
+          if w < 0 then invalid_arg "Props.dijkstra: negative weight";
+          if d + w < dist.(v) then begin
+            dist.(v) <- d + w;
+            pq := Pq.add (d + w, v) !pq
+          end)
+        (Graph.neighbors_w g u)
+  done;
+  dist
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if comp.(v) = -1 then begin
+      let id = !count in
+      incr count;
+      let stack = ref [ v ] in
+      comp.(v) <- id;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+            stack := rest;
+            List.iter
+              (fun w ->
+                if comp.(w) = -1 then begin
+                  comp.(w) <- id;
+                  stack := w :: !stack
+                end)
+              (Graph.neighbors g u)
+      done
+    end
+  done;
+  (comp, !count)
+
+let connected g = Graph.n g = 0 || snd (components g) = 1
+
+let reachable_within g source ~radius =
+  let dist = bfs_dist g source in
+  let ball = Bitset.create (Graph.n g) in
+  Array.iteri (fun v d -> if d <= radius then Bitset.add ball v) dist;
+  ball
+
+let eccentricity g v =
+  let dist = bfs_dist g v in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Props.eccentricity: disconnected"
+      else max acc d)
+    0 dist
+
+let diameter g =
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best
+
+let bipartition g =
+  let n = Graph.n g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if color.(v) = -1 then begin
+      color.(v) <- 0;
+      let queue = Queue.create () in
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        List.iter
+          (fun w ->
+            if color.(w) = -1 then begin
+              color.(w) <- 1 - color.(u);
+              Queue.add w queue
+            end
+            else if color.(w) = color.(u) then ok := false)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  if !ok then Some (Array.map (fun c -> c = 1) color) else None
+
+let is_bipartite g = bipartition g <> None
+
+let bridges g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let timer = ref 0 in
+  let result = ref [] in
+  (* iterative DFS to survive deep graphs *)
+  let rec dfs u parent =
+    disc.(u) <- !timer;
+    low.(u) <- !timer;
+    incr timer;
+    List.iter
+      (fun v ->
+        if disc.(v) = -1 then begin
+          dfs v u;
+          low.(u) <- min low.(u) low.(v);
+          if low.(v) > disc.(u) then result := (min u v, max u v) :: !result
+        end
+        else if v <> parent then low.(u) <- min low.(u) disc.(v))
+      (Graph.neighbors g u)
+  in
+  for v = 0 to n - 1 do
+    if disc.(v) = -1 then dfs v (-1)
+  done;
+  List.sort compare !result
+
+let is_two_edge_connected g =
+  Graph.n g >= 2 && connected g && bridges g = []
+
+let is_spanning_connected g edge_list =
+  let n = Graph.n g in
+  if n = 0 then true
+  else begin
+    let uf = Union_find.create n in
+    List.iter
+      (fun (u, v) ->
+        assert (Graph.mem_edge g u v);
+        ignore (Union_find.union uf u v))
+      edge_list;
+    Union_find.count uf = 1
+  end
+
+let is_forest g =
+  let _, c = components g in
+  Graph.m g = Graph.n g - c
+
+let is_tree g = connected g && Graph.m g = Graph.n g - 1
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 8 in
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+let strongly_connected dg =
+  let n = Digraph.n dg in
+  n = 0
+  ||
+  let reach step =
+    let seen = Array.make n false in
+    let rec dfs v =
+      seen.(v) <- true;
+      List.iter (fun u -> if not seen.(u) then dfs u) (step v)
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  in
+  reach (Digraph.succ dg) && reach (Digraph.pred dg)

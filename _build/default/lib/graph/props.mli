@@ -1,0 +1,46 @@
+(** Structural graph properties: distances, connectivity, diameter,
+    bipartiteness, bridges, 2-edge-connectivity. *)
+
+val bfs_dist : Graph.t -> int -> int array
+(** Hop distances from a source; unreachable vertices get [max_int]. *)
+
+val bfs_tree : Graph.t -> int -> int array
+(** Parent array of a BFS tree ([-1] for the root and unreachable). *)
+
+val dijkstra : Graph.t -> int -> int array
+(** Weighted distances (nonnegative weights); unreachable get [max_int]. *)
+
+val connected : Graph.t -> bool
+
+val components : Graph.t -> int array * int
+(** Component id per vertex and the number of components. *)
+
+val reachable_within : Graph.t -> int -> radius:int -> Bitset.t
+(** Closed ball of the given hop radius around a vertex. *)
+
+val eccentricity : Graph.t -> int -> int
+
+val diameter : Graph.t -> int
+(** @raise Invalid_argument on a disconnected graph. *)
+
+val is_bipartite : Graph.t -> bool
+
+val bipartition : Graph.t -> bool array option
+
+val bridges : Graph.t -> (int * int) list
+(** All bridge edges (u < v). *)
+
+val is_two_edge_connected : Graph.t -> bool
+(** Connected, at least 2 vertices, and bridgeless. *)
+
+val is_spanning_connected : Graph.t -> (int * int) list -> bool
+(** Does the given edge subset connect all [n] vertices? *)
+
+val is_forest : Graph.t -> bool
+
+val is_tree : Graph.t -> bool
+
+val degree_histogram : Graph.t -> (int * int) list
+(** Sorted [(degree, count)] pairs. *)
+
+val strongly_connected : Digraph.t -> bool

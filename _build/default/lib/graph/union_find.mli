@@ -1,0 +1,16 @@
+(** Classic union-find with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+
+val find : t -> int -> int
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the classes of [a] and [b]; returns [false] when
+    they were already merged. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of classes. *)

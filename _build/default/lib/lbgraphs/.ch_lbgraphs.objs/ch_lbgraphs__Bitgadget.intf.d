@@ -1,0 +1,1 @@
+lib/lbgraphs/bitgadget.mli:

@@ -1,0 +1,1 @@
+lib/lbgraphs/bounded_degree.ml: Array Ch_graph Ch_sat Ch_solvers Graph Maxis_lb Sat_reductions

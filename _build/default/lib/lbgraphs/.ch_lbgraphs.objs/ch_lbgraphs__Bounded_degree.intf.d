@@ -1,0 +1,1 @@
+lib/lbgraphs/bounded_degree.mli: Bits Ch_cc Ch_graph Graph

@@ -1,0 +1,1 @@
+lib/lbgraphs/covering.mli:

@@ -1,0 +1,1 @@
+lib/lbgraphs/hampath_lb.ml: Array Bitgadget Bits Ch_cc Ch_congest Ch_core Ch_graph Ch_solvers Commfn Digraph Framework Hashtbl List Mds_lb Transform

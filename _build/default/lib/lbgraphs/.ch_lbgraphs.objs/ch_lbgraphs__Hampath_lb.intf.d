@@ -1,0 +1,1 @@
+lib/lbgraphs/hampath_lb.mli: Bits Ch_cc Ch_core Ch_graph Digraph Mds_lb

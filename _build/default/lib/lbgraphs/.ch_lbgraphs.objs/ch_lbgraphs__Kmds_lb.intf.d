@@ -1,0 +1,1 @@
+lib/lbgraphs/kmds_lb.mli: Bits Ch_cc Ch_core Ch_graph Covering

@@ -1,0 +1,1 @@
+lib/lbgraphs/maxis_approx_lb.ml: Array Bitgadget Bits Ch_cc Ch_codes Ch_core Ch_graph Ch_solvers Commfn Framework Gf Graph List Mds_lb Reed_solomon

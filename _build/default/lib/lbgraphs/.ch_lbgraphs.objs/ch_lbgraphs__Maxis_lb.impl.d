@@ -1,0 +1,1 @@
+lib/lbgraphs/maxis_lb.ml: Array Bitgadget Bits Ch_cc Ch_core Ch_graph Ch_solvers Commfn Framework Graph List Mds_lb

@@ -1,0 +1,1 @@
+lib/lbgraphs/maxis_lb.mli: Bits Ch_cc Ch_core Ch_graph Graph Mds_lb

@@ -1,0 +1,1 @@
+lib/lbgraphs/mds_restricted_lb.ml: Array Bits Ch_cc Ch_core Ch_graph Ch_solvers Commfn Covering Framework Graph

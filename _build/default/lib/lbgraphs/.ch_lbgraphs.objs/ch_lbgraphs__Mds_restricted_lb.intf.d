@@ -1,0 +1,1 @@
+lib/lbgraphs/mds_restricted_lb.mli: Bits Ch_cc Ch_core Ch_graph Covering

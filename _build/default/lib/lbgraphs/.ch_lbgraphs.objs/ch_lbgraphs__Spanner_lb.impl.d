@@ -1,0 +1,1 @@
+lib/lbgraphs/spanner_lb.ml: Array Ch_core Ch_graph Ch_solvers Framework Graph Mds_lb

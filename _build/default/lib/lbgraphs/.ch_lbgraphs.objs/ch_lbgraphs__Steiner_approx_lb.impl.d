@@ -1,0 +1,1 @@
+lib/lbgraphs/steiner_approx_lb.ml: Array Bits Ch_cc Ch_core Ch_graph Ch_solvers Commfn Covering Digraph Framework Fun Graph List

@@ -1,0 +1,1 @@
+lib/lbgraphs/steiner_approx_lb.mli: Bits Ch_cc Ch_core Covering

@@ -1,0 +1,1 @@
+lib/lbgraphs/steiner_lb.ml: Array Bitgadget Ch_core Ch_graph Ch_solvers Framework Fun Graph List Mds_lb

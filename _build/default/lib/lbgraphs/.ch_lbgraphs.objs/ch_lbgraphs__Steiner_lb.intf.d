@@ -1,0 +1,1 @@
+lib/lbgraphs/steiner_lb.mli: Ch_core

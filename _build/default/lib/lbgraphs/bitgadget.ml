@@ -1,0 +1,16 @@
+let is_power_of_two k = k > 0 && k land (k - 1) = 0
+
+let log2 k =
+  if not (is_power_of_two k) then invalid_arg "Bitgadget.log2";
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 k
+
+let bit i h = (i lsr h) land 1 = 1
+
+let check_k name k =
+  if k < 2 || not (is_power_of_two k) then
+    invalid_arg (name ^ ": k must be a power of two, at least 2");
+  log2 k
+
+let indices_with_bit ~k ~h ~value =
+  List.filter (fun i -> bit i h = value) (List.init k Fun.id)

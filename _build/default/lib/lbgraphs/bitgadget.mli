@@ -1,0 +1,17 @@
+(** Shared helpers for the bit-gadget constructions: binary representations
+    and the paper's parameter conventions. *)
+
+val is_power_of_two : int -> bool
+
+val log2 : int -> int
+(** Exact log₂ of a power of two. *)
+
+val bit : int -> int -> bool
+(** [bit i h] is the h-th bit of i. *)
+
+val check_k : string -> int -> int
+(** Validates that k is a power of two at least 2; returns t = log₂ k. *)
+
+val indices_with_bit : k:int -> h:int -> value:bool -> int list
+(** All i ∈ [k] whose h-th bit equals [value], ascending — the wheel
+    ordering of the Hamiltonian-path construction. *)

@@ -1,0 +1,48 @@
+open Ch_graph
+open Ch_cc
+
+(** Section 3: the Ω̃(n) lower bounds for bounded-degree graphs.
+
+    The base MaxIS family is pushed through the reduction chain
+    G → φ → φ′ → G′ of Section 3.1.  The result G′ has maximum degree 5
+    and logarithmic diameter, its cut against the Alice/Bob split equals
+    the base family's Θ(log k) cut, and
+
+      α(G′) = α(G) + |E(G)| + m_exp,
+
+    so α(G′) = Z + |E| + m_exp iff DISJ(x,y) = FALSE.  As in Claim 3.6,
+    |E| and m_exp are input-dependent but each player knows its own share,
+    so announcing them costs two extra messages — this family is used with
+    that amended simulation rather than the plain Theorem 1.1 statement.
+
+    The same instance yields MVC hardness (τ = n′ − α, Theorem 3.2); the
+    MVC→MDS reduction of Theorem 3.3 is [mds_instance]. *)
+
+type instance = {
+  graph : Graph.t;  (** G′, max degree 5 *)
+  side : bool array;
+  alpha_target : int;  (** Z + |E(G)| + m_exp for this input pair *)
+  m_base : int;  (** |E(G_{x,y})| *)
+  m_exp : int;
+  base_alpha : int;  (** α(G_{x,y}), exact *)
+}
+
+val build : ?seed:int -> k:int -> Bits.t -> Bits.t -> instance
+
+val alpha' : instance -> int
+(** α(G′) through the verified chain equalities (the direct computation is
+    exponential-time on these sizes; [alpha_direct] exists for smoke
+    tests). *)
+
+val alpha_direct : instance -> int
+(** α(G′) by the exact solver. *)
+
+val predicate : instance -> bool
+(** α(G′) = alpha_target, decided via [alpha']. *)
+
+val cut_size : instance -> int
+
+val mvc_to_mds : Graph.t -> Graph.t
+(** The Theorem 3.3 reduction: add, per edge {u,v}, a fresh vertex
+    adjacent to u and v.  γ of the result equals τ of the input, degrees
+    only double, and the diameter grows by O(1). *)

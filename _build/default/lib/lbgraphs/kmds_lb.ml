@@ -1,0 +1,149 @@
+open Ch_graph
+open Ch_cc
+open Ch_core
+
+type params = { collection : Covering.t; k : int; alpha : int }
+
+let make_params ?(seed = 0) ?(k = 2) ~ell ~t_count ~r () =
+  if k < 2 then invalid_arg "Kmds_lb: k >= 2 required";
+  let collection = Covering.construct ~seed ~ell ~t_count ~r () in
+  { collection; k; alpha = r + 1 }
+
+(* layout: a_0..a_{ℓ-1}; b_0..b_{ℓ-1}; S_0..S_{T-1}; S̄_0..S̄_{T-1};
+   a; b; R; then (k-2) internal path vertices per set-element incidence
+   (first the S_i–a_j paths, then the S̄_i–b_j paths) *)
+module Ix = struct
+  let a_elt _p j = j
+
+  let b_elt p j = p.collection.Covering.ell + j
+
+  let s p i = (2 * p.collection.Covering.ell) + i
+
+  let s_bar p i = (2 * p.collection.Covering.ell) + Array.length p.collection.Covering.sets + i
+
+  let hub_a p = (2 * p.collection.Covering.ell) + (2 * Array.length p.collection.Covering.sets)
+
+  let hub_b p = hub_a p + 1
+
+  let root p = hub_a p + 2
+
+  let base_paths p = hub_a p + 3
+end
+
+let incidences p =
+  (* (set vertex, element vertex, side) pairs needing a path *)
+  let ell = p.collection.Covering.ell in
+  let t_count = Array.length p.collection.Covering.sets in
+  let acc = ref [] in
+  for i = 0 to t_count - 1 do
+    for j = 0 to ell - 1 do
+      if Covering.mem p.collection ~set:i j then
+        acc := (Ix.s p i, Ix.a_elt p j, true) :: !acc
+    done
+  done;
+  for i = 0 to t_count - 1 do
+    for j = 0 to ell - 1 do
+      if not (Covering.mem p.collection ~set:i j) then
+        acc := (Ix.s_bar p i, Ix.b_elt p j, false) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let nvertices p =
+  Ix.base_paths p + ((p.k - 2) * List.length (incidences p))
+
+let yes_weight = 2
+
+let no_weight_exceeds p = p.collection.Covering.r
+
+let build p x y =
+  let ell = p.collection.Covering.ell in
+  let t_count = Array.length p.collection.Covering.sets in
+  if Bits.length x <> t_count || Bits.length y <> t_count then
+    invalid_arg "Kmds_lb.build: inputs must have T bits";
+  let g = Graph.create ~default_vweight:p.alpha (nvertices p) in
+  Graph.set_vweight g (Ix.root p) 0;
+  (* the paper gives a and b weight α; only R is free *)
+  for i = 0 to t_count - 1 do
+    Graph.set_vweight g (Ix.s p i) (if Bits.get x i then 1 else p.alpha);
+    Graph.set_vweight g (Ix.s_bar p i) (if Bits.get y i then 1 else p.alpha)
+  done;
+  for j = 0 to ell - 1 do
+    Graph.add_edge g (Ix.a_elt p j) (Ix.b_elt p j)
+  done;
+  for i = 0 to t_count - 1 do
+    Graph.add_edge g (Ix.hub_a p) (Ix.s p i);
+    Graph.add_edge g (Ix.hub_b p) (Ix.s_bar p i)
+  done;
+  Graph.add_edge g (Ix.root p) (Ix.hub_a p);
+  Graph.add_edge g (Ix.root p) (Ix.hub_b p);
+  (* set-element incidences as paths of length k-1 *)
+  let next = ref (Ix.base_paths p) in
+  List.iter
+    (fun (set_v, elt_v, _) ->
+      if p.k = 2 then Graph.add_edge g set_v elt_v
+      else begin
+        let internal = List.init (p.k - 2) (fun i -> !next + i) in
+        next := !next + (p.k - 2);
+        let chain = (set_v :: internal) @ [ elt_v ] in
+        let rec link = function
+          | u :: (v :: _ as rest) ->
+              Graph.add_edge g u v;
+              link rest
+          | _ -> ()
+        in
+        link chain
+      end)
+    (incidences p);
+  g
+
+let side p =
+  let n = nvertices p in
+  let side = Array.make n false in
+  let ell = p.collection.Covering.ell in
+  let t_count = Array.length p.collection.Covering.sets in
+  for j = 0 to ell - 1 do
+    side.(Ix.a_elt p j) <- true
+  done;
+  for i = 0 to t_count - 1 do
+    side.(Ix.s p i) <- true
+  done;
+  side.(Ix.hub_a p) <- true;
+  (* internal path vertices inherit the side of their set vertex *)
+  let next = ref (Ix.base_paths p) in
+  List.iter
+    (fun (_, _, alice) ->
+      for _ = 1 to p.k - 2 do
+        side.(!next) <- alice;
+        incr next
+      done)
+    (incidences p);
+  side
+
+let family p =
+  {
+    Framework.name = Printf.sprintf "%d-mds-log-approx (Thm 4.%d)" p.k (if p.k = 2 then 4 else 5);
+    params =
+      [
+        ("ell", p.collection.Covering.ell);
+        ("T", Array.length p.collection.Covering.sets);
+        ("r", p.collection.Covering.r);
+        ("k", p.k);
+      ];
+    input_bits = Array.length p.collection.Covering.sets;
+    nvertices = nvertices p;
+    side = side p;
+    build = (fun x y -> Framework.Undirected (build p x y));
+    predicate =
+      (fun inst ->
+        match inst with
+        | Framework.Undirected g ->
+            fst (Ch_solvers.Domset.min_weight_set ~radius:p.k g) <= yes_weight
+        | _ -> invalid_arg "kmds family: undirected expected");
+    f = Commfn.intersecting;
+  }
+
+let gap_holds p x y =
+  let g = build p x y in
+  let w = fst (Ch_solvers.Domset.min_weight_set ~radius:p.k g) in
+  if Commfn.intersecting x y then w <= yes_weight else w > no_weight_exceeds p

@@ -1,0 +1,144 @@
+open Ch_graph
+open Ch_cc
+open Ch_core
+
+module Ix = struct
+  let row ~k s i =
+    assert (i >= 0 && i < k);
+    (Mds_lb.set_index s * k) + i
+
+  let gadget_base ~k s = (4 * k) + (Mds_lb.set_index s * 2 * Bitgadget.log2 k)
+
+  let f ~k s h = gadget_base ~k s + h
+
+  let t ~k s h = gadget_base ~k s + Bitgadget.log2 k + h
+
+  let specials_base ~k = (4 * k) + (8 * Bitgadget.log2 k)
+
+  let ca ~k = specials_base ~k
+
+  let ca_bar ~k = specials_base ~k + 1
+
+  let cb ~k = specials_base ~k + 2
+
+  let na ~k = specials_base ~k + 3
+
+  let nb ~k = specials_base ~k + 4
+
+  let n ~k =
+    let _ = Bitgadget.check_k "Maxcut_lb" k in
+    specials_base ~k + 5
+end
+
+let target_weight ~k =
+  let t = Bitgadget.log2 k in
+  let k2 = k * k in
+  let k3 = k2 * k in
+  let k4 = k3 * k in
+  (k4 * ((8 * t) + 4)) + (k3 * ((12 * t) - 4)) + (4 * k2) + (4 * k)
+
+let build ~k x y =
+  let tbits = Bitgadget.check_k "Maxcut_lb.build" k in
+  if Bits.length x <> k * k || Bits.length y <> k * k then
+    invalid_arg "Maxcut_lb.build: inputs must have k^2 bits";
+  let g = Graph.create (Ix.n ~k) in
+  let k2 = k * k in
+  let k4 = k2 * k2 in
+  let heavy = k4 in
+  let bin_w = 2 * k2 in
+  let center_w = (2 * k2 * tbits) - k2 in
+  let edge w u v = Graph.add_edge ~w g u v in
+  (* the k^4 skeleton *)
+  edge heavy (Ix.ca ~k) (Ix.na ~k);
+  edge heavy (Ix.cb ~k) (Ix.nb ~k);
+  edge heavy (Ix.ca ~k) (Ix.ca_bar ~k);
+  edge heavy (Ix.ca_bar ~k) (Ix.cb ~k);
+  List.iter
+    (fun (sa, sb) ->
+      for h = 0 to tbits - 1 do
+        let t_a = Ix.t ~k sa h
+        and f_a = Ix.f ~k sa h
+        and t_b = Ix.t ~k sb h
+        and f_b = Ix.f ~k sb h in
+        (* 4-cycle (t_A, f_A, t_B, f_B) *)
+        edge heavy t_a f_a;
+        edge heavy f_a t_b;
+        edge heavy t_b f_b;
+        edge heavy f_b t_a
+      done)
+    [ (Mds_lb.A1, Mds_lb.B1); (Mds_lb.A2, Mds_lb.B2) ];
+  (* rows to their bit gadgets and to the C centers *)
+  List.iter
+    (fun (s, center) ->
+      for j = 0 to k - 1 do
+        let v = Ix.row ~k s j in
+        for h = 0 to tbits - 1 do
+          let target = if Bitgadget.bit j h then Ix.t ~k s h else Ix.f ~k s h in
+          edge bin_w v target
+        done;
+        edge center_w v center
+      done)
+    [
+      (Mds_lb.A1, Ix.ca ~k);
+      (Mds_lb.A2, Ix.ca ~k);
+      (Mds_lb.B1, Ix.cb ~k);
+      (Mds_lb.B2, Ix.cb ~k);
+    ];
+  (* input-dependent part: complement edges of weight 1 and the N budget
+     edges, keeping every row vertex's weight into (row₂ ∪ N) exactly k *)
+  let row_sum get i =
+    let acc = ref 0 in
+    for j = 0 to k - 1 do
+      if get i j then incr acc
+    done;
+    !acc
+  in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if not (Bits.get_pair ~k x i j) then
+        edge 1 (Ix.row ~k Mds_lb.A1 i) (Ix.row ~k Mds_lb.A2 j);
+      if not (Bits.get_pair ~k y i j) then
+        edge 1 (Ix.row ~k Mds_lb.B1 i) (Ix.row ~k Mds_lb.B2 j)
+    done
+  done;
+  for i = 0 to k - 1 do
+    edge (row_sum (Bits.get_pair ~k x) i) (Ix.row ~k Mds_lb.A1 i) (Ix.na ~k);
+    edge (row_sum (fun a b -> Bits.get_pair ~k x b a) i) (Ix.row ~k Mds_lb.A2 i) (Ix.na ~k);
+    edge (row_sum (Bits.get_pair ~k y) i) (Ix.row ~k Mds_lb.B1 i) (Ix.nb ~k);
+    edge (row_sum (fun a b -> Bits.get_pair ~k y b a) i) (Ix.row ~k Mds_lb.B2 i) (Ix.nb ~k)
+  done;
+  g
+
+let side ~k =
+  let side = Array.make (Ix.n ~k) false in
+  List.iter
+    (fun s ->
+      for i = 0 to k - 1 do
+        side.(Ix.row ~k s i) <- true
+      done;
+      for h = 0 to Bitgadget.log2 k - 1 do
+        side.(Ix.f ~k s h) <- true;
+        side.(Ix.t ~k s h) <- true
+      done)
+    [ Mds_lb.A1; Mds_lb.A2 ];
+  side.(Ix.ca ~k) <- true;
+  side.(Ix.ca_bar ~k) <- true;
+  side.(Ix.na ~k) <- true;
+  side
+
+let family ~k =
+  let target = target_weight ~k in
+  {
+    Framework.name = "weighted-max-cut (Thm 2.8)";
+    params = [ ("k", k) ];
+    input_bits = k * k;
+    nvertices = Ix.n ~k;
+    side = side ~k;
+    build = (fun x y -> Framework.Undirected (build ~k x y));
+    predicate =
+      (fun inst ->
+        match inst with
+        | Framework.Undirected g -> fst (Ch_solvers.Maxcut.max_cut g) >= target
+        | _ -> invalid_arg "maxcut family: undirected expected");
+    f = Commfn.intersecting;
+  }

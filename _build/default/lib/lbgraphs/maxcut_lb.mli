@@ -1,0 +1,43 @@
+open Ch_graph
+open Ch_cc
+
+(** The Figure 3 / Theorem 2.8 family: deciding whether a weighted graph
+    has a cut of weight M requires Ω(n²/log² n) rounds.
+
+    The budget trick: every row vertex a₁^i carries weight-1 edges to the
+    a₂^j with x_{i,j} = 0 plus an edge to N_A of weight Σ_j x_{i,j}, so the
+    weight from a₁^i into A₂ ∪ {N_A} is always exactly k.  A maximum cut
+    is forced (by the k⁴-weight edges) to place N_A, N_B opposite CA, CB
+    and to pick consistent bit-gadget sides; it reaches
+    M = k⁴(8·log k + 4) + k³(12·log k − 4) + 4k² + 4k iff some index pair
+    has x_{i,j} = y_{i,j} = 1. *)
+
+module Ix : sig
+  val n : k:int -> int
+  (** 4k + 8·log k + 5. *)
+
+  val row : k:int -> Mds_lb.set -> int -> int
+
+  val f : k:int -> Mds_lb.set -> int -> int
+
+  val t : k:int -> Mds_lb.set -> int -> int
+
+  val ca : k:int -> int
+
+  val ca_bar : k:int -> int
+
+  val cb : k:int -> int
+
+  val na : k:int -> int
+
+  val nb : k:int -> int
+end
+
+val target_weight : k:int -> int
+(** M. *)
+
+val build : k:int -> Bits.t -> Bits.t -> Graph.t
+
+val side : k:int -> bool array
+
+val family : k:int -> Ch_core.Framework.t

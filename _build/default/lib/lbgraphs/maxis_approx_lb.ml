@@ -1,0 +1,343 @@
+open Ch_graph
+open Ch_cc
+open Ch_codes
+open Ch_core
+
+type params = { k : int; ell : int; t : int; q : int }
+
+let make_params ?ell ~k () =
+  let t = Bitgadget.check_k "Maxis_approx_lb" k in
+  let ell = match ell with Some e -> e | None -> max 2 (t * t) in
+  let q = Gf.next_prime (ell + t + 1) in
+  { k; ell; t; q }
+
+let yes_weight p = (8 * p.ell) + (4 * p.t)
+
+let no_weight p = (7 * p.ell) + (4 * p.t)
+
+let code p = Reed_solomon.create ~len:(p.ell + p.t) ~dim:p.t ~q:p.q
+
+let codewords p = Reed_solomon.injection (code p) p.k
+
+(* ------------------------------------------------------------------ *)
+(* Weighted construction (Theorem 4.3)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* layout: rows 0..4k-1 (weight ℓ); then per set S a block of (ℓ+t)·q
+   gadget vertices (weight 1): (S, j, α) *)
+module WIx = struct
+  let row p s i =
+    assert (i >= 0 && i < p.k);
+    (Mds_lb.set_index s * p.k) + i
+
+  let gadget p s j alpha =
+    (4 * p.k)
+    + (Mds_lb.set_index s * (p.ell + p.t) * p.q)
+    + (j * p.q) + alpha
+
+  let n p = (4 * p.k) + (4 * (p.ell + p.t) * p.q)
+end
+
+let add_common_structure p g ~row_vertices ~gadget =
+  let words = codewords p in
+  let sets = [ Mds_lb.A1; Mds_lb.A2; Mds_lb.B1; Mds_lb.B2 ] in
+  (* gadget row cliques *)
+  List.iter
+    (fun s ->
+      for j = 0 to p.ell + p.t - 1 do
+        for a = 0 to p.q - 1 do
+          for b = a + 1 to p.q - 1 do
+            Graph.add_edge g (gadget s j a) (gadget s j b)
+          done
+        done
+      done)
+    sets;
+  (* cross edges minus a perfect matching *)
+  List.iter
+    (fun (sa, sb) ->
+      for j = 0 to p.ell + p.t - 1 do
+        for a = 0 to p.q - 1 do
+          for b = 0 to p.q - 1 do
+            if a <> b then Graph.add_edge g (gadget sa j a) (gadget sb j b)
+          done
+        done
+      done)
+    [ (Mds_lb.A1, Mds_lb.B1); (Mds_lb.A2, Mds_lb.B2) ];
+  (* row vertices conflict with the gadget vertices contradicting their
+     codeword; row_vertices lists the (set, index, vertex ids) present *)
+  List.iter
+    (fun (s, i, vertices) ->
+      let w = words.(i) in
+      for j = 0 to p.ell + p.t - 1 do
+        for a = 0 to p.q - 1 do
+          if a <> w.(j) then
+            List.iter (fun v -> Graph.add_edge g v (gadget s j a)) vertices
+        done
+      done)
+    row_vertices
+
+let build_weighted p x y =
+  if Bits.length x <> p.k * p.k || Bits.length y <> p.k * p.k then
+    invalid_arg "Maxis_approx_lb: inputs must have k^2 bits";
+  let g = Graph.create (WIx.n p) in
+  for v = 0 to (4 * p.k) - 1 do
+    Graph.set_vweight g v p.ell
+  done;
+  let sets = [ Mds_lb.A1; Mds_lb.A2; Mds_lb.B1; Mds_lb.B2 ] in
+  (* row cliques *)
+  List.iter
+    (fun s ->
+      for i = 0 to p.k - 1 do
+        for j = i + 1 to p.k - 1 do
+          Graph.add_edge g (WIx.row p s i) (WIx.row p s j)
+        done
+      done)
+    sets;
+  let row_vertices =
+    List.concat_map
+      (fun s -> List.init p.k (fun i -> (s, i, [ WIx.row p s i ])))
+      sets
+  in
+  add_common_structure p g ~row_vertices ~gadget:(WIx.gadget p);
+  (* inputs: edge present iff the bit is 0 *)
+  for i = 0 to p.k - 1 do
+    for j = 0 to p.k - 1 do
+      if not (Bits.get_pair ~k:p.k x i j) then
+        Graph.add_edge g (WIx.row p Mds_lb.A1 i) (WIx.row p Mds_lb.A2 j);
+      if not (Bits.get_pair ~k:p.k y i j) then
+        Graph.add_edge g (WIx.row p Mds_lb.B1 i) (WIx.row p Mds_lb.B2 j)
+    done
+  done;
+  g
+
+let weighted_side p =
+  let side = Array.make (WIx.n p) false in
+  List.iter
+    (fun s ->
+      for i = 0 to p.k - 1 do
+        side.(WIx.row p s i) <- true
+      done;
+      for j = 0 to p.ell + p.t - 1 do
+        for a = 0 to p.q - 1 do
+          side.(WIx.gadget p s j a) <- true
+        done
+      done)
+    [ Mds_lb.A1; Mds_lb.A2 ];
+  side
+
+let weighted_family p =
+  let target = yes_weight p in
+  {
+    Framework.name = "maxis-7/8-approx weighted (Thm 4.3)";
+    params = [ ("k", p.k); ("ell", p.ell); ("t", p.t); ("q", p.q) ];
+    input_bits = p.k * p.k;
+    nvertices = WIx.n p;
+    side = weighted_side p;
+    build = (fun x y -> Framework.Undirected (build_weighted p x y));
+    predicate =
+      (fun inst ->
+        match inst with
+        | Framework.Undirected g -> fst (Ch_solvers.Mis.max_weight_set g) >= target
+        | _ -> invalid_arg "expected undirected");
+    f = Commfn.intersecting;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Unweighted construction (Theorem 4.1): rows become ℓ-vertex batches *)
+(* ------------------------------------------------------------------ *)
+
+module UIx = struct
+  let batch p s i xi =
+    assert (xi >= 0 && xi < p.ell);
+    ((Mds_lb.set_index s * p.k) + i) * p.ell |> fun base -> base + xi
+
+  let gadget p s j alpha =
+    (4 * p.k * p.ell)
+    + (Mds_lb.set_index s * (p.ell + p.t) * p.q)
+    + (j * p.q) + alpha
+
+  let n p = (4 * p.k * p.ell) + (4 * (p.ell + p.t) * p.q)
+end
+
+let build_unweighted p x y =
+  if Bits.length x <> p.k * p.k || Bits.length y <> p.k * p.k then
+    invalid_arg "Maxis_approx_lb: inputs must have k^2 bits";
+  let g = Graph.create (UIx.n p) in
+  let sets = [ Mds_lb.A1; Mds_lb.A2; Mds_lb.B1; Mds_lb.B2 ] in
+  let batch s i = List.init p.ell (fun xi -> UIx.batch p s i xi) in
+  let connect_batches b1 b2 =
+    List.iter (fun u -> List.iter (fun v -> Graph.add_edge g u v) b2) b1
+  in
+  (* row "cliques": complete multipartite between batches of a set *)
+  List.iter
+    (fun s ->
+      for i = 0 to p.k - 1 do
+        for j = i + 1 to p.k - 1 do
+          connect_batches (batch s i) (batch s j)
+        done
+      done)
+    sets;
+  let row_vertices =
+    List.concat_map (fun s -> List.init p.k (fun i -> (s, i, batch s i))) sets
+  in
+  add_common_structure p g ~row_vertices ~gadget:(UIx.gadget p);
+  for i = 0 to p.k - 1 do
+    for j = 0 to p.k - 1 do
+      if not (Bits.get_pair ~k:p.k x i j) then
+        connect_batches (batch Mds_lb.A1 i) (batch Mds_lb.A2 j);
+      if not (Bits.get_pair ~k:p.k y i j) then
+        connect_batches (batch Mds_lb.B1 i) (batch Mds_lb.B2 j)
+    done
+  done;
+  g
+
+let unweighted_side p =
+  let side = Array.make (UIx.n p) false in
+  List.iter
+    (fun s ->
+      for i = 0 to p.k - 1 do
+        for xi = 0 to p.ell - 1 do
+          side.(UIx.batch p s i xi) <- true
+        done
+      done;
+      for j = 0 to p.ell + p.t - 1 do
+        for a = 0 to p.q - 1 do
+          side.(UIx.gadget p s j a) <- true
+        done
+      done)
+    [ Mds_lb.A1; Mds_lb.A2 ];
+  side
+
+let unweighted_family p =
+  let target = yes_weight p in
+  {
+    Framework.name = "maxis-7/8-approx unweighted (Thm 4.1)";
+    params = [ ("k", p.k); ("ell", p.ell); ("t", p.t); ("q", p.q) ];
+    input_bits = p.k * p.k;
+    nvertices = UIx.n p;
+    side = unweighted_side p;
+    build = (fun x y -> Framework.Undirected (build_unweighted p x y));
+    predicate =
+      (fun inst ->
+        match inst with
+        | Framework.Undirected g -> Ch_solvers.Mis.alpha g >= target
+        | _ -> invalid_arg "expected undirected");
+    f = Commfn.intersecting;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Linear variant (Theorem 4.2): only A₂/B₂ plus batches v_A, v_B      *)
+(* ------------------------------------------------------------------ *)
+
+let linear_yes_size p = (6 * p.ell) + (2 * p.t)
+
+(* layout: batch(v_A): 0..ℓ-1; batch(v_B): ℓ..2ℓ-1; then A₂ batches
+   (k·ℓ), B₂ batches (k·ℓ); then gadget blocks for A₂ and B₂ *)
+module LIx = struct
+  let va p xi = assert (xi < p.ell); xi
+
+  let vb p xi = assert (xi < p.ell); p.ell + xi
+
+  let batch p side_b i xi =
+    (2 * p.ell) + (((if side_b then p.k else 0) + i) * p.ell) + xi
+
+  let gadget p side_b j alpha =
+    (2 * p.ell) + (2 * p.k * p.ell)
+    + ((if side_b then (p.ell + p.t) * p.q else 0) + (j * p.q) + alpha)
+
+  let n p = (2 * p.ell) + (2 * p.k * p.ell) + (2 * (p.ell + p.t) * p.q)
+end
+
+let build_linear p x y =
+  if Bits.length x <> p.k || Bits.length y <> p.k then
+    invalid_arg "Maxis_approx_lb.linear: inputs must have k bits";
+  let g = Graph.create (LIx.n p) in
+  let words = codewords p in
+  let batch side_b i = List.init p.ell (fun xi -> LIx.batch p side_b i xi) in
+  let va = List.init p.ell (fun xi -> LIx.va p xi) in
+  let vb = List.init p.ell (fun xi -> LIx.vb p xi) in
+  let connect_batches b1 b2 =
+    List.iter (fun u -> List.iter (fun v -> Graph.add_edge g u v) b2) b1
+  in
+  (* the two remaining row sets are "cliques" of batches *)
+  List.iter
+    (fun side_b ->
+      for i = 0 to p.k - 1 do
+        for j = i + 1 to p.k - 1 do
+          connect_batches (batch side_b i) (batch side_b j)
+        done
+      done)
+    [ false; true ];
+  (* gadget rows, cross edges, code conflicts *)
+  List.iter
+    (fun side_b ->
+      for j = 0 to p.ell + p.t - 1 do
+        for a = 0 to p.q - 1 do
+          for b = a + 1 to p.q - 1 do
+            Graph.add_edge g (LIx.gadget p side_b j a) (LIx.gadget p side_b j b)
+          done
+        done
+      done)
+    [ false; true ];
+  for j = 0 to p.ell + p.t - 1 do
+    for a = 0 to p.q - 1 do
+      for b = 0 to p.q - 1 do
+        if a <> b then
+          Graph.add_edge g (LIx.gadget p false j a) (LIx.gadget p true j b)
+      done
+    done
+  done;
+  List.iter
+    (fun side_b ->
+      for i = 0 to p.k - 1 do
+        let w = words.(i) in
+        for j = 0 to p.ell + p.t - 1 do
+          for a = 0 to p.q - 1 do
+            if a <> w.(j) then
+              List.iter
+                (fun v -> Graph.add_edge g v (LIx.gadget p side_b j a))
+                (batch side_b i)
+          done
+        done
+      done)
+    [ false; true ];
+  (* inputs of length k *)
+  for i = 0 to p.k - 1 do
+    if not (Bits.get x i) then connect_batches va (batch false i);
+    if not (Bits.get y i) then connect_batches vb (batch true i)
+  done;
+  g
+
+let linear_side p =
+  let side = Array.make (LIx.n p) false in
+  for xi = 0 to p.ell - 1 do
+    side.(LIx.va p xi) <- true
+  done;
+  for i = 0 to p.k - 1 do
+    for xi = 0 to p.ell - 1 do
+      side.(LIx.batch p false i xi) <- true
+    done
+  done;
+  for j = 0 to p.ell + p.t - 1 do
+    for a = 0 to p.q - 1 do
+      side.(LIx.gadget p false j a) <- true
+    done
+  done;
+  side
+
+let linear_family p =
+  let target = linear_yes_size p in
+  {
+    Framework.name = "maxis-5/6-approx (Thm 4.2)";
+    params = [ ("k", p.k); ("ell", p.ell); ("t", p.t); ("q", p.q) ];
+    input_bits = p.k;
+    nvertices = LIx.n p;
+    side = linear_side p;
+    build = (fun x y -> Framework.Undirected (build_linear p x y));
+    predicate =
+      (fun inst ->
+        match inst with
+        | Framework.Undirected g -> Ch_solvers.Mis.alpha g >= target
+        | _ -> invalid_arg "expected undirected");
+    f = Commfn.intersecting;
+  }

@@ -1,0 +1,39 @@
+open Ch_graph
+open Ch_cc
+
+(** The MaxIS/MVC bit-gadget family of Censor-Hillel–Khoury–Paz [10],
+    re-derived from the description in the paper (Sections 3.2 and 4.1):
+    rows A₁, A₂, B₁, B₂ are k-cliques; per-set bit gadgets F_S, T_S with
+    intra-pair edges (f^h_S, t^h_S) and equality cross edges
+    (f^h_{Aℓ}, t^h_{Bℓ}), (t^h_{Aℓ}, f^h_{Bℓ}); each row vertex conflicts
+    with the gadget vertices contradicting its binary representation; and
+    the input edge (a₁^i, a₂^j) is present iff x_{i,j} = 0 (resp. y for
+    B).  Then α(G_{x,y}) = 4·log k + 4 iff DISJ(x,y) = FALSE (Claim 3.6's
+    Z = n_G − 4(k−1) − 4·log k), and otherwise α = 4·log k + 3.
+
+    This is both the Ω̃(n²) family for exact MaxIS/MVC and the input to
+    the Section 3 bounded-degree pipeline. *)
+
+module Ix : sig
+  val n : k:int -> int
+  (** 4k + 8·log k. *)
+
+  val row : k:int -> Mds_lb.set -> int -> int
+
+  val f : k:int -> Mds_lb.set -> int -> int
+
+  val t : k:int -> Mds_lb.set -> int -> int
+end
+
+val alpha_target : k:int -> int
+(** Z = 4·log k + 4. *)
+
+val build : k:int -> Bits.t -> Bits.t -> Graph.t
+
+val side : k:int -> bool array
+
+val family : k:int -> Ch_core.Framework.t
+(** Predicate: α(G) ≥ Z. *)
+
+val mvc_family : k:int -> Ch_core.Framework.t
+(** The complementary vertex-cover view: τ(G) ≤ n − Z. *)

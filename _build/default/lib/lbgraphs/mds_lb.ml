@@ -1,0 +1,102 @@
+open Ch_graph
+open Ch_cc
+open Ch_core
+
+type set = A1 | A2 | B1 | B2
+
+let set_index = function A1 -> 0 | A2 -> 1 | B1 -> 2 | B2 -> 3
+
+module Ix = struct
+  let n ~k =
+    let t = Bitgadget.check_k "Mds_lb" k in
+    (4 * k) + (12 * t)
+
+  let row ~k s i =
+    assert (i >= 0 && i < k);
+    (set_index s * k) + i
+
+  (* per set: a block of 3·log k gadget vertices, F then T then U *)
+  let gadget_base ~k s = (4 * k) + (set_index s * 3 * Bitgadget.log2 k)
+
+  let f ~k s h = gadget_base ~k s + h
+
+  let t ~k s h = gadget_base ~k s + Bitgadget.log2 k + h
+
+  let u ~k s h = gadget_base ~k s + (2 * Bitgadget.log2 k) + h
+end
+
+let target_size ~k = (4 * Bitgadget.log2 k) + 2
+
+let build ~k x y =
+  let tbits = Bitgadget.check_k "Mds_lb.build" k in
+  if Bits.length x <> k * k || Bits.length y <> k * k then
+    invalid_arg "Mds_lb.build: inputs must have k^2 bits";
+  let g = Graph.create (Ix.n ~k) in
+  (* 6-cycles tying the bit gadgets of A_l and B_l together *)
+  List.iter
+    (fun (sa, sb) ->
+      for h = 0 to tbits - 1 do
+        let f_a = Ix.f ~k sa h
+        and t_a = Ix.t ~k sa h
+        and u_a = Ix.u ~k sa h
+        and f_b = Ix.f ~k sb h
+        and t_b = Ix.t ~k sb h
+        and u_b = Ix.u ~k sb h in
+        List.iter
+          (fun (p, q) -> Graph.add_edge g p q)
+          [ (f_a, t_a); (t_a, u_a); (u_a, f_b); (f_b, t_b); (t_b, u_b); (u_b, f_a) ]
+      done)
+    [ (A1, B1); (A2, B2) ];
+  (* rows to bit gadgets by binary representation *)
+  List.iter
+    (fun s ->
+      for i = 0 to k - 1 do
+        for h = 0 to tbits - 1 do
+          let target = if Bitgadget.bit i h then Ix.t ~k s h else Ix.f ~k s h in
+          Graph.add_edge g (Ix.row ~k s i) target
+        done
+      done)
+    [ A1; A2; B1; B2 ];
+  (* input-dependent edges *)
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if Bits.get_pair ~k x i j then
+        Graph.add_edge g (Ix.row ~k A1 i) (Ix.row ~k A2 j);
+      if Bits.get_pair ~k y i j then
+        Graph.add_edge g (Ix.row ~k B1 i) (Ix.row ~k B2 j)
+    done
+  done;
+  g
+
+let side ~k =
+  let n = Ix.n ~k in
+  let side = Array.make n false in
+  List.iter
+    (fun s ->
+      for i = 0 to k - 1 do
+        side.(Ix.row ~k s i) <- true
+      done;
+      for h = 0 to Bitgadget.log2 k - 1 do
+        side.(Ix.f ~k s h) <- true;
+        side.(Ix.t ~k s h) <- true;
+        side.(Ix.u ~k s h) <- true
+      done)
+    [ A1; A2 ];
+  side
+
+let family ~k =
+  let target = target_size ~k in
+  {
+    Framework.name = "mds-exact (Thm 2.1)";
+    params = [ ("k", k) ];
+    input_bits = k * k;
+    nvertices = Ix.n ~k;
+    side = side ~k;
+    build = (fun x y -> Framework.Undirected (build ~k x y));
+    predicate =
+      (fun inst ->
+        match inst with
+        | Framework.Undirected g -> Ch_solvers.Domset.min_size g <= target
+        | _ -> invalid_arg "mds family: undirected expected");
+    f = Commfn.intersecting;
+  }

@@ -1,0 +1,41 @@
+open Ch_graph
+open Ch_cc
+
+(** The Figure 1 / Theorem 2.1 family: deciding whether a graph has a
+    dominating set of size 4·log k + 2 requires Ω(n²/log² n) rounds.
+
+    Four rows A₁, A₂, B₁, B₂ of k vertices are attached to per-set bit
+    gadgets F_S, T_S, U_S (log k vertices each) by binary representation;
+    the gadget triples are tied together by 6-cycles
+    (f^h_{Aℓ}, t^h_{Aℓ}, u^h_{Aℓ}, f^h_{Bℓ}, t^h_{Bℓ}, u^h_{Bℓ}).
+    Alice's input adds the edge (a^i₁, a^j₂) iff x_{i,j} = 1 and Bob's adds
+    (b^i₁, b^j₂) iff y_{i,j} = 1; the graph then has a dominating set of
+    size 4·log k + 2 iff DISJ(x,y) = FALSE. *)
+
+type set = A1 | A2 | B1 | B2
+
+val set_index : set -> int
+(** 0..3, the row-block order used by the other constructions too. *)
+
+module Ix : sig
+  val n : k:int -> int
+  (** 4k + 12·log k. *)
+
+  val row : k:int -> set -> int -> int
+
+  val f : k:int -> set -> int -> int
+
+  val t : k:int -> set -> int -> int
+
+  val u : k:int -> set -> int -> int
+end
+
+val target_size : k:int -> int
+(** 4·log k + 2. *)
+
+val build : k:int -> Bits.t -> Bits.t -> Graph.t
+
+val side : k:int -> bool array
+(** V_A = A₁ ∪ A₂ ∪ (their bit gadgets). *)
+
+val family : k:int -> Ch_core.Framework.t

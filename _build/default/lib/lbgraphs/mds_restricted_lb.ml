@@ -1,0 +1,91 @@
+open Ch_graph
+open Ch_cc
+open Ch_core
+
+type params = { collection : Covering.t; alpha : int }
+
+let make_params ?(seed = 0) ~ell ~t_count ~r () =
+  { collection = Covering.construct ~seed ~ell ~t_count ~r (); alpha = r + 1 }
+
+module Ix = struct
+  let element _p j = j
+
+  let s p i = p.collection.Covering.ell + i
+
+  let s_bar p i = p.collection.Covering.ell + Array.length p.collection.Covering.sets + i
+
+  let hub_a p = p.collection.Covering.ell + (2 * Array.length p.collection.Covering.sets)
+
+  let hub_b p = hub_a p + 1
+
+  let root p = hub_a p + 2
+
+  let n p = hub_a p + 3
+end
+
+let nvertices p = Ix.n p
+
+let element p j = Ix.element p j
+
+let build p x y =
+  let ell = p.collection.Covering.ell in
+  let t_count = Array.length p.collection.Covering.sets in
+  if Bits.length x <> t_count || Bits.length y <> t_count then
+    invalid_arg "Mds_restricted_lb.build: inputs must have T bits";
+  let g = Graph.create ~default_vweight:p.alpha (Ix.n p) in
+  Graph.set_vweight g (Ix.hub_a p) 0;
+  Graph.set_vweight g (Ix.hub_b p) 0;
+  Graph.set_vweight g (Ix.root p) 0;
+  for i = 0 to t_count - 1 do
+    Graph.set_vweight g (Ix.s p i) (if Bits.get x i then 1 else p.alpha);
+    Graph.set_vweight g (Ix.s_bar p i) (if Bits.get y i then 1 else p.alpha);
+    Graph.add_edge g (Ix.hub_a p) (Ix.s p i);
+    Graph.add_edge g (Ix.hub_b p) (Ix.s_bar p i);
+    for j = 0 to ell - 1 do
+      if Covering.mem p.collection ~set:i j then
+        Graph.add_edge g (Ix.s p i) (Ix.element p j)
+      else Graph.add_edge g (Ix.s_bar p i) (Ix.element p j)
+    done
+  done;
+  Graph.add_edge g (Ix.root p) (Ix.hub_a p);
+  Graph.add_edge g (Ix.root p) (Ix.hub_b p);
+  g
+
+let owner p v =
+  let t_count = Array.length p.collection.Covering.sets in
+  if v < p.collection.Covering.ell then `Shared
+  else if v < p.collection.Covering.ell + t_count then `Alice
+  else if v < p.collection.Covering.ell + (2 * t_count) then `Bob
+  else if v = Ix.hub_a p then `Alice
+  else `Bob
+
+let side p =
+  Array.init (Ix.n p) (fun v ->
+      match owner p v with `Alice | `Shared -> true | `Bob -> false)
+
+let family p =
+  {
+    Framework.name = "restricted-mds-log-approx (Thm 4.8)";
+    params =
+      [
+        ("ell", p.collection.Covering.ell);
+        ("T", Array.length p.collection.Covering.sets);
+        ("r", p.collection.Covering.r);
+      ];
+    input_bits = Array.length p.collection.Covering.sets;
+    nvertices = Ix.n p;
+    side = side p;
+    build = (fun x y -> Framework.Undirected (build p x y));
+    predicate =
+      (fun inst ->
+        match inst with
+        | Framework.Undirected g ->
+            fst (Ch_solvers.Domset.min_weight_set g) <= 2
+        | _ -> invalid_arg "expected undirected");
+    f = Commfn.intersecting;
+  }
+
+let gap_holds p x y =
+  let g = build p x y in
+  let w = fst (Ch_solvers.Domset.min_weight_set g) in
+  if Commfn.intersecting x y then w <= 2 else w > p.collection.Covering.r

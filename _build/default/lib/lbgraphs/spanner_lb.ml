@@ -1,0 +1,40 @@
+open Ch_graph
+open Ch_core
+
+let hub_weight ~k =
+  (* anything exceeding the zero total of the original edges works; make
+     it scale-visible *)
+  ignore k;
+  4
+
+let target_cost ~k = hub_weight ~k * Mds_lb.target_size ~k
+
+let hub_reduction g ~w =
+  let n = Graph.n g in
+  let g' = Graph.create (n + 1) in
+  Graph.iter_edges (fun u v _ -> Graph.add_edge ~w:0 g' u v) g;
+  for v = 0 to n - 1 do
+    Graph.add_edge ~w g' n v
+  done;
+  g'
+
+let build ~k x y = hub_reduction (Mds_lb.build ~k x y) ~w:(hub_weight ~k)
+
+let family ~k =
+  let base = Mds_lb.family ~k in
+  let side' = Array.append base.Framework.side [| true |] in
+  let target = target_cost ~k in
+  Framework.reduce ~name:"weighted-2-spanner (Thm 3.4 variant)"
+    ~transform:(fun inst ->
+      match inst with
+      | Framework.Undirected g ->
+          Framework.Undirected (hub_reduction g ~w:(hub_weight ~k))
+      | _ -> invalid_arg "expected undirected")
+    ~nvertices:(base.Framework.nvertices + 1)
+    ~side:side'
+    ~predicate:(fun inst ->
+      match inst with
+      | Framework.Undirected g ->
+          fst (Ch_solvers.Spanner.min_weight_2_spanner g) <= target
+      | _ -> invalid_arg "expected undirected")
+    base

@@ -1,0 +1,25 @@
+open Ch_cc
+
+(** Section 4.4 (Figure 6): no O(log n)-approximation for the
+    node-weighted and the directed Steiner tree problems.
+
+    Both reuse the covering-collection machinery: terminals are the
+    element vertices a_j, b_j; connecting them through cheap set vertices
+    is possible at cost 2 iff the inputs intersect, and otherwise the
+    r-covering property forces cost > r (Lemmas 4.5 and 4.6). *)
+
+type params = { collection : Covering.t; alpha : int }
+
+val make_params : ?seed:int -> ell:int -> t_count:int -> r:int -> unit -> params
+
+val terminals : params -> int list
+
+val node_weighted_family : params -> Ch_core.Framework.t
+(** Theorem 4.6: node-weighted Steiner tree, predicate: cost ≤ 2. *)
+
+val directed_family : params -> Ch_core.Framework.t
+(** Theorem 4.7: directed Steiner tree rooted at R, predicate: cost ≤ 2. *)
+
+val node_weighted_gap_holds : params -> Bits.t -> Bits.t -> bool
+
+val directed_gap_holds : params -> Bits.t -> Bits.t -> bool

@@ -1,0 +1,58 @@
+open Ch_graph
+open Ch_core
+
+let target_edges ~k = (4 * k) + (16 * Bitgadget.log2 k) + 1
+
+let terminals ~k = List.init (Mds_lb.Ix.n ~k) Fun.id
+
+let transform ~k inst =
+  let g =
+    match inst with
+    | Framework.Undirected g -> g
+    | _ -> invalid_arg "Steiner_lb: undirected expected"
+  in
+  let n = Graph.n g in
+  let side = Mds_lb.side ~k in
+  let g' = Graph.create (2 * n) in
+  let copy v = n + v in
+  Graph.iter_edges
+    (fun u v _ ->
+      Graph.add_edge g' (copy u) v;
+      Graph.add_edge g' (copy v) u)
+    g;
+  for v = 0 to n - 1 do
+    Graph.add_edge g' (copy v) v
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if side.(u) = side.(v) then Graph.add_edge g' (copy u) (copy v)
+    done
+  done;
+  let f0a1 = Mds_lb.Ix.f ~k Mds_lb.A1 0
+  and t0a1 = Mds_lb.Ix.t ~k Mds_lb.A1 0
+  and f0b1 = Mds_lb.Ix.f ~k Mds_lb.B1 0
+  and t0b1 = Mds_lb.Ix.t ~k Mds_lb.B1 0 in
+  Graph.add_edge g' (copy f0a1) (copy f0b1);
+  Graph.add_edge g' (copy t0a1) (copy t0b1);
+  Framework.With_terminals (g', terminals ~k)
+
+let family ~k =
+  let t = Bitgadget.check_k "Steiner_lb" k in
+  let base = Mds_lb.family ~k in
+  let n = base.Framework.nvertices in
+  let side' = Array.append base.Framework.side base.Framework.side in
+  let extra_budget = (4 * t) + 2 in
+  Framework.reduce ~name:"steiner-tree (Thm 2.7)"
+    ~transform:(transform ~k) ~nvertices:(2 * n) ~side:side'
+    ~predicate:(fun inst ->
+      match inst with
+      | Framework.With_terminals (g, terms) -> (
+          (* a Steiner tree with target_edges edges = terminals plus
+             extra_budget connector copies *)
+          match
+            Ch_solvers.Steiner.min_extra_nodes ~cap:extra_budget g terms
+          with
+          | Some extra -> extra <= extra_budget
+          | None -> false)
+      | _ -> invalid_arg "steiner family: terminals expected")
+    base

@@ -1,0 +1,18 @@
+(** The Theorem 2.7 family: minimum Steiner tree, by the Theorem 2.6
+    reduction from the MDS family (Section 2.3.2).
+
+    Every vertex v of the MDS graph gets a copy ṽ; identity edges (ṽ,v),
+    "original" edges (ũ,v) and (ṽ,u) per MDS edge {u,v}, cliques on Ṽ_A
+    and Ṽ_B, and exactly two crossing edges (f̃⁰_{A1}, f̃⁰_{B1}) and
+    (t̃⁰_{A1}, t̃⁰_{B1}).  With the original vertices as terminals, a
+    Steiner tree with 4k + 16·log k + 1 edges exists iff the MDS instance
+    has a dominating set of size 4·log k + 2, i.e. iff DISJ(x,y) =
+    FALSE. *)
+
+val target_edges : k:int -> int
+(** 4k + 16·log k + 1. *)
+
+val terminals : k:int -> int list
+(** The original vertices 0 .. n−1. *)
+
+val family : k:int -> Ch_core.Framework.t

@@ -1,0 +1,1 @@
+lib/limits/aggregate.ml: Array Ch_cc Ch_graph Fun Graph List Protocol

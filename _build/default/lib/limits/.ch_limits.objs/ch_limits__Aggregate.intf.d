@@ -1,0 +1,1 @@
+lib/limits/aggregate.mli: Ch_graph Graph

@@ -1,0 +1,1 @@
+lib/limits/approx_protocols.ml: Array Ch_cc Ch_graph Ch_solvers Domset Fun Graph Hashtbl List Maxcut Mis Option Protocol Split

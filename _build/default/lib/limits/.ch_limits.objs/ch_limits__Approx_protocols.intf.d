@@ -1,0 +1,1 @@
+lib/limits/approx_protocols.mli: Split

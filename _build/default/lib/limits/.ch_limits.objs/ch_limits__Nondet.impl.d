@@ -1,0 +1,1 @@
+lib/limits/nondet.ml: Array Bits Ch_cc Ch_graph Ch_pls Ch_solvers Commfn Flow Fun Graph List Protocol Split

@@ -1,0 +1,1 @@
+lib/limits/nondet.mli: Ch_cc Ch_pls Split

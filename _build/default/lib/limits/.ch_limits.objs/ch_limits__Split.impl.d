@@ -1,0 +1,1 @@
+lib/limits/split.ml: Array Ch_graph Fun Graph List

@@ -1,0 +1,1 @@
+lib/limits/split.mli: Ch_graph Graph

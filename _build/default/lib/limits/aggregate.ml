@@ -1,0 +1,94 @@
+open Ch_graph
+open Ch_cc
+
+type 'st algo = {
+  rounds : int;
+  init : Graph.t -> int -> 'st;
+  message : 'st -> round:int -> target:int -> int;
+  aggregate : int -> int -> int;
+  unit_agg : int;
+  update : 'st -> agg:int -> round:int -> 'st;
+}
+
+let run_centralized g algo =
+  let n = Graph.n g in
+  let states = Array.init n (algo.init g) in
+  for round = 0 to algo.rounds - 1 do
+    let aggs =
+      Array.init n (fun v ->
+          List.fold_left
+            (fun acc u ->
+              algo.aggregate acc (algo.message states.(u) ~round ~target:v))
+            algo.unit_agg (Graph.neighbors g v))
+    in
+    Array.iteri
+      (fun v agg -> states.(v) <- algo.update states.(v) ~agg ~round)
+      aggs
+  done;
+  states
+
+type owner = Alice | Bob | Shared
+
+type 'st simulation = { states : 'st array; bits : int; shared : int }
+
+let simulate_two_party g ~owner algo =
+  let n = Graph.n g in
+  let ch = Protocol.create () in
+  let states = Array.init n (algo.init g) in
+  let shared =
+    List.length (List.filter (fun v -> owner v = Shared) (List.init n Fun.id))
+  in
+  for round = 0 to algo.rounds - 1 do
+    let aggs =
+      Array.init n (fun v ->
+          match owner v with
+          | Alice | Bob ->
+              (* simulated wholly by one player: no communication *)
+              List.fold_left
+                (fun acc u ->
+                  algo.aggregate acc (algo.message states.(u) ~round ~target:v))
+                algo.unit_agg (Graph.neighbors g v)
+          | Shared ->
+              (* each player aggregates the neighbors it simulates, then
+                 the partials are exchanged and combined with φ *)
+              let partial keep =
+                List.fold_left
+                  (fun acc u ->
+                    if keep (owner u) then
+                      algo.aggregate acc (algo.message states.(u) ~round ~target:v)
+                    else acc)
+                  algo.unit_agg (Graph.neighbors g v)
+              in
+              (* shared neighbors are tracked by both players; Alice's
+                 partial takes them so they are counted once *)
+              let pa = partial (fun o -> o = Alice || o = Shared) in
+              let pb = partial (fun o -> o = Bob) in
+              ignore (Protocol.send_int ch ~max:(max 1 (abs pa)) (abs pa));
+              ignore (Protocol.send_int ch ~max:(max 1 (abs pb)) (abs pb));
+              algo.aggregate pa pb)
+    in
+    Array.iteri
+      (fun v agg -> states.(v) <- algo.update states.(v) ~agg ~round)
+      aggs
+  done;
+  { states; bits = Protocol.bits ch; shared }
+
+let flood_max ~rounds =
+  {
+    rounds;
+    init = (fun g v -> Graph.vweight g v);
+    message = (fun st ~round:_ ~target:_ -> st);
+    aggregate = max;
+    unit_agg = min_int / 2;
+    update = (fun st ~agg ~round:_ -> max st agg);
+  }
+
+let gossip_sum ~rounds =
+  {
+    rounds;
+    init = (fun g v -> Graph.vweight g v);
+    message = (fun st ~round:_ ~target:_ -> st);
+    aggregate = ( + );
+    unit_agg = 0;
+    update = (fun st ~agg ~round:_ -> st + agg);
+  }

@@ -1,0 +1,43 @@
+open Ch_graph
+
+(** The local-aggregate algorithm model of Section 4.5 (Definition 4.1 and
+    Theorem 4.8): in each round a vertex's new input is a function of its
+    previous input and an {e aggregate function} of its incoming messages,
+    where the aggregate f decomposes as f(X) = φ(f(X₁), f(X₂)) over any
+    partition.
+
+    Such algorithms can be simulated by Alice and Bob even when some
+    vertices belong to {e neither} player: each player aggregates the
+    messages it knows, and the two partial aggregates are combined with φ
+    after exchanging O(log n) bits per shared vertex per round — the
+    simulation cost Theorem 4.8 charges. *)
+
+type 'st algo = {
+  rounds : int;
+  init : Graph.t -> int -> 'st;
+  message : 'st -> round:int -> target:int -> int;
+      (** the O(log n)-bit message this vertex sends; may depend on the
+          target's id *)
+  aggregate : int -> int -> int;  (** φ, associative and commutative *)
+  unit_agg : int;
+  update : 'st -> agg:int -> round:int -> 'st;
+}
+
+val run_centralized : Graph.t -> 'st algo -> 'st array
+
+type owner = Alice | Bob | Shared
+
+type 'st simulation = { states : 'st array; bits : int; shared : int }
+
+val simulate_two_party : Graph.t -> owner:(int -> owner) -> 'st algo -> 'st simulation
+(** Bit-for-bit the same outcome as {!run_centralized}; [bits] counts only
+    the partial aggregates exchanged for the shared vertices. *)
+
+val flood_max : rounds:int -> int algo
+(** Every vertex learns the maximum vertex weight within [rounds] hops —
+    the classic aggregate (max) algorithm used as the demonstration. *)
+
+val gossip_sum : rounds:int -> int algo
+(** Repeated sum-aggregation of neighbor values (a non-idempotent φ),
+    exercising the simulation on sums as the O(log ∆)-approximation MDS
+    algorithms the paper cites would. *)

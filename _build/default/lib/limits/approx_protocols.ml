@@ -1,0 +1,382 @@
+open Ch_graph
+open Ch_solvers
+open Ch_cc
+
+type 'a result = { value : 'a; bits : int }
+
+let id_bits split = Protocol.bits_for_int ~max:(Graph.n split.Split.graph - 1)
+
+let exchange_int ch split v =
+  ignore (Protocol.send_int ch ~max:(max 1 v) v);
+  ignore (id_bits split);
+  v
+
+(* cost of shipping the whole graph across: every edge with its weight *)
+let learn_whole_graph ch split =
+  let g = split.Split.graph in
+  let wmax =
+    Graph.edges g |> List.fold_left (fun acc (_, _, w) -> max acc w) 1
+  in
+  let per_edge = (2 * id_bits split) + Protocol.bits_for_int ~max:wmax in
+  Protocol.charge ch (Graph.m g * per_edge)
+
+(* minimum-weight vertex cover of an edge subset, by MWIS complementation *)
+let min_weight_cover g edge_list =
+  let h = Graph.create (Graph.n g) in
+  for v = 0 to Graph.n g - 1 do
+    Graph.set_vweight h v (Graph.vweight g v)
+  done;
+  List.iter (fun (u, v) -> Graph.add_edge h u v) edge_list;
+  let total = Array.fold_left ( + ) 0 (Graph.vweights h) in
+  let alpha_w, is = Mis.max_weight_set h in
+  let inside = Array.make (Graph.n g) false in
+  List.iter (fun v -> inside.(v) <- true) is;
+  ( total - alpha_w,
+    List.filter (fun v -> not inside.(v)) (List.init (Graph.n g) Fun.id) )
+
+let edges_within split ~alice =
+  let side = split.Split.side in
+  List.filter_map
+    (fun (u, v, w) ->
+      if side.(u) = alice && side.(v) = alice then Some (u, v, w) else None)
+    (Graph.edges split.Split.graph)
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.1: (1+ε) MVC in bounded-degree graphs                       *)
+(* ------------------------------------------------------------------ *)
+
+let mvc_bounded_degree ~eps split =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let m = exchange_int ch split (Graph.m g) in
+  let delta = exchange_int ch split (max 1 (Graph.max_degree g)) in
+  let cut = Split.cut_size split in
+  if float_of_int cut <= eps *. float_of_int m /. (2.0 *. float_of_int delta)
+  then begin
+    let cover_of alice =
+      snd
+        (min_weight_cover
+           (let g' = Graph.copy g in
+            for v = 0 to Graph.n g - 1 do
+              Graph.set_vweight g' v 1
+            done;
+            g')
+           (List.map (fun (u, v, _) -> (u, v)) (edges_within split ~alice)))
+    in
+    let touching =
+      Split.cut_vertices split ~alice:true @ Split.cut_vertices split ~alice:false
+    in
+    let value =
+      List.sort_uniq compare (cover_of true @ cover_of false @ touching)
+    in
+    { value; bits = Protocol.bits ch }
+  end
+  else begin
+    learn_whole_graph ch split;
+    { value = Mis.min_vertex_cover g; bits = Protocol.bits ch }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.2: (1+ε) MDS in bounded-degree graphs                       *)
+(* ------------------------------------------------------------------ *)
+
+let mds_partial split ~alice =
+  (* the cheapest set of own-side vertices dominating the internal
+     vertices of this side *)
+  let g = split.Split.graph in
+  let own = Split.side_vertices split ~alice in
+  let sub, map = Graph.induced g own in
+  let internal = Split.internal split ~alice in
+  let inv = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace inv v i) map;
+  let required = List.map (Hashtbl.find inv) internal in
+  let _, set =
+    Domset.min_weight_set ~weights:(Array.make (Graph.n sub) 1) ~required sub
+  in
+  List.map (fun i -> map.(i)) set
+
+let mds_bounded_degree ~eps split =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let m = exchange_int ch split (Graph.m g) in
+  let delta = exchange_int ch split (max 1 (Graph.max_degree g)) in
+  let cut = Split.cut_size split in
+  if
+    float_of_int cut
+    <= eps *. float_of_int m
+       /. (float_of_int ((delta + 1) * delta))
+  then begin
+    let touching =
+      Split.cut_vertices split ~alice:true @ Split.cut_vertices split ~alice:false
+    in
+    let value =
+      List.sort_uniq compare
+        (mds_partial split ~alice:true @ mds_partial split ~alice:false @ touching)
+    in
+    { value; bits = Protocol.bits ch }
+  end
+  else begin
+    learn_whole_graph ch split;
+    let _, set = Domset.min_weight_set ~weights:(Array.make (Graph.n g) 1) g in
+    { value = set; bits = Protocol.bits ch }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.3: (1−ε) MaxIS in bounded-degree graphs                     *)
+(* ------------------------------------------------------------------ *)
+
+let maxis_bounded_degree ~eps split =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let m = exchange_int ch split (Graph.m g) in
+  let delta = exchange_int ch split (max 1 (Graph.max_degree g)) in
+  let cut = Split.cut_size split in
+  if
+    float_of_int cut
+    <= eps *. float_of_int m /. float_of_int ((delta + 1) * delta)
+  then begin
+    let is_of alice =
+      let sub, map = Graph.induced g (Split.internal split ~alice) in
+      List.map (fun i -> map.(i)) (Mis.max_independent_set sub)
+    in
+    { value = is_of true @ is_of false; bits = Protocol.bits ch }
+  end
+  else begin
+    learn_whole_graph ch split;
+    { value = Mis.max_independent_set g; bits = Protocol.bits ch }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Claims 5.4 / 5.5: max cut                                           *)
+(* ------------------------------------------------------------------ *)
+
+let side_cut_of split ~alice =
+  (* exact max cut of this player's internal edges, on its own vertices *)
+  let g = split.Split.graph in
+  let own = Split.side_vertices split ~alice in
+  let sub, map = Graph.induced g own in
+  let _, assignment = Maxcut.max_cut sub in
+  let full = Array.make (Graph.n g) false in
+  Array.iteri (fun i v -> full.(v) <- assignment.(i)) map;
+  full
+
+let maxcut_unweighted ~eps split =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let m = exchange_int ch split (Graph.m g) in
+  let cut = Split.cut_size split in
+  if float_of_int cut <= eps *. float_of_int m /. 2.0 then begin
+    let a = side_cut_of split ~alice:true
+    and b = side_cut_of split ~alice:false in
+    let side =
+      Array.init (Graph.n g) (fun v ->
+          if split.Split.side.(v) then a.(v) else b.(v))
+    in
+    (* announcing the value costs each player its cut-vertex assignments *)
+    Protocol.charge ch
+      (List.length (Split.cut_vertices split ~alice:true)
+      + List.length (Split.cut_vertices split ~alice:false));
+    { value = (Maxcut.cut_weight g side, side); bits = Protocol.bits ch }
+  end
+  else begin
+    learn_whole_graph ch split;
+    { value = Maxcut.max_cut g; bits = Protocol.bits ch }
+  end
+
+let maxcut_weighted_two_thirds split =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  (* C_A: optimal on Alice's internal edges; C_B: optimal on Bob's edges
+     plus the cut (over all vertices Bob knows about) *)
+  let ca = side_cut_of split ~alice:true in
+  let cb =
+    let bobs = Graph.create (Graph.n g) in
+    Graph.iter_edges
+      (fun u v w ->
+        if not (split.Split.side.(u) && split.Split.side.(v)) then
+          Graph.add_edge ~w bobs u v)
+      g;
+    snd (Maxcut.max_cut bobs)
+  in
+  let cxor = Array.init (Graph.n g) (fun v -> ca.(v) <> cb.(v)) in
+  (* evaluating the three candidates requires the cut-vertex assignments
+     and three running sums *)
+  Protocol.charge ch
+    (2
+    * (List.length (Split.cut_vertices split ~alice:true)
+      + List.length (Split.cut_vertices split ~alice:false)));
+  let wmax = Graph.total_edge_weight g in
+  List.iter
+    (fun _ -> ignore (Protocol.send_int ch ~max:(max 1 wmax) 0))
+    [ (); (); () ];
+  let best =
+    List.fold_left
+      (fun acc side ->
+        let w = Maxcut.cut_weight g side in
+        match acc with
+        | Some (bw, _) when bw >= w -> acc
+        | _ -> Some (w, side))
+      None [ ca; cb; cxor ]
+  in
+  { value = Option.get best; bits = Protocol.bits ch }
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.6: 3/2 weighted MVC                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mvc_three_halves split =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let wtotal = Array.fold_left ( + ) 0 (Graph.vweights g) in
+  let opt_side alice =
+    fst
+      (min_weight_cover g
+         (List.map (fun (u, v, _) -> (u, v)) (edges_within split ~alice)))
+  in
+  let opt_a = Protocol.send_int ch ~max:(max 1 wtotal) (opt_side true) in
+  let opt_b = Protocol.send_int ch ~max:(max 1 wtotal) (opt_side false) in
+  let smaller_is_alice = opt_a <= opt_b in
+  (* the other player covers every edge it knows (its side plus the cut) *)
+  let rest_edges =
+    List.filter_map
+      (fun (u, v, w) ->
+        let both_alice = split.Split.side.(u) && split.Split.side.(v) in
+        let both_bob = (not split.Split.side.(u)) && not split.Split.side.(v) in
+        ignore w;
+        if smaller_is_alice then if both_alice then None else Some (u, v)
+        else if both_bob then None
+        else Some (u, v))
+      (Graph.edges g)
+  in
+  let rest_cost, rest_cover = min_weight_cover g rest_edges in
+  (* announcing the opposite-side vertices used *)
+  Protocol.charge ch (List.length rest_cover * id_bits split);
+  { value = min opt_a opt_b + rest_cost; bits = Protocol.bits ch }
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.8: 2-approximate weighted MDS                               *)
+(* ------------------------------------------------------------------ *)
+
+let mds_cover_side split ch ~alice =
+  let g = split.Split.graph in
+  (* the other side's cut vertices are usable once their weights are
+     announced (O(|E_cut|·log n) bits) *)
+  let other_cut = Split.cut_vertices split ~alice:(not alice) in
+  let wmax =
+    Array.fold_left max 1 (Graph.vweights g)
+  in
+  List.iter
+    (fun v -> ignore (Protocol.send_int ch ~max:wmax (Graph.vweight g v)))
+    other_cut;
+  let known = Split.side_vertices split ~alice @ other_cut in
+  let sub, map = Graph.induced g known in
+  let inv = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace inv v i) map;
+  let required =
+    List.map (Hashtbl.find inv) (Split.side_vertices split ~alice)
+  in
+  let _, set = Domset.min_weight_set ~required sub in
+  let chosen = List.map (fun i -> map.(i)) set in
+  (* announce choices on the opposite side *)
+  let foreign = List.filter (fun v -> split.Split.side.(v) <> alice) chosen in
+  Protocol.charge ch (List.length foreign * id_bits split);
+  chosen
+
+let mds_two_approx split =
+  let ch = Protocol.create () in
+  let a = mds_cover_side split ch ~alice:true in
+  let b = mds_cover_side split ch ~alice:false in
+  { value = List.sort_uniq compare (a @ b); bits = Protocol.bits ch }
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.9: 1/2 weighted MaxIS                                       *)
+(* ------------------------------------------------------------------ *)
+
+let maxis_half split =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let wtotal = max 1 (Array.fold_left ( + ) 0 (Graph.vweights g)) in
+  let weight_of alice =
+    let sub, _ = Graph.induced g (Split.side_vertices split ~alice) in
+    fst (Mis.max_weight_set sub)
+  in
+  let a = Protocol.send_int ch ~max:wtotal (weight_of true) in
+  let b = Protocol.send_int ch ~max:wtotal (weight_of false) in
+  { value = max a b; bits = Protocol.bits ch }
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.7: (1+ε) unweighted MVC                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mvc_one_plus_eps ~eps split =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let n = Graph.n g in
+  let unit_weights = Graph.copy g in
+  for v = 0 to n - 1 do
+    Graph.set_vweight unit_weights v 1
+  done;
+  (* the Claim 5.6 estimate: OPT <= estimate <= 3/2 OPT *)
+  let opt_side alice =
+    fst
+      (min_weight_cover unit_weights
+         (List.map (fun (u, v, _) -> (u, v)) (edges_within split ~alice)))
+  in
+  let opt_a = Protocol.send_int ch ~max:n (opt_side true) in
+  let opt_b = Protocol.send_int ch ~max:n (opt_side false) in
+  let rest_edges smaller_is_alice =
+    List.filter_map
+      (fun (u, v, _) ->
+        let both_alice = split.Split.side.(u) && split.Split.side.(v) in
+        let both_bob = (not split.Split.side.(u)) && not split.Split.side.(v) in
+        if smaller_is_alice then if both_alice then None else Some (u, v)
+        else if both_bob then None
+        else Some (u, v))
+      (Graph.edges g)
+  in
+  let smaller_is_alice = opt_a <= opt_b in
+  let estimate =
+    min opt_a opt_b + fst (min_weight_cover unit_weights (rest_edges smaller_is_alice))
+  in
+  ignore (Protocol.send_int ch ~max:n estimate);
+  let cut = Split.cut_size split in
+  if float_of_int cut <= eps *. float_of_int estimate /. 3.0 then begin
+    (* small cut: per-side optimal covers plus every cut vertex *)
+    let cover_of alice =
+      snd
+        (min_weight_cover unit_weights
+           (List.map (fun (u, v, _) -> (u, v)) (edges_within split ~alice)))
+    in
+    let touching =
+      Split.cut_vertices split ~alice:true @ Split.cut_vertices split ~alice:false
+    in
+    { value = List.sort_uniq compare (cover_of true @ cover_of false @ touching);
+      bits = Protocol.bits ch }
+  end
+  else begin
+    (* force the high-degree vertices (degree > estimate >= OPT means the
+       vertex is in every optimal cover), announce the cut ones, then
+       learn the <= estimate^2 leftover edges and finish exactly *)
+    let forced =
+      List.filter (fun v -> Graph.degree g v > estimate) (List.init n Fun.id)
+    in
+    let forced_set = Array.make n false in
+    List.iter (fun v -> forced_set.(v) <- true) forced;
+    let announced =
+      List.filter
+        (fun v ->
+          List.exists (fun u -> split.Split.side.(u) <> split.Split.side.(v))
+            (Graph.neighbors g v))
+        forced
+    in
+    Protocol.charge ch (List.length announced * id_bits split);
+    let leftover =
+      List.filter_map
+        (fun (u, v, _) ->
+          if forced_set.(u) || forced_set.(v) then None else Some (u, v))
+        (Graph.edges g)
+    in
+    Protocol.charge ch (List.length leftover * 2 * id_bits split);
+    let _, rest_cover = min_weight_cover unit_weights leftover in
+    { value = List.sort_uniq compare (forced @ rest_cover); bits = Protocol.bits ch }
+  end

@@ -1,0 +1,40 @@
+(** The Section 5.1 limitation protocols: cheap two-party approximations
+    whose existence shows Theorem 1.1 cannot prove the corresponding
+    hardness (Corollary 5.1).  Each returns the solution it computes and
+    the exact number of bits Alice and Bob exchanged (through
+    {!Ch_cc.Protocol}). *)
+
+type 'a result = { value : 'a; bits : int }
+
+val mvc_bounded_degree : eps:float -> Split.t -> int list result
+(** Claim 5.1: a (1+ε)-approximate vertex cover, O(|E_cut|·log n / ε)
+    bits on bounded-degree inputs. *)
+
+val mds_bounded_degree : eps:float -> Split.t -> int list result
+(** Claim 5.2. *)
+
+val maxis_bounded_degree : eps:float -> Split.t -> int list result
+(** Claim 5.3: a (1−ε)-approximate independent set. *)
+
+val maxcut_unweighted : eps:float -> Split.t -> (int * bool array) result
+(** Claim 5.4: a (1−ε)-approximate max cut (unweighted). *)
+
+val maxcut_weighted_two_thirds : Split.t -> (int * bool array) result
+(** Claim 5.5, after [30]: the best of C_A, C_B, C_A ⊕ C_B is a
+    2/3-approximation of the weighted max cut. *)
+
+val mvc_three_halves : Split.t -> int result
+(** Claim 5.6: the weight of a 3/2-approximate weighted vertex cover. *)
+
+val mds_two_approx : Split.t -> int list result
+(** Claim 5.8: a 2-approximate weighted dominating set. *)
+
+val maxis_half : Split.t -> int result
+(** Claim 5.9: the weight of a 1/2-approximate weighted independent
+    set. *)
+
+val mvc_one_plus_eps : eps:float -> Split.t -> int list result
+(** Claim 5.7 (unweighted): a (1+ε)-approximate vertex cover with
+    O(OPT·|E_cut|·log n / ε) bits — estimate OPT via Claim 5.6, force the
+    high-degree vertices, and learn the ≤ OPT² leftover edges when the cut
+    is large. *)

@@ -1,0 +1,101 @@
+open Ch_graph
+open Ch_solvers
+open Ch_cc
+
+type verdict = { accepted : bool; bits : int }
+
+(* Alice holds the flow on edges touching V_A, Bob on edges touching V_B
+   (cut edges are shared).  Verification: per-side conservation at every
+   vertex other than s and t, capacities respected, and the net flow out
+   of s at least k.  The only communication is the flow carried by the
+   cut edges plus the partial value at s. *)
+let flow_ge split ~s ~t ~k =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let network = Flow.of_graph g in
+  let value = Flow.max_flow network ~s ~t in
+  if value < k then
+    (* no certificate exists: any claimed flow of value >= k must violate
+       conservation or capacity somewhere, which the owner of that vertex
+       or edge detects locally *)
+    { accepted = false; bits = Protocol.bits ch }
+  else begin
+    let flows = Flow.flow_on_edges network in
+    (* exchange the flow on cut edges *)
+    let wmax =
+      List.fold_left (fun acc (_, _, w) -> max acc w) 1 (Graph.edges g)
+    in
+    List.iter
+      (fun (u, v, f) ->
+        if split.Split.side.(u) <> split.Split.side.(v) then
+          ignore (Protocol.send_int ch ~max:wmax f))
+      flows;
+    (* each side checks conservation locally; the flow value at s crosses
+       as one integer *)
+    let net = Array.make (Graph.n g) 0 in
+    List.iter
+      (fun (u, v, f) ->
+        net.(u) <- net.(u) - f;
+        net.(v) <- net.(v) + f)
+      flows;
+    let conserved =
+      List.for_all
+        (fun v -> v = s || v = t || net.(v) = 0)
+        (List.init (Graph.n g) Fun.id)
+    in
+    let capacities_ok =
+      List.for_all (fun (u, v, f) -> f <= Graph.edge_weight g u v) flows
+    in
+    ignore (Protocol.send_int ch ~max:(max 1 (abs net.(s))) (abs net.(s)));
+    { accepted = conserved && capacities_ok && -net.(s) >= k; bits = Protocol.bits ch }
+  end
+
+(* the certificate is the source side of a minimum cut; flags of the
+   cut-touching vertices plus each side's partial cut weight cross *)
+let flow_lt split ~s ~t ~k =
+  let ch = Protocol.create () in
+  let g = split.Split.graph in
+  let network = Flow.of_graph g in
+  let value = Flow.max_flow network ~s ~t in
+  if value >= k then { accepted = false; bits = Protocol.bits ch }
+  else begin
+    let side_of_cut = Flow.min_cut_side network ~s ~t in
+    Protocol.charge ch
+      (List.length (Split.cut_vertices split ~alice:true)
+      + List.length (Split.cut_vertices split ~alice:false));
+    let weight = ref 0 in
+    Graph.iter_edges
+      (fun u v w -> if side_of_cut.(u) <> side_of_cut.(v) then weight := !weight + w)
+      g;
+    ignore (Protocol.send_int ch ~max:(max 1 !weight) !weight);
+    { accepted = side_of_cut.(s) && (not side_of_cut.(t)) && !weight < k;
+      bits = Protocol.bits ch }
+  end
+
+let neq x y =
+  let ch = Protocol.create () in
+  match Commfn.witness_diff x y with
+  | None -> { accepted = false; bits = Protocol.bits ch }
+  | Some i ->
+      ignore (Protocol.send_int ch ~max:(max 1 (Bits.length x - 1)) i);
+      ignore (Protocol.send_bool ch (Bits.get x i));
+      { accepted = Bits.get x i <> Bits.get y i; bits = Protocol.bits ch }
+
+let via_pls scheme split inst =
+  let ch = Protocol.create () in
+  if inst.Ch_pls.Verif.graph != split.Split.graph then
+    invalid_arg "Nondet.via_pls: instance/split mismatch";
+  match scheme.Ch_pls.Pls.prover inst with
+  | None -> { accepted = false; bits = Protocol.bits ch }
+  | Some labeling ->
+      (* each player sends the labels of its cut-touching vertices *)
+      let cut_vertices =
+        Split.cut_vertices split ~alice:true @ Split.cut_vertices split ~alice:false
+      in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun field -> Protocol.charge ch (Protocol.bits_for_int ~max:(max 1 (abs field)) + 1))
+            labeling.(v))
+        cut_vertices;
+      { accepted = Ch_pls.Pls.accepts scheme inst labeling; bits = Protocol.bits ch }

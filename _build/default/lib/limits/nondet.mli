@@ -1,0 +1,29 @@
+(** Claim 5.11: nondeterministic two-party protocols for max (s,t)-flow,
+    showing Theorem 1.1 cannot give super-constant bounds for it.
+
+    The nondeterministic string is a certificate produced here by the exact
+    solver; the players verify it exchanging only O(|E_cut|·log n) bits
+    (flow values on the cut edges, or the cut-vertex flags plus partial
+    sums). *)
+
+type verdict = { accepted : bool; bits : int }
+
+val flow_ge : Split.t -> s:int -> t:int -> k:int -> verdict
+(** Accept iff max-flow(s,t) ≥ k, via a flow certificate. *)
+
+val flow_lt : Split.t -> s:int -> t:int -> k:int -> verdict
+(** Accept iff max-flow(s,t) < k, via an (s,t)-cut certificate. *)
+
+val neq : Ch_cc.Bits.t -> Ch_cc.Bits.t -> verdict
+(** The O(log K)-bit nondeterministic protocol for ¬EQ (Section 5.2): the
+    certificate is an index where the strings differ.  Accepts iff x ≠ y.
+    CC_N(EQ) itself is Θ(K), which is why EQ-based families are as limited
+    as DISJ-based ones (the Γ(f) discussion). *)
+
+val via_pls :
+  Ch_pls.Pls.scheme -> Split.t -> Ch_pls.Verif.t -> verdict
+(** Theorem 5.1: any proof labeling scheme yields a nondeterministic
+    two-party protocol whose cost is the labels of the cut-touching
+    vertices.  The instance's graph must be the split's graph.  Accepts
+    iff the scheme's predicate holds (prover labels verified locally by
+    each player). *)

@@ -1,0 +1,43 @@
+open Ch_graph
+
+type t = { graph : Graph.t; side : bool array }
+
+let make graph ~side =
+  if Array.length side <> Graph.n graph then invalid_arg "Split.make";
+  { graph; side }
+
+let cut_edges t =
+  let acc = ref [] in
+  Graph.iter_edges
+    (fun u v w -> if t.side.(u) <> t.side.(v) then acc := (u, v, w) :: !acc)
+    t.graph;
+  List.sort compare !acc
+
+let cut_size t = List.length (cut_edges t)
+
+let view t ~alice =
+  let g = Graph.create ~default_vweight:0 (Graph.n t.graph) in
+  for v = 0 to Graph.n t.graph - 1 do
+    if t.side.(v) = alice then Graph.set_vweight g v (Graph.vweight t.graph v)
+  done;
+  Graph.iter_edges
+    (fun u v w ->
+      if t.side.(u) = alice || t.side.(v) = alice then Graph.add_edge ~w g u v)
+    t.graph;
+  g
+
+let alice_view t = view t ~alice:true
+
+let bob_view t = view t ~alice:false
+
+let touches_cut t v =
+  List.exists (fun u -> t.side.(u) <> t.side.(v)) (Graph.neighbors t.graph v)
+
+let side_vertices t ~alice =
+  List.filter (fun v -> t.side.(v) = alice) (List.init (Graph.n t.graph) Fun.id)
+
+let internal t ~alice =
+  List.filter (fun v -> not (touches_cut t v)) (side_vertices t ~alice)
+
+let cut_vertices t ~alice =
+  List.filter (fun v -> touches_cut t v) (side_vertices t ~alice)

@@ -1,0 +1,27 @@
+open Ch_graph
+
+(** Two-party views of a split graph, shared by the Section 5.1
+    protocols: Alice sees G[V_A] plus the cut (edges, weights, the ids of
+    the cut vertices on Bob's side), Bob symmetrically. *)
+
+type t = { graph : Graph.t; side : bool array }
+
+val make : Graph.t -> side:bool array -> t
+
+val cut_edges : t -> (int * int * int) list
+
+val cut_size : t -> int
+
+val alice_view : t -> Graph.t
+(** The full vertex set, but only the edges Alice knows (inside V_A or
+    crossing).  Vertex weights of pure-Bob vertices are zeroed: Alice does
+    not know them. *)
+
+val bob_view : t -> Graph.t
+
+val internal : t -> alice:bool -> int list
+(** Vertices of one side with no cut edge. *)
+
+val side_vertices : t -> alice:bool -> int list
+
+val cut_vertices : t -> alice:bool -> int list

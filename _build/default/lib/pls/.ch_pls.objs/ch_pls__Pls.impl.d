@@ -1,0 +1,1 @@
+lib/pls/pls.ml: Array Ch_graph Graph List Random Verif

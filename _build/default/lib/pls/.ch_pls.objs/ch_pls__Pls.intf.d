@@ -1,0 +1,1 @@
+lib/pls/pls.mli: Verif

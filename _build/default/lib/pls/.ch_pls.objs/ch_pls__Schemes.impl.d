@@ -1,0 +1,1 @@
+lib/pls/schemes.ml: Array Ch_graph Ch_solvers Fun Graph List Option Pls Printf Props Queue Verif

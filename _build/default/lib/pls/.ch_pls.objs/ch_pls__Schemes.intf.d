@@ -1,0 +1,1 @@
+lib/pls/schemes.mli: Pls

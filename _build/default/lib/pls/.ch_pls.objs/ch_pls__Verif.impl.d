@@ -1,0 +1,1 @@
+lib/pls/verif.ml: Ch_graph Graph List Option Random

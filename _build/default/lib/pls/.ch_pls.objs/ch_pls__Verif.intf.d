@@ -1,0 +1,1 @@
+lib/pls/verif.mli: Ch_graph Graph

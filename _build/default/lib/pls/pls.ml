@@ -1,0 +1,94 @@
+open Ch_graph
+
+type label = int list
+
+type labeling = label array
+
+type view = {
+  vertex : int;
+  n : int;
+  neighbors : (int * int * bool) list;
+  my_label : label;
+  label_of : int -> label;
+  is_s : bool;
+  is_t : bool;
+  e_endpoint : int option;
+}
+
+type scheme = {
+  name : string;
+  predicate : Verif.t -> bool;
+  prover : Verif.t -> labeling option;
+  verifier : view -> bool;
+}
+
+let view_of inst labeling v =
+  let g = inst.Verif.graph in
+  let neighbors =
+    List.map (fun (u, w) -> (u, w, Verif.in_h inst v u)) (Graph.neighbors_w g v)
+  in
+  let nbr_set = List.map (fun (u, _, _) -> u) neighbors in
+  {
+    vertex = v;
+    n = Graph.n g;
+    neighbors;
+    my_label = labeling.(v);
+    label_of =
+      (fun u ->
+        if not (List.mem u nbr_set) then
+          invalid_arg "Pls: verifier read a non-neighbor label"
+        else labeling.(u));
+    is_s = inst.Verif.s = Some v;
+    is_t = inst.Verif.t = Some v;
+    e_endpoint =
+      (match inst.Verif.e with
+      | Some (a, b) when a = v -> Some b
+      | Some (a, b) when b = v -> Some a
+      | _ -> None);
+  }
+
+let accepts scheme inst labeling =
+  let n = Graph.n inst.Verif.graph in
+  if Array.length labeling <> n then false
+  else begin
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (scheme.verifier (view_of inst labeling v)) then ok := false
+    done;
+    !ok
+  end
+
+let field_bits x =
+  let rec go acc v = if v = 0 then max acc 1 else go (acc + 1) (v lsr 1) in
+  go 0 (abs x) + 1
+
+let max_label_bits labeling =
+  Array.fold_left
+    (fun acc label ->
+      max acc (List.fold_left (fun b f -> b + field_bits f) 0 label))
+    0 labeling
+
+let check_completeness scheme inst =
+  if not (scheme.predicate inst) then true
+  else
+    match scheme.prover inst with
+    | None -> false
+    | Some labeling -> accepts scheme inst labeling
+
+let check_soundness ~seed ~attempts scheme inst =
+  if scheme.predicate inst then true
+  else if scheme.prover inst <> None then false
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let n = Graph.n inst.Verif.graph in
+    let random_labeling width =
+      Array.init n (fun _ ->
+          List.init width (fun _ -> Random.State.int rng (2 * n)))
+    in
+    let candidates =
+      List.concat_map
+        (fun width -> List.init attempts (fun _ -> random_labeling width))
+        [ 1; 2; 3; 4 ]
+    in
+    List.for_all (fun labeling -> not (accepts scheme inst labeling)) candidates
+  end

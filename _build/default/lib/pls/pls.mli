@@ -1,0 +1,44 @@
+(** Proof labeling schemes (Section 5.2.2): a prover assigns each vertex a
+    label; a local verifier at each vertex sees only its own label, its
+    neighbors' labels, and its local view of the instance.  Completeness:
+    true instances admit labels accepted everywhere.  Soundness: on false
+    instances every labeling is rejected somewhere (sampled empirically by
+    {!check_soundness}; several schemes carry structural proofs in their
+    documentation). *)
+
+type label = int list
+
+type labeling = label array
+
+type view = {
+  vertex : int;
+  n : int;
+  neighbors : (int * int * bool) list;  (** (neighbor, edge weight, in H) *)
+  my_label : label;
+  label_of : int -> label;  (** neighbors only *)
+  is_s : bool;
+  is_t : bool;
+  e_endpoint : int option;  (** the other endpoint of e when incident *)
+}
+
+type scheme = {
+  name : string;
+  predicate : Verif.t -> bool;  (** ground truth, via the exact solvers *)
+  prover : Verif.t -> labeling option;  (** None when the predicate fails *)
+  verifier : view -> bool;
+}
+
+val view_of : Verif.t -> labeling -> int -> view
+
+val accepts : scheme -> Verif.t -> labeling -> bool
+(** All vertices accept. *)
+
+val max_label_bits : labeling -> int
+(** Size of the largest label: sum over fields of their widths. *)
+
+val check_completeness : scheme -> Verif.t -> bool
+(** predicate ⟹ the prover's labeling is accepted (vacuous otherwise). *)
+
+val check_soundness : seed:int -> attempts:int -> scheme -> Verif.t -> bool
+(** ¬predicate ⟹ the prover declines, and random labelings (including
+    mutations of labelings for related true instances) are rejected. *)

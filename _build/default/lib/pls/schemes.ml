@@ -1,0 +1,1142 @@
+open Ch_graph
+open Pls
+
+let inf = 1 lsl 20
+
+let fld l i = try List.nth l i with _ -> min_int
+
+let lbl view u = view.label_of u
+
+let g_nbrs view = List.map (fun (u, _, _) -> u) view.neighbors
+
+let h_nbrs view =
+  List.filter_map (fun (u, _, h) -> if h then Some u else None) view.neighbors
+
+let h_degree view = List.length (h_nbrs view)
+
+let all_g view p = List.for_all p (g_nbrs view)
+
+(* ------------------------------------------------------------------ *)
+(* Label-building blocks (provers)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* pointer tree over G towards [root]: fields (rid, dist) *)
+let pointer_fields g root =
+  let dist = Props.bfs_dist g root in
+  Array.map (fun d -> assert (d < max_int); [ root; d ]) dist
+
+(* ------------------------------------------------------------------ *)
+(* Verifier building blocks                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* pointer tree over G: consistent root id everywhere, distance decreases
+   towards a root that must satisfy [root_ok] *)
+let check_pointer view ~rid_at ~d_at ~root_ok =
+  let rid = fld view.my_label rid_at and d = fld view.my_label d_at in
+  d >= 0
+  && all_g view (fun u -> fld (lbl view u) rid_at = rid)
+  &&
+  if d = 0 then rid = view.vertex && root_ok ()
+  else List.exists (fun u -> fld (lbl view u) d_at = d - 1) (g_nbrs view)
+
+(* counted spanning tree over G: explicit parent pointers and verified
+   subtree sums of [contribution]; the root must satisfy [root_ok sum] *)
+let check_counted_tree view ~rid_at ~d_at ~parent_at ~cnt_at ~contribution ~root_ok =
+  let rid = fld view.my_label rid_at
+  and d = fld view.my_label d_at
+  and parent = fld view.my_label parent_at
+  and cnt = fld view.my_label cnt_at in
+  let children =
+    List.filter
+      (fun u ->
+        fld (lbl view u) parent_at = view.vertex
+        && fld (lbl view u) d_at = d + 1)
+      (g_nbrs view)
+  in
+  let sum =
+    List.fold_left (fun acc u -> acc + fld (lbl view u) cnt_at) (contribution view)
+      children
+  in
+  d >= 0
+  && all_g view (fun u -> fld (lbl view u) rid_at = rid)
+  && cnt = sum
+  && (if d = 0 then rid = view.vertex && root_ok cnt
+      else
+        List.mem parent (g_nbrs view)
+        && fld (lbl view parent) d_at = d - 1)
+
+(* prover side of the counted tree *)
+let counted_tree_fields g root ~contribution =
+  let dist = Props.bfs_dist g root in
+  let parent = Props.bfs_tree g root in
+  let n = Graph.n g in
+  let cnt = Array.make n 0 in
+  let order = List.sort (fun a b -> compare dist.(b) dist.(a)) (List.init n Fun.id) in
+  List.iter
+    (fun v ->
+      cnt.(v) <- cnt.(v) + contribution v;
+      if parent.(v) >= 0 then cnt.(parent.(v)) <- cnt.(parent.(v)) + cnt.(v))
+    order;
+  Array.init n (fun v -> [ root; dist.(v); parent.(v); cnt.(v) ])
+
+(* flags separated by the H edges (optionally sparing the designated e) *)
+let check_mono_flags view ~flag_at ~spare_e ~over =
+  let flag = fld view.my_label flag_at in
+  (flag = 0 || flag = 1)
+  && List.for_all
+       (fun (u, _, in_h) ->
+         let relevant = match over with `H -> in_h | `Not_h -> not in_h in
+         let spared = spare_e && view.e_endpoint = Some u in
+         if relevant && not spared then fld (lbl view u) flag_at = flag
+         else true)
+       view.neighbors
+
+(* H-components flags for the prover *)
+let h_component_flags inst =
+  let hg = Verif.h_graph inst in
+  let comp, _ = Props.components hg in
+  comp
+
+(* ------------------------------------------------------------------ *)
+(* Spanning tree                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let spanning_tree =
+  {
+    name = "spanning-tree";
+    predicate = (fun inst -> Props.is_tree (Verif.h_graph inst));
+    prover =
+      (fun inst ->
+        let hg = Verif.h_graph inst in
+        if not (Props.is_tree hg) then None
+        else begin
+          let dist = Props.bfs_dist hg 0 in
+          Some (Array.map (fun d -> [ 0; d ]) dist)
+        end);
+    verifier =
+      (fun view ->
+        let rid = fld view.my_label 0 and d = fld view.my_label 1 in
+        let h_dists = List.map (fun u -> fld (lbl view u) 1) (h_nbrs view) in
+        d >= 0
+        && all_g view (fun u -> fld (lbl view u) 0 = rid)
+        && List.for_all (fun du -> du = d - 1 || du = d + 1) h_dists
+        && List.length (List.filter (fun du -> du = d - 1) h_dists)
+           = (if d = 0 then 0 else 1)
+        && (d > 0 || rid = view.vertex));
+  }
+
+(* shared "H is disconnected" certificate: flag + two pointer trees *)
+let disconnection_fields inst =
+  let g = inst.Verif.graph in
+  let comp = h_component_flags inst in
+  let flag = Array.map (fun c -> if c = comp.(0) then 0 else 1) comp in
+  let root1 = 0 in
+  let root2 =
+    let rec find v = if flag.(v) = 1 then v else find (v + 1) in
+    find 0
+  in
+  let p1 = pointer_fields g root1 and p2 = pointer_fields g root2 in
+  Array.init (Graph.n g) (fun v -> (flag.(v) :: p1.(v)) @ p2.(v))
+
+let check_disconnection view ~offset =
+  let flag_at = offset in
+  check_mono_flags view ~flag_at ~spare_e:false ~over:`H
+  && check_pointer view ~rid_at:(offset + 1) ~d_at:(offset + 2)
+       ~root_ok:(fun () -> fld view.my_label flag_at = 0)
+  && check_pointer view ~rid_at:(offset + 3) ~d_at:(offset + 4)
+       ~root_ok:(fun () -> fld view.my_label flag_at = 1)
+
+let connected =
+  {
+    name = "connected";
+    predicate = (fun inst -> Props.connected (Verif.h_graph inst));
+    prover =
+      (fun inst ->
+        let hg = Verif.h_graph inst in
+        if not (Props.connected hg) then None
+        else Some (Array.map (fun d -> [ 0; d ]) (Props.bfs_dist hg 0)));
+    verifier =
+      (fun view ->
+        let rid = fld view.my_label 0 and d = fld view.my_label 1 in
+        d >= 0
+        && all_g view (fun u -> fld (lbl view u) 0 = rid)
+        &&
+        if d = 0 then rid = view.vertex
+        else List.exists (fun u -> fld (lbl view u) 1 = d - 1) (h_nbrs view));
+  }
+
+let not_connected =
+  {
+    name = "not-connected";
+    predicate = (fun inst -> not (Props.connected (Verif.h_graph inst)));
+    prover =
+      (fun inst ->
+        if Props.connected (Verif.h_graph inst) then None
+        else Some (disconnection_fields inst));
+    verifier = (fun view -> check_disconnection view ~offset:0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cycles                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let two_core inst =
+  (* vertices of the 2-core of H *)
+  let g = inst.Verif.graph in
+  let n = Graph.n g in
+  let deg = Array.init n (fun v -> Verif.h_degree inst v) in
+  let queue = Queue.create () in
+  let gone = Array.make n false in
+  for v = 0 to n - 1 do
+    if deg.(v) <= 1 then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    if not gone.(v) then begin
+      gone.(v) <- true;
+      List.iter
+        (fun u ->
+          if Verif.in_h inst v u && not gone.(u) then begin
+            deg.(u) <- deg.(u) - 1;
+            if deg.(u) <= 1 then Queue.add u queue
+          end)
+        (Graph.neighbors g v)
+    end
+  done;
+  List.filter (fun v -> not gone.(v)) (List.init n Fun.id)
+
+let dist_to_set g set =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      dist.(v) <- 0;
+      Queue.add v queue)
+    set;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    List.iter
+      (fun u ->
+        if dist.(u) = max_int then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+let cycle_fields inst core =
+  let dist = dist_to_set inst.Verif.graph core in
+  Array.map (fun d -> [ (if d = max_int then inf else d) ]) dist
+
+let check_cycle_marking view ~d_at =
+  let d = fld view.my_label d_at in
+  d >= 0
+  &&
+  if d = 0 then
+    List.length (List.filter (fun u -> fld (lbl view u) d_at = 0) (h_nbrs view)) >= 2
+  else List.exists (fun u -> fld (lbl view u) d_at = d - 1) (g_nbrs view)
+
+let has_cycle =
+  {
+    name = "has-cycle";
+    predicate = (fun inst -> not (Props.is_forest (Verif.h_graph inst)));
+    prover =
+      (fun inst ->
+        let core = two_core inst in
+        if core = [] then None else Some (cycle_fields inst core));
+    verifier = (fun view -> check_cycle_marking view ~d_at:0);
+  }
+
+let acyclic =
+  {
+    name = "acyclic";
+    predicate = (fun inst -> Props.is_forest (Verif.h_graph inst));
+    prover =
+      (fun inst ->
+        let hg = Verif.h_graph inst in
+        if not (Props.is_forest hg) then None
+        else begin
+          let comp, _ = Props.components hg in
+          let n = Graph.n hg in
+          let root = Array.make n (-1) in
+          for v = n - 1 downto 0 do
+            root.(comp.(v)) <- v
+          done;
+          let labels = Array.make n [] in
+          for v = 0 to n - 1 do
+            if root.(comp.(v)) = v then begin
+              let dist = Props.bfs_dist hg v in
+              for u = 0 to n - 1 do
+                if comp.(u) = comp.(v) then labels.(u) <- [ v; dist.(u) ]
+              done
+            end
+          done;
+          Some labels
+        end);
+    verifier =
+      (fun view ->
+        let rid = fld view.my_label 0 and d = fld view.my_label 1 in
+        let h_labels = List.map (lbl view) (h_nbrs view) in
+        d >= 0
+        && List.for_all (fun l -> fld l 0 = rid) h_labels
+        && List.for_all
+             (fun l -> fld l 1 = d - 1 || fld l 1 = d + 1)
+             h_labels
+        && List.length (List.filter (fun l -> fld l 1 = d - 1) h_labels)
+           = (if d = 0 then 0 else 1)
+        && (d > 0 || rid = view.vertex));
+  }
+
+let e_cycle_predicate inst =
+  match inst.Verif.e with
+  | None -> false
+  | Some (a, b) ->
+      Verif.in_h inst a b
+      &&
+      let hme = Verif.h_minus_e inst in
+      (Props.bfs_dist hme a).(b) < max_int
+
+let e_cycle =
+  {
+    name = "e-cycle";
+    predicate = e_cycle_predicate;
+    prover =
+      (fun inst ->
+        if not (e_cycle_predicate inst) then None
+        else begin
+          let a, b = Option.get inst.Verif.e in
+          let hme = Verif.h_minus_e inst in
+          (* the cycle: a shortest a-b path in H−e, plus e *)
+          let parent = Props.bfs_tree hme a in
+          let rec walk v acc = if v = a then a :: acc else walk parent.(v) (v :: acc) in
+          let cycle = walk b [] in
+          Some (cycle_fields inst cycle)
+        end);
+    verifier =
+      (fun view ->
+        check_cycle_marking view ~d_at:0
+        &&
+        match view.e_endpoint with
+        | None -> true
+        | Some u ->
+            fld view.my_label 0 = 0
+            && fld (lbl view u) 0 = 0
+            && List.mem u (h_nbrs view));
+  }
+
+let not_e_cycle =
+  {
+    name = "not-e-cycle";
+    predicate = (fun inst -> inst.Verif.e <> None && not (e_cycle_predicate inst));
+    prover =
+      (fun inst ->
+        match inst.Verif.e with
+        | None -> None
+        | Some (a, b) ->
+            if e_cycle_predicate inst then None
+            else if not (Verif.in_h inst a b) then
+              Some (Array.make (Graph.n inst.Verif.graph) [ 0; 0 ])
+            else begin
+              let hme = Verif.h_minus_e inst in
+              let dist = Props.bfs_dist hme a in
+              Some
+                (Array.map (fun d -> [ 1; (if d = max_int then 1 else 0) ]) dist)
+            end);
+    verifier =
+      (fun view ->
+        let case = fld view.my_label 0 in
+        all_g view (fun u -> fld (lbl view u) 0 = case)
+        &&
+        match case with
+        | 0 -> (
+            (* e is not in H *)
+            match view.e_endpoint with
+            | None -> true
+            | Some u ->
+                List.exists (fun (x, _, h) -> x = u && not h) view.neighbors)
+        | 1 ->
+            check_mono_flags view ~flag_at:1 ~spare_e:true ~over:`H
+            && (match view.e_endpoint with
+               | None -> true
+               | Some u -> fld view.my_label 1 <> fld (lbl view u) 1)
+        | _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bipartiteness                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bipartite =
+  {
+    name = "bipartite";
+    predicate = (fun inst -> Props.is_bipartite (Verif.h_graph inst));
+    prover =
+      (fun inst ->
+        match Props.bipartition (Verif.h_graph inst) with
+        | None -> None
+        | Some coloring ->
+            Some (Array.map (fun c -> [ (if c then 1 else 0) ]) coloring));
+    verifier =
+      (fun view ->
+        let c = fld view.my_label 0 in
+        (c = 0 || c = 1)
+        && List.for_all (fun u -> fld (lbl view u) 0 <> c) (h_nbrs view));
+  }
+
+let not_bipartite =
+  (* fields: [rid; d; parent; mark; rid2; d2]; (rid, d, parent) is an
+     exact-depth forest of H, and two adjacent marked vertices with equal
+     depth parity witness an odd closed walk *)
+  {
+    name = "not-bipartite";
+    predicate = (fun inst -> not (Props.is_bipartite (Verif.h_graph inst)));
+    prover =
+      (fun inst ->
+        let hg = Verif.h_graph inst in
+        if Props.is_bipartite hg then None
+        else begin
+          let n = Graph.n hg in
+          let comp, _ = Props.components hg in
+          let root = Array.make n (-1) in
+          for v = n - 1 downto 0 do
+            root.(comp.(v)) <- v
+          done;
+          let dist = Array.make n 0 and parent = Array.make n (-1) in
+          for v = 0 to n - 1 do
+            if root.(comp.(v)) = v then begin
+              let d = Props.bfs_dist hg v and p = Props.bfs_tree hg v in
+              for u = 0 to n - 1 do
+                if comp.(u) = comp.(v) then begin
+                  dist.(u) <- d.(u);
+                  parent.(u) <- p.(u)
+                end
+              done
+            end
+          done;
+          (* find an H edge with equal-parity endpoints *)
+          let witness = ref None in
+          Graph.iter_edges
+            (fun u v _ ->
+              if !witness = None && (dist.(u) + dist.(v)) mod 2 = 0 then
+                witness := Some (u, v))
+            hg;
+          match !witness with
+          | None -> None (* cannot happen: hg is non-bipartite *)
+          | Some (wu, wv) ->
+              let p2 = pointer_fields inst.Verif.graph wu in
+              Some
+                (Array.init n (fun v ->
+                     [
+                       root.(comp.(v));
+                       dist.(v);
+                       parent.(v);
+                       (if v = wu || v = wv then 1 else 0);
+                     ]
+                     @ p2.(v)))
+        end);
+    verifier =
+      (fun view ->
+        let rid = fld view.my_label 0
+        and d = fld view.my_label 1
+        and parent = fld view.my_label 2
+        and mark = fld view.my_label 3 in
+        let h = h_nbrs view in
+        d >= 0
+        && List.for_all (fun u -> fld (lbl view u) 0 = rid) h
+        && (if d = 0 then rid = view.vertex
+            else List.mem parent h && fld (lbl view parent) 1 = d - 1)
+        && (mark = 0 || mark = 1)
+        && (mark = 0
+           || List.exists
+                (fun u ->
+                  fld (lbl view u) 3 = 1 && (fld (lbl view u) 1 + d) mod 2 = 0)
+                h)
+        && check_pointer view ~rid_at:4 ~d_at:5 ~root_ok:(fun () ->
+               fld view.my_label 3 = 1));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* s-t connectivity and separations                                    *)
+(* ------------------------------------------------------------------ *)
+
+let require_st inst = inst.Verif.s <> None && inst.Verif.t <> None
+
+let st_connected_predicate inst =
+  require_st inst
+  &&
+  let s = Option.get inst.Verif.s and t = Option.get inst.Verif.t in
+  (Props.bfs_dist (Verif.h_graph inst) s).(t) < max_int
+
+let dist_labels g s =
+  Array.map (fun d -> [ (if d = max_int then inf else d) ]) (Props.bfs_dist g s)
+
+let st_connected =
+  {
+    name = "st-connected";
+    predicate = st_connected_predicate;
+    prover =
+      (fun inst ->
+        if not (st_connected_predicate inst) then None
+        else Some (dist_labels (Verif.h_graph inst) (Option.get inst.Verif.s)));
+    verifier =
+      (fun view ->
+        let d = fld view.my_label 0 in
+        d >= 0
+        && (not view.is_s || d = 0)
+        && (d <> 0 || view.is_s)
+        && (not view.is_t || d < inf)
+        && (d = 0 || d >= inf
+           || List.exists (fun u -> fld (lbl view u) 0 = d - 1) (h_nbrs view)));
+  }
+
+let flag_separation_scheme ~name ~over ~spare_e ~predicate ~component_of =
+  {
+    name;
+    predicate;
+    prover =
+      (fun inst ->
+        if not (predicate inst) then None
+        else begin
+          let reach = component_of inst in
+          Some (Array.map (fun r -> [ (if r then 0 else 1) ]) reach)
+        end);
+    verifier =
+      (fun view ->
+        check_mono_flags view ~flag_at:0 ~spare_e ~over
+        && (not view.is_s || fld view.my_label 0 = 0)
+        && (not view.is_t || fld view.my_label 0 = 1));
+  }
+
+let reachable_from_s sub inst =
+  let s = Option.get inst.Verif.s in
+  let dist = Props.bfs_dist (sub inst) s in
+  Array.map (fun d -> d < max_int) dist
+
+let not_st_connected =
+  flag_separation_scheme ~name:"not-st-connected" ~over:`H ~spare_e:false
+    ~predicate:(fun inst -> require_st inst && not (st_connected_predicate inst))
+    ~component_of:(reachable_from_s Verif.h_graph)
+
+let edge_on_all_paths =
+  flag_separation_scheme ~name:"edge-on-all-paths" ~over:`H ~spare_e:true
+    ~predicate:(fun inst ->
+      require_st inst && inst.Verif.e <> None
+      &&
+      let s = Option.get inst.Verif.s and t = Option.get inst.Verif.t in
+      (Props.bfs_dist (Verif.h_minus_e inst) s).(t) = max_int)
+    ~component_of:(reachable_from_s Verif.h_minus_e)
+
+let not_edge_on_all_paths =
+  {
+    name = "not-edge-on-all-paths";
+    predicate =
+      (fun inst ->
+        require_st inst && inst.Verif.e <> None
+        &&
+        let s = Option.get inst.Verif.s and t = Option.get inst.Verif.t in
+        (Props.bfs_dist (Verif.h_minus_e inst) s).(t) < max_int);
+    prover =
+      (fun inst ->
+        if
+          not
+            (require_st inst && inst.Verif.e <> None
+            &&
+            let s = Option.get inst.Verif.s and t = Option.get inst.Verif.t in
+            (Props.bfs_dist (Verif.h_minus_e inst) s).(t) < max_int)
+        then None
+        else Some (dist_labels (Verif.h_minus_e inst) (Option.get inst.Verif.s)));
+    verifier =
+      (fun view ->
+        let d = fld view.my_label 0 in
+        d >= 0
+        && (not view.is_s || d = 0)
+        && (d <> 0 || view.is_s)
+        && (not view.is_t || d < inf)
+        && (d = 0 || d >= inf
+           || List.exists
+                (fun u -> fld (lbl view u) 0 = d - 1)
+                (List.filter
+                   (fun u -> view.e_endpoint <> Some u)
+                   (h_nbrs view))));
+  }
+
+let st_cut =
+  flag_separation_scheme ~name:"st-cut" ~over:`Not_h ~spare_e:false
+    ~predicate:(fun inst ->
+      require_st inst
+      &&
+      let s = Option.get inst.Verif.s and t = Option.get inst.Verif.t in
+      (Props.bfs_dist (Verif.g_minus_h inst) s).(t) = max_int)
+    ~component_of:(reachable_from_s Verif.g_minus_h)
+
+let not_st_cut =
+  {
+    name = "not-st-cut";
+    predicate =
+      (fun inst ->
+        require_st inst
+        &&
+        let s = Option.get inst.Verif.s and t = Option.get inst.Verif.t in
+        (Props.bfs_dist (Verif.g_minus_h inst) s).(t) < max_int);
+    prover =
+      (fun inst ->
+        if
+          not
+            (require_st inst
+            &&
+            let s = Option.get inst.Verif.s and t = Option.get inst.Verif.t in
+            (Props.bfs_dist (Verif.g_minus_h inst) s).(t) < max_int)
+        then None
+        else Some (dist_labels (Verif.g_minus_h inst) (Option.get inst.Verif.s)));
+    verifier =
+      (fun view ->
+        let d = fld view.my_label 0 in
+        let non_h_nbrs =
+          List.filter_map
+            (fun (u, _, h) -> if h then None else Some u)
+            view.neighbors
+        in
+        d >= 0
+        && (not view.is_s || d = 0)
+        && (d <> 0 || view.is_s)
+        && (not view.is_t || d < inf)
+        && (d = 0 || d >= inf
+           || List.exists (fun u -> fld (lbl view u) 0 = d - 1) non_h_nbrs));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cut verification (no designated s, t)                               *)
+(* ------------------------------------------------------------------ *)
+
+let cut =
+  {
+    name = "cut";
+    predicate = (fun inst -> not (Props.connected (Verif.g_minus_h inst)));
+    prover =
+      (fun inst ->
+        let gmh = Verif.g_minus_h inst in
+        if Props.connected gmh then None
+        else begin
+          let comp, _ = Props.components gmh in
+          let flag = Array.map (fun c -> if c = comp.(0) then 0 else 1) comp in
+          let root2 =
+            let rec find v = if flag.(v) = 1 then v else find (v + 1) in
+            find 0
+          in
+          let p1 = pointer_fields inst.Verif.graph 0
+          and p2 = pointer_fields inst.Verif.graph root2 in
+          Some
+            (Array.init (Graph.n inst.Verif.graph) (fun v ->
+                 (flag.(v) :: p1.(v)) @ p2.(v)))
+        end);
+    verifier =
+      (fun view ->
+        check_mono_flags view ~flag_at:0 ~spare_e:false ~over:`Not_h
+        && check_pointer view ~rid_at:1 ~d_at:2 ~root_ok:(fun () ->
+               fld view.my_label 0 = 0)
+        && check_pointer view ~rid_at:3 ~d_at:4 ~root_ok:(fun () ->
+               fld view.my_label 0 = 1));
+  }
+
+let not_cut =
+  {
+    name = "not-cut";
+    predicate = (fun inst -> Props.connected (Verif.g_minus_h inst));
+    prover =
+      (fun inst ->
+        let gmh = Verif.g_minus_h inst in
+        if not (Props.connected gmh) then None
+        else Some (Array.map (fun d -> [ 0; d ]) (Props.bfs_dist gmh 0)));
+    verifier =
+      (fun view ->
+        let rid = fld view.my_label 0 and d = fld view.my_label 1 in
+        let non_h =
+          List.filter_map
+            (fun (u, _, h) -> if h then None else Some u)
+            view.neighbors
+        in
+        d >= 0
+        && all_g view (fun u -> fld (lbl view u) 0 = rid)
+        &&
+        if d = 0 then rid = view.vertex
+        else List.exists (fun u -> fld (lbl view u) 1 = d - 1) non_h);
+  }
+
+let not_spanning_tree =
+  {
+    name = "not-spanning-tree";
+    predicate = (fun inst -> not (Props.is_tree (Verif.h_graph inst)));
+    prover =
+      (fun inst ->
+        let hg = Verif.h_graph inst in
+        if Props.is_tree hg then None
+        else if not (Props.is_forest hg) then
+          let core = two_core inst in
+          Some (Array.map (fun l -> 0 :: l) (cycle_fields inst core))
+        else Some (Array.map (fun l -> 1 :: l) (disconnection_fields inst)));
+    verifier =
+      (fun view ->
+        let case = fld view.my_label 0 in
+        all_g view (fun u -> fld (lbl view u) 0 = case)
+        &&
+        match case with
+        | 0 -> check_cycle_marking view ~d_at:1
+        | 1 -> check_disconnection view ~offset:1
+        | _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hamiltonian cycle and simple path verification                      *)
+(* ------------------------------------------------------------------ *)
+
+let ham_cycle_predicate inst =
+  let hg = Verif.h_graph inst in
+  let n = Graph.n hg in
+  n >= 3
+  && List.for_all (fun v -> Graph.degree hg v = 2) (List.init n Fun.id)
+  && Props.connected hg
+
+let hamiltonian_cycle =
+  {
+    name = "hamiltonian-cycle";
+    predicate = ham_cycle_predicate;
+    prover =
+      (fun inst ->
+        if not (ham_cycle_predicate inst) then None
+        else begin
+          let hg = Verif.h_graph inst in
+          let n = Graph.n hg in
+          let idx = Array.make n (-1) in
+          let rec walk v i prev =
+            idx.(v) <- i;
+            if i < n - 1 then begin
+              match List.filter (fun u -> u <> prev) (Graph.neighbors hg v) with
+              | u :: _ -> walk u (i + 1) v
+              | [] -> assert false
+            end
+          in
+          walk 0 0 (-1);
+          Some (Array.map (fun i -> [ i ]) idx)
+        end);
+    verifier =
+      (fun view ->
+        let n = view.n in
+        let idx = fld view.my_label 0 in
+        let h = h_nbrs view in
+        n >= 3 && idx >= 0 && idx < n
+        && List.length h = 2
+        && List.exists (fun u -> fld (lbl view u) 0 = (idx + 1) mod n) h
+        && List.exists (fun u -> fld (lbl view u) 0 = (idx + n - 1) mod n) h);
+  }
+
+let not_hamiltonian_cycle =
+  {
+    name = "not-hamiltonian-cycle";
+    predicate = (fun inst -> not (ham_cycle_predicate inst));
+    prover =
+      (fun inst ->
+        if ham_cycle_predicate inst then None
+        else begin
+          let g = inst.Verif.graph in
+          let n = Graph.n g in
+          let bad =
+            List.find_opt
+              (fun v -> Verif.h_degree inst v <> 2)
+              (List.init n Fun.id)
+          in
+          match bad with
+          | Some w ->
+              let p = pointer_fields g w in
+              Some (Array.map (fun l -> 0 :: l) p)
+          | None -> Some (Array.map (fun l -> 1 :: l) (disconnection_fields inst))
+        end);
+    verifier =
+      (fun view ->
+        let case = fld view.my_label 0 in
+        all_g view (fun u -> fld (lbl view u) 0 = case)
+        &&
+        match case with
+        | 0 ->
+            check_pointer view ~rid_at:1 ~d_at:2 ~root_ok:(fun () ->
+                h_degree view <> 2)
+            || view.n < 3
+        | 1 -> check_disconnection view ~offset:1
+        | _ -> false);
+  }
+
+let simple_path_predicate inst =
+  let hg = Verif.h_graph inst in
+  Graph.m hg >= 1
+  && Graph.max_degree hg <= 2
+  && Props.is_forest hg
+  &&
+  let touched =
+    List.filter (fun v -> Graph.degree hg v > 0) (List.init (Graph.n hg) Fun.id)
+  in
+  let sub, _ = Graph.induced hg touched in
+  Props.connected sub
+
+let simple_path =
+  (* fields: [idx; startid; rid2; d2] *)
+  {
+    name = "simple-path";
+    predicate = simple_path_predicate;
+    prover =
+      (fun inst ->
+        if not (simple_path_predicate inst) then None
+        else begin
+          let hg = Verif.h_graph inst in
+          let n = Graph.n hg in
+          let start =
+            List.find (fun v -> Graph.degree hg v = 1) (List.init n Fun.id)
+          in
+          let dist = Props.bfs_dist hg start in
+          let p2 = pointer_fields inst.Verif.graph start in
+          Some
+            (Array.init n (fun v ->
+                 [ (if dist.(v) = max_int then -1 else dist.(v)); start ]
+                 @ p2.(v)))
+        end);
+    verifier =
+      (fun view ->
+        let idx = fld view.my_label 0 and startid = fld view.my_label 1 in
+        let h = h_nbrs view in
+        let hdeg = List.length h in
+        let nbr_idx u = fld (lbl view u) 0 in
+        all_g view (fun u -> fld (lbl view u) 1 = startid)
+        && hdeg <= 2
+        && (match (hdeg, idx) with
+           | 0, i -> i = -1
+           | 1, 0 ->
+               startid = view.vertex
+               && List.for_all (fun u -> nbr_idx u = 1) h
+           | 1, i -> i > 0 && List.for_all (fun u -> nbr_idx u = i - 1) h
+           | 2, i ->
+               i > 0
+               && List.exists (fun u -> nbr_idx u = i - 1) h
+               && List.exists (fun u -> nbr_idx u = i + 1) h
+           | _ -> false)
+        && check_pointer view ~rid_at:2 ~d_at:3 ~root_ok:(fun () ->
+               fld view.my_label 0 = 0 && startid = view.vertex));
+  }
+
+let not_simple_path =
+  {
+    name = "not-simple-path";
+    predicate = (fun inst -> not (simple_path_predicate inst));
+    prover =
+      (fun inst ->
+        if simple_path_predicate inst then None
+        else begin
+          let g = inst.Verif.graph in
+          let hg = Verif.h_graph inst in
+          let n = Graph.n g in
+          if Graph.m hg = 0 then Some (Array.make n [ 3 ])
+          else if not (Props.is_forest hg) then
+            Some (Array.map (fun l -> 0 :: l) (cycle_fields inst (two_core inst)))
+          else
+            match
+              List.find_opt (fun v -> Graph.degree hg v >= 3) (List.init n Fun.id)
+            with
+            | Some w ->
+                Some (Array.map (fun l -> 1 :: l) (pointer_fields g w))
+            | None ->
+                (* a forest of degree ≤ 2 that is not one path: at least two
+                   edge components *)
+                let comp, _ = Props.components hg in
+                let with_edges c =
+                  List.find
+                    (fun v -> comp.(v) = c && Graph.degree hg v > 0)
+                    (List.init n Fun.id)
+                in
+                let comps_with_edges =
+                  List.sort_uniq compare
+                    (List.filter_map
+                       (fun v -> if Graph.degree hg v > 0 then Some comp.(v) else None)
+                       (List.init n Fun.id))
+                in
+                (match comps_with_edges with
+                | c1 :: c2 :: _ ->
+                    let r1 = with_edges c1 and r2 = with_edges c2 in
+                    let flag = Array.map (fun c -> if c = c1 then 0 else 1) comp in
+                    let p1 = pointer_fields g r1 and p2 = pointer_fields g r2 in
+                    Some
+                      (Array.init n (fun v -> ((2 :: [ flag.(v) ]) @ p1.(v)) @ p2.(v)))
+                | _ -> None)
+        end);
+    verifier =
+      (fun view ->
+        let case = fld view.my_label 0 in
+        all_g view (fun u -> fld (lbl view u) 0 = case)
+        &&
+        match case with
+        | 3 -> h_degree view = 0
+        | 0 -> check_cycle_marking view ~d_at:1
+        | 1 ->
+            check_pointer view ~rid_at:1 ~d_at:2 ~root_ok:(fun () ->
+                h_degree view >= 3)
+        | 2 ->
+            let flag = fld view.my_label 1 in
+            (flag = 0 || flag = 1)
+            && List.for_all (fun u -> fld (lbl view u) 1 = flag) (h_nbrs view)
+            && check_pointer view ~rid_at:2 ~d_at:3 ~root_ok:(fun () ->
+                   fld view.my_label 1 = 0 && h_degree view >= 1)
+            && check_pointer view ~rid_at:4 ~d_at:5 ~root_ok:(fun () ->
+                   fld view.my_label 1 = 1 && h_degree view >= 1)
+        | _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let matching_ge k =
+  (* fields: [mate; rid; d; parent; cnt] — cnt counts matched vertices *)
+  {
+    name = Printf.sprintf "matching-ge-%d" k;
+    predicate =
+      (fun inst -> Ch_solvers.Matching.nu (Verif.h_graph inst) >= k);
+    prover =
+      (fun inst ->
+        let hg = Verif.h_graph inst in
+        let matching = Ch_solvers.Matching.maximum_matching hg in
+        if List.length matching < k then None
+        else begin
+          let matching =
+            List.filteri (fun i _ -> i < k) matching
+          in
+          let n = Graph.n hg in
+          let mate = Array.make n (-1) in
+          List.iter
+            (fun (u, v) ->
+              mate.(u) <- v;
+              mate.(v) <- u)
+            matching;
+          let counted =
+            counted_tree_fields inst.Verif.graph 0 ~contribution:(fun v ->
+                if mate.(v) >= 0 then 1 else 0)
+          in
+          Some (Array.init n (fun v -> mate.(v) :: counted.(v)))
+        end);
+    verifier =
+      (fun view ->
+        let mate = fld view.my_label 0 in
+        (mate = -1
+        || (List.mem mate (h_nbrs view) && fld (lbl view mate) 0 = view.vertex))
+        && check_counted_tree view ~rid_at:1 ~d_at:2 ~parent_at:3 ~cnt_at:4
+             ~contribution:(fun v -> if fld v.my_label 0 >= 0 then 1 else 0)
+             ~root_ok:(fun cnt -> cnt >= 2 * k));
+  }
+
+let matching_lt k =
+  (* fields: [in_u; crid; cd; cparent; csize; codd; rid2; d2; parent2;
+     cnt_odd; cnt_u] *)
+  let deficiency_fields inst u_set =
+    let g = inst.Verif.graph in
+    let n = Graph.n g in
+    let in_u = Array.make n 0 in
+    List.iter (fun v -> in_u.(v) <- 1) u_set;
+    let rest = List.filter (fun v -> in_u.(v) = 0) (List.init n Fun.id) in
+    let sub, map = Graph.induced g rest in
+    let comp, ncomp = Props.components sub in
+    (* per component: a rooted counted tree *)
+    let crid = Array.make n (-1)
+    and cd = Array.make n (-1)
+    and cparent = Array.make n (-1)
+    and csize = Array.make n 0
+    and codd = Array.make n 0 in
+    let sizes = Array.make ncomp 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+    for c = 0 to ncomp - 1 do
+      let root_sub =
+        let rec find i = if comp.(i) = c then i else find (i + 1) in
+        find 0
+      in
+      let dist = Props.bfs_dist sub root_sub and par = Props.bfs_tree sub root_sub in
+      let order =
+        List.sort
+          (fun a b -> compare dist.(b) dist.(a))
+          (List.filter (fun v -> comp.(v) = c) (List.init (Graph.n sub) Fun.id))
+      in
+      let cnt = Array.make (Graph.n sub) 0 in
+      List.iter
+        (fun v ->
+          cnt.(v) <- cnt.(v) + 1;
+          if par.(v) >= 0 then cnt.(par.(v)) <- cnt.(par.(v)) + cnt.(v))
+        order;
+      List.iter
+        (fun v ->
+          let orig = map.(v) in
+          crid.(orig) <- map.(root_sub);
+          cd.(orig) <- dist.(v);
+          cparent.(orig) <- (if par.(v) >= 0 then map.(par.(v)) else -1);
+          csize.(orig) <- cnt.(v);
+          codd.(orig) <- sizes.(c) mod 2)
+        (List.filter (fun v -> comp.(v) = c) (List.init (Graph.n sub) Fun.id))
+    done;
+    let counted =
+      counted_tree_fields g 0 ~contribution:(fun v ->
+          if in_u.(v) = 0 && cd.(v) = 0 && codd.(v) = 1 then 1 else 0)
+    in
+    let counted_u =
+      counted_tree_fields g 0 ~contribution:(fun v -> in_u.(v))
+    in
+    Array.init n (fun v ->
+        [ in_u.(v); crid.(v); cd.(v); cparent.(v); csize.(v); codd.(v) ]
+        @ counted.(v)
+        @ [ List.nth counted_u.(v) 3 ])
+  in
+  {
+    name = Printf.sprintf "matching-lt-%d" k;
+    predicate = (fun inst -> Ch_solvers.Matching.nu (Verif.h_graph inst) < k);
+    prover =
+      (fun inst ->
+        (* the scheme certifies ν(G) < k, so it applies when H = G *)
+        let g = inst.Verif.graph in
+        if Ch_solvers.Matching.nu g >= k then None
+        else begin
+          let u_set = Ch_solvers.Matching.tutte_berge_witness g in
+          Some (deficiency_fields inst u_set)
+        end);
+    verifier =
+      (fun view ->
+        let f i = fld view.my_label i in
+        let in_u = f 0 in
+        (in_u = 0 || in_u = 1)
+        && (if in_u = 1 then true
+            else begin
+              let crid = f 1 and cd = f 2 and cparent = f 3 and csize = f 4 and codd = f 5 in
+              let comp_nbrs =
+                List.filter (fun u -> fld (lbl view u) 0 = 0) (g_nbrs view)
+              in
+              let children =
+                List.filter
+                  (fun u ->
+                    fld (lbl view u) 3 = view.vertex && fld (lbl view u) 2 = cd + 1)
+                  comp_nbrs
+              in
+              let sum =
+                List.fold_left (fun acc u -> acc + fld (lbl view u) 4) 1 children
+              in
+              cd >= 0
+              && List.for_all
+                   (fun u -> fld (lbl view u) 1 = crid && fld (lbl view u) 5 = codd)
+                   comp_nbrs
+              && csize = sum
+              && (if cd = 0 then crid = view.vertex && csize mod 2 = codd
+                  else
+                    List.mem cparent comp_nbrs
+                    && fld (lbl view cparent) 2 = cd - 1)
+            end)
+        &&
+        (* the global counting tree: fields 6..9 for the odd count, 10 for
+           the U count sharing the same tree shape *)
+        let rid2 = f 6 and d2 = f 7 and parent2 = f 8 and cnt_odd = f 9 and cnt_u = f 10 in
+        let children =
+          List.filter
+            (fun u ->
+              fld (lbl view u) 8 = view.vertex && fld (lbl view u) 7 = d2 + 1)
+            (g_nbrs view)
+        in
+        let odd_contrib = if in_u = 0 && f 2 = 0 && f 5 = 1 then 1 else 0 in
+        let sum_odd =
+          List.fold_left (fun acc u -> acc + fld (lbl view u) 9) odd_contrib children
+        in
+        let sum_u =
+          List.fold_left (fun acc u -> acc + fld (lbl view u) 10) in_u children
+        in
+        d2 >= 0
+        && all_g view (fun u -> fld (lbl view u) 6 = rid2)
+        && cnt_odd = sum_odd && cnt_u = sum_u
+        && (if d2 = 0 then
+              rid2 = view.vertex && cnt_odd - cnt_u >= view.n - (2 * k) + 1
+            else
+              List.mem parent2 (g_nbrs view)
+              && fld (lbl view parent2) 7 = d2 - 1));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Weighted s-t distance                                               *)
+(* ------------------------------------------------------------------ *)
+
+let wdist inst =
+  let s = Option.get inst.Verif.s and t = Option.get inst.Verif.t in
+  (Props.dijkstra inst.Verif.graph s).(t)
+
+let wdist_ge k =
+  {
+    name = Printf.sprintf "wdist-ge-%d" k;
+    predicate = (fun inst -> require_st inst && wdist inst >= k);
+    prover =
+      (fun inst ->
+        if not (require_st inst && wdist inst >= k) then None
+        else begin
+          let d = Props.dijkstra inst.Verif.graph (Option.get inst.Verif.s) in
+          Some (Array.map (fun x -> [ (if x = max_int then inf else x) ]) d)
+        end);
+    verifier =
+      (fun view ->
+        (* feasible potentials: d(v) ≤ d(u) + w(u,v) lower-bound the true
+           distance at t *)
+        let d = fld view.my_label 0 in
+        d >= 0
+        && (not view.is_s || d = 0)
+        && (not view.is_t || d >= k)
+        && List.for_all
+             (fun (u, w, _) -> d <= min inf (fld (lbl view u) 0 + w))
+             view.neighbors);
+  }
+
+let wdist_lt k =
+  {
+    name = Printf.sprintf "wdist-lt-%d" k;
+    predicate = (fun inst -> require_st inst && wdist inst < k);
+    prover =
+      (fun inst ->
+        if not (require_st inst && wdist inst < k) then None
+        else begin
+          let d = Props.dijkstra inst.Verif.graph (Option.get inst.Verif.s) in
+          Some (Array.map (fun x -> [ (if x = max_int then inf else x) ]) d)
+        end);
+    verifier =
+      (fun view ->
+        (* a witness chain: some neighbor explains d(v), so d(t) upper
+           bounds the true distance *)
+        let d = fld view.my_label 0 in
+        d >= 0
+        && (d <> 0 || view.is_s)
+        && (not view.is_s || d = 0)
+        && (not view.is_t || d < k)
+        && (d = 0 || d >= inf
+           || List.exists
+                (fun (u, w, _) -> fld (lbl view u) 0 + w <= d)
+                view.neighbors));
+  }
+
+let all_named =
+  [
+    ("spanning-tree", spanning_tree);
+    ("not-spanning-tree", not_spanning_tree);
+    ("connected", connected);
+    ("not-connected", not_connected);
+    ("has-cycle", has_cycle);
+    ("acyclic", acyclic);
+    ("e-cycle", e_cycle);
+    ("not-e-cycle", not_e_cycle);
+    ("bipartite", bipartite);
+    ("not-bipartite", not_bipartite);
+    ("st-connected", st_connected);
+    ("not-st-connected", not_st_connected);
+    ("cut", cut);
+    ("not-cut", not_cut);
+    ("edge-on-all-paths", edge_on_all_paths);
+    ("not-edge-on-all-paths", not_edge_on_all_paths);
+    ("st-cut", st_cut);
+    ("not-st-cut", not_st_cut);
+    ("hamiltonian-cycle", hamiltonian_cycle);
+    ("not-hamiltonian-cycle", not_hamiltonian_cycle);
+    ("simple-path", simple_path);
+    ("not-simple-path", not_simple_path);
+  ]

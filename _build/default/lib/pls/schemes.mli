@@ -1,0 +1,71 @@
+(** The proof labeling schemes of Section 5.2: every verification problem
+    of Lemma 5.1 (both directions), matching ≥ k / < k (Claim 5.12, the
+    latter via Tutte–Berge), and weighted s-t distance (Claim 5.13).  All
+    schemes use O(log n)-bit labels, which by Theorem 5.1 bounds the
+    nondeterministic communication of the corresponding predicates by
+    O(|E_cut|·log n). *)
+
+val spanning_tree : Pls.scheme
+
+val not_spanning_tree : Pls.scheme
+
+val connected : Pls.scheme
+(** H is connected and spans every vertex. *)
+
+val not_connected : Pls.scheme
+
+val has_cycle : Pls.scheme
+
+val acyclic : Pls.scheme
+
+val e_cycle : Pls.scheme
+(** H contains a cycle through the designated edge e. *)
+
+val not_e_cycle : Pls.scheme
+
+val bipartite : Pls.scheme
+
+val not_bipartite : Pls.scheme
+
+val st_connected : Pls.scheme
+
+val not_st_connected : Pls.scheme
+
+val cut : Pls.scheme
+(** H is a cut: G \ H is disconnected. *)
+
+val not_cut : Pls.scheme
+
+val edge_on_all_paths : Pls.scheme
+(** s and t are separated in H \ {e}. *)
+
+val not_edge_on_all_paths : Pls.scheme
+
+val st_cut : Pls.scheme
+(** s and t are separated in G \ H. *)
+
+val not_st_cut : Pls.scheme
+
+val hamiltonian_cycle : Pls.scheme
+
+val not_hamiltonian_cycle : Pls.scheme
+
+val simple_path : Pls.scheme
+(** H (as an edge set) is a nonempty simple path. *)
+
+val not_simple_path : Pls.scheme
+
+val matching_ge : int -> Pls.scheme
+(** The marked edges contain a matching of size ≥ k … in fact H itself is
+    verified to be a matching of size ≥ k. *)
+
+val matching_lt : int -> Pls.scheme
+(** ν(G) < k, certified by a Tutte–Berge witness set U. *)
+
+val wdist_ge : int -> Pls.scheme
+(** weighted dist(s,t) ≥ k (labels are feasible potentials). *)
+
+val wdist_lt : int -> Pls.scheme
+
+val all_named : (string * Pls.scheme) list
+(** Every non-parameterized scheme, for table-driven tests. *)

@@ -1,0 +1,59 @@
+open Ch_graph
+
+type t = {
+  graph : Graph.t;
+  h : (int * int) list;
+  s : int option;
+  t : int option;
+  e : (int * int) option;
+}
+
+let norm (u, v) = if u <= v then (u, v) else (v, u)
+
+let make ?s ?t ?e graph ~h =
+  let h = List.sort_uniq compare (List.map norm h) in
+  List.iter
+    (fun (u, v) ->
+      if not (Graph.mem_edge graph u v) then invalid_arg "Verif.make: h edge not in G")
+    h;
+  let e = Option.map norm e in
+  (match e with
+  | Some (u, v) ->
+      if not (Graph.mem_edge graph u v) then invalid_arg "Verif.make: e not in G"
+  | None -> ());
+  { graph; h; s; t; e }
+
+let in_h t u v = List.mem (norm (u, v)) t.h
+
+let subgraph graph edges =
+  let g = Graph.create (Graph.n graph) in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) edges;
+  g
+
+let h_graph t = subgraph t.graph t.h
+
+let h_minus_e t =
+  match t.e with
+  | None -> invalid_arg "Verif.h_minus_e: no designated edge"
+  | Some e -> subgraph t.graph (List.filter (fun edge -> edge <> e) t.h)
+
+let g_minus_h t =
+  let edges =
+    List.filter_map
+      (fun (u, v, _) -> if in_h t u v then None else Some (u, v))
+      (Graph.edges t.graph)
+  in
+  subgraph t.graph edges
+
+let h_degree t v =
+  List.length (List.filter (fun (a, b) -> a = v || b = v) t.h)
+
+let random_subinstance ~seed ?(density = 0.5) graph =
+  let rng = Random.State.make [| seed |] in
+  let h =
+    List.filter_map
+      (fun (u, v, _) ->
+        if Random.State.float rng 1.0 < density then Some (u, v) else None)
+      (Graph.edges graph)
+  in
+  make graph ~h

@@ -1,0 +1,31 @@
+open Ch_graph
+
+(** Instances of the Section 5.2.3 verification problems: a graph G with a
+    marked subgraph H (a subset of G's edges), and optionally designated
+    vertices s, t and a designated edge e. *)
+
+type t = {
+  graph : Graph.t;
+  h : (int * int) list;  (** normalized u < v *)
+  s : int option;
+  t : int option;
+  e : (int * int) option;
+}
+
+val make : ?s:int -> ?t:int -> ?e:int * int -> Graph.t -> h:(int * int) list -> t
+(** Validates that the marked edges (and [e]) are edges of the graph. *)
+
+val in_h : t -> int -> int -> bool
+
+val h_graph : t -> Graph.t
+(** The subgraph (V, H). *)
+
+val h_minus_e : t -> Graph.t
+(** (V, H \ {e}).  @raise Invalid_argument when [e] is absent. *)
+
+val g_minus_h : t -> Graph.t
+
+val h_degree : t -> int -> int
+
+val random_subinstance : seed:int -> ?density:float -> Graph.t -> t
+(** Mark each edge independently into H. *)

@@ -1,0 +1,1 @@
+lib/sat/sat_reductions.ml: Array Ch_graph Cnf Expander Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/sat/sat_reductions.mli: Ch_graph Cnf Graph

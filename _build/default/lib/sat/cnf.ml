@@ -1,0 +1,78 @@
+type lit = Pos of int | Neg of int
+
+type clause = One of lit | Two of lit * lit
+
+type t = { nvars : int; clauses : clause list }
+
+let var = function Pos v | Neg v -> v
+
+let negate = function Pos v -> Neg v | Neg v -> Pos v
+
+let make nvars clauses =
+  let check l =
+    let v = var l in
+    if v < 0 || v >= nvars then invalid_arg "Cnf.make: variable out of range"
+  in
+  List.iter
+    (function One l -> check l | Two (a, b) -> check a; check b)
+    clauses;
+  { nvars; clauses }
+
+let nclauses t = List.length t.clauses
+
+let lit_sat assignment = function
+  | Pos v -> assignment.(v)
+  | Neg v -> not assignment.(v)
+
+let clause_sat assignment = function
+  | One l -> lit_sat assignment l
+  | Two (a, b) -> lit_sat assignment a || lit_sat assignment b
+
+let count_sat t assignment =
+  List.fold_left
+    (fun acc c -> if clause_sat assignment c then acc + 1 else acc)
+    0 t.clauses
+
+let max_sat t =
+  if t.nvars > 24 then invalid_arg "Cnf.max_sat: nvars > 24";
+  let best = ref (-1) and best_assignment = ref [||] in
+  let assignment = Array.make t.nvars false in
+  for mask = 0 to (1 lsl t.nvars) - 1 do
+    for v = 0 to t.nvars - 1 do
+      assignment.(v) <- (mask lsr v) land 1 = 1
+    done;
+    let s = count_sat t assignment in
+    if s > !best then begin
+      best := s;
+      best_assignment := Array.copy assignment
+    end
+  done;
+  (!best, !best_assignment)
+
+let occurrences t =
+  let occ = Array.make t.nvars 0 in
+  let bump l = occ.(var l) <- occ.(var l) + 1 in
+  List.iter (function One l -> bump l | Two (a, b) -> bump a; bump b) t.clauses;
+  occ
+
+let literal_occurrences t =
+  let pos = Array.make t.nvars 0 and neg = Array.make t.nvars 0 in
+  let bump = function
+    | Pos v -> pos.(v) <- pos.(v) + 1
+    | Neg v -> neg.(v) <- neg.(v) + 1
+  in
+  List.iter (function One l -> bump l | Two (a, b) -> bump a; bump b) t.clauses;
+  (pos, neg)
+
+let pp_lit ppf = function
+  | Pos v -> Format.fprintf ppf "x%d" v
+  | Neg v -> Format.fprintf ppf "~x%d" v
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cnf vars=%d clauses=%d@," t.nvars (nclauses t);
+  List.iter
+    (function
+      | One l -> Format.fprintf ppf "(%a)@," pp_lit l
+      | Two (a, b) -> Format.fprintf ppf "(%a | %a)@," pp_lit a pp_lit b)
+    t.clauses;
+  Format.fprintf ppf "@]"

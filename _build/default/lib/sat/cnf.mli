@@ -1,0 +1,37 @@
+(** CNF formulas whose clauses have one or two literals (the shape produced
+    by the Section 3 reductions), with exact MAX-2SAT solving by
+    enumeration for small variable counts. *)
+
+type lit = Pos of int | Neg of int
+
+type clause = One of lit | Two of lit * lit
+
+type t = { nvars : int; clauses : clause list }
+
+val var : lit -> int
+
+val negate : lit -> lit
+
+val make : int -> clause list -> t
+(** Validates that every variable is in [0, nvars). *)
+
+val nclauses : t -> int
+
+val lit_sat : bool array -> lit -> bool
+
+val clause_sat : bool array -> clause -> bool
+
+val count_sat : t -> bool array -> int
+
+val max_sat : t -> int * bool array
+(** Exact maximum number of simultaneously satisfiable clauses.
+    @raise Invalid_argument when [nvars > 24]. *)
+
+val occurrences : t -> int array
+(** How many clauses each variable appears in (counting one per clause
+    slot). *)
+
+val literal_occurrences : t -> int array * int array
+(** Positive / negative occurrence counts per variable. *)
+
+val pp : Format.formatter -> t -> unit

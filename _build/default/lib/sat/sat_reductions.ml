@@ -1,0 +1,149 @@
+open Ch_graph
+
+let graph_to_cnf g =
+  let n = Graph.n g in
+  let vertex_clauses = List.init n (fun v -> Cnf.One (Cnf.Pos v)) in
+  let edge_clauses =
+    List.map (fun (u, v, _) -> Cnf.Two (Cnf.Neg u, Cnf.Neg v)) (Graph.edges g)
+  in
+  Cnf.make n (vertex_clauses @ edge_clauses)
+
+type expansion = {
+  cnf : Cnf.t;
+  m_exp : int;
+  copies : int list array;
+  owner : int array;
+  gadget_certified : bool;
+}
+
+let expand ?(seed = 0) (phi : Cnf.t) =
+  let occ = Cnf.occurrences phi in
+  let gadgets =
+    Array.init phi.Cnf.nvars (fun v ->
+        Expander.build ~seed:(seed + v) (max 1 occ.(v)))
+  in
+  (* allocate φ′ variables: for each φ-variable, one per gadget vertex *)
+  let offset = Array.make phi.Cnf.nvars 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun v gadget ->
+      offset.(v) <- !total;
+      total := !total + Graph.n gadget.Expander.graph)
+    gadgets;
+  let nvars' = !total in
+  let owner = Array.make nvars' 0 in
+  let copies = Array.make phi.Cnf.nvars [] in
+  Array.iteri
+    (fun v gadget ->
+      let size = Graph.n gadget.Expander.graph in
+      copies.(v) <- List.init size (fun i -> offset.(v) + i);
+      List.iter (fun c -> owner.(c) <- v) copies.(v))
+    gadgets;
+  (* distinguished copies replace the occurrences, in clause order *)
+  let next_distinguished = Array.make phi.Cnf.nvars 0 in
+  let fresh_copy v =
+    let gadget = gadgets.(v) in
+    let i = next_distinguished.(v) in
+    assert (i < Array.length gadget.Expander.distinguished);
+    next_distinguished.(v) <- i + 1;
+    offset.(v) + gadget.Expander.distinguished.(i)
+  in
+  let replace = function
+    | Cnf.Pos v -> Cnf.Pos (fresh_copy v)
+    | Cnf.Neg v -> Cnf.Neg (fresh_copy v)
+  in
+  let original_clauses =
+    List.map
+      (function
+        | Cnf.One l -> Cnf.One (replace l)
+        | Cnf.Two (a, b) ->
+            let a' = replace a in
+            let b' = replace b in
+            Cnf.Two (a', b'))
+      phi.Cnf.clauses
+  in
+  (* expander clauses (¬a ∨ b) and (¬b ∨ a) per gadget edge: a = b *)
+  let expander_clauses = ref [] in
+  Array.iteri
+    (fun v gadget ->
+      Graph.iter_edges
+        (fun a b _ ->
+          let a = offset.(v) + a and b = offset.(v) + b in
+          expander_clauses := Cnf.Two (Cnf.Neg a, Cnf.Pos b)
+                              :: Cnf.Two (Cnf.Neg b, Cnf.Pos a)
+                              :: !expander_clauses)
+        gadget.Expander.graph)
+    gadgets;
+  let m_exp = List.length !expander_clauses in
+  let cnf = Cnf.make nvars' (original_clauses @ List.rev !expander_clauses) in
+  let gadget_certified =
+    Array.for_all (fun g -> g.Expander.certified) gadgets
+  in
+  { cnf; m_exp; copies; owner; gadget_certified }
+
+type sat_graph = {
+  graph : Graph.t;
+  slot_var : int array;
+  slot_positive : bool array;
+  slot_clause : int array;
+}
+
+let cnf_to_graph (phi : Cnf.t) =
+  let slots = ref [] and count = ref 0 in
+  let clause_pairs = ref [] in
+  List.iteri
+    (fun ci clause ->
+      match clause with
+      | Cnf.One l ->
+          slots := (ci, l) :: !slots;
+          incr count
+      | Cnf.Two (a, b) ->
+          slots := (ci, b) :: (ci, a) :: !slots;
+          clause_pairs := (!count, !count + 1) :: !clause_pairs;
+          count := !count + 2)
+    phi.Cnf.clauses;
+  let slots = Array.of_list (List.rev !slots) in
+  let n = Array.length slots in
+  let graph = Graph.create n in
+  let slot_var = Array.map (fun (_, l) -> Cnf.var l) slots in
+  let slot_positive =
+    Array.map (fun (_, l) -> match l with Cnf.Pos _ -> true | Cnf.Neg _ -> false) slots
+  in
+  let slot_clause = Array.map fst slots in
+  List.iter (fun (a, b) -> Graph.add_edge graph a b) !clause_pairs;
+  (* conflict edges between opposite literals of the same variable *)
+  let by_var = Array.make phi.Cnf.nvars ([], []) in
+  Array.iteri
+    (fun i v ->
+      let pos, neg = by_var.(v) in
+      if slot_positive.(i) then by_var.(v) <- (i :: pos, neg)
+      else by_var.(v) <- (pos, i :: neg))
+    slot_var;
+  Array.iter
+    (fun (pos, neg) ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun q -> if not (Graph.mem_edge graph p q) then Graph.add_edge graph p q)
+            neg)
+        pos)
+    by_var;
+  { graph; slot_var; slot_positive; slot_clause }
+
+let independent_set_of_assignment (phi : Cnf.t) sg assignment =
+  let chosen_clause = Hashtbl.create 16 in
+  let n = Graph.n sg.graph in
+  let set = ref [] in
+  for i = 0 to n - 1 do
+    let lit =
+      if sg.slot_positive.(i) then Cnf.Pos sg.slot_var.(i)
+      else Cnf.Neg sg.slot_var.(i)
+    in
+    if Cnf.lit_sat assignment lit && not (Hashtbl.mem chosen_clause sg.slot_clause.(i))
+    then begin
+      Hashtbl.replace chosen_clause sg.slot_clause.(i) ();
+      set := i :: !set
+    end
+  done;
+  ignore phi;
+  List.rev !set

@@ -1,0 +1,45 @@
+open Ch_graph
+
+(** The Section 3.1 reduction chain
+
+      G  →  φ  →  φ′  →  G′
+
+    used to turn a lower-bound family for MaxIS into a bounded-degree one:
+
+    - [graph_to_cnf] (Claim 3.1):      f(φ)  = α(G) + |E(G)|
+    - [expand] (Claim 3.3 / Cor 3.1):  f(φ′) = f(φ) + m_exp, every variable
+      of φ′ appears in at most 8 clauses, every literal at most 4 times
+    - [cnf_to_graph] (Claim 3.4):      α(G′) = f(φ′), max degree 5 *)
+
+val graph_to_cnf : Graph.t -> Cnf.t
+(** Variable x_v and clause (x_v) per vertex, clause (¬x_u ∨ ¬x_v) per
+    edge.  Vertex clauses come first, in vertex order. *)
+
+type expansion = {
+  cnf : Cnf.t;  (** φ′ *)
+  m_exp : int;  (** number of expander clauses added *)
+  copies : int list array;  (** φ′-variables standing for each φ-variable *)
+  owner : int array;  (** original φ-variable of each φ′-variable *)
+  gadget_certified : bool;
+      (** every Claim 3.2 gadget used was verified exhaustively *)
+}
+
+val expand : ?seed:int -> Cnf.t -> expansion
+(** Build φ′ from φ.  Original clauses are kept first (in order, with each
+    occurrence replaced by a fresh distinguished copy); the 2·|E(G_d)|
+    expander clauses follow. *)
+
+type sat_graph = {
+  graph : Graph.t;  (** G′ *)
+  slot_var : int array;  (** φ′-variable of each vertex of G′ *)
+  slot_positive : bool array;  (** literal polarity of each vertex *)
+  slot_clause : int array;  (** clause index of each vertex *)
+}
+
+val cnf_to_graph : Cnf.t -> sat_graph
+(** One vertex per literal occurrence; clause edges plus x/¬x conflict
+    edges. *)
+
+val independent_set_of_assignment : Cnf.t -> sat_graph -> bool array -> int list
+(** The canonical independent set of G′ induced by an assignment (one
+    satisfied literal per satisfied clause); witnesses α(G′) ≥ count_sat. *)

@@ -1,0 +1,1 @@
+lib/solvers/domset.ml: Array Bitset Ch_graph Fun Graph List Option Props

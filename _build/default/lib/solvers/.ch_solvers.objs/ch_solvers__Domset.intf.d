@@ -1,0 +1,1 @@
+lib/solvers/domset.mli: Ch_graph Graph

@@ -1,0 +1,1 @@
+lib/solvers/ecss.ml: Ch_graph Graph List Props

@@ -1,0 +1,1 @@
+lib/solvers/ecss.mli: Ch_graph Graph

@@ -1,0 +1,1 @@
+lib/solvers/flow.ml: Array Ch_graph List Queue

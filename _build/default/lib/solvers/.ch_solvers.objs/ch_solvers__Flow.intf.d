@@ -1,0 +1,1 @@
+lib/solvers/flow.mli: Ch_graph Graph

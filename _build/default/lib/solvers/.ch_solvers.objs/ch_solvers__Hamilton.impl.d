@@ -1,0 +1,1 @@
+lib/solvers/hamilton.ml: Array Bitset Ch_graph Digraph Fun Graph List

@@ -1,0 +1,1 @@
+lib/solvers/hamilton.mli: Ch_graph Digraph Graph

@@ -1,0 +1,1 @@
+lib/solvers/matching.ml: Array Ch_graph Fun Graph List Props Queue

@@ -1,0 +1,1 @@
+lib/solvers/matching.mli: Ch_graph Graph

@@ -1,0 +1,1 @@
+lib/solvers/maxcut.ml: Array Ch_graph Graph List Random

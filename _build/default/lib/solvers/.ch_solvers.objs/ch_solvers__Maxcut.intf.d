@@ -1,0 +1,1 @@
+lib/solvers/maxcut.mli: Ch_graph Graph

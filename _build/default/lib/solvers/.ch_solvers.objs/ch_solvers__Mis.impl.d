@@ -1,0 +1,1 @@
+lib/solvers/mis.ml: Array Bitset Ch_graph Fun Graph List Option

@@ -1,0 +1,1 @@
+lib/solvers/mis.mli: Ch_graph Graph

@@ -1,0 +1,1 @@
+lib/solvers/spanner.ml: Array Ch_graph Graph Hashtbl List

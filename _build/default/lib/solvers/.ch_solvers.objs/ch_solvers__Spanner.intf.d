@@ -1,0 +1,1 @@
+lib/solvers/spanner.mli: Ch_graph Graph

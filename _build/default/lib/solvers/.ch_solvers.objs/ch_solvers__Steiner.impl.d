@@ -1,0 +1,1 @@
+lib/solvers/steiner.ml: Array Ch_graph Digraph Fun Graph List Option Set Union_find

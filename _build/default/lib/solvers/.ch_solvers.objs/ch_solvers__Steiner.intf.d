@@ -1,0 +1,1 @@
+lib/solvers/steiner.mli: Ch_graph Digraph Graph

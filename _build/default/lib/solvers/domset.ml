@@ -1,0 +1,104 @@
+open Ch_graph
+
+let balls g radius =
+  Array.init (Graph.n g) (fun v -> Props.reachable_within g v ~radius)
+
+let is_dominating ?(radius = 1) g set =
+  let b = balls g radius in
+  let covered = Bitset.create (Graph.n g) in
+  List.iter (fun v -> Bitset.union_into covered b.(v)) set;
+  Bitset.cardinal covered = Graph.n g
+
+(* Branch and bound.  [balls.(v)] is both "what v dominates" and "who can
+   dominate v" (closed balls are symmetric).  Zero-weight vertices are
+   taken up front: adding them is free and only helps. *)
+let solve ~radius ~weights ~required g =
+  let n = Graph.n g in
+  if n = 0 then (0, [])
+  else begin
+    let b = balls g radius in
+    Array.iter (fun w -> if w < 0 then invalid_arg "Domset: negative weight") weights;
+    let free = List.filter (fun v -> weights.(v) = 0) (List.init n Fun.id) in
+    let undominated0 =
+      match required with
+      | None -> Bitset.full n
+      | Some vs -> Bitset.of_list n vs
+    in
+    List.iter (fun v -> Bitset.diff_into undominated0 b.(v)) free;
+    let allowed0 = Bitset.full n in
+    List.iter (Bitset.remove allowed0) free;
+    let min_positive_weight =
+      Array.fold_left (fun acc w -> if w > 0 then min acc w else acc) max_int weights
+    in
+    let best_w = ref max_int and best_set = ref None in
+    let rec go undominated allowed acc chosen =
+      if Bitset.is_empty undominated then begin
+        if acc < !best_w then begin
+          best_w := acc;
+          best_set := Some chosen
+        end
+      end
+      else begin
+        (* lower bound: each chosen vertex covers at most [max_cover] of the
+           remaining undominated vertices, and costs at least
+           [min_positive_weight] *)
+        let rem = Bitset.cardinal undominated in
+        let max_cover =
+          Bitset.fold
+            (fun v acc -> max acc (Bitset.inter_cardinal b.(v) undominated))
+            allowed 0
+        in
+        if max_cover = 0 then () (* some vertex cannot be dominated *)
+        else begin
+          let needed = (rem + max_cover - 1) / max_cover in
+          if acc + (needed * min_positive_weight) < !best_w then begin
+            (* branch over dominators of the most constrained vertex *)
+            let u =
+              Bitset.fold
+                (fun v best ->
+                  let c = Bitset.inter_cardinal b.(v) allowed in
+                  match best with
+                  | None -> Some (v, c)
+                  | Some (_, cb) -> if c < cb then Some (v, c) else best)
+                undominated None
+              |> Option.get |> fst
+            in
+            let candidates =
+              Bitset.elements (Bitset.inter b.(u) allowed)
+              |> List.sort (fun a c ->
+                     compare
+                       (weights.(a), - Bitset.inter_cardinal b.(a) undominated)
+                       (weights.(c), - Bitset.inter_cardinal b.(c) undominated))
+            in
+            let allowed = Bitset.copy allowed in
+            List.iter
+              (fun v ->
+                let undominated' = Bitset.diff undominated b.(v) in
+                (* v is excluded from later branches: they cover u some
+                   other way *)
+                Bitset.remove allowed v;
+                go undominated' (Bitset.copy allowed) (acc + weights.(v)) (v :: chosen))
+              candidates
+          end
+        end
+      end
+    in
+    go undominated0 allowed0 0 [];
+    match !best_set with
+    | Some set ->
+        (!best_w, List.sort compare (free @ set))
+    | None ->
+        invalid_arg "Domset: graph has an undominatable vertex (empty ball?)"
+  end
+
+let min_weight_set ?(radius = 1) ?weights ?required g =
+  let weights =
+    match weights with Some w -> Array.copy w | None -> Graph.vweights g
+  in
+  if Array.length weights <> Graph.n g then invalid_arg "Domset: weights length";
+  solve ~radius ~weights ~required g
+
+let min_size ?(radius = 1) g =
+  fst (min_weight_set ~radius ~weights:(Array.make (Graph.n g) 1) g)
+
+let exists_of_size ?(radius = 1) g bound = min_size ~radius g <= bound

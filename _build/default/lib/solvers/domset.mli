@@ -1,0 +1,25 @@
+open Ch_graph
+
+(** Exact minimum (weight) distance-[radius] dominating sets.
+
+    A set [D] is a radius-[r] dominating set when every vertex is within
+    hop distance [r] of some member of [D] (so [radius = 1] is the classic
+    dominating set, [radius = k] is the paper's k-MDS).  Branch and bound:
+    pick an undominated vertex with the fewest candidate dominators and
+    branch over them. *)
+
+val min_weight_set :
+  ?radius:int -> ?weights:int array -> ?required:int list -> Graph.t -> int * int list
+(** Minimum total weight of a radius-[radius] dominating set (weights
+    default to the graph's vertex weights), with a witness.  When
+    [required] is given, only those vertices need to be dominated (partial
+    domination, used by the Section 5.1 two-party protocols). *)
+
+val min_size : ?radius:int -> Graph.t -> int
+(** γ(G) for [radius = 1]. *)
+
+val exists_of_size : ?radius:int -> Graph.t -> int -> bool
+(** Is there a radius-[radius] dominating set of cardinality at most the
+    given bound? *)
+
+val is_dominating : ?radius:int -> Graph.t -> int list -> bool

@@ -1,0 +1,51 @@
+open Ch_graph
+
+let subgraph_of g edge_subset =
+  let h = Graph.create (Graph.n g) in
+  List.iter
+    (fun (u, v) ->
+      assert (Graph.mem_edge g u v);
+      Graph.add_edge h u v)
+    edge_subset;
+  h
+
+let is_2ecss g edge_subset =
+  let h = subgraph_of g edge_subset in
+  (* spanning: every vertex of G must appear with degree >= 2, which
+     2-edge-connectivity of the full vertex set implies *)
+  Props.is_two_edge_connected h
+
+let min_edges ?cap g =
+  let n = Graph.n g in
+  let all_edges = List.map (fun (u, v, _) -> (u, v)) (Graph.edges g) in
+  let m = List.length all_edges in
+  let cap = match cap with Some c -> min c m | None -> m in
+  if n < 2 then None
+  else begin
+    let exception Hit of int in
+    let rec choose pool k acc =
+      if k = 0 then begin
+        if is_2ecss g acc then raise (Hit (List.length acc))
+      end
+      else
+        match pool with
+        | [] -> ()
+        | e :: rest ->
+            if List.length pool >= k then begin
+              choose rest (k - 1) (e :: acc);
+              choose rest k acc
+            end
+    in
+    (* a 2-ECSS needs at least n edges (all degrees >= 2) *)
+    let rec sizes s =
+      if s > cap then None
+      else
+        match choose all_edges s [] with
+        | () -> sizes (s + 1)
+        | exception Hit found -> Some found
+    in
+    sizes n
+  end
+
+let exists_with_edges g bound =
+  match min_edges ~cap:bound g with Some s -> s <= bound | None -> false

@@ -1,0 +1,15 @@
+open Ch_graph
+
+(** Minimum 2-edge-connected spanning subgraph (2-ECSS), by exhaustive
+    search over edge subsets of increasing size.  Claim 2.7 of the paper:
+    G has a 2-ECSS with exactly n edges iff G has a Hamiltonian cycle. *)
+
+val is_2ecss : Graph.t -> (int * int) list -> bool
+(** Is the given edge subset a spanning 2-edge-connected subgraph? *)
+
+val min_edges : ?cap:int -> Graph.t -> int option
+(** Minimum number of edges of a 2-ECSS; [None] when none exists within
+    [cap] edges (default: all). *)
+
+val exists_with_edges : Graph.t -> int -> bool
+(** Is there a 2-ECSS with at most the given number of edges? *)

@@ -1,0 +1,134 @@
+type t = {
+  n : int;
+  (* edge i: to.(i), cap.(i) residual; edge i lxor 1 is its reverse *)
+  mutable eto : int array;
+  mutable cap : int array;
+  mutable orig_cap : int array;
+  mutable edge_count : int;
+  head : int list array; (* incident edge ids per vertex *)
+}
+
+let create n =
+  {
+    n;
+    eto = Array.make 16 0;
+    cap = Array.make 16 0;
+    orig_cap = Array.make 16 0;
+    edge_count = 0;
+    head = Array.make n [];
+  }
+
+let n t = t.n
+
+let ensure t needed =
+  let len = Array.length t.eto in
+  if needed > len then begin
+    let grow a = Array.append a (Array.make (max len needed) 0) in
+    t.eto <- grow t.eto;
+    t.cap <- grow t.cap;
+    t.orig_cap <- grow t.orig_cap
+  end
+
+let add_edge t u v ~cap =
+  if cap < 0 then invalid_arg "Flow.add_edge: negative capacity";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Flow.add_edge: vertex";
+  ensure t (t.edge_count + 2);
+  let e = t.edge_count in
+  t.eto.(e) <- v;
+  t.cap.(e) <- cap;
+  t.orig_cap.(e) <- cap;
+  t.eto.(e + 1) <- u;
+  t.cap.(e + 1) <- 0;
+  t.orig_cap.(e + 1) <- 0;
+  t.head.(u) <- e :: t.head.(u);
+  t.head.(v) <- (e + 1) :: t.head.(v);
+  t.edge_count <- t.edge_count + 2
+
+let of_graph g =
+  let t = create (Ch_graph.Graph.n g) in
+  Ch_graph.Graph.iter_edges
+    (fun u v w ->
+      add_edge t u v ~cap:w;
+      add_edge t v u ~cap:w)
+    g;
+  t
+
+let reset t =
+  Array.blit t.orig_cap 0 t.cap 0 t.edge_count
+
+let bfs_levels t s =
+  let level = Array.make t.n (-1) in
+  let queue = Queue.create () in
+  level.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    List.iter
+      (fun e ->
+        let u = t.eto.(e) in
+        if t.cap.(e) > 0 && level.(u) = -1 then begin
+          level.(u) <- level.(v) + 1;
+          Queue.add u queue
+        end)
+      t.head.(v)
+  done;
+  level
+
+let max_flow t ~s ~t:sink =
+  if s = sink then invalid_arg "Flow.max_flow: s = t";
+  reset t;
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let level = bfs_levels t s in
+    if level.(sink) = -1 then continue_ := false
+    else begin
+      let iter = Array.make t.n [] in
+      for v = 0 to t.n - 1 do
+        iter.(v) <- t.head.(v)
+      done;
+      let rec push v limit =
+        if v = sink then limit
+        else begin
+          let sent = ref 0 in
+          let go = ref true in
+          while !go && !sent < limit do
+            match iter.(v) with
+            | [] -> go := false
+            | e :: rest ->
+                let u = t.eto.(e) in
+                if t.cap.(e) > 0 && level.(u) = level.(v) + 1 then begin
+                  let got = push u (min (limit - !sent) t.cap.(e)) in
+                  if got > 0 then begin
+                    t.cap.(e) <- t.cap.(e) - got;
+                    t.cap.(e lxor 1) <- t.cap.(e lxor 1) + got;
+                    sent := !sent + got
+                  end
+                  else iter.(v) <- rest
+                end
+                else iter.(v) <- rest
+          done;
+          !sent
+        end
+      in
+      let pushed = push s max_int in
+      if pushed = 0 then continue_ := false else total := !total + pushed
+    end
+  done;
+  !total
+
+let min_cut_side t ~s ~t:sink =
+  ignore (max_flow t ~s ~t:sink);
+  let level = bfs_levels t s in
+  Array.map (fun l -> l <> -1) level
+
+let flow_on_edges t =
+  let acc = ref [] in
+  let e = ref 0 in
+  while !e < t.edge_count do
+    let i = !e in
+    let flow = t.orig_cap.(i) - t.cap.(i) in
+    if flow > 0 then acc := (t.eto.(i + 1), t.eto.(i), flow) :: !acc;
+    e := !e + 2
+  done;
+  List.sort compare !acc

@@ -1,0 +1,27 @@
+open Ch_graph
+
+(** Maximum s-t flow / minimum s-t cut (Dinic's algorithm) on directed
+    networks with integer capacities. *)
+
+type t
+
+val create : int -> t
+
+val n : t -> int
+
+val add_edge : t -> int -> int -> cap:int -> unit
+(** Directed edge with the given capacity (reverse residual capacity 0). *)
+
+val of_graph : Graph.t -> t
+(** Every undirected edge of weight w becomes a pair of directed edges of
+    capacity w. *)
+
+val max_flow : t -> s:int -> t:int -> int
+(** Runs Dinic; resets any previous flow first. *)
+
+val min_cut_side : t -> s:int -> t:int -> bool array
+(** Runs {!max_flow} and returns the source side of a minimum cut
+    (vertices reachable from [s] in the residual network). *)
+
+val flow_on_edges : t -> (int * int * int) list
+(** After {!max_flow}: the positive flow carried by each original edge. *)

@@ -1,0 +1,144 @@
+open Ch_graph
+
+(* Edmonds' blossom algorithm, array formulation. *)
+let solve g =
+  let n = Graph.n g in
+  let adj = Array.init n (fun v -> Array.of_list (Graph.neighbors g v)) in
+  let mate = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let base = Array.make n 0 in
+  let used = Array.make n false in
+  let blossom = Array.make n false in
+  let queue = Queue.create () in
+
+  let lca a b =
+    let seen = Array.make n false in
+    let v = ref a in
+    (let continue_ = ref true in
+     while !continue_ do
+       v := base.(!v);
+       seen.(!v) <- true;
+       if mate.(!v) = -1 then continue_ := false else v := parent.(mate.(!v))
+     done);
+    let v = ref b in
+    let result = ref (-1) in
+    while !result = -1 do
+      v := base.(!v);
+      if seen.(!v) then result := !v else v := parent.(mate.(!v))
+    done;
+    !result
+  in
+
+  let mark_path v b child =
+    let v = ref v and child = ref child in
+    while base.(!v) <> b do
+      blossom.(base.(!v)) <- true;
+      blossom.(base.(mate.(!v))) <- true;
+      parent.(!v) <- !child;
+      child := mate.(!v);
+      v := parent.(mate.(!v))
+    done
+  in
+
+  let find_path root =
+    Array.fill used 0 n false;
+    Array.fill parent 0 n (-1);
+    for i = 0 to n - 1 do
+      base.(i) <- i
+    done;
+    Queue.clear queue;
+    used.(root) <- true;
+    Queue.add root queue;
+    let result = ref (-1) in
+    (try
+       while not (Queue.is_empty queue) do
+         let v = Queue.take queue in
+         Array.iter
+           (fun u ->
+             if base.(v) <> base.(u) && mate.(v) <> u then
+               if u = root || (mate.(u) <> -1 && parent.(mate.(u)) <> -1) then begin
+                 (* odd cycle: contract the blossom *)
+                 let cur_base = lca v u in
+                 Array.fill blossom 0 n false;
+                 mark_path v cur_base u;
+                 mark_path u cur_base v;
+                 for i = 0 to n - 1 do
+                   if blossom.(base.(i)) then begin
+                     base.(i) <- cur_base;
+                     if not used.(i) then begin
+                       used.(i) <- true;
+                       Queue.add i queue
+                     end
+                   end
+                 done
+               end
+               else if parent.(u) = -1 then begin
+                 parent.(u) <- v;
+                 if mate.(u) = -1 then begin
+                   result := u;
+                   raise Exit
+                 end
+                 else begin
+                   used.(mate.(u)) <- true;
+                   Queue.add mate.(u) queue
+                 end
+               end)
+           adj.(v)
+       done
+     with Exit -> ());
+    !result
+  in
+
+  for root = 0 to n - 1 do
+    if mate.(root) = -1 then begin
+      let v = ref (find_path root) in
+      while !v <> -1 do
+        let pv = parent.(!v) in
+        let ppv = mate.(pv) in
+        mate.(!v) <- pv;
+        mate.(pv) <- !v;
+        v := ppv
+      done
+    end
+  done;
+  mate
+
+let maximum_matching g =
+  let mate = solve g in
+  let acc = ref [] in
+  Array.iteri (fun v u -> if u <> -1 && v < u then acc := (v, u) :: !acc) mate;
+  List.sort compare !acc
+
+let nu g = List.length (maximum_matching g)
+
+let is_matching g edges =
+  List.for_all (fun (u, v) -> Graph.mem_edge g u v) edges
+  &&
+  let touched = List.concat_map (fun (u, v) -> [ u; v ]) edges in
+  List.length touched = List.length (List.sort_uniq compare touched)
+
+let tutte_berge_deficiency g u_set =
+  let n = Graph.n g in
+  let in_u = Array.make n false in
+  List.iter (fun v -> in_u.(v) <- true) u_set;
+  let rest = List.filter (fun v -> not in_u.(v)) (List.init n Fun.id) in
+  let sub, map = Graph.induced g rest in
+  let comp, count = Props.components sub in
+  let sizes = Array.make count 0 in
+  Array.iteri (fun v c -> ignore map.(v); sizes.(c) <- sizes.(c) + 1) comp;
+  let odd = Array.fold_left (fun acc s -> if s mod 2 = 1 then acc + 1 else acc) 0 sizes in
+  odd - List.length u_set
+
+let tutte_berge_witness g =
+  let n = Graph.n g in
+  if n > 20 then invalid_arg "Matching.tutte_berge_witness: n > 20";
+  let best = ref [] and best_def = ref (tutte_berge_deficiency g []) in
+  for mask = 1 to (1 lsl n) - 1 do
+    let u_set = List.filter (fun v -> (mask lsr v) land 1 = 1) (List.init n Fun.id) in
+    let d = tutte_berge_deficiency g u_set in
+    if d > !best_def then begin
+      best_def := d;
+      best := u_set
+    end
+  done;
+  !best

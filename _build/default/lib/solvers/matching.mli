@@ -1,0 +1,22 @@
+open Ch_graph
+
+(** Maximum cardinality matching in general graphs (Edmonds' blossom
+    algorithm, O(V^3)), plus the Tutte–Berge certificate used by the
+    proof-labeling scheme for [ν(G) < k]. *)
+
+val maximum_matching : Graph.t -> (int * int) list
+(** A maximum matching as a list of edges (u < v). *)
+
+val nu : Graph.t -> int
+(** ν(G): size of a maximum matching. *)
+
+val is_matching : Graph.t -> (int * int) list -> bool
+
+val tutte_berge_deficiency : Graph.t -> int list -> int
+(** [odd(G−U) − |U|] for a vertex set [U]: by the Tutte–Berge formula,
+    ν(G) = (n − max_U deficiency(U)) / 2. *)
+
+val tutte_berge_witness : Graph.t -> int list
+(** A set [U] maximizing the deficiency (so it certifies the value of ν).
+    Exhaustive search — intended for the small PLS instances.
+    @raise Invalid_argument when [n > 20]. *)

@@ -1,0 +1,65 @@
+open Ch_graph
+
+let cut_weight g side =
+  let acc = ref 0 in
+  Graph.iter_edges (fun u v w -> if side.(u) <> side.(v) then acc := !acc + w) g;
+  !acc
+
+let flip_delta g side v =
+  (* change in cut weight when v switches sides *)
+  List.fold_left
+    (fun acc (u, w) -> if side.(u) = side.(v) then acc + w else acc - w)
+    0 (Graph.neighbors_w g v)
+
+let trailing_zeros x =
+  let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
+  if x = 0 then invalid_arg "trailing_zeros 0" else go 0 x
+
+let max_cut g =
+  let n = Graph.n g in
+  if n > 30 then invalid_arg "Maxcut.max_cut: n > 30";
+  let adjacency = Array.init n (fun v -> Array.of_list (Graph.neighbors_w g v)) in
+  let side = Array.make n false in
+  let best_w = ref 0 and best = Array.make n false in
+  if n > 1 then begin
+    let weight = ref 0 in
+    (* vertex 0 stays on side [false]: cuts come in symmetric pairs *)
+    let steps = (1 lsl (n - 1)) - 1 in
+    for t = 1 to steps do
+      let v = 1 + trailing_zeros t in
+      let delta = ref 0 in
+      Array.iter
+        (fun (u, w) -> if side.(u) = side.(v) then delta := !delta + w else delta := !delta - w)
+        adjacency.(v);
+      weight := !weight + !delta;
+      side.(v) <- not side.(v);
+      if !weight > !best_w then begin
+        best_w := !weight;
+        Array.blit side 0 best 0 n
+      end
+    done
+  end;
+  (!best_w, best)
+
+let exists_of_weight g bound = fst (max_cut g) >= bound
+
+let local_search ~seed g =
+  let n = Graph.n g in
+  let rng = Random.State.make [| seed |] in
+  let side = Array.init n (fun _ -> Random.State.bool rng) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for v = 0 to n - 1 do
+      if flip_delta g side v > 0 then begin
+        side.(v) <- not side.(v);
+        improved := true
+      end
+    done
+  done;
+  (cut_weight g side, side)
+
+let random_cut ~seed g =
+  let rng = Random.State.make [| seed |] in
+  let side = Array.init (Graph.n g) (fun _ -> Random.State.bool rng) in
+  (cut_weight g side, side)

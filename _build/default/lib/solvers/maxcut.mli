@@ -1,0 +1,22 @@
+open Ch_graph
+
+(** Exact maximum (weight) cut via Gray-code enumeration, plus a local
+    search used by approximation experiments. *)
+
+val cut_weight : Graph.t -> bool array -> int
+(** Total weight of the edges crossing the bipartition. *)
+
+val max_cut : Graph.t -> int * bool array
+(** Exact maximum cut.  Enumeration over [2^(n-1)] assignments with O(deg)
+    incremental updates.  @raise Invalid_argument when [n > 30]. *)
+
+val exists_of_weight : Graph.t -> int -> bool
+(** Is there a cut of weight at least the bound?  Same cost as {!max_cut}. *)
+
+val local_search : seed:int -> Graph.t -> int * bool array
+(** 1-flip local optimum from a random start: each side-flip that improves
+    the cut is applied until none remains.  Guarantees weight at least half
+    of the total edge weight. *)
+
+val random_cut : seed:int -> Graph.t -> int * bool array
+(** The trivial randomized (expected) 1/2-approximation. *)

@@ -1,0 +1,298 @@
+open Ch_graph
+
+(* Branch and bound for maximum weight independent sets.
+
+   The search state is a mutable "dynamic graph" (present set + adjacency
+   bitsets + weights) that is copied at branch points.  Kernelization
+   applies the classical weighted rules:
+     - isolated vertices are taken;
+     - pendant v-u: take v when w(v) >= w(u), otherwise fold the choice
+       into u (u's weight drops by w(v));
+     - degree-2 v with neighbors u,w: take v when it dominates them
+       (adjacent case: w(v) >= max; non-adjacent: w(v) >= w(u)+w(w)),
+       otherwise fold {v,u,w} into a single vertex when w(v) >= max;
+     - domination: adjacent u,v with N[u] ⊆ N[v] and w(u) >= w(v) kill v.
+   Folds are undone on the way back up to reconstruct a witness set.
+   The upper bound is the minimum of a greedy clique cover bound and a
+   greedy matching bound; connected components are solved independently. *)
+
+type dyn = {
+  n : int;
+  present : Bitset.t;
+  adj : Bitset.t array;
+  weights : int array;
+}
+
+type fold =
+  | Pendant of int * int  (* (v, u): u in set ⇒ keep; else add v *)
+  | Fold2 of int * int * int  (* (v, u, w): v in set ⇒ u and w; else v *)
+
+let neg_inf = min_int / 2
+
+let copy_dyn d =
+  {
+    n = d.n;
+    present = Bitset.copy d.present;
+    adj = Array.map Bitset.copy d.adj;
+    weights = Array.copy d.weights;
+  }
+
+let deg d v = Bitset.inter_cardinal d.adj.(v) d.present
+
+let clique_bound d =
+  let cliques = ref [] in
+  Bitset.iter
+    (fun v ->
+      let rec place = function
+        | [] -> cliques := (Bitset.of_list d.n [ v ], ref d.weights.(v)) :: !cliques
+        | (members, maxw) :: rest ->
+            if Bitset.subset members d.adj.(v) then begin
+              Bitset.add members v;
+              maxw := max !maxw d.weights.(v)
+            end
+            else place rest
+      in
+      place !cliques)
+    d.present;
+  List.fold_left (fun acc (_, maxw) -> acc + !maxw) 0 !cliques
+
+let matching_bound d =
+  (* total weight minus, per greedy matching edge, the lighter endpoint *)
+  let total = ref 0 in
+  Bitset.iter (fun v -> total := !total + d.weights.(v)) d.present;
+  let unmatched = Bitset.copy d.present in
+  let saving = ref 0 in
+  Bitset.iter
+    (fun v ->
+      if Bitset.mem unmatched v then begin
+        let candidates = Bitset.inter d.adj.(v) unmatched in
+        Bitset.remove candidates v;
+        if not (Bitset.is_empty candidates) then begin
+          let u = Bitset.choose candidates in
+          Bitset.remove unmatched v;
+          Bitset.remove unmatched u;
+          saving := !saving + min d.weights.(v) d.weights.(u)
+        end
+      end)
+    d.present;
+  !total - !saving
+
+let upper_bound d = min (clique_bound d) (matching_bound d)
+
+(* Kernelization; mutates [d], returns (forced weight, forced vertices,
+   folds in application order). *)
+let reduce d =
+  let acc = ref 0 and taken = ref [] and folds = ref [] in
+  let take v =
+    acc := !acc + d.weights.(v);
+    taken := v :: !taken;
+    Bitset.diff_into d.present d.adj.(v);
+    Bitset.remove d.present v
+  in
+  let fold_pendant v u =
+    acc := !acc + d.weights.(v);
+    d.weights.(u) <- d.weights.(u) - d.weights.(v);
+    Bitset.remove d.present v;
+    folds := Pendant (v, u) :: !folds
+  in
+  let fold2 v u w =
+    let wv = d.weights.(v) in
+    acc := !acc + wv;
+    d.weights.(v) <- d.weights.(u) + d.weights.(w) - wv;
+    let newn = Bitset.union d.adj.(u) d.adj.(w) in
+    Bitset.inter_into newn d.present;
+    Bitset.remove newn v;
+    Bitset.remove newn u;
+    Bitset.remove newn w;
+    Bitset.remove d.present u;
+    Bitset.remove d.present w;
+    d.adj.(v) <- newn;
+    Bitset.iter (fun x -> Bitset.add d.adj.(x) v) newn;
+    folds := Fold2 (v, u, w) :: !folds
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Bitset.iter
+      (fun v ->
+        if Bitset.mem d.present v then begin
+          let nbrs = Bitset.inter d.adj.(v) d.present in
+          match Bitset.cardinal nbrs with
+          | 0 ->
+              take v;
+              changed := true
+          | 1 ->
+              let u = Bitset.choose nbrs in
+              if d.weights.(v) >= d.weights.(u) then take v else fold_pendant v u;
+              changed := true
+          | 2 ->
+              let u = Bitset.choose nbrs in
+              Bitset.remove nbrs u;
+              let w = Bitset.choose nbrs in
+              let wv = d.weights.(v) in
+              if Bitset.mem d.adj.(u) w then begin
+                if wv >= max d.weights.(u) d.weights.(w) then begin
+                  take v;
+                  changed := true
+                end
+              end
+              else if wv >= d.weights.(u) + d.weights.(w) then begin
+                take v;
+                changed := true
+              end
+              else if wv >= max d.weights.(u) d.weights.(w) then begin
+                fold2 v u w;
+                changed := true
+              end
+          | _ -> ()
+        end)
+      (Bitset.copy d.present);
+    if not !changed then
+      (* domination *)
+      Bitset.iter
+        (fun u ->
+          if Bitset.mem d.present u then
+            Bitset.iter
+              (fun v ->
+                if Bitset.mem d.present v && d.weights.(u) >= d.weights.(v)
+                then begin
+                  let nu = Bitset.inter d.adj.(u) d.present in
+                  Bitset.remove nu v;
+                  if Bitset.subset nu d.adj.(v) then begin
+                    Bitset.remove d.present v;
+                    changed := true
+                  end
+                end)
+              (Bitset.inter d.adj.(u) d.present))
+        (Bitset.copy d.present)
+  done;
+  (!acc, !taken, List.rev !folds)
+
+let unfold folds set =
+  List.fold_left
+    (fun set fold ->
+      match fold with
+      | Pendant (v, u) -> if List.mem u set then set else v :: set
+      | Fold2 (v, u, w) ->
+          if List.mem v set then u :: w :: List.filter (( <> ) v) set
+          else v :: set)
+    set (List.rev folds)
+
+let components d =
+  let remaining = Bitset.copy d.present in
+  let comps = ref [] in
+  while not (Bitset.is_empty remaining) do
+    let seed = Bitset.choose remaining in
+    let comp = Bitset.create d.n in
+    let stack = ref [ seed ] in
+    Bitset.add comp seed;
+    Bitset.remove remaining seed;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+          stack := rest;
+          Bitset.iter
+            (fun u ->
+              Bitset.add comp u;
+              Bitset.remove remaining u;
+              stack := u :: !stack)
+            (Bitset.inter d.adj.(v) remaining)
+    done;
+    comps := comp :: !comps
+  done;
+  !comps
+
+(* Best set of weight strictly above [lb] in [d] (owned, mutated), or
+   [None].  Forced weight from kernelization is included in the result. *)
+let rec solve d lb =
+  let base, taken, folds = reduce d in
+  let lb' = lb - base in
+  let finish inner =
+    match inner with
+    | None -> None
+    | Some (w, set) -> Some (w + base, unfold folds (taken @ set))
+  in
+  if Bitset.is_empty d.present then
+    finish (if 0 > lb' then Some (0, []) else None)
+  else
+    match components d with
+    | comps when List.length comps > 1 ->
+        let parts =
+          List.map
+            (fun comp ->
+              let sub = copy_dyn d in
+              Bitset.inter_into sub.present comp;
+              match solve sub neg_inf with
+              | Some r -> r
+              | None -> assert false)
+            comps
+        in
+        let w = List.fold_left (fun acc (w, _) -> acc + w) 0 parts in
+        if w > lb' then
+          finish (Some (w, List.concat_map snd parts))
+        else None
+    | _ ->
+        if upper_bound d <= lb' then None
+        else begin
+          let v =
+            Bitset.fold
+              (fun u best ->
+                match best with
+                | None -> Some u
+                | Some b -> if deg d u > deg d b then Some u else best)
+              d.present None
+            |> Option.get
+          in
+          let with_v =
+            let sub = copy_dyn d in
+            Bitset.diff_into sub.present sub.adj.(v);
+            Bitset.remove sub.present v;
+            match solve sub (lb' - d.weights.(v)) with
+            | Some (w, set) -> Some (w + d.weights.(v), v :: set)
+            | None -> None
+          in
+          let lb'' = match with_v with Some (w, _) -> max lb' w | None -> lb' in
+          let without_v =
+            let sub = copy_dyn d in
+            Bitset.remove sub.present v;
+            solve sub lb''
+          in
+          match without_v with Some _ -> finish without_v | None -> finish with_v
+        end
+
+let make_dyn ?weights g =
+  let weights =
+    match weights with Some w -> Array.copy w | None -> Graph.vweights g
+  in
+  if Array.length weights <> Graph.n g then
+    invalid_arg "Mis: weights length mismatch";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Mis: negative weights unsupported")
+    weights;
+  { n = Graph.n g; present = Bitset.full (Graph.n g); adj = Graph.adjacency g; weights }
+
+let max_weight_set ?weights g =
+  let d = make_dyn ?weights g in
+  match solve d neg_inf with
+  | Some (w, set) -> (w, List.sort compare set)
+  | None -> assert false
+
+let alpha g = fst (max_weight_set ~weights:(Array.make (Graph.n g) 1) g)
+
+let max_independent_set g =
+  snd (max_weight_set ~weights:(Array.make (Graph.n g) 1) g)
+
+let is_independent g vs =
+  let rec ok = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun u -> not (Graph.mem_edge g u v)) rest && ok rest
+  in
+  ok vs
+
+let min_vertex_cover_size g = Graph.n g - alpha g
+
+let min_vertex_cover g =
+  let inside = Array.make (Graph.n g) false in
+  List.iter (fun v -> inside.(v) <- true) (max_independent_set g);
+  List.filter (fun v -> not inside.(v)) (List.init (Graph.n g) Fun.id)

@@ -1,0 +1,28 @@
+open Ch_graph
+
+(** Exact maximum (weight) independent set, and the complementary minimum
+    vertex cover.
+
+    Branch and bound over vertex bitsets with connected-component
+    decomposition, kernelization rules (isolated, pendant, triangle
+    degree-2, domination) and a greedy clique-cover upper bound.  Handles
+    the two instance shapes this repository produces: dense clique-heavy
+    code gadgets (~150 vertices) and sparse bounded-degree SAT graphs
+    (several hundred vertices). *)
+
+val max_weight_set : ?weights:int array -> Graph.t -> int * int list
+(** Maximum-weight independent set; weights default to the graph's vertex
+    weights.  Returns the weight and a witness set (sorted). *)
+
+val alpha : Graph.t -> int
+(** α(G): maximum cardinality of an independent set. *)
+
+val max_independent_set : Graph.t -> int list
+(** A maximum-cardinality independent set. *)
+
+val is_independent : Graph.t -> int list -> bool
+
+val min_vertex_cover_size : Graph.t -> int
+(** τ(G) = n − α(G). *)
+
+val min_vertex_cover : Graph.t -> int list

@@ -1,0 +1,81 @@
+open Ch_graph
+
+let norm (u, v) = if u <= v then (u, v) else (v, u)
+
+let is_2_spanner g edges =
+  let chosen = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      assert (Graph.mem_edge g u v);
+      Hashtbl.replace chosen (norm (u, v)) ())
+    edges;
+  let has e = Hashtbl.mem chosen (norm e) in
+  let covered (u, v) =
+    has (u, v)
+    || List.exists
+         (fun w -> Graph.mem_edge g w v && has (u, w) && has (w, v))
+         (Graph.neighbors g u)
+  in
+  let ok = ref true in
+  Graph.iter_edges (fun u v _ -> if not (covered (u, v)) then ok := false) g;
+  !ok
+
+(* Branch over the ways to cover an uncovered edge: either take it, or take
+   one of its 2-paths.  Chosen/forbidden sets are edge-indexed. *)
+let min_weight_2_spanner g =
+  let edges = Array.of_list (Graph.edges g) in
+  let m = Array.length edges in
+  let index = Hashtbl.create m in
+  Array.iteri (fun i (u, v, _) -> Hashtbl.replace index (u, v) i) edges;
+  let idx u v = Hashtbl.find index (norm (u, v)) in
+  let weight i = let _, _, w = edges.(i) in w in
+  let options = Array.make m [] in
+  (* options.(i): ways to cover edge i, each a list of edge indices *)
+  Array.iteri
+    (fun i (u, v, _) ->
+      let two_paths =
+        List.filter_map
+          (fun w ->
+            if w <> v && Graph.mem_edge g w v then Some [ idx u w; idx w v ]
+            else None)
+          (Graph.neighbors g u)
+      in
+      options.(i) <- [ i ] :: two_paths)
+    edges;
+  let best_w = ref max_int and best = ref [] in
+  let chosen = Array.make m false in
+  (* zero-weight edges are free and coverage is monotone: take them all *)
+  Array.iteri (fun i (_, _, w) -> if w = 0 then chosen.(i) <- true) edges;
+  let cost_of opt =
+    List.fold_left (fun acc e -> if chosen.(e) then acc else acc + weight e) 0 opt
+  in
+  let rec uncovered_edge i =
+    if i >= m then None
+    else if
+      List.exists (fun opt -> List.for_all (fun e -> chosen.(e)) opt) options.(i)
+    then uncovered_edge (i + 1)
+    else Some i
+  in
+  let rec go acc =
+    if acc < !best_w then
+      match uncovered_edge 0 with
+      | None ->
+          best_w := acc;
+          best :=
+            List.filteri (fun i _ -> chosen.(i)) (Array.to_list edges)
+            |> List.map (fun (u, v, _) -> (u, v))
+          (* note: the pre-taken zero-weight edges stay in the witness *)
+      | Some i ->
+          (* any 2-spanner contains one of the covering options in full *)
+          List.iter
+            (fun opt ->
+              let added = List.filter (fun e -> not chosen.(e)) opt in
+              let extra = cost_of opt in
+              List.iter (fun e -> chosen.(e) <- true) added;
+              go (acc + extra);
+              List.iter (fun e -> chosen.(e) <- false) added)
+            options.(i)
+  in
+  go 0;
+  if !best_w = max_int then invalid_arg "Spanner: no 2-spanner (impossible)"
+  else (!best_w, List.sort compare !best)

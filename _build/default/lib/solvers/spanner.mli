@@ -1,0 +1,10 @@
+open Ch_graph
+
+(** Exact minimum-weight 2-spanner: the cheapest subgraph H of G in which
+    every edge {u,v} of G is either present or closed by a 2-path.
+    Branch and bound over covering options; intended for small instances. *)
+
+val is_2_spanner : Graph.t -> (int * int) list -> bool
+
+val min_weight_2_spanner : Graph.t -> int * (int * int) list
+(** Total weight of chosen edges and the chosen edge set. *)

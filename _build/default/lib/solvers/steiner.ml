@@ -1,0 +1,157 @@
+open Ch_graph
+
+let inf = max_int / 4
+
+let check_terminals name terminals =
+  if terminals = [] then invalid_arg (name ^ ": no terminals")
+
+(* Dijkstra-style relaxation used by all Dreyfus–Wagner variants: [dist]
+   holds tentative values; [edges_of v] lists [(u, cost of extending from
+   v to u)]. *)
+let relax n dist edges_of =
+  let module Pq = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let pq = ref Pq.empty in
+  for v = 0 to n - 1 do
+    if dist.(v) < inf then pq := Pq.add (dist.(v), v) !pq
+  done;
+  while not (Pq.is_empty !pq) do
+    let ((d, v) as top) = Pq.min_elt !pq in
+    pq := Pq.remove top !pq;
+    if d = dist.(v) then
+      List.iter
+        (fun (u, c) ->
+          if d + c < dist.(u) then begin
+            dist.(u) <- d + c;
+            pq := Pq.add (dist.(u), u) !pq
+          end)
+        (edges_of v)
+  done
+
+let iter_proper_submasks mask f =
+  let sub = ref ((mask - 1) land mask) in
+  while !sub > 0 do
+    f !sub;
+    sub := (!sub - 1) land mask
+  done
+
+let generic_dw n p ~leaf ~merge_adjust ~edges_of =
+  let dp = Array.init (1 lsl p) (fun _ -> Array.make n inf) in
+  for i = 0 to p - 1 do
+    leaf i dp.(1 lsl i);
+    relax n dp.(1 lsl i) edges_of
+  done;
+  for mask = 1 to (1 lsl p) - 1 do
+    if mask land (mask - 1) <> 0 then begin
+      let row = dp.(mask) in
+      iter_proper_submasks mask (fun sub ->
+          if sub < mask lxor sub then ()
+          else
+            let other = mask lxor sub in
+            for v = 0 to n - 1 do
+              if dp.(sub).(v) < inf && dp.(other).(v) < inf then begin
+                let cand = dp.(sub).(v) + dp.(other).(v) - merge_adjust v in
+                if cand < row.(v) then row.(v) <- cand
+              end
+            done);
+      relax n row edges_of
+    end
+  done;
+  dp
+
+let dreyfus_wagner g terminals =
+  check_terminals "Steiner.dreyfus_wagner" terminals;
+  let terminals = Array.of_list (List.sort_uniq compare terminals) in
+  let n = Graph.n g and p = Array.length terminals in
+  if p = 1 then 0
+  else begin
+    let edges_of v = Graph.neighbors_w g v in
+    let leaf i row =
+      row.(terminals.(i)) <- 0
+    in
+    let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
+    let ans = dp.((1 lsl p) - 1).(terminals.(0)) in
+    if ans >= inf then invalid_arg "Steiner.dreyfus_wagner: terminals disconnected"
+    else ans
+  end
+
+let node_weighted g terminals =
+  check_terminals "Steiner.node_weighted" terminals;
+  let terminals = Array.of_list (List.sort_uniq compare terminals) in
+  let n = Graph.n g and p = Array.length terminals in
+  let w = Graph.vweights g in
+  Array.iter (fun x -> if x < 0 then invalid_arg "Steiner.node_weighted: negative weight") w;
+  if p = 1 then w.(terminals.(0))
+  else begin
+    let edges_of v = List.map (fun u -> (u, w.(u))) (Graph.neighbors g v) in
+    let leaf i row = row.(terminals.(i)) <- w.(terminals.(i)) in
+    let dp = generic_dw n p ~leaf ~merge_adjust:(fun v -> w.(v)) ~edges_of in
+    let ans = dp.((1 lsl p) - 1).(terminals.(0)) in
+    if ans >= inf then invalid_arg "Steiner.node_weighted: terminals disconnected"
+    else ans
+  end
+
+let directed dg ~root terminals =
+  check_terminals "Steiner.directed" terminals;
+  let terminals = Array.of_list (List.sort_uniq compare terminals) in
+  let n = Digraph.n dg and p = Array.length terminals in
+  (* dp[S][v] = cost of an out-arborescence rooted at v covering S; the
+     relaxation walks arcs backwards. *)
+  let reversed = Array.make n [] in
+  Digraph.iter_arcs (fun u v w -> reversed.(v) <- (u, w) :: reversed.(v)) dg;
+  let edges_of v = reversed.(v) in
+  let leaf i row = row.(terminals.(i)) <- 0 in
+  let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
+  let ans = dp.((1 lsl p) - 1).(root) in
+  if ans >= inf then None else Some ans
+
+let min_extra_nodes ?cap g terminals =
+  check_terminals "Steiner.min_extra_nodes" terminals;
+  let n = Graph.n g in
+  let terminals = List.sort_uniq compare terminals in
+  let is_terminal = Array.make n false in
+  List.iter (fun t -> is_terminal.(t) <- true) terminals;
+  let others = List.filter (fun v -> not is_terminal.(v)) (List.init n Fun.id) in
+  let cap = match cap with Some c -> min c (List.length others) | None -> List.length others in
+  let connected_with extra =
+    let sel = Array.make n false in
+    List.iter (fun v -> sel.(v) <- true) terminals;
+    List.iter (fun v -> sel.(v) <- true) extra;
+    let uf = Union_find.create n in
+    let classes = ref (List.length terminals + List.length extra) in
+    Graph.iter_edges
+      (fun u v _ ->
+        if sel.(u) && sel.(v) && Union_find.union uf u v then decr classes)
+      g;
+    !classes = 1
+  in
+  let exception Hit in
+  let rec choose pool k acc =
+    if k = 0 then begin
+      if connected_with acc then raise Hit
+    end
+    else
+      match pool with
+      | [] -> ()
+      | v :: rest ->
+          if List.length pool >= k then begin
+            choose rest (k - 1) (v :: acc);
+            choose rest k acc
+          end
+  in
+  let rec sizes s =
+    if s > cap then None
+    else
+      match choose others s [] with
+      | () -> sizes (s + 1)
+      | exception Hit -> Some s
+  in
+  sizes 0
+
+let min_edges ?cap g terminals =
+  Option.map
+    (fun extra -> List.length (List.sort_uniq compare terminals) + extra - 1)
+    (min_extra_nodes ?cap g terminals)

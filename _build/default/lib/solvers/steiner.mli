@@ -1,0 +1,31 @@
+open Ch_graph
+
+(** Exact Steiner tree solvers: the classic Dreyfus–Wagner dynamic program
+    over terminal subsets (edge-weighted), its node-weighted and directed
+    (arborescence) variants, and a cardinality solver used by the
+    Theorem 2.7 family.
+
+    All run in O(3^|T| · poly(n)); the families in this repository use at
+    most ~10 terminals for the weighted variants. *)
+
+val dreyfus_wagner : Graph.t -> int list -> int
+(** Minimum total edge weight of a tree spanning the terminals.
+    @raise Invalid_argument if no terminals or they are disconnected. *)
+
+val node_weighted : Graph.t -> int list -> int
+(** Minimum total {e vertex} weight of a connected subgraph containing all
+    terminals (terminal weights are counted too). *)
+
+val directed : Digraph.t -> root:int -> int list -> int option
+(** Minimum total arc weight of an out-arborescence rooted at [root]
+    reaching all terminals; [None] if some terminal is unreachable. *)
+
+val min_extra_nodes : ?cap:int -> Graph.t -> int list -> int option
+(** Smallest number of non-terminal vertices [S] such that the subgraph
+    induced on [terminals ∪ S] is connected (so the minimum Steiner tree
+    has exactly [|terminals| + |S| - 1] edges in the unweighted case).
+    Searches sizes [0..cap] (default: all). *)
+
+val min_edges : ?cap:int -> Graph.t -> int list -> int option
+(** Minimum number of edges of a Steiner tree for the terminals, via
+    {!min_extra_nodes}. *)

@@ -1,0 +1,1 @@
+test/test_codes.ml: Alcotest Array Ch_codes Fun Gf List QCheck QCheck_alcotest Random Reed_solomon

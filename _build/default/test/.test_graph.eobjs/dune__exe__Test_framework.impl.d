@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Bits Ch_cc Ch_congest Ch_core Ch_graph Ch_lbgraphs Ch_solvers Commfn Framework Gen Graph List Protocol QCheck QCheck_alcotest Randomized String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bitset Ch_graph Digraph Expander Gen Graph List Props QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_limits.ml: Aggregate Alcotest Approx_protocols Array Ch_cc Ch_graph Ch_lbgraphs Ch_limits Ch_pls Ch_solvers Domset Flow Fun Gen Graph List Maxcut Mis Nondet Random Split

@@ -1,0 +1,1 @@
+test/test_pls.ml: Alcotest Array Ch_graph Ch_pls Gen Graph List Pls Printf Schemes Verif

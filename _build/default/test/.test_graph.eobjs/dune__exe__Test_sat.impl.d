@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Ch_graph Ch_sat Ch_solvers Cnf Gen Graph List Mis Printf QCheck QCheck_alcotest Random Sat_reductions

@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array Ch_graph Ch_solvers Digraph Domset Ecss Flow Fun Gen Graph Hamilton List Matching Maxcut Mis Option Props QCheck QCheck_alcotest Random Spanner Steiner Union_find

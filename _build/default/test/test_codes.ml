@@ -1,0 +1,118 @@
+open Ch_codes
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_primality () =
+  check "2 prime" true (Gf.is_prime 2);
+  check "17 prime" true (Gf.is_prime 17);
+  check "1 not" false (Gf.is_prime 1);
+  check "91 not" false (Gf.is_prime 91);
+  check_int "next prime 14" 17 (Gf.next_prime 14);
+  check_int "next prime 17" 17 (Gf.next_prime 17);
+  Alcotest.check_raises "composite rejected"
+    (Invalid_argument "Gf.create: modulus must be prime") (fun () ->
+      ignore (Gf.create 15))
+
+let test_field_ops () =
+  let f = Gf.create 13 in
+  check_int "add" 2 (Gf.add f 8 7);
+  check_int "sub" 12 (Gf.sub f 3 4);
+  check_int "mul" 4 (Gf.mul f 8 7);
+  check_int "pow" 8 (Gf.pow f 2 3);
+  check_int "eval" ((3 + (2 * 5) + (5 * 5)) mod 13) (Gf.eval_poly f [| 3; 2; 1 |] 5)
+
+let prop_inverse =
+  QCheck.Test.make ~name:"x * inv x = 1 in GF(p)" ~count:100
+    QCheck.(pair (int_range 0 30) (int_range 1 1000))
+    (fun (pi, x) ->
+      let p = Gf.next_prime (pi + 2) in
+      let f = Gf.create p in
+      let x = 1 + (x mod (p - 1)) in
+      Gf.mul f x (Gf.inv f x) = 1)
+
+let prop_fermat =
+  QCheck.Test.make ~name:"fermat little theorem" ~count:100
+    QCheck.(pair (int_range 0 30) (int_range 0 1000))
+    (fun (pi, x) ->
+      let p = Gf.next_prime (pi + 2) in
+      let f = Gf.create p in
+      let x = x mod p in
+      Gf.pow f x p = x)
+
+let test_rs_params () =
+  let code = Reed_solomon.create ~len:5 ~dim:2 ~q:7 in
+  check_int "length" 5 (Reed_solomon.length code);
+  check_int "dimension" 2 (Reed_solomon.dimension code);
+  check_int "distance" 4 (Reed_solomon.distance code);
+  check_int "field" 7 (Reed_solomon.field_order code);
+  let c = Reed_solomon.encode code [| 3; 2 |] in
+  (* polynomial 3 + 2x evaluated at 0..4 *)
+  check "codeword" true (c = [| 3; 5; 0; 2; 4 |])
+
+let prop_rs_distance =
+  QCheck.Test.make ~name:"all codeword pairs at hamming distance >= d" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let dim = 1 + Random.State.int rng 2 in
+      let len = dim + 1 + Random.State.int rng 4 in
+      let q = Gf.next_prime (len + 1) in
+      let code = Reed_solomon.create ~len ~dim ~q in
+      let k = min 20 (int_of_float (float_of_int q ** float_of_int dim)) in
+      let words = Reed_solomon.injection code k in
+      let d = Reed_solomon.distance code in
+      let ok = ref true in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b -> if i < j && Reed_solomon.hamming a b < d then ok := false)
+            words)
+        words;
+      !ok)
+
+let prop_rs_linear =
+  QCheck.Test.make ~name:"encoding is linear" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let q = 11 in
+      let code = Reed_solomon.create ~len:7 ~dim:3 ~q in
+      let f = Gf.create q in
+      let msg () = Array.init 3 (fun _ -> Random.State.int rng q) in
+      let a = msg () and b = msg () in
+      let sum = Array.init 3 (fun i -> Gf.add f a.(i) b.(i)) in
+      let ca = Reed_solomon.encode code a
+      and cb = Reed_solomon.encode code b
+      and cs = Reed_solomon.encode code sum in
+      Array.for_all Fun.id (Array.init 7 (fun i -> Gf.add f ca.(i) cb.(i) = cs.(i))))
+
+let test_rs_injection () =
+  let code = Reed_solomon.create ~len:4 ~dim:2 ~q:5 in
+  let words = Reed_solomon.injection code 25 in
+  check_int "count" 25 (Array.length words);
+  let distinct = List.sort_uniq compare (Array.to_list words) in
+  check_int "distinct" 25 (List.length distinct);
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Reed_solomon.injection: k too large") (fun () ->
+      ignore (Reed_solomon.injection code 26))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "codes"
+    [
+      ( "gf",
+        [
+          Alcotest.test_case "primality" `Quick test_primality;
+          Alcotest.test_case "field ops" `Quick test_field_ops;
+          qt prop_inverse;
+          qt prop_fermat;
+        ] );
+      ( "reed-solomon",
+        [
+          Alcotest.test_case "parameters" `Quick test_rs_params;
+          qt prop_rs_distance;
+          qt prop_rs_linear;
+          Alcotest.test_case "injection" `Quick test_rs_injection;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+open Ch_graph
+open Ch_solvers
+open Ch_congest
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_bfs () =
+  let g = Gen.random_connected ~seed:3 20 0.15 in
+  let result, stats = Bfs.run ~root:0 g in
+  let expected = Props.bfs_dist g 0 in
+  check "distances" true (result.Bfs.dist = expected);
+  check "parent consistent" true
+    (Array.for_all Fun.id
+       (Array.mapi
+          (fun v p ->
+            if v = 0 then p = -1
+            else Graph.mem_edge g v p && result.Bfs.dist.(p) = result.Bfs.dist.(v) - 1)
+          result.Bfs.parent));
+  check "rounds near eccentricity" true
+    (stats.Network.rounds <= Props.eccentricity g 0 + 3)
+
+let test_leader () =
+  let g = Gen.random_connected ~seed:5 15 0.2 in
+  let leaders, _ = Leader.run g in
+  check "all elect 0" true (Array.for_all (fun l -> l = 0) leaders)
+
+let test_gather_m () =
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected ~seed 14 0.25 in
+      let answer, stats = Gather.solve g ~f:Graph.m in
+      check_int "gather computes m" (Graph.m g) answer;
+      check "rounds linear-ish" true
+        (stats.Network.rounds <= (3 * (Graph.n g + Graph.m g)) + 20))
+    [ 1; 2; 3 ]
+
+let test_gather_weights () =
+  let g = Gen.random_weights ~seed:7 (Gen.random_connected ~seed:7 12 0.3) in
+  for v = 0 to 11 do
+    Graph.set_vweight g v (v + 2)
+  done;
+  let total_w, _ = Gather.solve g ~f:Graph.total_edge_weight in
+  check_int "edge weights survive gather" (Graph.total_edge_weight g) total_w;
+  let total_vw, _ =
+    Gather.solve g ~f:(fun g ->
+        Array.fold_left ( + ) 0 (Graph.vweights g))
+  in
+  check_int "vertex weights survive gather" (12 * 13 / 2 + 12) total_vw
+
+let test_gather_solves_mds () =
+  let g = Gen.random_connected ~seed:11 13 0.25 in
+  let gamma, _ = Gather.solve g ~f:Domset.min_size in
+  check_int "distributed exact MDS" (Domset.min_size g) gamma
+
+let test_run_split_accounting () =
+  let g = Gen.random_connected ~seed:13 12 0.3 in
+  let side = Array.init 12 (fun v -> v < 6) in
+  let answer, cut_stats = Gather.solve_split ~side g ~f:Graph.m in
+  check_int "answer unchanged" (Graph.m g) answer;
+  let cut_edges = ref 0 in
+  Graph.iter_edges (fun u v _ -> if side.(u) <> side.(v) then incr cut_edges) g;
+  check "cut bits positive" true (cut_stats.Network.cut_bits > 0);
+  check "cut bits bounded by rounds * cut * bandwidth" true
+    (cut_stats.Network.cut_bits
+    <= cut_stats.Network.stats.Network.rounds * !cut_edges
+       * cut_stats.Network.stats.Network.bandwidth)
+
+let test_bandwidth_respected () =
+  let g = Gen.random_connected ~seed:17 25 0.15 in
+  let _, stats = Gather.solve g ~f:Graph.m in
+  check "messages fit bandwidth" true
+    (stats.Network.max_message_bits <= stats.Network.bandwidth)
+
+let test_maxcut_sample_exact_when_p1 () =
+  let g = Gen.gnp ~seed:19 16 0.4 in
+  let result = Maxcut_sample.run ~seed:2 ~p:1.0 g in
+  check_int "p=1 recovers the exact max cut" (fst (Maxcut.max_cut g))
+    result.Maxcut_sample.estimate;
+  check_int "samples everything" (Graph.m g) result.Maxcut_sample.sampled_edges
+
+let test_maxcut_sample_quality () =
+  let g = Gen.gnp ~seed:23 18 0.5 in
+  let exact = fst (Maxcut.max_cut g) in
+  let result = Maxcut_sample.run ~seed:3 ~p:0.7 g in
+  check "estimate within 30% for this seed" true
+    (float_of_int result.Maxcut_sample.estimate >= 0.7 *. float_of_int exact
+    && float_of_int result.Maxcut_sample.estimate <= 1.3 *. float_of_int exact)
+
+let test_mds_greedy () =
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected ~seed 14 0.2 in
+      let set, _ = Mds_greedy.run g in
+      check "greedy set dominates" true (Domset.is_dominating g set);
+      let gamma = Domset.min_size g in
+      check "greedy within H(deg+1) of optimum" true
+        (List.length set <= 3 * gamma))
+    [ 29; 31; 37 ]
+
+
+let test_gather_topologies () =
+  (* a deep tree (path) and a shallow one (star) both gather correctly *)
+  List.iter
+    (fun g ->
+      let answer, _ = Gather.solve g ~f:Graph.m in
+      Alcotest.(check int) "gather m on topology" (Graph.m g) answer)
+    [ Gen.path 17; Gen.star 15; Gen.cycle 12; Gen.grid 3 5 ]
+
+let test_bfs_nonzero_root () =
+  let g = Gen.grid 4 4 in
+  let result, _ = Bfs.run ~root:9 g in
+  check "dist from root 9" true (result.Bfs.dist = Props.bfs_dist g 9)
+
+
+let test_mis_greedy () =
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected ~seed 16 0.25 in
+      let set, _ = Mis_greedy.run g in
+      check "independent" true (Mis.is_independent g set);
+      (* maximality: every vertex is in the set or adjacent to it *)
+      check "maximal" true
+        (List.for_all
+           (fun v ->
+             List.mem v set
+             || List.exists (fun u -> List.mem u set) (Graph.neighbors g v))
+           (List.init 16 Fun.id));
+      (* a maximal IS is a (Δ+1)-approximation of MaxIS *)
+      check "(max degree + 1)-approximation" true
+        ((Graph.max_degree g + 1) * List.length set >= Mis.alpha g))
+    [ 43; 47; 53 ]
+
+(* Lemmas 2.2 / 2.3: the folklore reductions preserve Hamiltonicity *)
+let prop_lemma_2_2 =
+  QCheck.Test.make ~name:"directed HC iff undirected HC of split graph" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 6))
+    (fun (seed, n) ->
+      let dg = Gen.random_digraph ~seed n 0.5 in
+      (Hamilton.directed_cycle dg <> None)
+      = (Hamilton.undirected_cycle (Transform.directed_to_undirected_hc dg)
+        <> None))
+
+and prop_lemma_2_3 =
+  QCheck.Test.make ~name:"HC iff HP of the split-vertex graph" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 3 7))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.55 in
+      (Hamilton.undirected_cycle g <> None)
+      = (Hamilton.undirected_path (fst (Transform.hc_to_hp g)) <> None))
+
+and prop_transform_inverses =
+  QCheck.Test.make ~name:"transform inverses" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 7))
+    (fun (seed, n) ->
+      let dg = Gen.random_digraph ~seed n 0.4 in
+      let round_trip =
+        Transform.undirected_to_directed_hc (Transform.directed_to_undirected_hc dg)
+      in
+      let g = Gen.gnp ~seed n 0.5 in
+      Digraph.arcs round_trip = Digraph.arcs dg
+      && Graph.edges (Transform.hp_to_hc (fst (Transform.hc_to_hp g)))
+         = Graph.edges g)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "congest"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "leader" `Quick test_leader;
+        ] );
+      ( "gather",
+        [
+          Alcotest.test_case "edge count" `Quick test_gather_m;
+          Alcotest.test_case "weights" `Quick test_gather_weights;
+          Alcotest.test_case "exact mds" `Quick test_gather_solves_mds;
+          Alcotest.test_case "split accounting" `Quick test_run_split_accounting;
+          Alcotest.test_case "bandwidth" `Quick test_bandwidth_respected;
+          Alcotest.test_case "topologies" `Quick test_gather_topologies;
+          Alcotest.test_case "bfs other roots" `Quick test_bfs_nonzero_root;
+        ] );
+      ( "theorem 2.9",
+        [
+          Alcotest.test_case "p=1 exact" `Quick test_maxcut_sample_exact_when_p1;
+          Alcotest.test_case "sampling quality" `Quick test_maxcut_sample_quality;
+        ] );
+      ("mds greedy", [ Alcotest.test_case "approximation" `Quick test_mds_greedy ]);
+      ("mis greedy", [ Alcotest.test_case "maximal IS" `Quick test_mis_greedy ]);
+      ( "transforms",
+        [ qt prop_lemma_2_2; qt prop_lemma_2_3; qt prop_transform_inverses ] );
+    ]

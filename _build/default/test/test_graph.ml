@@ -1,0 +1,308 @@
+open Ch_graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  check "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check_int "cardinal" 4 (Bitset.cardinal s);
+  check "mem 63" true (Bitset.mem s 63);
+  check "mem 64" true (Bitset.mem s 64);
+  check "not mem 1" false (Bitset.mem s 1);
+  Bitset.remove s 63;
+  check "removed" false (Bitset.mem s 63);
+  check_int "choose" 0 (Bitset.choose s);
+  check_int "elements" 3 (List.length (Bitset.elements s))
+
+let test_bitset_full () =
+  let s = Bitset.full 70 in
+  check_int "cardinal full" 70 (Bitset.cardinal s);
+  check "mem last" true (Bitset.mem s 69);
+  let t = Bitset.create 70 in
+  Bitset.add t 5;
+  check "subset" true (Bitset.subset t s);
+  check "not subset" false (Bitset.subset s t)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 128 [ 1; 2; 3; 100 ] in
+  let b = Bitset.of_list 128 [ 2; 3; 4; 127 ] in
+  check_int "inter" 2 (Bitset.cardinal (Bitset.inter a b));
+  check_int "union" 6 (Bitset.cardinal (Bitset.union a b));
+  check_int "diff" 2 (Bitset.cardinal (Bitset.diff a b));
+  check_int "inter_cardinal" 2 (Bitset.inter_cardinal a b);
+  check "intersects" true (Bitset.intersects a b);
+  check "no intersect" false
+    (Bitset.intersects a (Bitset.of_list 128 [ 0; 5 ]))
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/elements roundtrip" ~count:200
+    QCheck.(list (int_bound 199))
+    (fun items ->
+      let sorted = List.sort_uniq compare items in
+      let s = Bitset.of_list 200 items in
+      Bitset.elements s = sorted && Bitset.cardinal s = List.length sorted)
+
+let prop_bitset_demorgan =
+  QCheck.Test.make ~name:"bitset de morgan" ~count:200
+    QCheck.(pair (list (int_bound 99)) (list (int_bound 99)))
+    (fun (xs, ys) ->
+      let full = Bitset.full 100 in
+      let a = Bitset.of_list 100 xs and b = Bitset.of_list 100 ys in
+      let lhs = Bitset.diff full (Bitset.union a b) in
+      let rhs = Bitset.inter (Bitset.diff full a) (Bitset.diff full b) in
+      Bitset.equal lhs rhs)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basic () =
+  let g = Graph.create 5 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge ~w:7 g 1 2;
+  check_int "n" 5 (Graph.n g);
+  check_int "m" 2 (Graph.m g);
+  check "mem" true (Graph.mem_edge g 1 0);
+  check_int "weight" 7 (Graph.edge_weight g 2 1);
+  check_int "deg" 2 (Graph.degree g 1);
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self loop")
+    (fun () -> Graph.add_edge g 3 3);
+  Alcotest.check_raises "dup" (Invalid_argument "Graph.add_edge: duplicate edge (0,1)")
+    (fun () -> Graph.add_edge g 0 1);
+  Graph.remove_edge g 0 1;
+  check_int "m after remove" 1 (Graph.m g);
+  check "removed" false (Graph.mem_edge g 0 1)
+
+let test_graph_induced () =
+  let g = Gen.clique 5 in
+  let sub, map = Graph.induced g [ 0; 2; 4 ] in
+  check_int "induced n" 3 (Graph.n sub);
+  check_int "induced m" 3 (Graph.m sub);
+  check_int "map" 4 map.(2)
+
+let test_graph_union () =
+  let g = Graph.union_disjoint (Gen.clique 3) (Gen.path 4) in
+  check_int "n" 7 (Graph.n g);
+  check_int "m" 6 (Graph.m g);
+  check "cross edge absent" false (Graph.mem_edge g 2 3)
+
+let test_graph_adjacency () =
+  let g = Gen.cycle 5 in
+  let adj = Graph.adjacency g in
+  check_int "deg via bitset" 2 (Bitset.cardinal adj.(0));
+  check "adj 0-1" true (Bitset.mem adj.(0) 1);
+  check "adj 0-4" true (Bitset.mem adj.(0) 4);
+  let cadj = Graph.closed_adjacency g in
+  check "closed contains self" true (Bitset.mem cadj.(3) 3)
+
+
+let test_to_dot () =
+  let g = Gen.cycle 4 in
+  Graph.set_vweight g 0 7;
+  let dot = Graph.to_dot ~highlight:[ 1 ] g in
+  check "graph header" true (String.length dot > 0 && String.sub dot 0 5 = "graph");
+  check "edge present" true
+    (let needle = "0 -- 1" in
+     let rec find i =
+       i + String.length needle <= String.length dot
+       && (String.sub dot i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  let dg = Digraph.of_arcs 3 [ (0, 1); (2, 1) ] in
+  let ddot = Digraph.to_dot dg in
+  check "digraph header" true (String.sub ddot 0 7 = "digraph")
+
+(* ------------------------------------------------------------------ *)
+(* Digraph                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_digraph_basic () =
+  let g = Digraph.create 4 in
+  Digraph.add_arc g 0 1;
+  Digraph.add_arc g 1 0;
+  Digraph.add_arc ~w:3 g 1 2;
+  check_int "m" 3 (Digraph.m g);
+  check "mem" true (Digraph.mem_arc g 0 1);
+  check "antiparallel" true (Digraph.mem_arc g 1 0);
+  check "directedness" false (Digraph.mem_arc g 2 1);
+  check_int "succ" 2 (List.length (Digraph.succ g 1));
+  check_int "pred" 1 (List.length (Digraph.pred g 2));
+  check_int "out deg" 2 (Digraph.out_degree g 1);
+  check_int "in deg" 1 (Digraph.in_degree g 1);
+  let u = Digraph.to_undirected g in
+  check_int "undirected m" 2 (Graph.m u)
+
+(* ------------------------------------------------------------------ *)
+(* Generators & Props                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_counts () =
+  check_int "path m" 9 (Graph.m (Gen.path 10));
+  check_int "cycle m" 10 (Graph.m (Gen.cycle 10));
+  check_int "clique m" 45 (Graph.m (Gen.clique 10));
+  check_int "bipartite m" 12 (Graph.m (Gen.complete_bipartite 3 4));
+  check_int "star m" 7 (Graph.m (Gen.star 8));
+  check_int "grid m" 12 (Graph.m (Gen.grid 3 3));
+  check_int "gnm m" 20 (Graph.m (Gen.gnm ~seed:3 15 20))
+
+let test_gen_regular () =
+  match Gen.random_regular ~seed:11 10 3 with
+  | None -> Alcotest.fail "regular generation failed"
+  | Some g ->
+      for v = 0 to 9 do
+        check_int "regular degree" 3 (Graph.degree g v)
+      done
+
+let test_props_bfs () =
+  let g = Gen.path 6 in
+  let dist = Props.bfs_dist g 0 in
+  check_int "dist end" 5 dist.(5);
+  check_int "diameter path" 5 (Props.diameter g);
+  check_int "ecc middle" 3 (Props.eccentricity g 2);
+  let parent = Props.bfs_tree g 0 in
+  check_int "parent" 1 parent.(2)
+
+let test_props_connectivity () =
+  let g = Graph.union_disjoint (Gen.clique 3) (Gen.clique 3) in
+  check "disconnected" false (Props.connected g);
+  let _, c = Props.components g in
+  check_int "components" 2 c;
+  check "connected clique" true (Props.connected (Gen.clique 4))
+
+let test_props_bipartite () =
+  check "cycle4 bipartite" true (Props.is_bipartite (Gen.cycle 4));
+  check "cycle5 not bipartite" false (Props.is_bipartite (Gen.cycle 5));
+  check "grid bipartite" true (Props.is_bipartite (Gen.grid 3 4))
+
+let test_props_bridges () =
+  let g = Gen.path 4 in
+  check_int "path bridges" 3 (List.length (Props.bridges g));
+  check "cycle 2ec" true (Props.is_two_edge_connected (Gen.cycle 5));
+  check "path not 2ec" false (Props.is_two_edge_connected (Gen.path 5));
+  let g = Graph.create 5 in
+  (* triangle with a pendant path *)
+  List.iter (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4) ];
+  check "bridges of lollipop" true
+    (Props.bridges g = [ (2, 3); (3, 4) ])
+
+let test_props_dijkstra () =
+  let g = Graph.create 4 in
+  Graph.add_edge ~w:10 g 0 3;
+  Graph.add_edge ~w:1 g 0 1;
+  Graph.add_edge ~w:1 g 1 2;
+  Graph.add_edge ~w:1 g 2 3;
+  let dist = Props.dijkstra g 0 in
+  check_int "shortcut" 3 dist.(3)
+
+let test_props_tree () =
+  check "path is tree" true (Props.is_tree (Gen.path 5));
+  check "cycle not tree" false (Props.is_tree (Gen.cycle 5));
+  check "forest" true
+    (Props.is_forest (Graph.union_disjoint (Gen.path 3) (Gen.path 4)))
+
+let test_props_strongly_connected () =
+  let g = Digraph.of_arcs 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check "dicycle strong" true (Props.strongly_connected g);
+  let g = Digraph.of_arcs 3 [ (0, 1); (1, 2) ] in
+  check "dipath not strong" false (Props.strongly_connected g)
+
+let test_props_ball () =
+  let g = Gen.path 7 in
+  let ball = Props.reachable_within g 3 ~radius:2 in
+  check_int "ball size" 5 (Bitset.cardinal ball);
+  check "ball member" true (Bitset.mem ball 1);
+  check "ball excludes" false (Bitset.mem ball 0)
+
+(* ------------------------------------------------------------------ *)
+(* Expander gadget                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_expander_small () =
+  List.iter
+    (fun d ->
+      let e = Expander.build d in
+      check "certified" true e.Expander.certified;
+      Array.iter
+        (fun v -> check_int "distinguished degree 2" 2 (Graph.degree e.Expander.graph v))
+        e.Expander.distinguished;
+      check "max degree <= 4" true (Graph.max_degree e.Expander.graph <= 4);
+      check "connected" true (Props.connected e.Expander.graph))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let prop_gnp_simple =
+  QCheck.Test.make ~name:"gnp produces simple graphs" ~count:50
+    QCheck.(pair (int_range 1 20) (int_bound 1000))
+    (fun (n, seed) ->
+      let g = Gen.gnp ~seed n 0.3 in
+      List.for_all (fun (u, v, _) -> u < v && u >= 0 && v < n) (Graph.edges g))
+
+let prop_induced_subgraph =
+  QCheck.Test.make ~name:"induced subgraph edges come from parent" ~count:100
+    QCheck.(pair (int_bound 1000) (list (int_bound 11)))
+    (fun (seed, vs) ->
+      let g = Gen.gnp ~seed 12 0.4 in
+      let sub, map = Graph.induced g vs in
+      List.for_all
+        (fun (u, v, _) -> Graph.mem_edge g map.(u) map.(v))
+        (Graph.edges sub))
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition respects edges" ~count:100
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let g = Gen.gnp ~seed 15 0.1 in
+      let comp, _ = Props.components g in
+      List.for_all (fun (u, v, _) -> comp.(u) = comp.(v)) (Graph.edges g))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "graph"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "full" `Quick test_bitset_full;
+          Alcotest.test_case "ops" `Quick test_bitset_ops;
+          qt prop_bitset_roundtrip;
+          qt prop_bitset_demorgan;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "induced" `Quick test_graph_induced;
+          Alcotest.test_case "union" `Quick test_graph_union;
+          Alcotest.test_case "adjacency" `Quick test_graph_adjacency;
+          Alcotest.test_case "dot export" `Quick test_to_dot;
+        ] );
+      ("digraph", [ Alcotest.test_case "basic" `Quick test_digraph_basic ]);
+      ( "gen",
+        [
+          Alcotest.test_case "counts" `Quick test_gen_counts;
+          Alcotest.test_case "regular" `Quick test_gen_regular;
+          qt prop_gnp_simple;
+        ] );
+      ( "props",
+        [
+          Alcotest.test_case "bfs" `Quick test_props_bfs;
+          Alcotest.test_case "connectivity" `Quick test_props_connectivity;
+          Alcotest.test_case "bipartite" `Quick test_props_bipartite;
+          Alcotest.test_case "bridges" `Quick test_props_bridges;
+          Alcotest.test_case "dijkstra" `Quick test_props_dijkstra;
+          Alcotest.test_case "trees" `Quick test_props_tree;
+          Alcotest.test_case "strong connectivity" `Quick test_props_strongly_connected;
+          Alcotest.test_case "balls" `Quick test_props_ball;
+          qt prop_induced_subgraph;
+          qt prop_components_partition;
+        ] );
+      ("expander", [ Alcotest.test_case "claim 3.2 gadgets" `Quick test_expander_small ]);
+    ]

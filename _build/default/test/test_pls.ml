@@ -1,0 +1,253 @@
+open Ch_graph
+open Ch_pls
+
+let check = Alcotest.(check bool)
+
+(* a pool of instances exercising yes and no cases of every scheme *)
+let instance_pool =
+  let cycle6 = Gen.cycle 6 in
+  let path5 = Gen.path 5 in
+  let k4 = Gen.clique 4 in
+  let grid = Gen.grid 2 3 in
+  let all_edges g = List.map (fun (u, v, _) -> (u, v)) (Graph.edges g) in
+  let connected8 = Gen.random_connected ~seed:5 8 0.3 in
+  [
+    (* H = all of G *)
+    Verif.make ~s:0 ~t:4 ~e:(0, 1) cycle6 ~h:(all_edges cycle6);
+    Verif.make ~s:0 ~t:4 ~e:(0, 1) path5 ~h:(all_edges path5);
+    Verif.make ~s:0 ~t:3 ~e:(0, 1) k4 ~h:(all_edges k4);
+    (* H = a spanning tree *)
+    Verif.make ~s:0 ~t:3 ~e:(0, 1) k4 ~h:[ (0, 1); (1, 2); (2, 3) ];
+    (* H = a path inside a grid *)
+    Verif.make ~s:0 ~t:5 ~e:(0, 1) grid ~h:[ (0, 1); (1, 2); (2, 5) ];
+    (* H empty *)
+    Verif.make ~s:0 ~t:5 ~e:(0, 1) grid ~h:[];
+    (* H = a perfect matching of C6 *)
+    Verif.make ~s:0 ~t:3 ~e:(0, 1) cycle6 ~h:[ (0, 1); (2, 3); (4, 5) ];
+    (* H = a triangle inside K4 *)
+    Verif.make ~s:0 ~t:3 ~e:(0, 1) k4 ~h:[ (0, 1); (1, 2); (0, 2) ];
+    (* random subgraphs of a random connected graph *)
+    Verif.random_subinstance ~seed:1 connected8;
+    Verif.random_subinstance ~seed:2 connected8;
+    Verif.random_subinstance ~seed:3 ~density:0.8 connected8;
+    Verif.random_subinstance ~seed:4 ~density:0.2 connected8;
+  ]
+  |> List.map (fun inst ->
+         (* give s and t to the random instances too *)
+         if inst.Verif.s = None then
+           Verif.make ~s:0 ~t:(Graph.n inst.Verif.graph - 1) inst.Verif.graph
+             ~h:inst.Verif.h
+         else inst)
+
+let exercise_scheme name scheme =
+  let covered_yes = ref 0 and covered_no = ref 0 in
+  List.iteri
+    (fun i inst ->
+      if scheme.Pls.predicate inst then incr covered_yes else incr covered_no;
+      check
+        (Printf.sprintf "%s completeness on instance %d" name i)
+        true
+        (Pls.check_completeness scheme inst);
+      check
+        (Printf.sprintf "%s soundness on instance %d" name i)
+        true
+        (Pls.check_soundness ~seed:(17 * i) ~attempts:30 scheme inst))
+    instance_pool;
+  (!covered_yes, !covered_no)
+
+let test_all_named () =
+  List.iter
+    (fun (name, scheme) ->
+      let yes, no = exercise_scheme name scheme in
+      check (name ^ " exercised both polarities (or is st/e-specific)") true
+        (yes + no = List.length instance_pool))
+    Schemes.all_named
+
+(* every scheme's label stays O(log n): measure on the pool *)
+let test_label_sizes () =
+  List.iter
+    (fun (name, scheme) ->
+      List.iter
+        (fun inst ->
+          if scheme.Pls.predicate inst then
+            match scheme.Pls.prover inst with
+            | None -> Alcotest.fail (name ^ ": prover refused a yes-instance")
+            | Some labeling ->
+                let n = Graph.n inst.Verif.graph in
+                let logn =
+                  int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0))
+                in
+                check
+                  (Printf.sprintf "%s label size O(log n)" name)
+                  true
+                  (Pls.max_label_bits labeling <= 24 * logn))
+        instance_pool)
+    Schemes.all_named
+
+(* polarity coverage: specific yes/no instances per predicate pair *)
+let test_polarity_coverage () =
+  let count_yes scheme =
+    List.length (List.filter scheme.Pls.predicate instance_pool)
+  in
+  List.iter
+    (fun (name, scheme) ->
+      check (name ^ " has a yes-instance in the pool") true (count_yes scheme > 0))
+    Schemes.all_named
+
+let test_matching_schemes () =
+  let g = Gen.cycle 6 in
+  let inst = Verif.make g ~h:(List.map (fun (u, v, _) -> (u, v)) (Graph.edges g)) in
+  (* ν(C6) = 3 *)
+  List.iter
+    (fun k ->
+      let ge = Schemes.matching_ge k and lt = Schemes.matching_lt k in
+      check
+        (Printf.sprintf "matching-ge-%d completeness" k)
+        true
+        (Pls.check_completeness ge inst);
+      check
+        (Printf.sprintf "matching-ge-%d soundness" k)
+        true
+        (Pls.check_soundness ~seed:k ~attempts:30 ge inst);
+      check
+        (Printf.sprintf "matching-lt-%d completeness" k)
+        true
+        (Pls.check_completeness lt inst);
+      check
+        (Printf.sprintf "matching-lt-%d soundness" k)
+        true
+        (Pls.check_soundness ~seed:(k + 7) ~attempts:30 lt inst))
+    [ 1; 2; 3; 4; 5 ];
+  (* an odd component forces a Tutte-Berge certificate with nonempty U *)
+  let star = Gen.star 6 in
+  let inst_star =
+    Verif.make star ~h:(List.map (fun (u, v, _) -> (u, v)) (Graph.edges star))
+  in
+  check "star matching-lt-2 completeness" true
+    (Pls.check_completeness (Schemes.matching_lt 2) inst_star);
+  check "star matching-ge-2 soundness" true
+    (Pls.check_soundness ~seed:3 ~attempts:40 (Schemes.matching_ge 2) inst_star)
+
+let test_wdist_schemes () =
+  let g = Graph.create 5 in
+  List.iter
+    (fun (u, v, w) -> Graph.add_edge ~w g u v)
+    [ (0, 1, 2); (1, 2, 3); (2, 4, 4); (0, 3, 1); (3, 4, 20) ];
+  (* dist(0,4) = 9 *)
+  let inst = Verif.make ~s:0 ~t:4 g ~h:[] in
+  List.iter
+    (fun k ->
+      let ge = Schemes.wdist_ge k and lt = Schemes.wdist_lt k in
+      check (Printf.sprintf "wdist-ge-%d completeness" k) true
+        (Pls.check_completeness ge inst);
+      check (Printf.sprintf "wdist-ge-%d soundness" k) true
+        (Pls.check_soundness ~seed:k ~attempts:30 ge inst);
+      check (Printf.sprintf "wdist-lt-%d completeness" k) true
+        (Pls.check_completeness lt inst);
+      check (Printf.sprintf "wdist-lt-%d soundness" k) true
+        (Pls.check_soundness ~seed:(k + 5) ~attempts:30 lt inst))
+    [ 5; 9; 10; 15 ]
+
+(* adversarial (not merely random) labelings for key schemes *)
+let test_adversarial_spanning_tree () =
+  let g = Gen.clique 4 in
+  (* H is NOT a tree (a cycle): try the labeling of a real tree *)
+  let bad = Verif.make g ~h:[ (0, 1); (1, 2); (2, 0) ] in
+  check "predicate is false" false (Schemes.spanning_tree.Pls.predicate bad);
+  let fake = [| [ 0; 0 ]; [ 0; 1 ]; [ 0; 1 ]; [ 0; 2 ] |] in
+  check "fake tree labels rejected" false
+    (Pls.accepts Schemes.spanning_tree bad fake)
+
+let test_adversarial_ham_cycle () =
+  (* two disjoint triangles marked in a 6-vertex graph: all H-degrees are
+     2 but there is no hamiltonian cycle; consistent mod-enumeration
+     labelings must be rejected *)
+  let g = Graph.create 6 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (0, 3) ];
+  let inst =
+    Verif.make g ~h:[ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ]
+  in
+  check "predicate false" false (Schemes.hamiltonian_cycle.Pls.predicate inst);
+  (* enumerate both triangles 0,1,2 / 3,4,5 — the ±1 mod 6 rule fails *)
+  let fake = [| [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ]; [ 5 ] |] in
+  check "fake enumeration rejected" false
+    (Pls.accepts Schemes.hamiltonian_cycle inst fake);
+  check "negation scheme accepts its own certificate" true
+    (Pls.check_completeness Schemes.not_hamiltonian_cycle inst)
+
+
+(* exhaustive soundness on tiny instances: for 1-field-label schemes,
+   enumerate *every* labeling over a small field domain and confirm that
+   no labeling is accepted on a no-instance *)
+let test_exhaustive_soundness_tiny () =
+  let enumerate_labelings n domain f =
+    let total = int_of_float (float_of_int domain ** float_of_int n) in
+    for code = 0 to total - 1 do
+      let rest = ref code in
+      let labeling =
+        Array.init n (fun _ ->
+            let v = !rest mod domain in
+            rest := !rest / domain;
+            [ v ])
+      in
+      f labeling
+    done
+  in
+  let cases =
+    [
+      (* C4 with H = 3 edges of the cycle: not a hamiltonian cycle *)
+      ( "hamiltonian-cycle",
+        Schemes.hamiltonian_cycle,
+        Verif.make (Gen.cycle 4) ~h:[ (0, 1); (1, 2); (2, 3) ],
+        6 );
+      (* triangle fully marked: not bipartite *)
+      ( "bipartite",
+        Schemes.bipartite,
+        Verif.make (Gen.clique 3) ~h:[ (0, 1); (1, 2); (0, 2) ],
+        4 );
+      (* a forest: no cycle to mark *)
+      ( "has-cycle",
+        Schemes.has_cycle,
+        Verif.make (Gen.path 4) ~h:[ (0, 1); (2, 3) ],
+        6 );
+      (* s and t in separate H components: st-connected must reject all *)
+      ( "st-connected",
+        Schemes.st_connected,
+        Verif.make ~s:0 ~t:3 (Gen.path 4) ~h:[ (0, 1); (2, 3) ],
+        8 );
+    ]
+  in
+  List.iter
+    (fun (name, scheme, inst, domain) ->
+      check (name ^ " predicate is false") false (scheme.Pls.predicate inst);
+      let n = Graph.n inst.Verif.graph in
+      let accepted = ref 0 in
+      enumerate_labelings n domain (fun labeling ->
+          if Pls.accepts scheme inst labeling then incr accepted);
+      Alcotest.(check int) (name ^ " exhaustively sound") 0 !accepted)
+    cases
+
+let () =
+  Alcotest.run "pls"
+    [
+      ( "schemes",
+        [
+          Alcotest.test_case "completeness+soundness sweep" `Slow test_all_named;
+          Alcotest.test_case "label sizes" `Quick test_label_sizes;
+          Alcotest.test_case "polarity coverage" `Quick test_polarity_coverage;
+        ] );
+      ( "parameterized",
+        [
+          Alcotest.test_case "matching" `Quick test_matching_schemes;
+          Alcotest.test_case "weighted distance" `Quick test_wdist_schemes;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "spanning tree" `Quick test_adversarial_spanning_tree;
+          Alcotest.test_case "hamiltonian cycle" `Quick test_adversarial_ham_cycle;
+          Alcotest.test_case "exhaustive tiny soundness" `Quick
+            test_exhaustive_soundness_tiny;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+open Ch_graph
+open Ch_solvers
+open Ch_sat
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_cnf_basic () =
+  let phi =
+    Cnf.make 3
+      [
+        Cnf.One (Cnf.Pos 0);
+        Cnf.Two (Cnf.Neg 0, Cnf.Pos 1);
+        Cnf.Two (Cnf.Neg 1, Cnf.Neg 2);
+        Cnf.One (Cnf.Pos 2);
+      ]
+  in
+  check_int "nclauses" 4 (Cnf.nclauses phi);
+  check_int "count [t;t;f]" 3 (Cnf.count_sat phi [| true; true; false |]);
+  (* x2 = T forces x1 = F forces x0 = F, losing the first clause *)
+  check_int "max sat" 3 (fst (Cnf.max_sat phi));
+  let occ = Cnf.occurrences phi in
+  check_int "occ x0" 2 occ.(0);
+  check_int "occ x1" 2 occ.(1);
+  check_int "occ x2" 2 occ.(2);
+  let pos, neg = Cnf.literal_occurrences phi in
+  check_int "pos x2" 1 pos.(2);
+  check_int "neg x2" 1 neg.(2)
+
+let test_cnf_unsat_clause_counting () =
+  (* x and ~x can never both be satisfied *)
+  let phi = Cnf.make 1 [ Cnf.One (Cnf.Pos 0); Cnf.One (Cnf.Neg 0) ] in
+  check_int "max sat" 1 (fst (Cnf.max_sat phi))
+
+(* Claim 3.1: f(φ) = α(G) + |E| *)
+let prop_claim_3_1 =
+  QCheck.Test.make ~name:"claim 3.1: f(phi) = alpha + m" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.4 in
+      let phi = Sat_reductions.graph_to_cnf g in
+      fst (Cnf.max_sat phi) = Mis.alpha g + Graph.m g)
+
+(* Claim 3.4: α(G′) = f(φ′) for any 1/2-CNF formula *)
+let random_cnf ~seed ~nvars ~nclauses =
+  let rng = Random.State.make [| seed |] in
+  let lit () =
+    let v = Random.State.int rng nvars in
+    if Random.State.bool rng then Cnf.Pos v else Cnf.Neg v
+  in
+  let clause () =
+    if nvars < 2 || Random.State.bool rng then Cnf.One (lit ())
+    else begin
+      let a = lit () in
+      let rec other () =
+        let b = lit () in
+        if Cnf.var b = Cnf.var a then other () else b
+      in
+      Cnf.Two (a, other ())
+    end
+  in
+  Cnf.make nvars (List.init nclauses (fun _ -> clause ()))
+
+let prop_claim_3_4 =
+  QCheck.Test.make ~name:"claim 3.4: alpha(G') = f(phi')" ~count:40
+    QCheck.(triple (int_bound 10000) (int_range 1 10) (int_range 1 14))
+    (fun (seed, nvars, nclauses) ->
+      let phi = random_cnf ~seed ~nvars ~nclauses in
+      let sg = Sat_reductions.cnf_to_graph phi in
+      Mis.alpha sg.Sat_reductions.graph = fst (Cnf.max_sat phi))
+
+let prop_assignment_to_is =
+  QCheck.Test.make ~name:"assignment induces an independent set of size count_sat"
+    ~count:40
+    QCheck.(triple (int_bound 10000) (int_range 1 8) (int_range 1 12))
+    (fun (seed, nvars, nclauses) ->
+      let phi = random_cnf ~seed ~nvars ~nclauses in
+      let sg = Sat_reductions.cnf_to_graph phi in
+      let rng = Random.State.make [| seed; 31 |] in
+      let assignment = Array.init nvars (fun _ -> Random.State.bool rng) in
+      let set = Sat_reductions.independent_set_of_assignment phi sg assignment in
+      Mis.is_independent sg.Sat_reductions.graph set
+      && List.length set = Cnf.count_sat phi assignment)
+
+(* Corollary 3.1: f(φ′) = f(φ) + m_exp, for formulas small enough that φ′
+   stays brute-forceable *)
+let random_low_occurrence_cnf ~seed ~nvars =
+  let rng = Random.State.make [| seed |] in
+  let occ = Array.make nvars 0 in
+  let lit v = if Random.State.bool rng then Cnf.Pos v else Cnf.Neg v in
+  let clauses = ref [] in
+  (* each variable appears at most twice: gadgets stay tiny *)
+  for v = 0 to nvars - 1 do
+    occ.(v) <- 1 + Random.State.int rng 2
+  done;
+  let pool = ref [] in
+  Array.iteri (fun v c -> for _ = 1 to c do pool := v :: !pool done) occ;
+  let rec pair_up = function
+    | [] -> ()
+    | [ v ] -> clauses := Cnf.One (lit v) :: !clauses
+    | v :: u :: rest ->
+        if v <> u && Random.State.bool rng then begin
+          clauses := Cnf.Two (lit v, lit u) :: !clauses;
+          pair_up rest
+        end
+        else begin
+          clauses := Cnf.One (lit v) :: !clauses;
+          pair_up (u :: rest)
+        end
+  in
+  pair_up !pool;
+  Cnf.make nvars !clauses
+
+let prop_corollary_3_1 =
+  QCheck.Test.make ~name:"corollary 3.1: f(phi') = f(phi) + m_exp" ~count:25
+    QCheck.(pair (int_bound 10000) (int_range 1 4))
+    (fun (seed, nvars) ->
+      let phi = random_low_occurrence_cnf ~seed ~nvars in
+      let e = Sat_reductions.expand ~seed phi in
+      e.Sat_reductions.gadget_certified
+      && e.Sat_reductions.cnf.Cnf.nvars <= 24
+      && fst (Cnf.max_sat e.Sat_reductions.cnf)
+         = fst (Cnf.max_sat phi) + e.Sat_reductions.m_exp)
+
+(* Corollary 3.1 for larger formulas: compute f(φ′) through the (already
+   verified) Claim 3.4 equivalence α(G′) = f(φ′). *)
+let prop_corollary_3_1_large =
+  QCheck.Test.make ~name:"corollary 3.1 via alpha(G')" ~count:8
+    QCheck.(pair (int_bound 10000) (int_range 2 4))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.35 in
+      let phi = Sat_reductions.graph_to_cnf g in
+      let e = Sat_reductions.expand ~seed phi in
+      let sg = Sat_reductions.cnf_to_graph e.Sat_reductions.cnf in
+      Mis.alpha sg.Sat_reductions.graph
+      = fst (Cnf.max_sat phi) + e.Sat_reductions.m_exp)
+
+(* Structural guarantees of the pipeline (Section 3.1) *)
+let test_pipeline_structure () =
+  let g = Gen.gnp ~seed:5 8 0.5 in
+  let phi = Sat_reductions.graph_to_cnf g in
+  check_int "phi vars" 8 phi.Cnf.nvars;
+  check_int "phi clauses" (8 + Graph.m g) (Cnf.nclauses phi);
+  let e = Sat_reductions.expand ~seed:1 phi in
+  let phi' = e.Sat_reductions.cnf in
+  let occ = Cnf.occurrences phi' in
+  Array.iter (fun c -> check "var appears <= 8 times" true (c <= 8)) occ;
+  let pos, neg = Cnf.literal_occurrences phi' in
+  Array.iter (fun c -> check "literal <= 4 times" true (c <= 4)) pos;
+  Array.iter (fun c -> check "literal <= 4 times" true (c <= 4)) neg;
+  let sg = Sat_reductions.cnf_to_graph phi' in
+  check "G' max degree <= 5" true (Graph.max_degree sg.Sat_reductions.graph <= 5);
+  (* owner map is a partition *)
+  let total =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 e.Sat_reductions.copies
+  in
+  check_int "copies partition vars" phi'.Cnf.nvars total
+
+(* End-to-end: α(G′) = α(G) + |E| + m_exp *)
+let test_pipeline_end_to_end () =
+  List.iter
+    (fun (seed, n, p) ->
+      let g = Gen.gnp ~seed n p in
+      let phi = Sat_reductions.graph_to_cnf g in
+      let e = Sat_reductions.expand ~seed phi in
+      let sg = Sat_reductions.cnf_to_graph e.Sat_reductions.cnf in
+      check "gadgets certified" true e.Sat_reductions.gadget_certified;
+      check_int
+        (Printf.sprintf "alpha(G') for seed=%d n=%d" seed n)
+        (Mis.alpha g + Graph.m g + e.Sat_reductions.m_exp)
+        (Mis.alpha sg.Sat_reductions.graph))
+    [ (1, 5, 0.4); (2, 6, 0.4); (4, 7, 0.3) ]
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sat"
+    [
+      ( "cnf",
+        [
+          Alcotest.test_case "basics" `Quick test_cnf_basic;
+          Alcotest.test_case "contradictory units" `Quick test_cnf_unsat_clause_counting;
+        ] );
+      ( "reductions",
+        [
+          qt prop_claim_3_1;
+          qt prop_claim_3_4;
+          qt prop_assignment_to_is;
+          qt prop_corollary_3_1;
+          qt prop_corollary_3_1_large;
+          Alcotest.test_case "pipeline structure" `Quick test_pipeline_structure;
+          Alcotest.test_case "pipeline end to end" `Quick test_pipeline_end_to_end;
+        ] );
+    ]

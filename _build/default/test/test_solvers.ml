@@ -1,0 +1,580 @@
+open Ch_graph
+open Ch_solvers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force reference implementations                              *)
+(* ------------------------------------------------------------------ *)
+
+let subsets n f =
+  for mask = 0 to (1 lsl n) - 1 do
+    f (List.filter (fun v -> (mask lsr v) land 1 = 1) (List.init n Fun.id))
+  done
+
+let brute_alpha ?weights g =
+  let weights =
+    match weights with Some w -> w | None -> Array.make (Graph.n g) 1
+  in
+  let best = ref 0 in
+  subsets (Graph.n g) (fun set ->
+      if Mis.is_independent g set then
+        best := max !best (List.fold_left (fun acc v -> acc + weights.(v)) 0 set));
+  !best
+
+let brute_domset ?(radius = 1) ?weights g =
+  let weights =
+    match weights with Some w -> w | None -> Array.make (Graph.n g) 1
+  in
+  let best = ref max_int in
+  subsets (Graph.n g) (fun set ->
+      if Domset.is_dominating ~radius g set then
+        best := min !best (List.fold_left (fun acc v -> acc + weights.(v)) 0 set));
+  !best
+
+let brute_maxcut g =
+  let n = Graph.n g in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let side = Array.init n (fun v -> (mask lsr v) land 1 = 1) in
+    best := max !best (Maxcut.cut_weight g side)
+  done;
+  !best
+
+let brute_matching g =
+  let edges = List.map (fun (u, v, _) -> (u, v)) (Graph.edges g) in
+  let rec go chosen = function
+    | [] -> List.length chosen
+    | (u, v) :: rest ->
+        let skip = go chosen rest in
+        if List.exists (fun (a, b) -> a = u || b = u || a = v || b = v) chosen
+        then skip
+        else max skip (go ((u, v) :: chosen) rest)
+  in
+  go [] edges
+
+let brute_ham_path dg =
+  let n = Digraph.n dg in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+          l
+  in
+  List.exists (Hamilton.is_directed_path dg) (permutations (List.init n Fun.id))
+
+let kruskal_weight g vertices =
+  (* MST weight of the subgraph induced on [vertices]; None if disconnected *)
+  let sel = Array.make (Graph.n g) false in
+  List.iter (fun v -> sel.(v) <- true) vertices;
+  let edges =
+    List.filter (fun (u, v, _) -> sel.(u) && sel.(v)) (Graph.edges g)
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+  in
+  let uf = Union_find.create (Graph.n g) in
+  let total = ref 0 and joined = ref 1 in
+  List.iter
+    (fun (u, v, w) ->
+      if Union_find.union uf u v then begin
+        total := !total + w;
+        incr joined
+      end)
+    edges;
+  if !joined = List.length vertices then Some !total else None
+
+let brute_steiner g terminals =
+  let n = Graph.n g in
+  let best = ref max_int in
+  subsets n (fun extra ->
+      let vertices = List.sort_uniq compare (terminals @ extra) in
+      match kruskal_weight g vertices with
+      | Some w -> best := min !best w
+      | None -> ());
+  !best
+
+let brute_node_steiner g terminals =
+  let n = Graph.n g in
+  let best = ref max_int in
+  subsets n (fun extra ->
+      let vertices = List.sort_uniq compare (terminals @ extra) in
+      let sub, _ = Graph.induced g vertices in
+      if Props.connected sub && Graph.n sub = List.length vertices then
+        best :=
+          min !best (List.fold_left (fun acc v -> acc + Graph.vweight g v) 0 vertices));
+  !best
+
+
+let prop_steiner_cardinality_consistency =
+  QCheck.Test.make ~name:"min_edges equals unit-weight dreyfus-wagner" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 8))
+    (fun (seed, n) ->
+      let g = Gen.random_connected ~seed n 0.35 in
+      let rng = Random.State.make [| seed; 21 |] in
+      let t = List.sort_uniq compare
+          (List.init (min n 4) (fun _ -> Random.State.int rng n)) in
+      match Steiner.min_edges g t with
+      | Some edges -> edges = Steiner.dreyfus_wagner g t
+      | None -> false)
+
+let prop_domset_radius3 =
+  QCheck.Test.make ~name:"3-MDS matches brute force" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.25 in
+      Domset.min_size ~radius:3 g = brute_domset ~radius:3 g)
+
+let petersen () =
+  let g = Graph.create 10 in
+  for i = 0 to 4 do
+    Graph.add_edge g i ((i + 1) mod 5);
+    Graph.add_edge g i (i + 5);
+    Graph.add_edge g (5 + i) (5 + ((i + 2) mod 5))
+  done;
+  g
+
+(* ------------------------------------------------------------------ *)
+(* MIS / MVC                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mis_known () =
+  check_int "alpha C5" 2 (Mis.alpha (Gen.cycle 5));
+  check_int "alpha C6" 3 (Mis.alpha (Gen.cycle 6));
+  check_int "alpha K7" 1 (Mis.alpha (Gen.clique 7));
+  check_int "alpha P5" 3 (Mis.alpha (Gen.path 5));
+  check_int "alpha K34" 4 (Mis.alpha (Gen.complete_bipartite 3 4));
+  check_int "alpha petersen" 4 (Mis.alpha (petersen ()));
+  check_int "alpha empty" 6 (Mis.alpha (Graph.create 6));
+  check_int "tau petersen" 6 (Mis.min_vertex_cover_size (petersen ()))
+
+let test_mis_witness () =
+  let g = petersen () in
+  let set = Mis.max_independent_set g in
+  check "independent" true (Mis.is_independent g set);
+  check_int "witness size" 4 (List.length set);
+  let cover = Mis.min_vertex_cover g in
+  let covered (u, v, _) = List.mem u cover || List.mem v cover in
+  check "cover covers" true (List.for_all covered (Graph.edges g))
+
+let prop_mis_vs_brute =
+  QCheck.Test.make ~name:"alpha matches brute force" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 12))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.35 in
+      Mis.alpha g = brute_alpha g)
+
+let prop_mwis_vs_brute =
+  QCheck.Test.make ~name:"weighted MIS matches brute force" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 1 11))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.4 in
+      let rng = Random.State.make [| seed; 7 |] in
+      let weights = Array.init n (fun _ -> Random.State.int rng 20) in
+      fst (Mis.max_weight_set ~weights g) = brute_alpha ~weights g)
+
+let prop_mis_dense =
+  QCheck.Test.make ~name:"alpha on dense graphs" ~count:20
+    QCheck.(pair (int_bound 10000) (int_range 1 11))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.8 in
+      Mis.alpha g = brute_alpha g)
+
+(* exercise the sparse/kernelization path on a larger instance *)
+let test_mis_large_sparse () =
+  let g = Gen.random_connected ~seed:42 120 0.02 in
+  let w, set = Mis.max_weight_set ~weights:(Array.make 120 1) g in
+  check "independent" true (Mis.is_independent g set);
+  check_int "witness weight" w (List.length set);
+  (* sanity: at least the greedy bound *)
+  check "reasonable size" true (w >= 120 / (Graph.max_degree g + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Dominating sets                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_domset_known () =
+  check_int "gamma star" 1 (Domset.min_size (Gen.star 9));
+  check_int "gamma P7" 3 (Domset.min_size (Gen.path 7));
+  check_int "gamma C6" 2 (Domset.min_size (Gen.cycle 6));
+  check_int "gamma petersen" 3 (Domset.min_size (petersen ()));
+  check_int "2-dom P9" 2 (Domset.min_size ~radius:2 (Gen.path 9));
+  check_int "2-dom P10" 2 (Domset.min_size ~radius:2 (Gen.path 10));
+  check "exists" true (Domset.exists_of_size (Gen.cycle 6) 2);
+  check "not exists" false (Domset.exists_of_size (Gen.cycle 6) 1)
+
+let test_domset_witness () =
+  let g = petersen () in
+  let w, set = Domset.min_weight_set ~weights:(Array.make 10 1) g in
+  check_int "weight" 3 w;
+  check "dominating" true (Domset.is_dominating g set)
+
+let prop_domset_vs_brute =
+  QCheck.Test.make ~name:"min dominating set matches brute force" ~count:50
+    QCheck.(pair (int_bound 10000) (int_range 1 11))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.3 in
+      Domset.min_size g = brute_domset g)
+
+let prop_domset_weighted =
+  QCheck.Test.make ~name:"weighted dominating set matches brute force" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.3 in
+      let rng = Random.State.make [| seed; 13 |] in
+      let weights = Array.init n (fun _ -> Random.State.int rng 8) in
+      fst (Domset.min_weight_set ~weights g) = brute_domset ~weights g)
+
+let prop_domset_radius2 =
+  QCheck.Test.make ~name:"2-MDS matches brute force" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.25 in
+      Domset.min_size ~radius:2 g = brute_domset ~radius:2 g)
+
+(* ------------------------------------------------------------------ *)
+(* Max cut                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_maxcut_known () =
+  check_int "maxcut K34" 12 (fst (Maxcut.max_cut (Gen.complete_bipartite 3 4)));
+  check_int "maxcut C5" 4 (fst (Maxcut.max_cut (Gen.cycle 5)));
+  check_int "maxcut C6" 6 (fst (Maxcut.max_cut (Gen.cycle 6)));
+  check_int "maxcut K4" 4 (fst (Maxcut.max_cut (Gen.clique 4)));
+  let g = Gen.clique 4 in
+  Graph.set_edge_weight g 0 1 10;
+  check_int "weighted" 13 (fst (Maxcut.max_cut g))
+
+let prop_maxcut_vs_brute =
+  QCheck.Test.make ~name:"max cut matches brute force" ~count:50
+    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Gen.random_weights ~seed (Gen.gnp ~seed n 0.5) in
+      fst (Maxcut.max_cut g) = brute_maxcut g)
+
+let prop_maxcut_witness =
+  QCheck.Test.make ~name:"max cut witness is consistent" ~count:50
+    QCheck.(pair (int_bound 10000) (int_range 1 12))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.5 in
+      let w, side = Maxcut.max_cut g in
+      Maxcut.cut_weight g side = w)
+
+let prop_local_search_half =
+  QCheck.Test.make ~name:"local search cuts at least half the weight" ~count:50
+    QCheck.(pair (int_bound 10000) (int_range 2 20))
+    (fun (seed, n) ->
+      let g = Gen.random_weights ~seed (Gen.gnp ~seed n 0.4) in
+      2 * fst (Maxcut.local_search ~seed g) >= Graph.total_edge_weight g)
+
+(* ------------------------------------------------------------------ *)
+(* Hamiltonicity                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ham_known () =
+  check "C6 cycle" true (Hamilton.undirected_cycle (Gen.cycle 6) <> None);
+  check "P6 path" true (Hamilton.undirected_path (Gen.path 6) <> None);
+  check "P6 no cycle" true (Hamilton.undirected_cycle (Gen.path 6) = None);
+  check "star no path" true (Hamilton.undirected_path (Gen.star 5) = None);
+  check "K5 cycle" true (Hamilton.undirected_cycle (Gen.clique 5) <> None);
+  check "petersen no cycle" true (Hamilton.undirected_cycle (petersen ()) = None);
+  check "petersen has path" true (Hamilton.undirected_path (petersen ()) <> None);
+  check "grid 3x3 no cycle" true (Hamilton.undirected_cycle (Gen.grid 3 3) = None);
+  check "grid 3x4 cycle" true (Hamilton.undirected_cycle (Gen.grid 3 4) <> None)
+
+let test_ham_directed () =
+  let dicycle = Digraph.of_arcs 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  (match Hamilton.directed_cycle dicycle with
+  | Some c -> check "valid dicycle" true (Hamilton.is_directed_cycle dicycle c)
+  | None -> Alcotest.fail "expected directed cycle");
+  let dag = Digraph.of_arcs 4 [ (0, 1); (1, 2); (2, 3); (0, 2); (0, 3) ] in
+  (match Hamilton.directed_path dag with
+  | Some p -> check "valid dipath" true (Hamilton.is_directed_path dag p)
+  | None -> Alcotest.fail "expected directed path");
+  check "dag no cycle" true (Hamilton.directed_cycle dag = None);
+  check "between" true
+    (Hamilton.directed_path_between dag ~src:0 ~dst:3 <> None);
+  check "not between" true
+    (Hamilton.directed_path_between dag ~src:3 ~dst:0 = None)
+
+let prop_ham_path_vs_brute =
+  QCheck.Test.make ~name:"directed hamiltonian path matches brute force" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 6))
+    (fun (seed, n) ->
+      let dg = Gen.random_digraph ~seed n 0.4 in
+      (Hamilton.directed_path dg <> None) = brute_ham_path dg)
+
+let prop_ham_witness =
+  QCheck.Test.make ~name:"hamiltonian witnesses are valid" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 3 9))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.6 in
+      (match Hamilton.undirected_path g with
+      | Some p -> Hamilton.is_undirected_path g p
+      | None -> true)
+      &&
+      match Hamilton.undirected_cycle g with
+      | Some c -> Hamilton.is_undirected_cycle g c
+      | None -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Steiner trees                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_steiner_vs_brute =
+  QCheck.Test.make ~name:"dreyfus-wagner matches brute force" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 8))
+    (fun (seed, n) ->
+      let g = Gen.random_weights ~seed (Gen.random_connected ~seed n 0.3) in
+      let rng = Random.State.make [| seed; 3 |] in
+      let t = List.sort_uniq compare
+          (List.init (min n 4) (fun _ -> Random.State.int rng n)) in
+      Steiner.dreyfus_wagner g t = brute_steiner g t)
+
+let prop_node_steiner_vs_brute =
+  QCheck.Test.make ~name:"node-weighted steiner matches brute force" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 8))
+    (fun (seed, n) ->
+      let g = Gen.random_connected ~seed n 0.3 in
+      let rng = Random.State.make [| seed; 5 |] in
+      for v = 0 to n - 1 do
+        Graph.set_vweight g v (Random.State.int rng 10)
+      done;
+      let t = List.sort_uniq compare
+          (List.init (min n 4) (fun _ -> Random.State.int rng n)) in
+      Steiner.node_weighted g t = brute_node_steiner g t)
+
+let prop_directed_steiner_symmetric =
+  QCheck.Test.make ~name:"directed steiner on symmetric digraph = undirected" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 2 8))
+    (fun (seed, n) ->
+      let g = Gen.random_weights ~seed (Gen.random_connected ~seed n 0.3) in
+      let dg = Digraph.create n in
+      Graph.iter_edges
+        (fun u v w ->
+          Digraph.add_arc ~w dg u v;
+          Digraph.add_arc ~w dg v u)
+        g;
+      let rng = Random.State.make [| seed; 9 |] in
+      let t = List.sort_uniq compare
+          (List.init (min n 4) (fun _ -> Random.State.int rng n)) in
+      let root = List.hd t in
+      Steiner.directed dg ~root t = Some (Steiner.dreyfus_wagner g t))
+
+let test_steiner_known () =
+  (* star: terminals are two leaves, the optimum passes through the hub *)
+  let g = Gen.star 5 in
+  check_int "star steiner" 2 (Steiner.dreyfus_wagner g [ 1; 2 ]);
+  check_int "star extra nodes" 1 (Option.get (Steiner.min_extra_nodes g [ 1; 2; 3 ]));
+  check_int "star min edges" 3 (Option.get (Steiner.min_edges g [ 1; 2; 3 ]));
+  let p = Gen.path 6 in
+  check_int "path extra" 4 (Option.get (Steiner.min_extra_nodes p [ 0; 5 ]));
+  check "unreachable directed" true
+    (Steiner.directed (Digraph.of_arcs 3 [ (1, 0) ]) ~root:0 [ 2 ] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_matching_known () =
+  check_int "nu C5" 2 (Matching.nu (Gen.cycle 5));
+  check_int "nu C6" 3 (Matching.nu (Gen.cycle 6));
+  check_int "nu petersen" 5 (Matching.nu (petersen ()));
+  check_int "nu K4" 2 (Matching.nu (Gen.clique 4));
+  check_int "nu star" 1 (Matching.nu (Gen.star 6));
+  check "matching valid" true
+    (Matching.is_matching (petersen ()) (Matching.maximum_matching (petersen ())))
+
+let prop_matching_vs_brute =
+  QCheck.Test.make ~name:"blossom matches brute force" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.4 in
+      Matching.nu g = brute_matching g)
+
+let prop_tutte_berge =
+  QCheck.Test.make ~name:"tutte-berge formula" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 1 9))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.35 in
+      let u = Matching.tutte_berge_witness g in
+      let d = Matching.tutte_berge_deficiency g u in
+      2 * Matching.nu g = n - d)
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_known () =
+  let f = Flow.create 4 in
+  Flow.add_edge f 0 1 ~cap:3;
+  Flow.add_edge f 0 2 ~cap:2;
+  Flow.add_edge f 1 2 ~cap:5;
+  Flow.add_edge f 1 3 ~cap:2;
+  Flow.add_edge f 2 3 ~cap:3;
+  check_int "max flow" 5 (Flow.max_flow f ~s:0 ~t:3);
+  let side = Flow.min_cut_side f ~s:0 ~t:3 in
+  check "s on source side" true side.(0);
+  check "t on sink side" false side.(3)
+
+let brute_min_cut g s t =
+  let n = Graph.n g in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n) - 1 do
+    if (mask lsr s) land 1 = 1 && (mask lsr t) land 1 = 0 then begin
+      let w = ref 0 in
+      Graph.iter_edges
+        (fun u v wt ->
+          if (mask lsr u) land 1 <> (mask lsr v) land 1 then w := !w + wt)
+        g;
+      best := min !best !w
+    end
+  done;
+  !best
+
+let prop_maxflow_mincut =
+  QCheck.Test.make ~name:"max flow equals min cut" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 9))
+    (fun (seed, n) ->
+      let g = Gen.random_weights ~seed (Gen.random_connected ~seed n 0.4) in
+      let f = Flow.of_graph g in
+      Flow.max_flow f ~s:0 ~t:(n - 1) = brute_min_cut g 0 (n - 1))
+
+let prop_flow_conservation =
+  QCheck.Test.make ~name:"flow conservation" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 9))
+    (fun (seed, n) ->
+      let g = Gen.random_weights ~seed (Gen.random_connected ~seed n 0.4) in
+      let f = Flow.of_graph g in
+      let value = Flow.max_flow f ~s:0 ~t:(n - 1) in
+      let net = Array.make n 0 in
+      List.iter
+        (fun (u, v, fl) ->
+          net.(u) <- net.(u) - fl;
+          net.(v) <- net.(v) + fl)
+        (Flow.flow_on_edges f);
+      net.(0) = -value && net.(n - 1) = value
+      && List.for_all (fun v -> net.(v) = 0)
+           (List.filter (fun v -> v <> 0 && v <> n - 1) (List.init n Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* 2-spanner                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_spanner_known () =
+  check_int "triangle spanner" 2 (fst (Spanner.min_weight_2_spanner (Gen.clique 3)));
+  check_int "C4 spanner" 4 (fst (Spanner.min_weight_2_spanner (Gen.cycle 4)));
+  check_int "star spanner" 5 (fst (Spanner.min_weight_2_spanner (Gen.star 6)));
+  (* K4: two adjacent "hub" edges cover everything? no — check exact value
+     against brute force below; here just validity *)
+  let w, edges = Spanner.min_weight_2_spanner (Gen.clique 4) in
+  check "valid spanner" true (Spanner.is_2_spanner (Gen.clique 4) edges);
+  check_int "weight consistent" w (List.length edges)
+
+let brute_spanner g =
+  let edges = List.map (fun (u, v, _) -> (u, v)) (Graph.edges g) in
+  let m = List.length edges in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl m) - 1 do
+    let subset = List.filteri (fun i _ -> (mask lsr i) land 1 = 1) edges in
+    if Spanner.is_2_spanner g subset then begin
+      let w =
+        List.fold_left (fun acc (u, v) -> acc + Graph.edge_weight g u v) 0 subset
+      in
+      best := min !best w
+    end
+  done;
+  !best
+
+let prop_spanner_vs_brute =
+  QCheck.Test.make ~name:"2-spanner matches brute force" ~count:25
+    QCheck.(pair (int_bound 10000) (int_range 1 6))
+    (fun (seed, n) ->
+      let g = Gen.random_weights ~seed ~lo:1 ~hi:5 (Gen.gnp ~seed n 0.5) in
+      if Graph.m g > 12 then true
+      else fst (Spanner.min_weight_2_spanner g) = brute_spanner g)
+
+(* ------------------------------------------------------------------ *)
+(* 2-ECSS                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ecss_known () =
+  check_int "cycle min 2ecss" 6 (Option.get (Ecss.min_edges (Gen.cycle 6)));
+  check "path has none" true (Ecss.min_edges (Gen.path 5) = None);
+  check "exists" true (Ecss.exists_with_edges (Gen.clique 4) 4);
+  check "not with fewer" false (Ecss.exists_with_edges (Gen.clique 4) 3)
+
+let prop_claim_2_7 =
+  QCheck.Test.make ~name:"claim 2.7: n-edge 2-ECSS iff hamiltonian cycle" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 3 7))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.6 in
+      Ecss.exists_with_edges g n = (Hamilton.undirected_cycle g <> None))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "solvers"
+    [
+      ( "mis",
+        [
+          Alcotest.test_case "known values" `Quick test_mis_known;
+          Alcotest.test_case "witnesses" `Quick test_mis_witness;
+          Alcotest.test_case "large sparse" `Quick test_mis_large_sparse;
+          qt prop_mis_vs_brute;
+          qt prop_mwis_vs_brute;
+          qt prop_mis_dense;
+        ] );
+      ( "domset",
+        [
+          Alcotest.test_case "known values" `Quick test_domset_known;
+          Alcotest.test_case "witnesses" `Quick test_domset_witness;
+          qt prop_domset_vs_brute;
+          qt prop_domset_weighted;
+          qt prop_domset_radius2;
+          qt prop_domset_radius3;
+        ] );
+      ( "maxcut",
+        [
+          Alcotest.test_case "known values" `Quick test_maxcut_known;
+          qt prop_maxcut_vs_brute;
+          qt prop_maxcut_witness;
+          qt prop_local_search_half;
+        ] );
+      ( "hamilton",
+        [
+          Alcotest.test_case "known undirected" `Quick test_ham_known;
+          Alcotest.test_case "known directed" `Quick test_ham_directed;
+          qt prop_ham_path_vs_brute;
+          qt prop_ham_witness;
+        ] );
+      ( "steiner",
+        [
+          Alcotest.test_case "known values" `Quick test_steiner_known;
+          qt prop_steiner_vs_brute;
+          qt prop_steiner_cardinality_consistency;
+          qt prop_node_steiner_vs_brute;
+          qt prop_directed_steiner_symmetric;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "known values" `Quick test_matching_known;
+          qt prop_matching_vs_brute;
+          qt prop_tutte_berge;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "known values" `Quick test_flow_known;
+          qt prop_maxflow_mincut;
+          qt prop_flow_conservation;
+        ] );
+      ( "spanner",
+        [
+          Alcotest.test_case "known values" `Quick test_spanner_known;
+          qt prop_spanner_vs_brute;
+        ] );
+      ( "ecss",
+        [
+          Alcotest.test_case "known values" `Quick test_ecss_known;
+          qt prop_claim_2_7;
+        ] );
+    ]
