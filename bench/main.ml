@@ -4,13 +4,26 @@
 
      dune exec bench/main.exe                 -- all report tables
      dune exec bench/main.exe -- e1 e7        -- selected tables
-     dune exec bench/main.exe -- bech         -- Bechamel timings  *)
+     dune exec bench/main.exe -- bech         -- Bechamel timings
+     dune exec bench/main.exe -- e1 --json    -- also write BENCH_<ts>.json
+
+   Sweeps fan out over the CH_JOBS-sized domain pool (Ch_core.Pool);
+   --json records per-experiment wall time plus a verification
+   throughput benchmark (pairs/sec, speedup vs a 1-worker pool) to
+   BENCH_<timestamp>.json so the perf trajectory is tracked per PR. *)
 
 open Ch_cc
 open Ch_core
 open Ch_lbgraphs
 
 let log2 x = log (float_of_int x) /. log 2.0
+
+let pmap f xs = Pool.parallel_map (Pool.default ()) f xs
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -44,7 +57,7 @@ let quick_verify ?(samples = 8) fam =
 let e1 () =
   header "E1 | Theorem 2.1 (Fig 1): exact MDS needs Ω(n²/log² n) rounds";
   let rows =
-    List.map
+    pmap
       (fun k ->
         let fam = Mds_lb.family ~k in
         let verified = if k <= 4 then quick_verify fam else "-" in
@@ -66,7 +79,7 @@ let e1 () =
 let e2 () =
   header "E2 | Theorem 2.2 (Fig 2): directed Hamiltonian path, Ω(n²/log⁴ n)";
   let rows =
-    List.map
+    pmap
       (fun k ->
         let fam = Hampath_lb.path_family ~k in
         let verified =
@@ -125,7 +138,7 @@ let e4 () =
 let e5 () =
   header "E5 | Theorem 2.7: exact Steiner tree, Ω(n²/log² n) (reduction from E1)";
   let rows =
-    List.map
+    pmap
       (fun k ->
         let fam = Steiner_lb.family ~k in
         let verified = if k = 2 then quick_verify ~samples:6 fam else "-" in
@@ -145,7 +158,7 @@ let e5 () =
 let e6 () =
   header "E6 | Theorem 2.8 (Fig 3): exact weighted max cut, Ω(n²/log² n)";
   let rows =
-    List.map
+    pmap
       (fun k ->
         let fam = Maxcut_lb.family ~k in
         let verified = if k = 2 then quick_verify ~samples:6 fam else "-" in
@@ -597,19 +610,126 @@ let all_experiments =
     ("e18", e18);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* --json: perf trajectory tracking                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Verification throughput: the same workload on the CH_JOBS pool and on
+   a 1-worker pool.  Results must be bitwise identical (the determinism
+   contract); the ratio of wall times is the parallel speedup.  The
+   exhaustive sweep is capped at K ≤ 10 by the framework, so the k=4 MDS
+   family (K = 16) is measured through verify_random. *)
+let verify_benches () =
+  let pool = Pool.default () and pool1 = Pool.create ~jobs:1 () in
+  let bench ~name f =
+    let r, wall = timed (fun () -> f pool) in
+    let r1, wall1 = timed (fun () -> f pool1) in
+    if r <> r1 then
+      failwith (Printf.sprintf "verify bench %s: CH_JOBS result mismatch" name);
+    let failures, pairs = r in
+    if failures > 0 then
+      failwith (Printf.sprintf "verify bench %s: %d failures" name failures);
+    (name, pairs, wall, wall1)
+  in
+  [
+    bench ~name:"mds-k2-exhaustive" (fun p ->
+        Framework.verify_exhaustive ~pool:p (Mds_lb.family ~k:2));
+    bench ~name:"mds-k4-exhaustive-block" (fun p ->
+        (* a 128 × 16 block of the K = 16 pair space: ~2k exact solves on
+           the k=4 gadget — big enough to time, bounded enough for a
+           smoke run (the full 2^16 × 2^16 space is out of reach) *)
+        let fam = Mds_lb.family ~k:4 in
+        let xs = Array.of_list (Bits.all 16) in
+        let counts =
+          Pool.parallel_chunks p ~lo:0 ~hi:(128 * 16) (fun lo hi ->
+              let bad = ref 0 in
+              for i = lo to hi - 1 do
+                if not (Framework.verify_pair fam xs.(257 * (i / 16)) xs.(i mod 16))
+                then incr bad
+              done;
+              !bad)
+        in
+        (List.fold_left ( + ) 0 counts, 128 * 16));
+    bench ~name:"mds-k4-random-64" (fun p ->
+        Framework.verify_random ~pool:p ~seed:77 ~samples:64 (Mds_lb.family ~k:4));
+  ]
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_json ~experiment_times ~verify =
+  let ts = int_of_float (Unix.time ()) in
+  let file = Printf.sprintf "BENCH_%d.json" ts in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"timestamp\": %d,\n" ts;
+  Printf.bprintf buf "  \"jobs\": %d,\n" (Pool.jobs (Pool.default ()));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, wall) ->
+      Printf.bprintf buf "    {\"name\": \"%s\", \"wall_s\": %.6f}%s\n"
+        (json_escape name) wall
+        (if i < List.length experiment_times - 1 then "," else ""))
+    experiment_times;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"verify\": [\n";
+  List.iteri
+    (fun i (name, pairs, wall, wall1) ->
+      Printf.bprintf buf
+        "    {\"family\": \"%s\", \"pairs\": %d, \"wall_s\": %.6f, \
+         \"pairs_per_s\": %.1f, \"wall_s_jobs1\": %.6f, \
+         \"speedup_vs_jobs1\": %.3f}%s\n"
+        (json_escape name) pairs wall
+        (float_of_int pairs /. wall)
+        wall1 (wall1 /. wall)
+        (if i < List.length verify - 1 then "," else ""))
+    verify;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-      Printf.printf
-        "Hardness of Distributed Optimization (PODC 2019) — experiment report\n";
-      List.iter (fun (_, f) -> f ()) all_experiments;
-      run_bechamel ()
-  | [ "bech" ] -> run_bechamel ()
-  | ids ->
-      List.iter
-        (fun id ->
-          match List.assoc_opt id all_experiments with
-          | Some f -> f ()
-          | None -> Printf.eprintf "unknown experiment %S\n" id)
-        ids
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  let selected =
+    match args with
+    | [] -> List.filter (fun (id, _) -> id <> "bech") all_experiments
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt id all_experiments with
+            | Some f -> Some (id, f)
+            | None ->
+                if id <> "bech" then Printf.eprintf "unknown experiment %S\n" id;
+                None)
+          ids
+  in
+  if args = [] then
+    Printf.printf
+      "Hardness of Distributed Optimization (PODC 2019) — experiment report\n";
+  let experiment_times =
+    List.map
+      (fun (name, f) ->
+        let (), wall = timed f in
+        (name, wall))
+      selected
+  in
+  if args = [] || List.mem "bech" args then run_bechamel ();
+  if json then begin
+    header "Verification throughput (CH_JOBS pool vs 1 worker)";
+    let verify = verify_benches () in
+    List.iter
+      (fun (name, pairs, wall, wall1) ->
+        Printf.printf "  %-28s %8d pairs  %8.3fs  %10.1f pairs/s  ×%.2f vs jobs=1\n"
+          name pairs wall
+          (float_of_int pairs /. wall)
+          (wall1 /. wall))
+      verify;
+    write_json ~experiment_times ~verify
+  end

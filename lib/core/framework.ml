@@ -57,19 +57,26 @@ let cut_size fam = List.length (cut_edges fam)
 
 let verify_pair fam x y = fam.predicate (fam.build x y) = fam.f x y
 
-let verify_exhaustive fam =
+(* Verification fans out over the default domain pool (or [pool]).  The
+   pair space is chunked into index ranges merged in range order, and
+   every random draw below derives its seed from the sample index alone,
+   so each function returns bit-identical results for any CH_JOBS. *)
+
+let verify_exhaustive ?pool fam =
   if fam.input_bits > 10 then invalid_arg "Framework.verify_exhaustive: K > 10";
-  let inputs = Bits.all fam.input_bits in
-  let failures = ref 0 and total = ref 0 in
-  List.iter
-    (fun x ->
-      List.iter
-        (fun y ->
-          incr total;
-          if not (verify_pair fam x y) then incr failures)
-        inputs)
-    inputs;
-  (!failures, !total)
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let inputs = Array.of_list (Bits.all fam.input_bits) in
+  let n = Array.length inputs in
+  let counts =
+    Pool.parallel_chunks pool ~lo:0 ~hi:(n * n) (fun lo hi ->
+        let failures = ref 0 in
+        for p = lo to hi - 1 do
+          if not (verify_pair fam inputs.(p / n) inputs.(p mod n)) then
+            incr failures
+        done;
+        !failures)
+  in
+  (List.fold_left ( + ) 0 counts, n * n)
 
 let corner_pairs fam =
   let k = fam.input_bits in
@@ -80,22 +87,37 @@ let corner_pairs fam =
     (Bits.zeros k, Bits.ones k);
   ]
 
-let verify_random ~seed ~samples fam =
+(* Sample [i] is the pair drawn from seeds (seed + 2i, seed + 2i + 1);
+   the four corner pairs are checked first.  The derivation depends only
+   on the sample index, never on a shared RNG, so any chunk can generate
+   its own samples. *)
+let verify_random ?pool ~seed ~samples fam =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let k = fam.input_bits in
-  let pairs =
-    corner_pairs fam
-    @ List.init samples (fun i ->
-          (Bits.random ~seed:(seed + (2 * i)) k, Bits.random ~seed:(seed + (2 * i) + 1) k))
+  let pair_at i =
+    if i < 4 then List.nth (corner_pairs fam) i
+    else
+      let i = i - 4 in
+      (Bits.random ~seed:(seed + (2 * i)) k, Bits.random ~seed:(seed + (2 * i) + 1) k)
   in
-  let failures =
-    List.length (List.filter (fun (x, y) -> not (verify_pair fam x y)) pairs)
+  let total = samples + 4 in
+  let counts =
+    Pool.parallel_chunks pool ~lo:0 ~hi:total (fun lo hi ->
+        let failures = ref 0 in
+        for i = lo to hi - 1 do
+          let x, y = pair_at i in
+          if not (verify_pair fam x y) then incr failures
+        done;
+        !failures)
   in
-  (failures, List.length pairs)
+  (List.fold_left ( + ) 0 counts, total)
 
-let check_sidedness ~seed ~samples fam =
+(* Sample [i] uses seeds (seed + 4i .. seed + 4i + 3). *)
+let check_sidedness ?pool ~seed ~samples fam =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let k = fam.input_bits in
-  let ok = ref true in
-  for i = 0 to samples - 1 do
+  let sample_ok i =
+    let ok = ref true in
     let x = Bits.random ~seed:(seed + (4 * i)) k in
     let x' = Bits.random ~seed:(seed + (4 * i) + 1) k in
     let y = Bits.random ~seed:(seed + (4 * i) + 2) k in
@@ -108,9 +130,18 @@ let check_sidedness ~seed ~samples fam =
     let a2, _, c2, wa2, _ = fingerprint fam (fam.build x y') in
     if not (a1 = a2 && c1 = c2 && wa1 = wa2) then ok := false;
     (* the vertex count is fixed *)
-    if Graph.n (graph_of (fam.build x y)) <> fam.nvertices then ok := false
-  done;
-  !ok
+    if Graph.n (graph_of (fam.build x y)) <> fam.nvertices then ok := false;
+    !ok
+  in
+  let oks =
+    Pool.parallel_chunks pool ~lo:0 ~hi:samples (fun lo hi ->
+        let ok = ref true in
+        for i = lo to hi - 1 do
+          if not (sample_ok i) then ok := false
+        done;
+        !ok)
+  in
+  List.for_all Fun.id oks
 
 let lower_bound_rounds ~input_bits ~cut ~n =
   float_of_int (Commfn.cc_disj_lower_bound input_bits)

@@ -40,23 +40,37 @@ val cut_edges : t -> (int * int) list
 
 val cut_size : t -> int
 
-(** {1 Family verification} *)
+(** {1 Family verification}
+
+    The three verifiers fan their (perfectly parallel) input-pair checks
+    out over a domain pool — [pool] when given, otherwise
+    {!Pool.default} (sized by [CH_JOBS], see {!Pool}).  All of them are
+    deterministic regardless of the worker count or schedule: the pair
+    space is chunked by index, per-chunk counts are merged in index
+    order, and random samples derive their seeds from the sample index
+    alone. *)
 
 val verify_pair : t -> Bits.t -> Bits.t -> bool
 (** Does P(G_{x,y}) = f(x,y) hold for this input pair? *)
 
-val verify_exhaustive : t -> int * int
+val verify_exhaustive : ?pool:Pool.t -> t -> int * int
 (** [(failures, total)] over all 2^K × 2^K input pairs.
     @raise Invalid_argument when [input_bits > 10]. *)
 
-val verify_random : seed:int -> samples:int -> t -> int * int
-(** [(failures, total)] over random pairs plus the all-zeros / all-ones
-    corner cases. *)
+val verify_random : ?pool:Pool.t -> seed:int -> samples:int -> t -> int * int
+(** [(failures, total)] over the four all-zeros / all-ones corner pairs
+    followed by [samples] random pairs.  {b Seeding scheme:} sample [i]
+    (0-based, corners excluded) is the pair
+    [(Bits.random ~seed:(seed + 2i), Bits.random ~seed:(seed + 2i + 1))]
+    — each sample's seeds are a pure function of [seed] and [i], never a
+    shared RNG stream, so the result is reproducible under any parallel
+    schedule and any [CH_JOBS]. *)
 
-val check_sidedness : seed:int -> samples:int -> t -> bool
+val check_sidedness : ?pool:Pool.t -> seed:int -> samples:int -> t -> bool
 (** Conditions 1–3 of Definition 1.1: the vertex set is fixed, G[V_B] and
     E_cut (edges, weights, vertex weights) do not depend on x, and
-    symmetrically for y.  Checked on random input pairs. *)
+    symmetrically for y.  Checked on random input pairs; sample [i] draws
+    its four strings from seeds [seed + 4i .. seed + 4i + 3]. *)
 
 (** {1 Theorem 1.1} *)
 

@@ -41,9 +41,26 @@ let remove t i =
   let w = i / bits_per_word in
   t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
 
-let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
-  go 0 x
+(* Population count by 16-bit table lookup: four dependent-free loads
+   beat the bit-at-a-time Kernighan loop on the dense words the solvers
+   scan.  Words may have bit 62 set (OCaml's 63-bit ints are negative
+   then); [lsr] is a logical shift, so the top slice is still < 2^15. *)
+let pc16 =
+  let t = Bytes.create 65536 in
+  Bytes.unsafe_set t 0 '\000';
+  for i = 1 to 65535 do
+    Bytes.unsafe_set t i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t (i lsr 1)) + (i land 1)))
+  done;
+  t
+
+let[@inline] pc i = Char.code (Bytes.unsafe_get pc16 i)
+
+let[@inline] popcount x =
+  pc (x land 0xffff)
+  + pc ((x lsr 16) land 0xffff)
+  + pc ((x lsr 32) land 0xffff)
+  + pc (x lsr 48)
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
@@ -58,11 +75,9 @@ let equal a b =
 
 let subset a b =
   same_capacity a b;
-  let ok = ref true in
-  for w = 0 to Array.length a.words - 1 do
-    if a.words.(w) land lnot b.words.(w) <> 0 then ok := false
-  done;
-  !ok
+  let n = Array.length a.words in
+  let rec go w = w >= n || (a.words.(w) land lnot b.words.(w) = 0 && go (w + 1)) in
+  go 0
 
 let union_into dst src =
   same_capacity dst src;
@@ -107,13 +122,13 @@ let inter_cardinal a b =
 
 let intersects a b =
   same_capacity a b;
-  let hit = ref false in
-  for w = 0 to Array.length a.words - 1 do
-    if a.words.(w) land b.words.(w) <> 0 then hit := true
-  done;
-  !hit
+  let n = Array.length a.words in
+  let rec go w = w < n && (a.words.(w) land b.words.(w) <> 0 || go (w + 1)) in
+  go 0
 
-let lowest_bit x = popcount ((x land -x) - 1)
+(* Index of the lowest set bit: isolate it and popcount the ones below.
+   With the table-based popcount this is O(1), not O(set bits). *)
+let[@inline] lowest_bit x = popcount ((x land -x) - 1)
 
 let choose t =
   let rec go w =
@@ -123,19 +138,37 @@ let choose t =
   in
   go 0
 
+(* Word-at-a-time scan: zero words cost one compare, and each set bit
+   costs one ctz plus one clear-lowest-bit ([w land (w - 1)]) instead of
+   a per-index [mem] probe. *)
 let iter f t =
-  for w = 0 to Array.length t.words - 1 do
-    let word = ref t.words.(w) in
-    while !word <> 0 do
-      let bit = !word land - !word in
-      f ((w * bits_per_word) + lowest_bit !word);
-      word := !word land lnot bit
-    done
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let word = ref (Array.unsafe_get words w) in
+    if !word <> 0 then begin
+      let base = w * bits_per_word in
+      while !word <> 0 do
+        let x = !word in
+        f (base + lowest_bit x);
+        word := x land (x - 1)
+      done
+    end
   done
 
 let fold f t init =
+  let words = t.words in
   let acc = ref init in
-  iter (fun i -> acc := f i !acc) t;
+  for w = 0 to Array.length words - 1 do
+    let word = ref (Array.unsafe_get words w) in
+    if !word <> 0 then begin
+      let base = w * bits_per_word in
+      while !word <> 0 do
+        let x = !word in
+        acc := f (base + lowest_bit x) !acc;
+        word := x land (x - 1)
+      done
+    end
+  done;
   !acc
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])

@@ -168,15 +168,34 @@ let reduce d =
   done;
   (!acc, !taken, List.rev !folds)
 
-let unfold folds set =
-  List.fold_left
-    (fun set fold ->
+(* Folds are undone newest-first.  Membership is answered by a bitset
+   mirror of the accumulated list: the former [List.mem] probe made
+   witness reconstruction O(folds · |set|). *)
+let unfold ~n folds set =
+  let mem = Bitset.create n in
+  List.iter (Bitset.add mem) set;
+  let set = ref set in
+  List.iter
+    (fun fold ->
       match fold with
-      | Pendant (v, u) -> if List.mem u set then set else v :: set
+      | Pendant (v, u) ->
+          if not (Bitset.mem mem u) then begin
+            Bitset.add mem v;
+            set := v :: !set
+          end
       | Fold2 (v, u, w) ->
-          if List.mem v set then u :: w :: List.filter (( <> ) v) set
-          else v :: set)
-    set (List.rev folds)
+          if Bitset.mem mem v then begin
+            Bitset.remove mem v;
+            Bitset.add mem u;
+            Bitset.add mem w;
+            set := u :: w :: List.filter (( <> ) v) !set
+          end
+          else begin
+            Bitset.add mem v;
+            set := v :: !set
+          end)
+    (List.rev folds);
+  !set
 
 let components d =
   let remaining = Bitset.copy d.present in
@@ -211,7 +230,7 @@ let rec solve d lb =
   let finish inner =
     match inner with
     | None -> None
-    | Some (w, set) -> Some (w + base, unfold folds (taken @ set))
+    | Some (w, set) -> Some (w + base, unfold ~n:d.n folds (taken @ set))
   in
   if Bitset.is_empty d.present then
     finish (if 0 > lb' then Some (0, []) else None)
@@ -254,9 +273,10 @@ let rec solve d lb =
           in
           let lb'' = match with_v with Some (w, _) -> max lb' w | None -> lb' in
           let without_v =
-            let sub = copy_dyn d in
-            Bitset.remove sub.present v;
-            solve sub lb''
+            (* [d] is owned and dead after this branch: consume it in
+               place instead of paying a copy_dyn per branch node *)
+            Bitset.remove d.present v;
+            solve d lb''
           in
           match without_v with Some _ -> finish without_v | None -> finish with_v
         end

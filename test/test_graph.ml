@@ -61,6 +61,53 @@ let prop_bitset_demorgan =
       let rhs = Bitset.inter (Bitset.diff full a) (Bitset.diff full b) in
       Bitset.equal lhs rhs)
 
+(* The word-level iter/fold against a naive per-index reference, at
+   capacities straddling the 63-bit word boundary and on the empty /
+   full / sparse shapes the solvers produce. *)
+
+let boundary_capacities = [ 0; 1; 31; 62; 63; 64; 65; 125; 126; 127; 200 ]
+
+let naive_elements s =
+  List.filter (Bitset.mem s) (List.init (Bitset.capacity s) Fun.id)
+
+let iter_elements s =
+  let acc = ref [] in
+  Bitset.iter (fun i -> acc := i :: !acc) s;
+  List.rev !acc
+
+let agrees_with_naive s =
+  let reference = naive_elements s in
+  iter_elements s = reference
+  && Bitset.fold (fun i acc -> i :: acc) s [] = List.rev reference
+  && Bitset.elements s = reference
+  && Bitset.cardinal s = List.length reference
+  && Bitset.is_empty s = (reference = [])
+  && (reference = [] || Bitset.choose s = List.hd reference)
+
+let test_bitset_scan_boundaries () =
+  List.iter
+    (fun cap ->
+      let name shape = Printf.sprintf "%s capacity %d" shape cap in
+      check (name "empty") true (agrees_with_naive (Bitset.create cap));
+      check (name "full") true (agrees_with_naive (Bitset.full cap));
+      (* every k-th element exercises runs of zero words *)
+      List.iter
+        (fun k ->
+          let s = Bitset.create cap in
+          let rec fill i = if i < cap then (Bitset.add s i; fill (i + k)) in
+          fill 0;
+          check (name (Printf.sprintf "stride-%d" k)) true (agrees_with_naive s))
+        [ 1; 2; 63; 64; 100 ])
+    boundary_capacities
+
+let prop_bitset_scan =
+  QCheck.Test.make ~name:"bitset iter/fold match naive reference" ~count:300
+    QCheck.(pair (int_range 0 10) (list (int_bound 199)))
+    (fun (cap_idx, items) ->
+      let cap = List.nth boundary_capacities cap_idx in
+      let s = Bitset.of_list cap (List.filter (fun i -> i < cap) items) in
+      agrees_with_naive s)
+
 (* ------------------------------------------------------------------ *)
 (* Graph                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -273,8 +320,11 @@ let () =
           Alcotest.test_case "basic" `Quick test_bitset_basic;
           Alcotest.test_case "full" `Quick test_bitset_full;
           Alcotest.test_case "ops" `Quick test_bitset_ops;
+          Alcotest.test_case "scan at word boundaries" `Quick
+            test_bitset_scan_boundaries;
           qt prop_bitset_roundtrip;
           qt prop_bitset_demorgan;
+          qt prop_bitset_scan;
         ] );
       ( "graph",
         [
