@@ -6,11 +6,16 @@
      dune exec bench/main.exe -- e1 e7        -- selected tables
      dune exec bench/main.exe -- bech         -- Bechamel timings
      dune exec bench/main.exe -- e1 --json    -- also write BENCH_<ts>.json
+     dune exec bench/main.exe -- e1 --json --smoke
+                                              -- CI-sized verify benches
 
    Sweeps fan out over the CH_JOBS-sized domain pool (Ch_core.Pool);
    --json records per-experiment wall time plus a verification
-   throughput benchmark (pairs/sec, speedup vs a 1-worker pool) to
-   BENCH_<timestamp>.json so the perf trajectory is tracked per PR. *)
+   throughput benchmark (pairs/sec, speedup vs a 1-worker pool, cache
+   hit/miss counters, incremental-vs-scratch speedup and per-pair
+   differential) to BENCH_<timestamp>.json so the perf trajectory is
+   tracked per PR.  --smoke drops the slow from-scratch Steiner/Maxcut
+   sweeps from the verify benches. *)
 
 open Ch_cc
 open Ch_core
@@ -618,10 +623,92 @@ let all_experiments =
    a 1-worker pool.  Results must be bitwise identical (the determinism
    contract); the ratio of wall times is the parallel speedup.  The
    exhaustive sweep is capped at K ≤ 10 by the framework, so the k=4 MDS
-   family (K = 16) is measured through verify_random. *)
-let verify_benches () =
+   family (K = 16) is measured through verify_random.
+
+   Exhaustive sweeps run through [Framework.exhaustive_verdicts] (same
+   cost as [verify_exhaustive], but keeping the per-pair trace): the
+   failure count is derived from the expected f(x,y) array, and each
+   incremental "<name>-inc" entry is differenced pair by pair against
+   its from-scratch counterpart's trace.  [--smoke] drops the slow
+   from-scratch Steiner/Maxcut sweeps (so those -inc entries carry no
+   differential) for CI-sized runs. *)
+type ventry = {
+  vname : string;
+  vpairs : int;
+  vwall : float;
+  vwall1 : float;
+  vhits : int;
+  vmisses : int;
+  vvs_scratch : float option;  (* scratch wall / incremental wall *)
+  vdiff_ok : bool option;  (* per-pair trace equality vs scratch *)
+}
+
+let verify_benches ~smoke () =
   let pool = Pool.default () and pool1 = Pool.create ~jobs:1 () in
-  let bench ~name f =
+  (* expected per-pair answers, in exhaustive_verdicts order *)
+  let expected fam =
+    let xs = Array.of_list (Bits.all fam.Framework.input_bits) in
+    let n = Array.length xs in
+    Array.init (n * n) (fun i -> fam.Framework.f xs.(i / n) xs.(i mod n))
+  in
+  let entry ~name ~pairs ~wall ~wall1 ?(hits = 0) ?(misses = 0) ?vs_scratch
+      ?diff_ok () =
+    {
+      vname = name;
+      vpairs = pairs;
+      vwall = wall;
+      vwall1 = wall1;
+      vhits = hits;
+      vmisses = misses;
+      vvs_scratch = vs_scratch;
+      vdiff_ok = diff_ok;
+    }
+  in
+  (* from-scratch traces, by name, for the -inc differentials *)
+  let traces : (string, bool array * float) Hashtbl.t = Hashtbl.create 8 in
+  let bench_scratch ~name fam =
+    let v, wall = timed (fun () -> Framework.exhaustive_verdicts ~pool fam) in
+    let v1, wall1 = timed (fun () -> Framework.exhaustive_verdicts ~pool:pool1 fam) in
+    if v <> v1 then
+      failwith (Printf.sprintf "verify bench %s: CH_JOBS result mismatch" name);
+    let exp = expected fam in
+    Array.iteri
+      (fun i e ->
+        if v.(i) <> e then
+          failwith (Printf.sprintf "verify bench %s: failure at pair %d" name i))
+      exp;
+    Hashtbl.replace traces name (v, wall);
+    entry ~name ~pairs:(Array.length v) ~wall ~wall1 ()
+  in
+  let bench_inc ~name ~scratch_name inc =
+    let (v, stats), wall =
+      timed (fun () -> Framework.exhaustive_verdicts_inc ~pool inc)
+    in
+    let (v1, _), wall1 =
+      timed (fun () -> Framework.exhaustive_verdicts_inc ~pool:pool1 inc)
+    in
+    if v <> v1 then
+      failwith (Printf.sprintf "verify bench %s: CH_JOBS result mismatch" name);
+    let exp = expected inc.Framework.scratch in
+    Array.iteri
+      (fun i e ->
+        if v.(i) <> e then
+          failwith (Printf.sprintf "verify bench %s: failure at pair %d" name i))
+      exp;
+    let vs_scratch, diff_ok =
+      match Hashtbl.find_opt traces scratch_name with
+      | Some (sv, swall) -> (Some (swall /. wall), Some (sv = v))
+      | None -> (None, None)
+    in
+    (match diff_ok with
+    | Some false ->
+        failwith (Printf.sprintf "verify bench %s: differential mismatch" name)
+    | _ -> ());
+    entry ~name ~pairs:(Array.length v) ~wall ~wall1
+      ~hits:stats.Framework.cache_hits ~misses:stats.Framework.cache_misses
+      ?vs_scratch ?diff_ok ()
+  in
+  let bench_counts ~name f =
     let r, wall = timed (fun () -> f pool) in
     let r1, wall1 = timed (fun () -> f pool1) in
     if r <> r1 then
@@ -629,30 +716,69 @@ let verify_benches () =
     let failures, pairs = r in
     if failures > 0 then
       failwith (Printf.sprintf "verify bench %s: %d failures" name failures);
-    (name, pairs, wall, wall1)
+    entry ~name ~pairs ~wall ~wall1 ()
   in
-  [
-    bench ~name:"mds-k2-exhaustive" (fun p ->
-        Framework.verify_exhaustive ~pool:p (Mds_lb.family ~k:2));
-    bench ~name:"mds-k4-exhaustive-block" (fun p ->
-        (* a 128 × 16 block of the K = 16 pair space: ~2k exact solves on
-           the k=4 gadget — big enough to time, bounded enough for a
-           smoke run (the full 2^16 × 2^16 space is out of reach) *)
-        let fam = Mds_lb.family ~k:4 in
-        let xs = Array.of_list (Bits.all 16) in
-        let counts =
-          Pool.parallel_chunks p ~lo:0 ~hi:(128 * 16) (fun lo hi ->
-              let bad = ref 0 in
-              for i = lo to hi - 1 do
-                if not (Framework.verify_pair fam xs.(257 * (i / 16)) xs.(i mod 16))
-                then incr bad
-              done;
-              !bad)
-        in
-        (List.fold_left ( + ) 0 counts, 128 * 16));
-    bench ~name:"mds-k4-random-64" (fun p ->
-        Framework.verify_random ~pool:p ~seed:77 ~samples:64 (Mds_lb.family ~k:4));
-  ]
+  (* sequential lets: each -inc entry needs its scratch trace recorded
+     first, and OCaml list elements evaluate in unspecified order *)
+  let mds_s = bench_scratch ~name:"mds-k2-exhaustive" (Mds_lb.family ~k:2) in
+  let mds_i =
+    bench_inc ~name:"mds-k2-exhaustive-inc" ~scratch_name:"mds-k2-exhaustive"
+      (Mds_lb.incremental ~k:2)
+  in
+  let maxis_s = bench_scratch ~name:"maxis-k2-exhaustive" (Maxis_lb.family ~k:2) in
+  let maxis_i =
+    bench_inc ~name:"maxis-k2-exhaustive-inc"
+      ~scratch_name:"maxis-k2-exhaustive" (Maxis_lb.incremental ~k:2)
+  in
+  let full =
+    if smoke then []
+    else begin
+      let k4_block =
+        bench_counts ~name:"mds-k4-exhaustive-block" (fun p ->
+            (* a 128 × 16 block of the K = 16 pair space: ~2k exact
+               solves on the k=4 gadget — big enough to time, bounded
+               enough for a smoke run (the full 2^16 × 2^16 space is out
+               of reach) *)
+            let fam = Mds_lb.family ~k:4 in
+            let xs = Array.of_list (Bits.all 16) in
+            let counts =
+              Pool.parallel_chunks p ~lo:0 ~hi:(128 * 16) (fun lo hi ->
+                  let bad = ref 0 in
+                  for i = lo to hi - 1 do
+                    if
+                      not
+                        (Framework.verify_pair fam
+                           xs.(257 * (i / 16))
+                           xs.(i mod 16))
+                    then incr bad
+                  done;
+                  !bad)
+            in
+            (List.fold_left ( + ) 0 counts, 128 * 16))
+      in
+      let k4_random =
+        bench_counts ~name:"mds-k4-random-64" (fun p ->
+            Framework.verify_random ~pool:p ~seed:77 ~samples:64
+              (Mds_lb.family ~k:4))
+      in
+      let steiner_s =
+        bench_scratch ~name:"steiner-k2-exhaustive" (Steiner_lb.family ~k:2)
+      in
+      let maxcut_s =
+        bench_scratch ~name:"maxcut-k2-exhaustive" (Maxcut_lb.family ~k:2)
+      in
+      [ k4_block; k4_random; steiner_s; maxcut_s ]
+    end
+  in
+  let steiner_i =
+    bench_inc ~name:"steiner-k2-exhaustive-inc"
+      ~scratch_name:"steiner-k2-exhaustive" (Steiner_lb.incremental ~k:2)
+  in
+  let maxcut_i =
+    bench_inc ~name:"maxcut-k2-exhaustive-inc"
+      ~scratch_name:"maxcut-k2-exhaustive" (Maxcut_lb.incremental ~k:2)
+  in
+  [ mds_s; mds_i; maxis_s; maxis_i ] @ full @ [ steiner_i; maxcut_i ]
 
 let json_escape s =
   String.concat ""
@@ -677,14 +803,23 @@ let write_json ~experiment_times ~verify =
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"verify\": [\n";
   List.iteri
-    (fun i (name, pairs, wall, wall1) ->
+    (fun i e ->
       Printf.bprintf buf
         "    {\"family\": \"%s\", \"pairs\": %d, \"wall_s\": %.6f, \
          \"pairs_per_s\": %.1f, \"wall_s_jobs1\": %.6f, \
-         \"speedup_vs_jobs1\": %.3f}%s\n"
-        (json_escape name) pairs wall
-        (float_of_int pairs /. wall)
-        wall1 (wall1 /. wall)
+         \"speedup_vs_jobs1\": %.3f, \"cache_hits\": %d, \
+         \"cache_misses\": %d%s%s}%s\n"
+        (json_escape e.vname) e.vpairs e.vwall
+        (float_of_int e.vpairs /. e.vwall)
+        e.vwall1
+        (e.vwall1 /. e.vwall)
+        e.vhits e.vmisses
+        (match e.vvs_scratch with
+        | Some s -> Printf.sprintf ", \"speedup_vs_scratch\": %.3f" s
+        | None -> "")
+        (match e.vdiff_ok with
+        | Some ok -> Printf.sprintf ", \"differential_ok\": %b" ok
+        | None -> "")
         (if i < List.length verify - 1 then "," else ""))
     verify;
   Buffer.add_string buf "  ]\n}\n";
@@ -696,7 +831,8 @@ let write_json ~experiment_times ~verify =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
-  let args = List.filter (fun a -> a <> "--json") args in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--json" && a <> "--smoke") args in
   let selected =
     match args with
     | [] -> List.filter (fun (id, _) -> id <> "bech") all_experiments
@@ -723,13 +859,21 @@ let () =
   if args = [] || List.mem "bech" args then run_bechamel ();
   if json then begin
     header "Verification throughput (CH_JOBS pool vs 1 worker)";
-    let verify = verify_benches () in
+    let verify = verify_benches ~smoke () in
     List.iter
-      (fun (name, pairs, wall, wall1) ->
-        Printf.printf "  %-28s %8d pairs  %8.3fs  %10.1f pairs/s  ×%.2f vs jobs=1\n"
-          name pairs wall
-          (float_of_int pairs /. wall)
-          (wall1 /. wall))
+      (fun e ->
+        Printf.printf
+          "  %-28s %8d pairs  %8.3fs  %10.1f pairs/s  ×%.2f vs jobs=1%s%s\n"
+          e.vname e.vpairs e.vwall
+          (float_of_int e.vpairs /. e.vwall)
+          (e.vwall1 /. e.vwall)
+          (match e.vvs_scratch with
+          | Some s -> Printf.sprintf "  ×%.2f vs scratch" s
+          | None -> "")
+          (match e.vdiff_ok with
+          | Some true -> "  differential ok"
+          | Some false -> "  DIFFERENTIAL MISMATCH"
+          | None -> ""))
       verify;
     write_json ~experiment_times ~verify
   end

@@ -57,15 +57,52 @@ let cut_size fam = List.length (cut_edges fam)
 
 let verify_pair fam x y = fam.predicate (fam.build x y) = fam.f x y
 
+(* ---- incremental descriptors ---------------------------------------- *)
+
+type cache_stats = { cache_hits : int; cache_misses : int }
+
+let no_cache_stats = { cache_hits = 0; cache_misses = 0 }
+
+let add_cache_stats a b =
+  {
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+  }
+
+type prepared = {
+  pbuild : Bits.t -> Bits.t -> instance;
+  pverdict : Bits.t -> Bits.t -> bool;
+  pstats : unit -> cache_stats;
+}
+
+type incremental = { scratch : t; prepare : unit -> prepared }
+
+let of_family fam =
+  {
+    scratch = fam;
+    prepare =
+      (fun () ->
+        {
+          pbuild = fam.build;
+          pverdict = (fun x y -> fam.predicate (fam.build x y));
+          pstats = (fun () -> no_cache_stats);
+        });
+  }
+
+let verify_pair_inc p fam x y = p.pverdict x y = fam.f x y
+
 (* Verification fans out over the default domain pool (or [pool]).  The
    pair space is chunked into index ranges merged in range order, and
    every random draw below derives its seed from the sample index alone,
    so each function returns bit-identical results for any CH_JOBS. *)
 
+let exhaustive_inputs name fam =
+  if fam.input_bits > 10 then invalid_arg (name ^ ": K > 10");
+  Array.of_list (Bits.all fam.input_bits)
+
 let verify_exhaustive ?pool fam =
-  if fam.input_bits > 10 then invalid_arg "Framework.verify_exhaustive: K > 10";
+  let inputs = exhaustive_inputs "Framework.verify_exhaustive" fam in
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  let inputs = Array.of_list (Bits.all fam.input_bits) in
   let n = Array.length inputs in
   let counts =
     Pool.parallel_chunks pool ~lo:0 ~hi:(n * n) (fun lo hi ->
@@ -77,6 +114,66 @@ let verify_exhaustive ?pool fam =
         !failures)
   in
   (List.fold_left ( + ) 0 counts, n * n)
+
+(* One prepared instance per chunk: the per-instance query scratch stays
+   domain-local while the memoized core tables are shared, and the chunk
+   boundaries (hence the merged counts) are the same as the from-scratch
+   verifiers', so results stay bit-identical for any CH_JOBS. *)
+let verify_exhaustive_inc ?pool inc =
+  let fam = inc.scratch in
+  let inputs = exhaustive_inputs "Framework.verify_exhaustive_inc" fam in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let n = Array.length inputs in
+  let chunks =
+    Pool.parallel_chunks pool ~lo:0 ~hi:(n * n) (fun lo hi ->
+        let p = inc.prepare () in
+        let failures = ref 0 in
+        for i = lo to hi - 1 do
+          if not (verify_pair_inc p fam inputs.(i / n) inputs.(i mod n)) then
+            incr failures
+        done;
+        (!failures, p.pstats ()))
+  in
+  let failures = List.fold_left (fun acc (f, _) -> acc + f) 0 chunks in
+  let stats =
+    List.fold_left (fun acc (_, s) -> add_cache_stats acc s) no_cache_stats chunks
+  in
+  ((failures, n * n), stats)
+
+let exhaustive_verdicts ?pool fam =
+  let inputs = exhaustive_inputs "Framework.exhaustive_verdicts" fam in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let n = Array.length inputs in
+  let chunks =
+    Pool.parallel_chunks pool ~lo:0 ~hi:(n * n) (fun lo hi ->
+        Array.init (hi - lo) (fun j ->
+            let i = lo + j in
+            fam.predicate (fam.build inputs.(i / n) inputs.(i mod n))))
+  in
+  Array.concat chunks
+
+let exhaustive_verdicts_inc ?pool inc =
+  let fam = inc.scratch in
+  let inputs = exhaustive_inputs "Framework.exhaustive_verdicts_inc" fam in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let n = Array.length inputs in
+  let chunks =
+    Pool.parallel_chunks pool ~lo:0 ~hi:(n * n) (fun lo hi ->
+        let p = inc.prepare () in
+        let v =
+          Array.init (hi - lo) (fun j ->
+              let i = lo + j in
+              p.pverdict inputs.(i / n) inputs.(i mod n))
+        in
+        (v, p.pstats ()))
+  in
+  let verdicts = Array.concat (List.map fst chunks) in
+  let stats =
+    List.fold_left
+      (fun acc (_, s) -> add_cache_stats acc s)
+      no_cache_stats chunks
+  in
+  (verdicts, stats)
 
 let corner_pairs fam =
   let k = fam.input_bits in
@@ -91,26 +188,46 @@ let corner_pairs fam =
    the four corner pairs are checked first.  The derivation depends only
    on the sample index, never on a shared RNG, so any chunk can generate
    its own samples. *)
+let random_pair_at fam ~seed i =
+  if i < 4 then List.nth (corner_pairs fam) i
+  else
+    let i = i - 4 in
+    let k = fam.input_bits in
+    (Bits.random ~seed:(seed + (2 * i)) k, Bits.random ~seed:(seed + (2 * i) + 1) k)
+
 let verify_random ?pool ~seed ~samples fam =
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  let k = fam.input_bits in
-  let pair_at i =
-    if i < 4 then List.nth (corner_pairs fam) i
-    else
-      let i = i - 4 in
-      (Bits.random ~seed:(seed + (2 * i)) k, Bits.random ~seed:(seed + (2 * i) + 1) k)
-  in
   let total = samples + 4 in
   let counts =
     Pool.parallel_chunks pool ~lo:0 ~hi:total (fun lo hi ->
         let failures = ref 0 in
         for i = lo to hi - 1 do
-          let x, y = pair_at i in
+          let x, y = random_pair_at fam ~seed i in
           if not (verify_pair fam x y) then incr failures
         done;
         !failures)
   in
   (List.fold_left ( + ) 0 counts, total)
+
+let verify_random_inc ?pool ~seed ~samples inc =
+  let fam = inc.scratch in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let total = samples + 4 in
+  let chunks =
+    Pool.parallel_chunks pool ~lo:0 ~hi:total (fun lo hi ->
+        let p = inc.prepare () in
+        let failures = ref 0 in
+        for i = lo to hi - 1 do
+          let x, y = random_pair_at fam ~seed i in
+          if not (verify_pair_inc p fam x y) then incr failures
+        done;
+        (!failures, p.pstats ()))
+  in
+  let failures = List.fold_left (fun acc (f, _) -> acc + f) 0 chunks in
+  let stats =
+    List.fold_left (fun acc (_, s) -> add_cache_stats acc s) no_cache_stats chunks
+  in
+  ((failures, total), stats)
 
 (* Sample [i] uses seeds (seed + 4i .. seed + 4i + 3). *)
 let check_sidedness ?pool ~seed ~samples fam =

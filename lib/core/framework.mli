@@ -64,7 +64,86 @@ val verify_random : ?pool:Pool.t -> seed:int -> samples:int -> t -> int * int
     [(Bits.random ~seed:(seed + 2i), Bits.random ~seed:(seed + 2i + 1))]
     — each sample's seeds are a pure function of [seed] and [i], never a
     shared RNG stream, so the result is reproducible under any parallel
-    schedule and any [CH_JOBS]. *)
+    schedule and any [CH_JOBS].
+
+    {b Sampling is with replacement:} distinct sample indices may draw
+    the same pair (and may re-draw a corner pair), and every index is
+    counted — [failures] and [total] tally checks, not distinct pairs.
+    Deduplicating would make the failure count depend on which indices
+    collide and break the per-index seed derivation above, so duplicates
+    are kept by design; use {!verify_exhaustive} when coverage of
+    distinct pairs matters. *)
+
+(** {2 Incremental verification}
+
+    Per Definition 1.1 only the input encoding — O(k) edges — varies
+    across the 2^K × 2^K pair space; the gadget core is fixed.  An
+    {!incremental} descriptor exploits that: {!field-prepare} builds the
+    core (and any solver cache, see [Ch_solvers.Cache]) once, and the
+    returned {!prepared} patches input edges and answers the predicate
+    per pair.  The plain {!field-scratch} family is kept alongside as the
+    reference oracle — the [_inc] verifiers promise results bit-identical
+    to their from-scratch counterparts, which the differential tests and
+    the bench harness assert pair by pair.
+
+    The verifiers call [prepare] once per pool chunk, so the mutable
+    per-instance state never crosses domains; chunk boundaries match the
+    from-scratch verifiers', keeping results independent of [CH_JOBS]. *)
+
+type cache_stats = { cache_hits : int; cache_misses : int }
+(** Summed solver-cache counters: a miss is a core-table computation, a
+    hit an operation served from cached tables (see [Ch_solvers.Cache]). *)
+
+val no_cache_stats : cache_stats
+
+val add_cache_stats : cache_stats -> cache_stats -> cache_stats
+
+type prepared = {
+  pbuild : Bits.t -> Bits.t -> instance;
+      (** Patch the core with the pair's input edges.  The returned
+          instance aliases the core graph: it is valid until the next
+          [pbuild]/[pverdict] call on this prepared value. *)
+  pverdict : Bits.t -> Bits.t -> bool;
+      (** P(G_{x,y}), equal to [scratch.predicate (scratch.build x y)]
+          but answered from the core caches. *)
+  pstats : unit -> cache_stats;
+}
+
+type incremental = {
+  scratch : t;  (** the from-scratch family — the reference oracle *)
+  prepare : unit -> prepared;
+      (** build the core and solver caches; call once per worker *)
+}
+
+val of_family : t -> incremental
+(** The degenerate incremental descriptor: rebuilds from scratch per pair
+    and reports zero cache activity.  Lets the [_inc] drivers run
+    un-ported families. *)
+
+val verify_pair_inc : prepared -> t -> Bits.t -> Bits.t -> bool
+(** [pverdict x y = f x y], the incremental {!verify_pair}. *)
+
+val verify_exhaustive_inc :
+  ?pool:Pool.t -> incremental -> (int * int) * cache_stats
+(** Incremental {!verify_exhaustive}: identical [(failures, total)], plus
+    the summed cache counters.  @raise Invalid_argument when
+    [input_bits > 10]. *)
+
+val verify_random_inc :
+  ?pool:Pool.t -> seed:int -> samples:int -> incremental -> (int * int) * cache_stats
+(** Incremental {!verify_random}: identical counts under the identical
+    (documented) seed-derivation scheme. *)
+
+val exhaustive_verdicts : ?pool:Pool.t -> t -> bool array
+(** P(G_{x,y}) for every pair of the 2^K × 2^K space, row-major in
+    (x, y) with inputs in {!Bits.all} order — the per-pair trace the
+    differential harness compares between paths.
+    @raise Invalid_argument when [input_bits > 10]. *)
+
+val exhaustive_verdicts_inc :
+  ?pool:Pool.t -> incremental -> bool array * cache_stats
+(** The incremental per-pair trace; must equal {!exhaustive_verdicts} of
+    the scratch family on every index. *)
 
 val check_sidedness : ?pool:Pool.t -> seed:int -> samples:int -> t -> bool
 (** Conditions 1–3 of Definition 1.1: the vertex set is fixed, G[V_B] and

@@ -194,3 +194,20 @@ let strongly_connected dg =
     Array.for_all Fun.id seen
   in
   reach (Digraph.succ dg) && reach (Digraph.pred dg)
+
+let structural_hash g =
+  (* FNV-1a over exactly what Graph.equal_structure compares: n, m,
+     vertex weights and the sorted weighted edge list.  Insertion-order
+     independent, like equal_structure itself. *)
+  let h = ref 0x27d4eb2f165667c5 in
+  let mix x = h := (!h lxor x) * 0x100000001b3 in
+  mix (Graph.n g);
+  mix (Graph.m g);
+  Array.iter mix (Graph.vweights g);
+  List.iter
+    (fun (u, v, w) ->
+      mix u;
+      mix v;
+      mix w)
+    (Graph.edges g);
+  !h land max_int

@@ -44,3 +44,10 @@ val degree_histogram : Graph.t -> (int * int) list
 (** Sorted [(degree, count)] pairs. *)
 
 val strongly_connected : Digraph.t -> bool
+
+val structural_hash : Graph.t -> int
+(** A nonnegative hash of everything {!Graph.equal_structure} compares
+    (vertex count, vertex weights, sorted weighted edge list), independent
+    of edge insertion order.  Two structurally equal graphs hash alike;
+    cache layers key on it (and re-check equality to rule out
+    collisions). *)

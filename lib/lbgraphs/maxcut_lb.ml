@@ -37,10 +37,8 @@ let target_weight ~k =
   let k4 = k3 * k in
   (k4 * ((8 * t) + 4)) + (k3 * ((12 * t) - 4)) + (4 * k2) + (4 * k)
 
-let build ~k x y =
-  let tbits = Bitgadget.check_k "Maxcut_lb.build" k in
-  if Bits.length x <> k * k || Bits.length y <> k * k then
-    invalid_arg "Maxcut_lb.build: inputs must have k^2 bits";
+let core_graph ~k =
+  let tbits = Bitgadget.check_k "Maxcut_lb.core_graph" k in
   let g = Graph.create (Ix.n ~k) in
   let k2 = k * k in
   let k4 = k2 * k2 in
@@ -84,8 +82,13 @@ let build ~k x y =
       (Mds_lb.B1, Ix.cb ~k);
       (Mds_lb.B2, Ix.cb ~k);
     ];
-  (* input-dependent part: complement edges of weight 1 and the N budget
-     edges, keeping every row vertex's weight into (row₂ ∪ N) exactly k *)
+  g
+
+(* input-dependent part: complement edges of weight 1 and the N budget
+   edges, keeping every row vertex's weight into (row₂ ∪ N) exactly k *)
+let input_edges ~k x y =
+  if Bits.length x <> k * k || Bits.length y <> k * k then
+    invalid_arg "Maxcut_lb.input_edges: inputs must have k^2 bits";
   let row_sum get i =
     let acc = ref 0 in
     for j = 0 to k - 1 do
@@ -93,6 +96,8 @@ let build ~k x y =
     done;
     !acc
   in
+  let acc = ref [] in
+  let edge w u v = acc := (u, v, w) :: !acc in
   for i = 0 to k - 1 do
     for j = 0 to k - 1 do
       if not (Bits.get_pair ~k x i j) then
@@ -107,7 +112,42 @@ let build ~k x y =
     edge (row_sum (Bits.get_pair ~k y) i) (Ix.row ~k Mds_lb.B1 i) (Ix.nb ~k);
     edge (row_sum (fun a b -> Bits.get_pair ~k y b a) i) (Ix.row ~k Mds_lb.B2 i) (Ix.nb ~k)
   done;
+  List.rev !acc
+
+(* every input edge stays within the rows and {N_A, N_B} — the volatile
+   set the conditioned max-cut table ranges over (4k + 2 vertices) *)
+let volatile ~k =
+  List.concat_map
+    (fun s -> List.init k (fun i -> Ix.row ~k s i))
+    [ Mds_lb.A1; Mds_lb.A2; Mds_lb.B1; Mds_lb.B2 ]
+  @ [ Ix.na ~k; Ix.nb ~k ]
+
+let build ~k x y =
+  let g = core_graph ~k in
+  List.iter (fun (u, v, w) -> Graph.add_edge ~w g u v) (input_edges ~k x y);
   g
+
+type core = {
+  ck : int;
+  cg : Graph.t;
+  mutable applied : (Bits.t * Bits.t) option;
+}
+
+let build_core ~k =
+  let _ = Bitgadget.check_k "Maxcut_lb.build_core" k in
+  { ck = k; cg = core_graph ~k; applied = None }
+
+let apply_inputs c x y =
+  let k = c.ck in
+  (match c.applied with
+  | Some (px, py) ->
+      List.iter
+        (fun (u, v, _) -> Graph.remove_edge c.cg u v)
+        (input_edges ~k px py)
+  | None -> ());
+  List.iter (fun (u, v, w) -> Graph.add_edge ~w c.cg u v) (input_edges ~k x y);
+  c.applied <- Some (x, y);
+  c.cg
 
 let side ~k =
   let side = Array.make (Ix.n ~k) false in
@@ -141,4 +181,28 @@ let family ~k =
         | Framework.Undirected g -> fst (Ch_solvers.Maxcut.max_cut g) >= target
         | _ -> invalid_arg "maxcut family: undirected expected");
     f = Commfn.intersecting;
+  }
+
+let incremental ~k =
+  let target = target_weight ~k in
+  {
+    Framework.scratch = family ~k;
+    prepare =
+      (fun () ->
+        let c = build_core ~k in
+        (* n ≤ 30 — so k = 2 only, exactly like the scratch solver *)
+        let mc = Ch_solvers.Cache.maxcut_prepare c.cg ~volatile:(volatile ~k) in
+        {
+          Framework.pbuild = (fun x y -> Framework.Undirected (apply_inputs c x y));
+          pverdict =
+            (fun x y ->
+              Ch_solvers.Cache.maxcut_max mc ~extra:(input_edges ~k x y) >= target);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.maxcut_stats mc in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
   }

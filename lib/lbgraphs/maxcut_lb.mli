@@ -38,6 +38,30 @@ val target_weight : k:int -> int
 
 val build : k:int -> Bits.t -> Bits.t -> Graph.t
 
+val core_graph : k:int -> Graph.t
+(** The fixed part: the k⁴ skeleton, 4-cycles and row attachments. *)
+
+val input_edges : k:int -> Bits.t -> Bits.t -> (int * int * int) list
+(** The input-dependent weighted edges [(u, v, w)]: weight-1 complement
+    edges plus the 4k N-budget edges (weights may be 0). *)
+
+val volatile : k:int -> int list
+(** The 4k + 2 vertices input edges may touch: the rows and N_A, N_B. *)
+
+type core
+
+val build_core : k:int -> core
+
+val apply_inputs : core -> Bits.t -> Bits.t -> Graph.t
+(** In-place patch to G_{x,y}; the result aliases the core. *)
+
 val side : k:int -> bool array
 
 val family : k:int -> Ch_core.Framework.t
+
+val incremental : k:int -> Ch_core.Framework.incremental
+(** Incremental descriptor backed by the conditioned max-cut table
+    ({!Ch_solvers.Cache.maxcut_prepare} over {!volatile}): one full
+    enumeration at prepare time, then 2^(4k+2) work per pair.  Like the
+    from-scratch exact solver it is limited to n ≤ 30, i.e. k = 2 (the
+    prepare raises instead of the solve). *)

@@ -20,10 +20,8 @@ end
 
 let alpha_target ~k = (4 * Bitgadget.log2 k) + 4
 
-let build ~k x y =
-  let tbits = Bitgadget.check_k "Maxis_lb.build" k in
-  if Bits.length x <> k * k || Bits.length y <> k * k then
-    invalid_arg "Maxis_lb.build: inputs must have k^2 bits";
+let core_graph ~k =
+  let tbits = Bitgadget.check_k "Maxis_lb.core_graph" k in
   let g = Graph.create (Ix.n ~k) in
   (* row cliques *)
   List.iter
@@ -56,16 +54,47 @@ let build ~k x y =
         done
       done)
     [ Mds_lb.A1; Mds_lb.A2; Mds_lb.B1; Mds_lb.B2 ];
-  (* inputs: the edge is present iff the bit is 0 *)
+  g
+
+(* inputs: the edge is present iff the bit is 0 *)
+let input_edges ~k x y =
+  if Bits.length x <> k * k || Bits.length y <> k * k then
+    invalid_arg "Maxis_lb.input_edges: inputs must have k^2 bits";
+  let acc = ref [] in
   for i = 0 to k - 1 do
     for j = 0 to k - 1 do
       if not (Bits.get_pair ~k x i j) then
-        Graph.add_edge g (Ix.row ~k Mds_lb.A1 i) (Ix.row ~k Mds_lb.A2 j);
+        acc := (Ix.row ~k Mds_lb.A1 i, Ix.row ~k Mds_lb.A2 j) :: !acc;
       if not (Bits.get_pair ~k y i j) then
-        Graph.add_edge g (Ix.row ~k Mds_lb.B1 i) (Ix.row ~k Mds_lb.B2 j)
+        acc := (Ix.row ~k Mds_lb.B1 i, Ix.row ~k Mds_lb.B2 j) :: !acc
     done
   done;
+  List.rev !acc
+
+let build ~k x y =
+  let g = core_graph ~k in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (input_edges ~k x y);
   g
+
+type core = {
+  ck : int;
+  cg : Graph.t;
+  mutable applied : (Bits.t * Bits.t) option;
+}
+
+let build_core ~k =
+  let _ = Bitgadget.check_k "Maxis_lb.build_core" k in
+  { ck = k; cg = core_graph ~k; applied = None }
+
+let apply_inputs c x y =
+  let k = c.ck in
+  (match c.applied with
+  | Some (px, py) ->
+      List.iter (fun (u, v) -> Graph.remove_edge c.cg u v) (input_edges ~k px py)
+  | None -> ());
+  List.iter (fun (u, v) -> Graph.add_edge c.cg u v) (input_edges ~k x y);
+  c.applied <- Some (x, y);
+  c.cg
 
 let side ~k =
   let side = Array.make (Ix.n ~k) false in
@@ -96,6 +125,23 @@ let family ~k =
         | Framework.Undirected g -> Ch_solvers.Mis.alpha g >= target
         | _ -> invalid_arg "maxis family: undirected expected");
     f = Commfn.intersecting;
+  }
+
+(* No solver cache yet: the incremental win here is skipping the per-pair
+   core rebuild; Mis.alpha runs on the patched graph. *)
+let incremental ~k =
+  let target = alpha_target ~k in
+  {
+    Framework.scratch = family ~k;
+    prepare =
+      (fun () ->
+        let c = build_core ~k in
+        {
+          Framework.pbuild = (fun x y -> Framework.Undirected (apply_inputs c x y));
+          pverdict =
+            (fun x y -> Ch_solvers.Mis.alpha (apply_inputs c x y) >= target);
+          pstats = (fun () -> Framework.no_cache_stats);
+        });
   }
 
 let mvc_family ~k =

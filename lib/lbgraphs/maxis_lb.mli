@@ -30,10 +30,25 @@ val alpha_target : k:int -> int
 
 val build : k:int -> Bits.t -> Bits.t -> Graph.t
 
+val core_graph : k:int -> Graph.t
+(** The fixed part: cliques, bit gadgets, conflict edges. *)
+
+val input_edges : k:int -> Bits.t -> Bits.t -> (int * int) list
+(** The complement edges: (a₁^i, a₂^j) iff x_{i,j} = 0 (resp. y / B). *)
+
+type core
+
+val build_core : k:int -> core
+
+val apply_inputs : core -> Bits.t -> Bits.t -> Graph.t
+(** In-place patch to G_{x,y}; the result aliases the core. *)
+
 val side : k:int -> bool array
 
 val family : k:int -> Ch_core.Framework.t
 (** Predicate: α(G) ≥ Z. *)
+
+val incremental : k:int -> Ch_core.Framework.incremental
 
 val mvc_family : k:int -> Ch_core.Framework.t
 (** The complementary vertex-cover view: τ(G) ≤ n − Z. *)

@@ -27,10 +27,9 @@ end
 
 let target_size ~k = (4 * Bitgadget.log2 k) + 2
 
-let build ~k x y =
-  let tbits = Bitgadget.check_k "Mds_lb.build" k in
-  if Bits.length x <> k * k || Bits.length y <> k * k then
-    invalid_arg "Mds_lb.build: inputs must have k^2 bits";
+(* the fixed gadget core: everything but the input-dependent edges *)
+let core_graph ~k =
+  let tbits = Bitgadget.check_k "Mds_lb.core_graph" k in
   let g = Graph.create (Ix.n ~k) in
   (* 6-cycles tying the bit gadgets of A_l and B_l together *)
   List.iter
@@ -57,16 +56,46 @@ let build ~k x y =
         done
       done)
     [ A1; A2; B1; B2 ];
-  (* input-dependent edges *)
+  g
+
+let input_edges ~k x y =
+  if Bits.length x <> k * k || Bits.length y <> k * k then
+    invalid_arg "Mds_lb.input_edges: inputs must have k^2 bits";
+  let acc = ref [] in
   for i = 0 to k - 1 do
     for j = 0 to k - 1 do
       if Bits.get_pair ~k x i j then
-        Graph.add_edge g (Ix.row ~k A1 i) (Ix.row ~k A2 j);
+        acc := (Ix.row ~k A1 i, Ix.row ~k A2 j) :: !acc;
       if Bits.get_pair ~k y i j then
-        Graph.add_edge g (Ix.row ~k B1 i) (Ix.row ~k B2 j)
+        acc := (Ix.row ~k B1 i, Ix.row ~k B2 j) :: !acc
     done
   done;
+  List.rev !acc
+
+let build ~k x y =
+  let g = core_graph ~k in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (input_edges ~k x y);
   g
+
+type core = {
+  ck : int;
+  cg : Graph.t;
+  mutable applied : (Bits.t * Bits.t) option;
+}
+
+let build_core ~k =
+  let _ = Bitgadget.check_k "Mds_lb.build_core" k in
+  { ck = k; cg = core_graph ~k; applied = None }
+
+let apply_inputs c x y =
+  let k = c.ck in
+  (match c.applied with
+  | Some (px, py) ->
+      List.iter (fun (u, v) -> Graph.remove_edge c.cg u v) (input_edges ~k px py)
+  | None -> ());
+  List.iter (fun (u, v) -> Graph.add_edge c.cg u v) (input_edges ~k x y);
+  c.applied <- Some (x, y);
+  c.cg
 
 let side ~k =
   let n = Ix.n ~k in
@@ -99,4 +128,32 @@ let family ~k =
         | Framework.Undirected g -> Ch_solvers.Domset.min_size g <= target
         | _ -> invalid_arg "mds family: undirected expected");
     f = Commfn.intersecting;
+  }
+
+let incremental ~k =
+  let target = target_size ~k in
+  {
+    Framework.scratch = family ~k;
+    prepare =
+      (fun () ->
+        let c = build_core ~k in
+        (* balls snapshot of the unpatched core *)
+        let dc = Ch_solvers.Cache.domset_prepare c.cg ~radius:1 in
+        {
+          Framework.pbuild = (fun x y -> Framework.Undirected (apply_inputs c x y));
+          pverdict =
+            (fun x y ->
+              let g = apply_inputs c x y in
+              let balls =
+                Ch_solvers.Cache.domset_balls dc ~extra:(input_edges ~k x y)
+              in
+              Ch_solvers.Domset.min_size ~balls g <= target);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.domset_stats dc in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
   }

@@ -35,7 +35,29 @@ val target_size : k:int -> int
 
 val build : k:int -> Bits.t -> Bits.t -> Graph.t
 
+val core_graph : k:int -> Graph.t
+(** The fixed gadget core — {!build} minus the input-dependent edges. *)
+
+val input_edges : k:int -> Bits.t -> Bits.t -> (int * int) list
+(** The input-dependent edges of the pair: (a₁^i, a₂^j) per set x-bit and
+    (b₁^i, b₂^j) per set y-bit.  [build] = [core_graph] + these. *)
+
+type core
+(** A core graph plus the currently applied input pair. *)
+
+val build_core : k:int -> core
+
+val apply_inputs : core -> Bits.t -> Bits.t -> Graph.t
+(** Patch the core in place to G_{x,y}: remove the previous pair's input
+    edges, add this pair's.  The returned graph aliases the core — valid
+    until the next [apply_inputs] on the same core. *)
+
 val side : k:int -> bool array
 (** V_A = A₁ ∪ A₂ ∪ (their bit gadgets). *)
 
 val family : k:int -> Ch_core.Framework.t
+
+val incremental : k:int -> Ch_core.Framework.incremental
+(** The incremental descriptor: per-pair edge patching plus shared
+    dominating-set balls ({!Ch_solvers.Cache.domset_prepare}) instead of
+    a fresh build + BFS sweep per pair. *)

@@ -1,16 +1,18 @@
 open Ch_graph
+open Ch_cc
 open Ch_core
 
 let target_edges ~k = (4 * k) + (16 * Bitgadget.log2 k) + 1
 
 let terminals ~k = List.init (Mds_lb.Ix.n ~k) Fun.id
 
-let transform ~k inst =
-  let g =
-    match inst with
-    | Framework.Undirected g -> g
-    | _ -> invalid_arg "Steiner_lb: undirected expected"
-  in
+(* The Theorem 2.6 transform is edge-local in the base graph: each base
+   edge {u,v} contributes exactly (ũ,v) and (ṽ,u), everything else
+   (identity edges, copy cliques, crossing edges) is base-edge
+   independent.  So transform(core) + mapped input edges =
+   transform(full base graph) — the fact the incremental path relies
+   on. *)
+let transform_graph ~k g =
   let n = Graph.n g in
   let side = Mds_lb.side ~k in
   let g' = Graph.create (2 * n) in
@@ -34,7 +36,41 @@ let transform ~k inst =
   and t0b1 = Mds_lb.Ix.t ~k Mds_lb.B1 0 in
   Graph.add_edge g' (copy f0a1) (copy f0b1);
   Graph.add_edge g' (copy t0a1) (copy t0b1);
-  Framework.With_terminals (g', terminals ~k)
+  g'
+
+let transform ~k inst =
+  let g =
+    match inst with
+    | Framework.Undirected g -> g
+    | _ -> invalid_arg "Steiner_lb: undirected expected"
+  in
+  Framework.With_terminals (transform_graph ~k g, terminals ~k)
+
+let input_edges ~k x y =
+  let n = Mds_lb.Ix.n ~k in
+  List.concat_map
+    (fun (u, v) -> [ (n + u, v); (n + v, u) ])
+    (Mds_lb.input_edges ~k x y)
+
+type core = {
+  ck : int;
+  cg : Graph.t;
+  mutable applied : (Bits.t * Bits.t) option;
+}
+
+let build_core ~k =
+  let _ = Bitgadget.check_k "Steiner_lb.build_core" k in
+  { ck = k; cg = transform_graph ~k (Mds_lb.core_graph ~k); applied = None }
+
+let apply_inputs c x y =
+  let k = c.ck in
+  (match c.applied with
+  | Some (px, py) ->
+      List.iter (fun (u, v) -> Graph.remove_edge c.cg u v) (input_edges ~k px py)
+  | None -> ());
+  List.iter (fun (u, v) -> Graph.add_edge c.cg u v) (input_edges ~k x y);
+  c.applied <- Some (x, y);
+  c.cg
 
 let family ~k =
   let t = Bitgadget.check_k "Steiner_lb" k in
@@ -56,3 +92,37 @@ let family ~k =
           | None -> false)
       | _ -> invalid_arg "steiner family: terminals expected")
     base
+
+let incremental ~k =
+  let t = Bitgadget.check_k "Steiner_lb.incremental" k in
+  let extra_budget = (4 * t) + 2 in
+  {
+    Framework.scratch = family ~k;
+    prepare =
+      (fun () ->
+        let c = build_core ~k in
+        let sc =
+          Ch_solvers.Cache.steiner_prepare c.cg ~terminals:(terminals ~k)
+            ~cap:extra_budget
+        in
+        {
+          Framework.pbuild =
+            (fun x y ->
+              Framework.With_terminals (apply_inputs c x y, terminals ~k));
+          pverdict =
+            (fun x y ->
+              match
+                Ch_solvers.Cache.steiner_min_extra sc
+                  ~extra:(input_edges ~k x y)
+              with
+              | Some extra -> extra <= extra_budget
+              | None -> false);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.steiner_stats sc in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
+  }

@@ -9,10 +9,39 @@
     has a dominating set of size 4·log k + 2, i.e. iff DISJ(x,y) =
     FALSE. *)
 
+open Ch_graph
+open Ch_cc
+
 val target_edges : k:int -> int
 (** 4k + 16·log k + 1. *)
 
 val terminals : k:int -> int list
 (** The original vertices 0 .. n−1. *)
 
+val transform_graph : k:int -> Graph.t -> Graph.t
+(** The Theorem 2.6 vertex-doubling transform of a base MDS-family
+    graph.  Edge-local: transforming the core and then adding the mapped
+    input edges yields the same graph as transforming G_{x,y}. *)
+
+val input_edges : k:int -> Bits.t -> Bits.t -> (int * int) list
+(** The transformed input edges: each MDS input edge {u,v} becomes
+    (ũ,v) and (ṽ,u). *)
+
+type core
+
+val build_core : k:int -> core
+(** [transform_graph] applied to the MDS core. *)
+
+val apply_inputs : core -> Bits.t -> Bits.t -> Graph.t
+(** In-place patch to the transformed G_{x,y}; the result aliases the
+    core. *)
+
 val family : k:int -> Ch_core.Framework.t
+
+val incremental : k:int -> Ch_core.Framework.incremental
+(** Incremental descriptor backed by the per-subset connectivity tables
+    of {!Ch_solvers.Cache.steiner_prepare}: core component ids for every
+    candidate extra-node set up to the budget are precomputed once, and
+    each pair only replays its ≤ 16 input edges over those ids.
+    Bit-identical to the scratch
+    {!Ch_solvers.Steiner.min_extra_nodes}-based predicate. *)

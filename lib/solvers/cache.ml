@@ -1,0 +1,375 @@
+open Ch_graph
+
+type stats = { hits : int; misses : int }
+
+type counter = { mutable chits : int; mutable cmisses : int }
+
+let stats_of c = { hits = c.chits; misses = c.cmisses }
+
+(* ------------------------------------------------------------------ *)
+(* Structural-hash memo                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Core tables are immutable once published, so concurrent verification
+   chunks (one prepared instance per chunk) can share one computation.
+   Entries keep a snapshot of the keyed graph: a structural-hash
+   collision can then never serve wrong tables, and later in-place
+   patching of the caller's graph cannot corrupt the key. *)
+module Memo = struct
+  type 'a entry = { eg : Graph.t; eaux : string; etables : 'a }
+
+  type 'a t = { lock : Mutex.t; tbl : (int, 'a entry list) Hashtbl.t }
+
+  let create () = { lock = Mutex.create (); tbl = Hashtbl.create 16 }
+
+  let probe memo ~graph ~aux ~hash =
+    List.find_opt
+      (fun e -> e.eaux = aux && Graph.equal_structure e.eg graph)
+      (Option.value ~default:[] (Hashtbl.find_opt memo.tbl hash))
+
+  (* [(tables, true)] on a memo hit, [(tables, false)] when this call
+     computed them (possibly racing another domain; first insert wins). *)
+  let find_or_build memo ~graph ~aux ~build =
+    let hash = Props.structural_hash graph in
+    Mutex.lock memo.lock;
+    let hit = probe memo ~graph ~aux ~hash in
+    Mutex.unlock memo.lock;
+    match hit with
+    | Some e -> (e.etables, true)
+    | None ->
+        let tables = build () in
+        Mutex.lock memo.lock;
+        let published =
+          match probe memo ~graph ~aux ~hash with
+          | Some e -> e.etables
+          | None ->
+              let entry = { eg = Graph.copy graph; eaux = aux; etables = tables } in
+              Hashtbl.replace memo.tbl hash
+                (entry :: Option.value ~default:[] (Hashtbl.find_opt memo.tbl hash));
+              tables
+        in
+        Mutex.unlock memo.lock;
+        (published, false)
+
+  let clear memo =
+    Mutex.lock memo.lock;
+    Hashtbl.reset memo.tbl;
+    Mutex.unlock memo.lock
+end
+
+(* ------------------------------------------------------------------ *)
+(* Steiner: core connectivity tables for min_extra_nodes              *)
+(* ------------------------------------------------------------------ *)
+
+(* Steiner.min_extra_nodes enumerates candidate connector sets in size
+   order and only asks "is terminals ∪ extra connected?".  Connectivity
+   over the fixed core edges is precomputed here for every candidate set:
+   one byte per vertex per subset holds its core component id (0xff =
+   not selected).  A query then replays only the input-derived edges over
+   those component ids — a handful of tiny union-find operations per
+   subset instead of a fresh union-find over the whole edge list. *)
+
+type steiner_tables = {
+  sn : int;  (* vertices *)
+  scap : int;
+  ssize_start : int array;  (* subset index range per size: [s .. s+1) *)
+  scomp : Bytes.t;  (* nsubsets × n component ids *)
+  sclasses : int array;  (* core components among selected, per subset *)
+}
+
+type steiner = {
+  st : steiner_tables;
+  (* stamped scratch union-find over component ids, reused across queries *)
+  sparent : int array;
+  sstamp : int array;
+  mutable sround : int;
+  sc : counter;
+}
+
+let steiner_memo : steiner_tables Memo.t = Memo.create ()
+
+let count_subsets ~no ~cap =
+  let total = ref 0 and c = ref 1 in
+  (try
+     for s = 0 to cap do
+       total := !total + !c;
+       if !total > 4_000_000 then raise Exit;
+       c := !c * (no - s) / (s + 1)
+     done
+   with Exit -> invalid_arg "Cache.steiner_prepare: subset space too large");
+  !total
+
+let build_steiner_tables g ~terminals ~cap =
+  let n = Graph.n g in
+  if n = 0 || n > 250 then invalid_arg "Cache.steiner_prepare: need 1 <= n <= 250";
+  let terminals = List.sort_uniq compare terminals in
+  if terminals = [] then invalid_arg "Cache.steiner_prepare: no terminals";
+  List.iter
+    (fun t -> if t < 0 || t >= n then invalid_arg "Cache.steiner_prepare: bad terminal")
+    terminals;
+  let is_terminal = Array.make n false in
+  List.iter (fun t -> is_terminal.(t) <- true) terminals;
+  let others =
+    Array.of_list (List.filter (fun v -> not is_terminal.(v)) (List.init n Fun.id))
+  in
+  let no = Array.length others in
+  if cap < 0 then invalid_arg "Cache.steiner_prepare: negative cap";
+  let cap = min cap no in
+  let nsubsets = count_subsets ~no ~cap in
+  if nsubsets * n > 64_000_000 then
+    invalid_arg "Cache.steiner_prepare: tables too large";
+  let edges = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Graph.edges g)) in
+  let comp = Bytes.make (nsubsets * n) '\255' in
+  let classes = Array.make nsubsets 0 in
+  let size_start = Array.make (cap + 2) 0 in
+  let sel = Array.make n false in
+  List.iter (fun t -> sel.(t) <- true) terminals;
+  let root_id = Array.make n (-1) and root_stamp = Array.make n (-1) in
+  let idx = ref 0 in
+  let record () =
+    let uf = Union_find.create n in
+    Array.iter
+      (fun (u, v) -> if sel.(u) && sel.(v) then ignore (Union_find.union uf u v))
+      edges;
+    let base = !idx * n in
+    let next = ref 0 in
+    for v = 0 to n - 1 do
+      if sel.(v) then begin
+        let r = Union_find.find uf v in
+        if root_stamp.(r) <> !idx then begin
+          root_stamp.(r) <- !idx;
+          root_id.(r) <- !next;
+          incr next
+        end;
+        Bytes.set comp (base + v) (Char.chr root_id.(r))
+      end
+    done;
+    classes.(!idx) <- !next;
+    incr idx
+  in
+  for s = 0 to cap do
+    size_start.(s) <- !idx;
+    (* lexicographic combinations of size s over the non-terminals; only
+       the grouping by size matters for min_extra_nodes equivalence *)
+    let rec go depth start =
+      if depth = s then record ()
+      else
+        for i = start to no - (s - depth) do
+          sel.(others.(i)) <- true;
+          go (depth + 1) (i + 1);
+          sel.(others.(i)) <- false
+        done
+    in
+    go 0 0
+  done;
+  size_start.(cap + 1) <- !idx;
+  { sn = n; scap = cap; ssize_start = size_start; scomp = comp; sclasses = classes }
+
+let steiner_prepare g ~terminals ~cap =
+  let aux =
+    String.concat ","
+      (List.map string_of_int (List.sort_uniq compare terminals))
+    ^ ";" ^ string_of_int cap
+  in
+  let tables, was_hit =
+    Memo.find_or_build steiner_memo ~graph:g ~aux ~build:(fun () ->
+        build_steiner_tables g ~terminals ~cap)
+  in
+  {
+    st = tables;
+    sparent = Array.make 256 0;
+    sstamp = Array.make 256 (-1);
+    sround = 0;
+    sc = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
+  }
+
+let steiner_min_extra c ~extra =
+  c.sc.chits <- c.sc.chits + 1;
+  let t = c.st in
+  let n = t.sn in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Cache.steiner_min_extra: edge out of range")
+    extra;
+  let parent = c.sparent and stamp = c.sstamp in
+  let rec find x =
+    if parent.(x) = x then x
+    else begin
+      let r = find parent.(x) in
+      parent.(x) <- r;
+      r
+    end
+  in
+  let touch x =
+    if stamp.(x) <> c.sround then begin
+      stamp.(x) <- c.sround;
+      parent.(x) <- x
+    end
+  in
+  let exception Hit of int in
+  try
+    for s = 0 to t.scap do
+      for i = t.ssize_start.(s) to t.ssize_start.(s + 1) - 1 do
+        let classes = ref t.sclasses.(i) in
+        if !classes = 1 then raise (Hit s);
+        c.sround <- c.sround + 1;
+        let base = i * n in
+        List.iter
+          (fun (u, v) ->
+            let cu = Char.code (Bytes.get t.scomp (base + u))
+            and cv = Char.code (Bytes.get t.scomp (base + v)) in
+            if cu <> 0xff && cv <> 0xff then begin
+              touch cu;
+              touch cv;
+              let ru = find cu and rv = find cv in
+              if ru <> rv then begin
+                parent.(ru) <- rv;
+                decr classes
+              end
+            end)
+          extra;
+        if !classes = 1 then raise (Hit s)
+      done
+    done;
+    None
+  with Hit s -> Some s
+
+let steiner_stats c = stats_of c.sc
+
+(* ------------------------------------------------------------------ *)
+(* Max cut: conditioned table over the volatile vertices              *)
+(* ------------------------------------------------------------------ *)
+
+type maxcut_tables = {
+  mn : int;
+  mvol_index : int array;  (* vertex -> index into volatile, or -1 *)
+  mnvol : int;
+  mtable : int array;  (* Maxcut.conditioned_max of the core *)
+}
+
+type maxcut = { mt : maxcut_tables; mc : counter }
+
+let maxcut_memo : maxcut_tables Memo.t = Memo.create ()
+
+let build_maxcut_tables g ~volatile =
+  let n = Graph.n g in
+  let vol_index = Array.make n (-1) in
+  List.iteri
+    (fun i v ->
+      if v < 0 || v >= n then invalid_arg "Cache.maxcut_prepare: bad vertex";
+      vol_index.(v) <- i)
+    volatile;
+  {
+    mn = n;
+    mvol_index = vol_index;
+    mnvol = List.length volatile;
+    mtable = Maxcut.conditioned_max g ~volatile;
+  }
+
+let maxcut_prepare g ~volatile =
+  let aux = String.concat "," (List.map string_of_int volatile) in
+  let tables, was_hit =
+    Memo.find_or_build maxcut_memo ~graph:g ~aux ~build:(fun () ->
+        build_maxcut_tables g ~volatile)
+  in
+  {
+    mt = tables;
+    mc = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
+  }
+
+let trailing_zeros x =
+  let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
+  if x = 0 then invalid_arg "trailing_zeros 0" else go 0 x
+
+let maxcut_max c ~extra =
+  c.mc.chits <- c.mc.chits + 1;
+  let t = c.mt in
+  let s = t.mnvol in
+  let adj = Array.make (max s 1) [] in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= t.mn || v < 0 || v >= t.mn then
+        invalid_arg "Cache.maxcut_max: edge out of range";
+      let iu = t.mvol_index.(u) and iv = t.mvol_index.(v) in
+      if iu < 0 || iv < 0 then
+        invalid_arg "Cache.maxcut_max: extra edge endpoint not volatile";
+      adj.(iu) <- (iv, w) :: adj.(iu);
+      adj.(iv) <- (iu, w) :: adj.(iv))
+    extra;
+  (* Gray walk over the 2^s volatile assignments: the extra-edge cut
+     weight is maintained incrementally, the core contributes m.(va). *)
+  let side = Array.make (max s 1) false in
+  let best = ref t.mtable.(0) and weight = ref 0 and va = ref 0 in
+  for tt = 1 to (1 lsl s) - 1 do
+    let i = trailing_zeros tt in
+    let delta =
+      List.fold_left
+        (fun acc (j, w) -> if side.(j) = side.(i) then acc + w else acc - w)
+        0 adj.(i)
+    in
+    weight := !weight + delta;
+    side.(i) <- not side.(i);
+    va := !va lxor (1 lsl i);
+    if !weight + t.mtable.(!va) > !best then best := !weight + t.mtable.(!va)
+  done;
+  !best
+
+let maxcut_stats c = stats_of c.mc
+
+(* ------------------------------------------------------------------ *)
+(* Dominating set: shared closed balls with copy-on-write patching    *)
+(* ------------------------------------------------------------------ *)
+
+type domset_tables = { dn : int; dradius : int; dballs : Bitset.t array }
+
+type domset = { dt : domset_tables; dc : counter }
+
+let domset_memo : domset_tables Memo.t = Memo.create ()
+
+let domset_prepare g ~radius =
+  if radius <> 1 then invalid_arg "Cache.domset_prepare: radius 1 only";
+  let aux = string_of_int radius in
+  let tables, was_hit =
+    Memo.find_or_build domset_memo ~graph:g ~aux ~build:(fun () ->
+        {
+          dn = Graph.n g;
+          dradius = radius;
+          dballs = Array.init (Graph.n g) (fun v -> Props.reachable_within g v ~radius);
+        })
+  in
+  {
+    dt = tables;
+    dc = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
+  }
+
+(* Adding edge {u,v} only changes the closed radius-1 balls of u and v,
+   so the patched array shares every untouched ball with the core
+   tables (which solvers only read — see Domset.min_weight_set). *)
+let domset_balls c ~extra =
+  c.dc.chits <- c.dc.chits + 1;
+  let t = c.dt in
+  let balls = Array.copy t.dballs in
+  let owned = Array.make t.dn false in
+  let touch v =
+    if v < 0 || v >= t.dn then invalid_arg "Cache.domset_balls: edge out of range";
+    if not owned.(v) then begin
+      owned.(v) <- true;
+      balls.(v) <- Bitset.copy balls.(v)
+    end
+  in
+  List.iter
+    (fun (u, v) ->
+      touch u;
+      touch v;
+      Bitset.add balls.(u) v;
+      Bitset.add balls.(v) u)
+    extra;
+  balls
+
+let domset_stats c = stats_of c.dc
+
+let clear () =
+  Memo.clear steiner_memo;
+  Memo.clear maxcut_memo;
+  Memo.clear domset_memo

@@ -1,0 +1,87 @@
+open Ch_graph
+
+(** Memoized core preprocessing for the exact solvers.
+
+    The lower-bound families (Definition 1.1) share one fixed gadget core
+    across the whole 2^K × 2^K input-pair space: only O(k) input edges
+    vary per pair.  This module precomputes the solver work that depends
+    on the core alone — Steiner connectivity tables, the conditioned
+    max-cut table, dominating-set balls — and answers per-pair queries
+    from those tables plus the input-edge delta, exactly matching the
+    from-scratch solver results.
+
+    Prepared tables are memoized globally, keyed by
+    {!Props.structural_hash} of the core graph plus the query parameters
+    (with a full structural-equality re-check, so hash collisions cannot
+    serve wrong tables).  Tables are immutable once published and safe to
+    share across domains; the per-instance query scratch is not, so use
+    one prepared instance per worker (the framework prepares one per
+    verification chunk).
+
+    {b Counters:} a [miss] is a core-table computation; a [hit] is an
+    operation served from cached tables (a memoized prepare, or a
+    per-pair query). *)
+
+type stats = { hits : int; misses : int }
+
+(** {1 Steiner trees: {!Steiner.min_extra_nodes} on core + input edges} *)
+
+type steiner
+
+val steiner_prepare : Graph.t -> terminals:int list -> cap:int -> steiner
+(** Enumerate, in size order, every candidate connector set of at most
+    [cap] non-terminals (the same candidate space as
+    {!Steiner.min_extra_nodes} with [~cap]) and store each vertex's core
+    component id.  @raise Invalid_argument when the graph has no or
+    out-of-range terminals, [n > 250], or the subset space is too large
+    to tabulate. *)
+
+val steiner_min_extra : steiner -> extra:(int * int) list -> int option
+(** The minimum number of non-terminal connector vertices making the
+    terminals connected in [core + extra], i.e. exactly
+    [Steiner.min_extra_nodes ~cap core_with_extra terminals]: candidate
+    sets are replayed in the same size order, unioning only the [extra]
+    edges over the precomputed component ids.  [extra] edges must stay
+    within the core vertex range (endpoints outside the candidate set are
+    ignored, as in the from-scratch solver). *)
+
+val steiner_stats : steiner -> stats
+
+(** {1 Max cut: conditioned enumeration over the volatile vertices} *)
+
+type maxcut
+
+val maxcut_prepare : Graph.t -> volatile:int list -> maxcut
+(** Tabulate {!Maxcut.conditioned_max} of the core over the [volatile]
+    vertices — the only vertices input edges may touch.
+    @raise Invalid_argument when [n > 30] (the exact solver's limit). *)
+
+val maxcut_max : maxcut -> extra:(int * int * int) list -> int
+(** The exact maximum cut weight of [core + extra], i.e.
+    [fst (Maxcut.max_cut core_with_extra)], computed as
+    [max_a (m.(a) + extra_cut a)] over the [2^|volatile|] volatile
+    assignments only.  Every [extra] edge [(u, v, w)] must have both
+    endpoints volatile. *)
+
+val maxcut_stats : maxcut -> stats
+
+(** {1 Dominating sets: shared closed balls} *)
+
+type domset
+
+val domset_prepare : Graph.t -> radius:int -> domset
+(** Precompute the closed radius-[radius] balls of the core.  Only
+    [radius = 1] is supported: adding an edge then perturbs exactly the
+    two endpoint balls. *)
+
+val domset_balls : domset -> extra:(int * int) list -> Bitset.t array
+(** Balls of [core + extra]: untouched balls are shared with the core
+    tables (copy-on-write on the patched endpoints), so pass the result
+    to [Domset.min_size ~balls] / [min_weight_set ~balls] — which only
+    read them — on the patched graph. *)
+
+val domset_stats : domset -> stats
+
+val clear : unit -> unit
+(** Drop every memoized core table (counters of live prepared instances
+    are unaffected).  Mainly for tests measuring memo behavior. *)

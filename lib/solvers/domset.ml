@@ -12,11 +12,17 @@ let is_dominating ?(radius = 1) g set =
 (* Branch and bound.  [balls.(v)] is both "what v dominates" and "who can
    dominate v" (closed balls are symmetric).  Zero-weight vertices are
    taken up front: adding them is free and only helps. *)
-let solve ~radius ~weights ~required g =
+let solve ~radius ~balls:cached ~weights ~required g =
   let n = Graph.n g in
   if n = 0 then (0, [])
   else begin
-    let b = balls g radius in
+    let b =
+      match cached with
+      | None -> balls g radius
+      | Some b ->
+          if Array.length b <> n then invalid_arg "Domset: balls length";
+          b
+    in
     Array.iter (fun w -> if w < 0 then invalid_arg "Domset: negative weight") weights;
     let free = List.filter (fun v -> weights.(v) = 0) (List.init n Fun.id) in
     let undominated0 =
@@ -91,14 +97,14 @@ let solve ~radius ~weights ~required g =
         invalid_arg "Domset: graph has an undominatable vertex (empty ball?)"
   end
 
-let min_weight_set ?(radius = 1) ?weights ?required g =
+let min_weight_set ?(radius = 1) ?balls ?weights ?required g =
   let weights =
     match weights with Some w -> Array.copy w | None -> Graph.vweights g
   in
   if Array.length weights <> Graph.n g then invalid_arg "Domset: weights length";
-  solve ~radius ~weights ~required g
+  solve ~radius ~balls ~weights ~required g
 
-let min_size ?(radius = 1) g =
-  fst (min_weight_set ~radius ~weights:(Array.make (Graph.n g) 1) g)
+let min_size ?(radius = 1) ?balls g =
+  fst (min_weight_set ~radius ?balls ~weights:(Array.make (Graph.n g) 1) g)
 
 let exists_of_size ?(radius = 1) g bound = min_size ~radius g <= bound

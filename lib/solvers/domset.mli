@@ -9,14 +9,23 @@ open Ch_graph
     branch over them. *)
 
 val min_weight_set :
-  ?radius:int -> ?weights:int array -> ?required:int list -> Graph.t -> int * int list
+  ?radius:int ->
+  ?balls:Bitset.t array ->
+  ?weights:int array ->
+  ?required:int list ->
+  Graph.t ->
+  int * int list
 (** Minimum total weight of a radius-[radius] dominating set (weights
     default to the graph's vertex weights), with a witness.  When
     [required] is given, only those vertices need to be dominated (partial
-    domination, used by the Section 5.1 two-party protocols). *)
+    domination, used by the Section 5.1 two-party protocols).  When
+    [balls] is given, [balls.(v)] {b must} equal the closed hop-[radius]
+    ball of [v] in [g]; the solver then skips its own BFS sweep and only
+    reads the supplied bitsets (never mutates them), which lets callers
+    share precomputed balls across many solves — see {!Ch_solvers.Cache}. *)
 
-val min_size : ?radius:int -> Graph.t -> int
-(** γ(G) for [radius = 1]. *)
+val min_size : ?radius:int -> ?balls:Bitset.t array -> Graph.t -> int
+(** γ(G) for [radius = 1].  [balls] as in {!min_weight_set}. *)
 
 val exists_of_size : ?radius:int -> Graph.t -> int -> bool
 (** Is there a radius-[radius] dominating set of cardinality at most the

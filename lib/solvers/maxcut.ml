@@ -43,6 +43,60 @@ let max_cut g =
 
 let exists_of_weight g bound = fst (max_cut g) >= bound
 
+(* One full 2^n Gray-code walk with the volatile vertices assigned to the
+   high bit positions: each of their 2^s joint assignments is then visited
+   as one contiguous block of the walk, so a single pass records the best
+   cut weight attainable over the remaining vertices for every volatile
+   assignment. *)
+let conditioned_max g ~volatile =
+  let n = Graph.n g in
+  if n > 30 then invalid_arg "Maxcut.conditioned_max: n > 30";
+  let vol = Array.of_list volatile in
+  let s = Array.length vol in
+  let pos = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n then invalid_arg "Maxcut.conditioned_max: bad vertex";
+      if pos.(v) >= 0 then invalid_arg "Maxcut.conditioned_max: duplicate vertex";
+      pos.(v) <- n - s + i)
+    vol;
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if pos.(v) < 0 then begin
+      pos.(v) <- !next;
+      incr next
+    end
+  done;
+  let vertex_at = Array.make n 0 in
+  Array.iteri (fun v p -> vertex_at.(p) <- v) pos;
+  let adjacency = Array.init n (fun v -> Array.of_list (Graph.neighbors_w g v)) in
+  let side = Array.make n false in
+  let m = Array.make (1 lsl s) 0 in
+  let r = n - s in
+  let weight = ref 0 and best = ref 0 and va = ref 0 in
+  if n > 0 then
+    for t = 1 to (1 lsl n) - 1 do
+      let p = trailing_zeros t in
+      let v = vertex_at.(p) in
+      let delta = ref 0 in
+      Array.iter
+        (fun (u, w) -> if side.(u) = side.(v) then delta := !delta + w else delta := !delta - w)
+        adjacency.(v);
+      weight := !weight + !delta;
+      side.(v) <- not side.(v);
+      if p < r then begin
+        if !weight > !best then best := !weight
+      end
+      else begin
+        (* a volatile flip ends the current block: record it, start anew *)
+        m.(!va) <- !best;
+        va := !va lxor (1 lsl (p - r));
+        best := !weight
+      end
+    done;
+  m.(!va) <- !best;
+  m
+
 let local_search ~seed g =
   let n = Graph.n g in
   let rng = Random.State.make [| seed |] in

@@ -13,6 +13,18 @@ val max_cut : Graph.t -> int * bool array
 val exists_of_weight : Graph.t -> int -> bool
 (** Is there a cut of weight at least the bound?  Same cost as {!max_cut}. *)
 
+val conditioned_max : Graph.t -> volatile:int list -> int array
+(** [conditioned_max g ~volatile] is the table [m] of size
+    [2^(List.length volatile)] with [m.(a)] the maximum cut weight of [g]
+    over all assignments placing [volatile] vertex [i] on side [true] iff
+    bit [i] of [a] is set (the non-volatile vertices range freely).  One
+    [2^n] Gray-code walk, so the same cost as {!max_cut}; afterwards the
+    exact max cut of [g] plus any extra edges {e within} the volatile set
+    is [max_a (m.(a) + extra_cut a)] — a [2^|volatile|] scan per query
+    instead of a fresh [2^n] enumeration (see {!Ch_solvers.Cache}).
+    @raise Invalid_argument when [n > 30] or [volatile] repeats or
+    exceeds the vertex range. *)
+
 val local_search : seed:int -> Graph.t -> int * bool array
 (** 1-flip local optimum from a random start: each side-flip that improves
     the cut is applied until none remains.  Guarantees weight at least half

@@ -1,0 +1,72 @@
+(* Schema regression for the --json bench artifact: run a tiny smoke
+   experiment in a temp directory and check the BENCH_<ts>.json it
+   writes carries every field the perf-trajectory tooling reads,
+   including the cache counters and the incremental entries. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  let exe = Filename.concat (Sys.getcwd ()) Sys.argv.(1) in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench_json_%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  let cmd =
+    Printf.sprintf "cd %s && %s e17 --json --smoke > log.txt 2>&1"
+      (Filename.quote dir) (Filename.quote exe)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then failwith (Printf.sprintf "bench exited with %d" rc);
+  let json_files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+  in
+  let file =
+    match json_files with
+    | [ f ] -> Filename.concat dir f
+    | l -> failwith (Printf.sprintf "expected 1 BENCH_*.json, found %d" (List.length l))
+  in
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let required =
+    [
+      "\"timestamp\":";
+      "\"jobs\":";
+      "\"experiments\":";
+      "\"name\": \"e17\"";
+      "\"wall_s\":";
+      "\"verify\":";
+      "\"family\": \"mds-k2-exhaustive\"";
+      "\"family\": \"mds-k2-exhaustive-inc\"";
+      "\"family\": \"steiner-k2-exhaustive-inc\"";
+      "\"family\": \"maxcut-k2-exhaustive-inc\"";
+      "\"pairs\":";
+      "\"pairs_per_s\":";
+      "\"wall_s_jobs1\":";
+      "\"speedup_vs_jobs1\":";
+      "\"cache_hits\":";
+      "\"cache_misses\":";
+      "\"speedup_vs_scratch\":";
+      "\"differential_ok\": true";
+    ]
+  in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle body) then
+        failwith (Printf.sprintf "missing %s in %s:\n%s" needle file body))
+    required;
+  if contains ~needle:"\"differential_ok\": false" body then
+    failwith "differential mismatch reported in bench JSON";
+  (* cleanup *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  print_endline "bench json schema ok"

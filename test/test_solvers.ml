@@ -247,7 +247,7 @@ let test_maxcut_known () =
 
 let prop_maxcut_vs_brute =
   QCheck.Test.make ~name:"max cut matches brute force" ~count:50
-    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    QCheck.(pair (int_bound 10000) (int_range 1 12))
     (fun (seed, n) ->
       let g = Gen.random_weights ~seed (Gen.gnp ~seed n 0.5) in
       fst (Maxcut.max_cut g) = brute_maxcut g)
@@ -323,13 +323,41 @@ let prop_ham_witness =
 
 let prop_steiner_vs_brute =
   QCheck.Test.make ~name:"dreyfus-wagner matches brute force" ~count:40
-    QCheck.(pair (int_bound 10000) (int_range 2 8))
+    QCheck.(pair (int_bound 10000) (int_range 2 10))
     (fun (seed, n) ->
       let g = Gen.random_weights ~seed (Gen.random_connected ~seed n 0.3) in
       let rng = Random.State.make [| seed; 3 |] in
       let t = List.sort_uniq compare
           (List.init (min n 4) (fun _ -> Random.State.int rng n)) in
       Steiner.dreyfus_wagner g t = brute_steiner g t)
+
+let brute_min_extra g terminals =
+  let n = Graph.n g in
+  let is_t = Array.make n false in
+  List.iter (fun t -> is_t.(t) <- true) terminals;
+  let best = ref max_int in
+  subsets n (fun extra ->
+      let extra = List.filter (fun v -> not is_t.(v)) extra in
+      let vertices = List.sort_uniq compare (terminals @ extra) in
+      let sub, _ = Graph.induced g vertices in
+      if Props.connected sub then best := min !best (List.length extra));
+  if !best = max_int then None else Some !best
+
+let prop_min_extra_vs_brute =
+  QCheck.Test.make ~name:"min_extra_nodes matches brute force" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 8))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.35 in
+      let rng = Random.State.make [| seed; 11 |] in
+      let t = List.sort_uniq compare
+          (List.init (min n 3) (fun _ -> Random.State.int rng n)) in
+      let cap = Random.State.int rng (n + 1) in
+      let brute =
+        match brute_min_extra g t with
+        | Some s when s <= cap -> Some s
+        | _ -> None
+      in
+      Steiner.min_extra_nodes ~cap g t = brute)
 
 let prop_node_steiner_vs_brute =
   QCheck.Test.make ~name:"node-weighted steiner matches brute force" ~count:40
@@ -551,6 +579,7 @@ let () =
         [
           Alcotest.test_case "known values" `Quick test_steiner_known;
           qt prop_steiner_vs_brute;
+          qt prop_min_extra_vs_brute;
           qt prop_steiner_cardinality_consistency;
           qt prop_node_steiner_vs_brute;
           qt prop_directed_steiner_symmetric;
