@@ -767,7 +767,11 @@ let verify_benches ~smoke () =
       let maxcut_s =
         bench_scratch ~name:"maxcut-k2-exhaustive" (Maxcut_lb.family ~k:2)
       in
-      [ k4_block; k4_random; steiner_s; maxcut_s ]
+      let hampath_s =
+        bench_scratch ~name:"hampath-k2-exhaustive"
+          (Hampath_lb.path_family ~k:2)
+      in
+      [ k4_block; k4_random; steiner_s; maxcut_s; hampath_s ]
     end
   in
   let steiner_i =
@@ -778,7 +782,67 @@ let verify_benches ~smoke () =
     bench_inc ~name:"maxcut-k2-exhaustive-inc"
       ~scratch_name:"maxcut-k2-exhaustive" (Maxcut_lb.incremental ~k:2)
   in
-  [ mds_s; mds_i; maxis_s; maxis_i ] @ full @ [ steiner_i; maxcut_i ]
+  let hampath_i =
+    bench_inc ~name:"hampath-k2-exhaustive-inc"
+      ~scratch_name:"hampath-k2-exhaustive" (Hampath_lb.incremental ~k:2)
+  in
+  [ mds_s; mds_i; maxis_s; maxis_i ]
+  @ full
+  @ [ steiner_i; maxcut_i; hampath_i ]
+
+(* Theorem 1.1 reduction sweeps: the lockstep two-party simulation on
+   every swept pair, differenced bit-for-bit against the
+   [Network.run_split] oracle, with the derived empirical
+   Ω(CC(f)/(|E_cut|·log n)) figure.  MDS and MaxIS sweep the full
+   (connected) 2^4 × 2^4 pair space; the MaxCut gadget's exact solver is
+   ~30ms per pair, so it sweeps the corners plus a sample ([--smoke]
+   shrinks only that sample).  Disconnected pairs are outside the CONGEST
+   model and skipped, with the count reported. *)
+type rentry = {
+  rname : string;
+  rskipped : int;
+  rwall : float;
+  rrep : Ch_reduction.Bound.report;
+}
+
+let reduction_benches ~smoke () =
+  let open Ch_reduction in
+  let specs =
+    [
+      ( Simulate.gather_spec ~name:"mds-k2-reduction" (Mds_lb.family ~k:2)
+          ~solver:Ch_solvers.Domset.min_size
+          ~accept:(fun a -> a <= Mds_lb.target_size ~k:2),
+        `Exhaustive );
+      ( Simulate.gather_spec ~name:"maxis-k2-reduction" (Maxis_lb.family ~k:2)
+          ~solver:Ch_solvers.Mis.alpha
+          ~accept:(fun a -> a >= Maxis_lb.alpha_target ~k:2),
+        `Exhaustive );
+      ( Simulate.gather_spec ~name:"maxcut-k2-reduction" (Maxcut_lb.family ~k:2)
+          ~solver:(fun g -> fst (Ch_solvers.Maxcut.max_cut g))
+          ~accept:(fun a -> a >= Maxcut_lb.target_weight ~k:2),
+        `Sampled (if smoke then 4 else 20) );
+    ]
+  in
+  List.map
+    (fun (spec, mode) ->
+      let fam = spec.Simulate.sfam in
+      let raw =
+        match mode with
+        | `Exhaustive -> Bound.exhaustive_pairs fam
+        | `Sampled samples -> Bound.sampled_pairs fam ~seed:41 ~samples
+      in
+      let pairs, skipped = Bound.connected_pairs fam raw in
+      let (_, rep), wall = timed (fun () -> Bound.sweep spec pairs) in
+      if
+        not
+          (rep.Bound.rep_all_match && rep.Bound.rep_all_correct
+         && rep.Bound.rep_all_within_budget)
+      then
+        failwith
+          (Printf.sprintf "reduction bench %s: invariant failed"
+             spec.Simulate.sname);
+      { rname = spec.Simulate.sname; rskipped = skipped; rwall = wall; rrep = rep })
+    specs
 
 let json_escape s =
   String.concat ""
@@ -786,7 +850,7 @@ let json_escape s =
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let write_json ~experiment_times ~verify =
+let write_json ~experiment_times ~verify ~reduction =
   let ts = int_of_float (Unix.time ()) in
   let file = Printf.sprintf "BENCH_%d.json" ts in
   let buf = Buffer.create 1024 in
@@ -822,6 +886,27 @@ let write_json ~experiment_times ~verify =
         | None -> "")
         (if i < List.length verify - 1 then "," else ""))
     verify;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"reduction\": [\n";
+  List.iteri
+    (fun i r ->
+      let rep = r.rrep in
+      let open Ch_reduction.Bound in
+      Printf.bprintf buf
+        "    {\"family\": \"%s\", \"pairs\": %d, \"pairs_skipped\": %d, \
+         \"wall_s\": %.6f, \"pairs_per_s\": %.1f, \"cut\": %d, \
+         \"bandwidth\": %d, \"rounds_max\": %d, \"cut_bits_max\": %d, \
+         \"budget_max\": %d, \"bits_per_round\": %.2f, \"cc_bits\": %d, \
+         \"lb_rounds\": %.3f, \"transcript_differential_ok\": %b, \
+         \"decisions_ok\": %b, \"within_budget\": %b}%s\n"
+        (json_escape r.rname) rep.rep_pairs r.rskipped r.rwall
+        (float_of_int rep.rep_pairs /. r.rwall)
+        rep.rep_cut rep.rep_bandwidth rep.rep_rounds_max rep.rep_cut_bits_max
+        rep.rep_budget_max rep.rep_bits_per_round rep.rep_cc_bits
+        rep.rep_lb_rounds rep.rep_all_match rep.rep_all_correct
+        rep.rep_all_within_budget
+        (if i < List.length reduction - 1 then "," else ""))
+    reduction;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
@@ -875,5 +960,20 @@ let () =
           | Some false -> "  DIFFERENTIAL MISMATCH"
           | None -> ""))
       verify;
-    write_json ~experiment_times ~verify
+    header "Theorem 1.1 reduction (lockstep transcript vs run_split)";
+    let reduction = reduction_benches ~smoke () in
+    List.iter
+      (fun r ->
+        let rep = r.rrep in
+        let open Ch_reduction.Bound in
+        Printf.printf
+          "  %-22s %5d pairs (%d skipped)  %7.3fs  %8.1f pairs/s  \
+           %6.1f bits/round  Ω(%.2f) rounds  %s\n"
+          r.rname rep.rep_pairs r.rskipped r.rwall
+          (float_of_int rep.rep_pairs /. r.rwall)
+          rep.rep_bits_per_round rep.rep_lb_rounds
+          (if rep.rep_all_match then "differential ok"
+           else "DIFFERENTIAL MISMATCH"))
+      reduction;
+    write_json ~experiment_times ~verify ~reduction
   end

@@ -120,9 +120,107 @@ let simulate_cmd =
        ~doc:"Run the Theorem 1.1 Alice-Bob simulation on the MDS family.")
     Term.(const run $ k_arg $ pairs_arg)
 
+let reduction_cmd =
+  let open Ch_reduction in
+  let run k name pairs exhaustive trace_file seed =
+    let spec =
+      match name with
+      | "mds" ->
+          Some
+            (Simulate.gather_spec
+               ~name:(Printf.sprintf "mds-k%d" k)
+               (Mds_lb.family ~k) ~solver:Ch_solvers.Domset.min_size
+               ~accept:(fun a -> a <= Mds_lb.target_size ~k))
+      | "maxis" ->
+          Some
+            (Simulate.gather_spec
+               ~name:(Printf.sprintf "maxis-k%d" k)
+               (Maxis_lb.family ~k) ~solver:Ch_solvers.Mis.alpha
+               ~accept:(fun a -> a >= Maxis_lb.alpha_target ~k))
+      | "maxcut" ->
+          Some
+            (Simulate.gather_spec
+               ~name:(Printf.sprintf "maxcut-k%d" k)
+               (Maxcut_lb.family ~k)
+               ~solver:(fun g -> fst (Ch_solvers.Maxcut.max_cut g))
+               ~accept:(fun a -> a >= Maxcut_lb.target_weight ~k))
+      | _ -> None
+    in
+    match spec with
+    | None ->
+        Printf.eprintf "unknown reduction family %S; try mds, maxis or maxcut\n"
+          name;
+        1
+    | Some spec -> (
+        let fam = spec.Simulate.sfam in
+        try
+          let raw =
+            if exhaustive then Bound.exhaustive_pairs fam
+            else Bound.sampled_pairs fam ~seed ~samples:pairs
+          in
+          let swept, skipped = Bound.connected_pairs fam raw in
+          let sweep_traced () =
+            match trace_file with
+            | None -> Bound.sweep spec swept
+            | Some file ->
+                let oc = open_out file in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> Bound.sweep ~trace:(Trace.jsonl oc) spec swept)
+          in
+          let _, report = sweep_traced () in
+          Format.printf "%a@." Bound.pp_report report;
+          if skipped > 0 then
+            Format.printf
+              "skipped %d disconnected pair%s (outside the CONGEST model)@."
+              skipped
+              (if skipped = 1 then "" else "s");
+          (match trace_file with
+          | Some file -> Format.printf "trace written to %s@." file
+          | None -> ());
+          if
+            report.Bound.rep_all_match && report.Bound.rep_all_correct
+            && report.Bound.rep_all_within_budget
+          then 0
+          else 1
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          1)
+  in
+  let family_arg =
+    let doc = "Reduction family: $(b,mds), $(b,maxis) or $(b,maxcut)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let pairs_arg =
+    let doc = "Number of sampled input pairs (on top of the four corners)." in
+    Arg.(value & opt int 8 & info [ "pairs" ] ~doc)
+  in
+  let exhaustive_arg =
+    let doc = "Sweep all 4^K input pairs (K must be at most 5)." in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let trace_arg =
+    let doc = "Write the per-message/per-round trace as JSONL to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 41 & info [ "seed" ] ~doc:"Sampling seed.")
+  in
+  Cmd.v
+    (Cmd.info "reduction"
+       ~doc:
+         "Mechanize Theorem 1.1: compile the CONGEST run on G_{x,y} into a \
+          two-party transcript, difference it against the network oracle, \
+          and report the empirical lower-bound figure.")
+    Term.(
+      const run $ k_arg $ family_arg $ pairs_arg $ exhaustive_arg $ trace_arg
+      $ seed_arg)
+
 let () =
   let info =
     Cmd.info "hardness" ~version:"1.0"
       ~doc:"Machine-checked constructions from Hardness of Distributed Optimization (PODC 2019)."
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; verify_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ list_cmd; verify_cmd; simulate_cmd; reduction_cmd ]))

@@ -5,5 +5,10 @@ open Ch_graph
 
 type result = { dist : int array; parent : int array (* -1 at the root *) }
 
+type state
+
+val algo : root:int -> n:int -> (state, int) Network.algo
+(** The raw algorithm; messages are distances in [0, n). *)
+
 val run : ?root:int -> Graph.t -> result * Network.stats
 (** @raise Failure on disconnected graphs (some vertex never terminates). *)

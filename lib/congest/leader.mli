@@ -4,5 +4,10 @@ open Ch_graph
     id after (at most) n rounds, the classic O(n) baseline the paper's
     Theorem 2.9 proof allows itself. *)
 
+type state
+
+val algo : n:int -> (state, int) Network.algo
+(** The raw algorithm; messages are candidate leader ids in [0, n). *)
+
 val run : Graph.t -> int array * Network.stats
 (** Per-vertex elected leader (all equal on connected graphs). *)

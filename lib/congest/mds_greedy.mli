@@ -8,5 +8,17 @@ open Ch_graph
     (this is the simple baseline, not the polylog-round algorithms
     of [26,33,34]). *)
 
+type msg =
+  | Dist of int
+  | Status of bool  (** dominated? *)
+  | Cand of int * int  (** best (coverage, id) seen in subtree / from root *)
+  | Winner of int * int  (** (winner id, its coverage); coverage 0 = stop *)
+  | Joined
+
+type state
+
+val algo : n:int -> (state, msg) Network.algo
+(** The raw algorithm, exposed for simulation and codec tests. *)
+
 val run : ?seed:int -> Graph.t -> int list * Network.stats
 (** The dominating set found and the round statistics. *)

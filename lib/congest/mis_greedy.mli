@@ -6,5 +6,10 @@ open Ch_graph
     the paper's Section 4 inapproximability results are measured (the best
     known CONGEST algorithms [7] reach ≈ Δ/2). *)
 
+type state
+
+val algo : (state, int) Network.algo
+(** The raw algorithm; messages are decisions in {1, 2, 3}. *)
+
 val run : ?seed:int -> Graph.t -> int list * Network.stats
 (** The independent set found (maximal) and the round statistics. *)

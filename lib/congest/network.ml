@@ -42,34 +42,102 @@ let make_ctxs ?(seed = 0) g =
         rng = Random.State.make [| seed; v |];
       })
 
-let run_internal ?seed ?bandwidth_factor ?max_rounds ~on_message g algo =
+(* ---- stepwise execution --------------------------------------------- *)
+
+type 'msg transfer = { t_sender : int; t_target : int; t_bits : int; t_msg : 'msg }
+
+type 'msg step_log = {
+  log_round : int;
+  internal : 'msg transfer list;
+  outbound : 'msg transfer list;
+  sent : bool;
+  all_output : bool;
+}
+
+type ('state, 'msg) stepper = {
+  sp_g : Graph.t;
+  sp_algo : ('state, 'msg) algo;
+  sp_owns : bool array;
+  sp_ctxs : ctx array;
+  sp_states : 'state option array;  (* Some exactly on owned vertices *)
+  sp_inboxes : (int * 'msg) list array;
+  sp_bandwidth : int;
+  mutable sp_round : int;
+  mutable sp_messages : int;
+  mutable sp_total_bits : int;
+  mutable sp_max_bits : int;
+}
+
+let stepper ?seed ?bandwidth_factor ?owns g algo =
   let n = Graph.n g in
-  let bandwidth = bandwidth_for ?factor:bandwidth_factor n in
-  let max_rounds =
-    match max_rounds with
-    | Some r -> r
-    | None -> (20 * n) + (10 * Graph.m g) + 100
+  let owns =
+    match owns with Some f -> Array.init n f | None -> Array.make n true
   in
   let ctxs = make_ctxs ?seed g in
-  let states = Array.map (fun ctx -> algo.init ctx) ctxs in
-  let inboxes = Array.make n [] in
-  let messages = ref 0 and total_bits = ref 0 and max_bits = ref 0 in
-  let round = ref 0 in
-  let quiescent = ref false in
-  while
-    (not !quiescent)
-    || Array.exists (fun st -> algo.output st = None) states
-  do
-    if !round > max_rounds then
-      failwith
-        (Printf.sprintf "Network.run: algorithm %S did not terminate in %d rounds"
-           algo.name max_rounds);
-    let outboxes = Array.make n [] in
-    for v = 0 to n - 1 do
-      let inbox = List.rev inboxes.(v) in
-      inboxes.(v) <- [];
-      let state', outbox = algo.round ctxs.(v) ~round:!round states.(v) inbox in
-      states.(v) <- state';
+  {
+    sp_g = g;
+    sp_algo = algo;
+    sp_owns = owns;
+    sp_ctxs = ctxs;
+    sp_states =
+      Array.init n (fun v -> if owns.(v) then Some (algo.init ctxs.(v)) else None);
+    sp_inboxes = Array.make n [];
+    sp_bandwidth = bandwidth_for ?factor:bandwidth_factor n;
+    sp_round = 0;
+    sp_messages = 0;
+    sp_total_bits = 0;
+    sp_max_bits = 0;
+  }
+
+let stepper_round t = t.sp_round
+
+let stepper_bandwidth t = t.sp_bandwidth
+
+let stepper_owns t v = t.sp_owns.(v)
+
+let owned_state t v =
+  match t.sp_states.(v) with
+  | Some st -> st
+  | None -> invalid_arg "Network.stepper: vertex not owned"
+
+let stepper_output t v = t.sp_algo.output (owned_state t v)
+
+let stepper_all_output t =
+  let ok = ref true in
+  Array.iteri
+    (fun v owned -> if owned && t.sp_algo.output (owned_state t v) = None then ok := false)
+    t.sp_owns;
+  !ok
+
+let stepper_stats t =
+  {
+    rounds = t.sp_round;
+    messages = t.sp_messages;
+    total_bits = t.sp_total_bits;
+    max_message_bits = t.sp_max_bits;
+    bandwidth = t.sp_bandwidth;
+  }
+
+let step ?(inject = []) t =
+  let algo = t.sp_algo and g = t.sp_g in
+  let n = Graph.n g in
+  List.iter
+    (fun tr ->
+      if tr.t_target < 0 || tr.t_target >= n || not t.sp_owns.(tr.t_target) then
+        invalid_arg "Network.step: injected message targets an unowned vertex";
+      t.sp_inboxes.(tr.t_target) <- (tr.t_sender, tr.t_msg) :: t.sp_inboxes.(tr.t_target))
+    inject;
+  let round = t.sp_round in
+  let outboxes = Array.make n [] in
+  for v = 0 to n - 1 do
+    if t.sp_owns.(v) then begin
+      (* ascending sender order: at most one message per (directed) edge
+         per round, so this reproduces the full run's delivery order even
+         when injected cross messages interleave with internal ones *)
+      let inbox = List.sort (fun (a, _) (b, _) -> compare a b) t.sp_inboxes.(v) in
+      t.sp_inboxes.(v) <- [];
+      let state', outbox = algo.round t.sp_ctxs.(v) ~round (owned_state t v) inbox in
+      t.sp_states.(v) <- Some state';
       List.iter
         (fun (target, _) ->
           if not (Graph.mem_edge g v target) then
@@ -83,36 +151,61 @@ let run_internal ?seed ?bandwidth_factor ?max_rounds ~on_message g algo =
         failwith
           (Printf.sprintf "Network.run: %S sent two messages on one edge" algo.name);
       outboxes.(v) <- outbox
-    done;
-    let sent_any = ref false in
-    Array.iteri
-      (fun sender outbox ->
-        List.iter
-          (fun (target, msg) ->
-            let bits = algo.msg_bits msg in
-            if bits > bandwidth then
-              raise (Bandwidth_exceeded { algo = algo.name; bits; bandwidth });
-            sent_any := true;
-            incr messages;
-            total_bits := !total_bits + bits;
-            max_bits := max !max_bits bits;
-            on_message ~sender ~target ~bits;
-            inboxes.(target) <- (sender, msg) :: inboxes.(target))
-          outbox)
-      outboxes;
-    quiescent := not !sent_any;
-    incr round
+    end
   done;
-  let stats =
-    {
-      rounds = !round;
-      messages = !messages;
-      total_bits = !total_bits;
-      max_message_bits = !max_bits;
-      bandwidth;
-    }
+  let internal = ref [] and outbound = ref [] in
+  Array.iteri
+    (fun sender outbox ->
+      List.iter
+        (fun (target, msg) ->
+          let bits = algo.msg_bits msg in
+          if bits > t.sp_bandwidth then
+            raise
+              (Bandwidth_exceeded
+                 { algo = algo.name; bits; bandwidth = t.sp_bandwidth });
+          t.sp_messages <- t.sp_messages + 1;
+          t.sp_total_bits <- t.sp_total_bits + bits;
+          t.sp_max_bits <- max t.sp_max_bits bits;
+          let tr = { t_sender = sender; t_target = target; t_bits = bits; t_msg = msg } in
+          if t.sp_owns.(target) then begin
+            t.sp_inboxes.(target) <- (sender, msg) :: t.sp_inboxes.(target);
+            internal := tr :: !internal
+          end
+          else outbound := tr :: !outbound)
+        outbox)
+    outboxes;
+  t.sp_round <- round + 1;
+  let internal = List.rev !internal and outbound = List.rev !outbound in
+  {
+    log_round = round;
+    internal;
+    outbound;
+    sent = internal <> [] || outbound <> [];
+    all_output = stepper_all_output t;
+  }
+
+let default_max_rounds g = (20 * Graph.n g) + (10 * Graph.m g) + 100
+
+(* ---- whole-network runs, rebuilt on the stepper ---------------------- *)
+
+let run_internal ?seed ?bandwidth_factor ?max_rounds ~on_message g algo =
+  let t = stepper ?seed ?bandwidth_factor g algo in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> default_max_rounds g
   in
-  (states, stats)
+  let quiescent = ref false in
+  while (not !quiescent) || not (stepper_all_output t) do
+    if t.sp_round > max_rounds then
+      failwith
+        (Printf.sprintf "Network.run: algorithm %S did not terminate in %d rounds"
+           algo.name max_rounds);
+    let log = step t in
+    List.iter
+      (fun tr -> on_message ~sender:tr.t_sender ~target:tr.t_target ~bits:tr.t_bits)
+      log.internal;
+    quiescent := not log.sent
+  done;
+  (Array.map (fun s -> Option.get s) t.sp_states, stepper_stats t)
 
 let run ?seed ?bandwidth_factor ?max_rounds g algo =
   run_internal ?seed ?bandwidth_factor ?max_rounds

@@ -43,6 +43,77 @@ val bandwidth_for : ?factor:int -> int -> int
 (** B(n) = factor·⌈log₂ n⌉, factor defaults to 8 (an "O(log n)-bit"
     message comfortably fits an edge id plus a weight). *)
 
+(** {1 Stepwise execution}
+
+    A {!stepper} runs the network one round at a time over a subset of
+    the vertices (the [owns] predicate; everything by default).  This is
+    the engine under {!run}/{!run_split}, and — with two partial steppers,
+    one per player — under the Theorem 1.1 lockstep simulation in
+    [Ch_reduction.Simulate]: a full run and a pair of complementary
+    half-runs execute bit-identically because they share this exact
+    per-round semantics (per-vertex RNG seeded from [(seed, v)], inboxes
+    delivered in ascending sender order, outbox validation and bandwidth
+    checks at the sender, rounds counted per synchronous step). *)
+
+type 'msg transfer = {
+  t_sender : int;
+  t_target : int;
+  t_bits : int;  (** [algo.msg_bits t_msg], charged at the sender *)
+  t_msg : 'msg;
+}
+
+type 'msg step_log = {
+  log_round : int;  (** the 0-based round just executed *)
+  internal : 'msg transfer list;
+      (** messages delivered between owned vertices (read next round) *)
+  outbound : 'msg transfer list;
+      (** messages from owned vertices to unowned ones — cross traffic the
+          driver must route (deliver via [step ~inject] on the peer) *)
+  sent : bool;  (** some owned vertex sent this round *)
+  all_output : bool;  (** every owned vertex has produced an output *)
+}
+
+type ('state, 'msg) stepper
+
+val stepper :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?owns:(int -> bool) ->
+  Graph.t ->
+  ('state, 'msg) algo ->
+  ('state, 'msg) stepper
+(** A fresh network at round 0.  Only owned vertices are initialized and
+    simulated; unowned ones exist solely as message endpoints. *)
+
+val step : ?inject:'msg transfer list -> ('state, 'msg) stepper -> 'msg step_log
+(** Execute one synchronous round: deliver [inject] (cross messages the
+    peer emitted last round; targets must be owned), run every owned
+    vertex on its inbox, validate and deliver the outboxes.  Messages to
+    unowned targets are returned in [outbound] instead of delivered, but
+    are validated, counted and bandwidth-checked exactly like internal
+    ones. *)
+
+val stepper_round : ('state, 'msg) stepper -> int
+(** Rounds executed so far. *)
+
+val stepper_bandwidth : ('state, 'msg) stepper -> int
+
+val stepper_owns : ('state, 'msg) stepper -> int -> bool
+
+val stepper_output : ('state, 'msg) stepper -> int -> int option
+(** Output of an owned vertex.  @raise Invalid_argument when unowned. *)
+
+val stepper_all_output : ('state, 'msg) stepper -> bool
+
+val stepper_stats : ('state, 'msg) stepper -> stats
+(** Counters over messages {e sent} by owned vertices (internal and
+    outbound); for a full stepper this equals the {!run} stats. *)
+
+val default_max_rounds : Graph.t -> int
+(** The [20·n + 10·m + 100] divergence guard {!run} uses by default. *)
+
+(** {1 Whole-network runs} *)
+
 val run :
   ?seed:int ->
   ?bandwidth_factor:int ->
@@ -51,7 +122,7 @@ val run :
   ('state, 'msg) algo ->
   'state array * stats
 (** Runs until every vertex has produced an output and no message is in
-    flight, or [max_rounds] (default [20·n + 10·m + 100]) elapses —
+    flight, or [max_rounds] (default {!default_max_rounds}) elapses —
     exceeding it raises [Failure]. *)
 
 type cut_stats = { stats : stats; cut_bits : int; cut_messages : int }

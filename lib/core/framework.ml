@@ -55,6 +55,37 @@ let cut_edges fam =
 
 let cut_size fam = List.length (cut_edges fam)
 
+type cut_info = {
+  ci_edges : (int * int) array;
+  ci_asize : int;
+  ci_bsize : int;
+  ci_index : (int * int, int) Hashtbl.t;
+}
+
+let cut_info fam =
+  let edges =
+    Array.of_list
+      (List.map
+         (fun (u, v) -> if fam.side.(u) then (u, v) else (v, u))
+         (cut_edges fam))
+  in
+  Array.sort compare edges;
+  let index = Hashtbl.create (2 * Array.length edges) in
+  Array.iteri
+    (fun i (a, b) ->
+      Hashtbl.replace index (a, b) i;
+      Hashtbl.replace index (b, a) i)
+    edges;
+  let asize = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 fam.side in
+  {
+    ci_edges = edges;
+    ci_asize = asize;
+    ci_bsize = Array.length fam.side - asize;
+    ci_index = index;
+  }
+
+let cut_index ci u v = Hashtbl.find_opt ci.ci_index (u, v)
+
 let verify_pair fam x y = fam.predicate (fam.build x y) = fam.f x y
 
 (* ---- incremental descriptors ---------------------------------------- *)

@@ -40,6 +40,23 @@ val cut_edges : t -> (int * int) list
 
 val cut_size : t -> int
 
+type cut_info = {
+  ci_edges : (int * int) array;
+      (** E_cut, oriented (Alice endpoint, Bob endpoint), sorted *)
+  ci_asize : int;  (** |V_A| *)
+  ci_bsize : int;  (** |V_B| *)
+  ci_index : (int * int, int) Hashtbl.t;  (** both orientations → index *)
+}
+
+val cut_info : t -> cut_info
+(** The cut/side descriptor the reduction simulation works from:
+    {!cut_edges} oriented towards Alice and indexed for per-edge traffic
+    attribution (see [Ch_reduction.Trace]). *)
+
+val cut_index : cut_info -> int -> int -> int option
+(** Index of the cut edge {u,v} in {!field-ci_edges} (either endpoint
+    order), or [None] when {u,v} does not cross the cut. *)
+
 (** {1 Family verification}
 
     The three verifiers fan their (perfectly parallel) input-pair checks

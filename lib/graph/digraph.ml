@@ -39,6 +39,15 @@ let add_arc ?(w = 1) g u v =
   Hashtbl.replace g.inc.(v) u w;
   g.m <- g.m + 1
 
+let remove_arc g u v =
+  check g u;
+  check g v;
+  if not (Hashtbl.mem g.out.(u) v) then
+    invalid_arg (Printf.sprintf "Digraph.remove_arc: no arc (%d,%d)" u v);
+  Hashtbl.remove g.out.(u) v;
+  Hashtbl.remove g.inc.(v) u;
+  g.m <- g.m - 1
+
 let arc_weight g u v =
   check g u;
   check g v;

@@ -14,6 +14,10 @@ val add_arc : ?w:int -> t -> int -> int -> unit
 (** [add_arc g u v] inserts the arc [u -> v].  Antiparallel arcs are
     allowed; duplicates and self loops are rejected. *)
 
+val remove_arc : t -> int -> int -> unit
+(** [remove_arc g u v] deletes the arc [u -> v].
+    @raise Invalid_argument when the arc is absent. *)
+
 val mem_arc : t -> int -> int -> bool
 
 val arc_weight : t -> int -> int -> int

@@ -68,10 +68,10 @@ let backward_target ~k ~c ~d ~q =
   else if c <> 0 then Ix.r ~k (c - 1)
   else Ix.s11
 
-let build ~k x y =
-  let _ = Bitgadget.check_k "Hampath_lb.build" k in
-  if Bits.length x <> k * k || Bits.length y <> k * k then
-    invalid_arg "Hampath_lb.build: inputs must have k^2 bits";
+(* the fixed part of the Theorem 2.2 digraph: everything but the
+   input-dependent row-to-row arcs *)
+let core_digraph ~k =
+  let _ = Bitgadget.check_k "Hampath_lb.core_digraph" k in
   let dg = Digraph.create (Ix.n ~k) in
   let arc u v = Digraph.add_arc dg u v in
   arc Ix.start (Ix.g ~k 0);
@@ -105,15 +105,46 @@ let build ~k x y =
         done)
       [ true; false ]
   done;
+  dg
+
+let input_arcs ~k x y =
+  if Bits.length x <> k * k || Bits.length y <> k * k then
+    invalid_arg "Hampath_lb.input_arcs: inputs must have k^2 bits";
+  let acc = ref [] in
   for i = 0 to k - 1 do
     for j = 0 to k - 1 do
       if Bits.get_pair ~k x i j then
-        arc (Ix.row ~k Mds_lb.A1 i) (Ix.row ~k Mds_lb.A2 j);
+        acc := (Ix.row ~k Mds_lb.A1 i, Ix.row ~k Mds_lb.A2 j) :: !acc;
       if Bits.get_pair ~k y i j then
-        arc (Ix.row ~k Mds_lb.B1 i) (Ix.row ~k Mds_lb.B2 j)
+        acc := (Ix.row ~k Mds_lb.B1 i, Ix.row ~k Mds_lb.B2 j) :: !acc
     done
   done;
+  List.rev !acc
+
+let build ~k x y =
+  let dg = core_digraph ~k in
+  List.iter (fun (u, v) -> Digraph.add_arc dg u v) (input_arcs ~k x y);
   dg
+
+type core = {
+  ck : int;
+  cdg : Digraph.t;
+  mutable applied : (Bits.t * Bits.t) option;
+}
+
+let build_core ~k =
+  let _ = Bitgadget.check_k "Hampath_lb.build_core" k in
+  { ck = k; cdg = core_digraph ~k; applied = None }
+
+let apply_inputs c x y =
+  let k = c.ck in
+  (match c.applied with
+  | Some (px, py) ->
+      List.iter (fun (u, v) -> Digraph.remove_arc c.cdg u v) (input_arcs ~k px py)
+  | None -> ());
+  List.iter (fun (u, v) -> Digraph.add_arc c.cdg u v) (input_arcs ~k x y);
+  c.applied <- Some (x, y);
+  c.cdg
 
 let witness_path ~k x y ~i ~j =
   let t = Bitgadget.check_k "Hampath_lb.witness_path" k in
@@ -212,6 +243,31 @@ let path_family ~k =
         | Framework.Directed dg -> Ch_solvers.Hamilton.directed_path dg <> None
         | _ -> invalid_arg "hampath family: directed expected");
     f = Commfn.intersecting;
+  }
+
+let incremental ~k =
+  {
+    Framework.scratch = path_family ~k;
+    prepare =
+      (fun () ->
+        let c = build_core ~k in
+        (* bitsets snapshot of the unpatched core *)
+        let hp = Ch_solvers.Cache.hampath_prepare c.cdg in
+        {
+          Framework.pbuild = (fun x y -> Framework.Directed (apply_inputs c x y));
+          pverdict =
+            (fun x y ->
+              Ch_solvers.Cache.hampath_directed_path hp
+                ~extra:(input_arcs ~k x y)
+              <> None);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.hampath_stats hp in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
   }
 
 (* Theorem 2.3: add middle with arcs end -> middle -> start *)

@@ -96,6 +96,9 @@ let apply_inputs c x y =
   c.applied <- Some (x, y);
   c.cg
 
+(* the 4k row vertices — the only endpoints of input edges *)
+let volatile ~k = List.init (4 * k) Fun.id
+
 let side ~k =
   let side = Array.make (Ix.n ~k) false in
   List.iter
@@ -127,8 +130,6 @@ let family ~k =
     f = Commfn.intersecting;
   }
 
-(* No solver cache yet: the incremental win here is skipping the per-pair
-   core rebuild; Mis.alpha runs on the patched graph. *)
 let incremental ~k =
   let target = alpha_target ~k in
   {
@@ -136,11 +137,20 @@ let incremental ~k =
     prepare =
       (fun () ->
         let c = build_core ~k in
+        (* conditioned α table of the unpatched core over the rows *)
+        let mc = Ch_solvers.Cache.mis_prepare c.cg ~volatile:(volatile ~k) in
         {
           Framework.pbuild = (fun x y -> Framework.Undirected (apply_inputs c x y));
           pverdict =
-            (fun x y -> Ch_solvers.Mis.alpha (apply_inputs c x y) >= target);
-          pstats = (fun () -> Framework.no_cache_stats);
+            (fun x y ->
+              Ch_solvers.Cache.mis_alpha mc ~extra:(input_edges ~k x y) >= target);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.mis_stats mc in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
         });
   }
 

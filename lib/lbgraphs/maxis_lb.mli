@@ -36,6 +36,9 @@ val core_graph : k:int -> Graph.t
 val input_edges : k:int -> Bits.t -> Bits.t -> (int * int) list
 (** The complement edges: (a₁^i, a₂^j) iff x_{i,j} = 0 (resp. y / B). *)
 
+val volatile : k:int -> int list
+(** The 4k row vertices — the only endpoints input edges may touch. *)
+
 type core
 
 val build_core : k:int -> core
@@ -49,6 +52,11 @@ val family : k:int -> Ch_core.Framework.t
 (** Predicate: α(G) ≥ Z. *)
 
 val incremental : k:int -> Ch_core.Framework.incremental
+(** Incremental descriptor backed by the conditioned α table
+    ({!Ch_solvers.Cache.mis_prepare} over {!volatile}): one enumeration of
+    the (k+1)^4 row-independent subsets at prepare time, then a per-pair
+    verdict that never rebuilds the graph or re-runs the branch and
+    bound. *)
 
 val mvc_family : k:int -> Ch_core.Framework.t
 (** The complementary vertex-cover view: τ(G) ≤ n − Z. *)

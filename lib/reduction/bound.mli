@@ -1,0 +1,63 @@
+open Ch_cc
+open Ch_core
+
+(** Empirical lower-bound sweeps over input pairs.
+
+    {!sweep} runs the lockstep simulation and its [run_split] oracle on
+    every pair, differences them, and derives the family's empirical
+    Theorem 1.1 figure Ω(CC(f)/(|E_cut|·log n)) from the measured cut
+    size and bandwidth plus the known CC bound (CC(DISJ_K) ≥ K;
+    deterministic CC(EQ_K) = K + 1). *)
+
+type row = {
+  bx : Bits.t;
+  by : Bits.t;
+  bt : Simulate.transcript;
+  br : Simulate.reference;
+  bmatch : bool;
+      (** cut bits, cut messages, rounds and answer all equal the oracle *)
+}
+
+type report = {
+  rep_name : string;
+  rep_n : int;
+  rep_input_bits : int;  (** K *)
+  rep_cut : int;  (** measured |E_cut| *)
+  rep_bandwidth : int;  (** B *)
+  rep_pairs : int;
+  rep_rounds_max : int;
+  rep_cut_bits_max : int;
+  rep_budget_max : int;
+  rep_bits_per_round : float;  (** mean over pairs of cut_bits/rounds *)
+  rep_cc_bits : int;  (** the CC(f) lower bound invoked *)
+  rep_lb_rounds : float;  (** CC(f)/(|E_cut|·log₂ n) *)
+  rep_all_correct : bool;
+  rep_all_match : bool;  (** transcript ≡ run_split on every pair *)
+  rep_all_within_budget : bool;
+}
+
+val cc_bits : input_bits:int -> [ `Disj | `Eq ] -> int
+
+val exhaustive_pairs : Framework.t -> (Bits.t * Bits.t) list
+(** All 2^K × 2^K pairs.  @raise Invalid_argument when [K > 5]. *)
+
+val sampled_pairs : Framework.t -> seed:int -> samples:int -> (Bits.t * Bits.t) list
+(** The four corner pairs followed by [samples] random pairs; sample [i]
+    draws seeds (seed + 2i, seed + 2i + 1), as in
+    {!Framework.verify_random}. *)
+
+val connected_pairs :
+  Framework.t -> (Bits.t * Bits.t) list -> (Bits.t * Bits.t) list * int
+(** Drop pairs whose instance is disconnected (outside the CONGEST model —
+    {!Simulate.lockstep} rejects them); also returns how many were
+    dropped, so sweeps can report rather than silently shrink. *)
+
+val matches : Simulate.transcript -> Simulate.reference -> bool
+
+val sweep :
+  ?trace:Trace.sink ->
+  Simulate.spec ->
+  (Bits.t * Bits.t) list ->
+  row list * report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,60 @@
+open Ch_congest
+
+type 'msg t = { cname : string; enc : 'msg -> bool list }
+
+(* big-endian fixed-width field, width = Encode.int_bits ~max *)
+let field ~max v =
+  if v < 0 then invalid_arg "Codec.field: negative value";
+  let w = Encode.int_bits ~max in
+  if w < 63 && v lsr w <> 0 then invalid_arg "Codec.field: value exceeds width";
+  List.init w (fun i -> (v lsr (w - 1 - i)) land 1 = 1)
+
+let tag3 c = [ c land 4 <> 0; c land 2 <> 0; c land 1 <> 0 ]
+
+let length_ok (algo : ('s, 'm) Network.algo) codec msg =
+  List.length (codec.enc msg) = algo.Network.msg_bits msg
+
+let bfs ~n = { cname = "bfs"; enc = (fun d -> field ~max:n d) }
+
+let leader ~n =
+  { cname = "leader"; enc = (fun id -> field ~max:(Stdlib.max 1 (n - 1)) id) }
+
+let mis_greedy = { cname = "mis-greedy"; enc = (fun code -> field ~max:3 code) }
+
+(* field widths mirror the algorithms' msg_bits formulas exactly, so
+   |enc m| = msg_bits m by construction — asserted by the bandwidth
+   property tests in test_reduction *)
+let gather =
+  {
+    cname = "gather";
+    enc =
+      (fun msg ->
+        match (msg : Gather.msg) with
+        | Gather.Dist d -> tag3 0 @ field ~max:(max 1 d) d
+        | Gather.Child -> tag3 1
+        | Gather.Done -> tag3 2
+        | Gather.Edge (u, v, w) ->
+            let m = max u v in
+            tag3 3 @ field ~max:m u @ field ~max:m v @ field ~max:(max 1 w) w
+        | Gather.Vweight (v, w) ->
+            tag3 4 @ field ~max:(max 1 v) v @ field ~max:(max 1 w) w
+        | Gather.Answer a ->
+            (* the magnitude carries the charged width; the families'
+               answers are nonnegative counts *)
+            tag3 5 @ field ~max:(max 1 (abs a)) (abs a));
+  }
+
+let mds_greedy =
+  {
+    cname = "mds-greedy";
+    enc =
+      (fun msg ->
+        match (msg : Mds_greedy.msg) with
+        | Mds_greedy.Dist d -> tag3 0 @ field ~max:(max 1 d) d
+        | Mds_greedy.Status b -> tag3 1 @ [ b ]
+        | Mds_greedy.Cand (c, i) ->
+            tag3 2 @ field ~max:(max 1 c) c @ field ~max:(max 1 i) i
+        | Mds_greedy.Winner (i, c) ->
+            tag3 3 @ field ~max:(max 1 i) i @ field ~max:(max 1 c) c
+        | Mds_greedy.Joined -> tag3 4);
+  }

@@ -1,0 +1,35 @@
+open Ch_congest
+
+(** Concrete bit encodings for the CONGEST algorithms' messages.
+
+    Every algorithm declares an abstract size ([algo.msg_bits]); the
+    codecs here commit to an actual encoding of that exact width, which
+    is what the lockstep simulation pushes through the two-party channel
+    for cut-crossing messages.  Field widths are value-dependent (as in
+    the [msg_bits] formulas), so the per-message field boundaries are
+    frame metadata the two players share — in Theorem 1.1 terms, the
+    round schedule and the B-bit slot per cut edge per round are common
+    knowledge; only the payload bits are charged. *)
+
+type 'msg t = {
+  cname : string;
+  enc : 'msg -> bool list;
+      (** Exactly [msg_bits msg] bits.  @raise Invalid_argument when a
+          field value is negative or exceeds its declared width. *)
+}
+
+val field : max:int -> int -> bool list
+(** Big-endian field of width [Encode.int_bits ~max] holding [0..max]. *)
+
+val length_ok : ('s, 'm) Network.algo -> 'm t -> 'm -> bool
+(** [|enc msg| = algo.msg_bits msg] — the encoding-honesty property. *)
+
+val gather : Gather.msg t
+
+val mds_greedy : Mds_greedy.msg t
+
+val bfs : n:int -> int t
+
+val leader : n:int -> int t
+
+val mis_greedy : int t

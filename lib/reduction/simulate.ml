@@ -1,0 +1,205 @@
+open Ch_graph
+open Ch_cc
+open Ch_core
+open Ch_congest
+
+type transcript = {
+  rounds : int;
+  cut_bits : int;
+  cut_messages : int;
+  internal_bits : int;
+  cut_size : int;
+  bandwidth : int;
+  budget : int;
+  answer : int;
+  output : bool;
+  expected : bool;
+  correct : bool;
+  within_budget : bool;
+}
+
+exception
+  Codec_mismatch of { algo : string; declared : int; encoded : int }
+
+let undirected_of name fam x y =
+  match fam.Framework.build x y with
+  | Framework.Undirected g -> g
+  | Framework.Directed _ | Framework.With_terminals _
+  | Framework.Rooted_digraph _ ->
+      invalid_arg (name ^ ": undirected instances only")
+
+let lockstep ?seed ?bandwidth_factor ?max_rounds ?(trace = Trace.null) fam
+    ~(algo : ('state, 'msg) Network.algo) ~(codec : 'msg Codec.t) ~accept x y =
+  let g = undirected_of "Simulate.lockstep" fam x y in
+  (* the CONGEST model assumes a connected network; degenerate input pairs
+     that disconnect G_{x,y} (e.g. the no-input-edge corner of the MDS
+     family) are outside it — Bound.connected_pairs filters them *)
+  if not (Props.connected g) then
+    invalid_arg "Simulate.lockstep: G_{x,y} is disconnected";
+  let side = fam.Framework.side in
+  if Array.length side <> Graph.n g then invalid_arg "Simulate.lockstep: side length";
+  let ci = Framework.cut_info fam in
+  let cut_size = Array.length ci.Framework.ci_edges in
+  (* Alice owns V_A, Bob owns V_B.  By Definition 1.1 Alice's half of the
+     graph (and hence her stepper) depends only on x, Bob's only on y —
+     each player really can run their stepper locally. *)
+  let alice =
+    Network.stepper ?seed ?bandwidth_factor ~owns:(fun v -> side.(v)) g algo
+  in
+  let bob =
+    Network.stepper ?seed ?bandwidth_factor ~owns:(fun v -> not side.(v)) g algo
+  in
+  let bandwidth = Network.stepper_bandwidth alice in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> Network.default_max_rounds g
+  in
+  let chan = Protocol.create () in
+  let cut_messages = ref 0 and internal_bits = ref 0 in
+  let note_internal round (tr : 'msg Network.transfer) =
+    internal_bits := !internal_bits + tr.Network.t_bits;
+    trace
+      (Trace.Msg
+         {
+           round;
+           sender = tr.Network.t_sender;
+           target = tr.Network.t_target;
+           bits = tr.Network.t_bits;
+           cut = false;
+           edge = None;
+           cum_cut_bits = Protocol.bits chan;
+         })
+  in
+  (* A cut crossing: the sender's player encodes the message and the
+     payload goes through the two-party channel, which charges exactly
+     its length = msg_bits — so the transcript total is bit-for-bit the
+     run_split cut accounting.  The frame around the payload (which cut
+     edge, the value-dependent field widths) is the round schedule both
+     players share; Theorem 1.1 budgets a B-bit slot per cut edge per
+     round as common knowledge and charges only the payload. *)
+  let cross round (tr : 'msg Network.transfer) =
+    let payload = codec.Codec.enc tr.Network.t_msg in
+    if List.length payload <> tr.Network.t_bits then
+      raise
+        (Codec_mismatch
+           {
+             algo = algo.Network.name;
+             declared = tr.Network.t_bits;
+             encoded = List.length payload;
+           });
+    ignore (Protocol.send_bits chan (Bits.of_list payload));
+    incr cut_messages;
+    trace
+      (Trace.Msg
+         {
+           round;
+           sender = tr.Network.t_sender;
+           target = tr.Network.t_target;
+           bits = tr.Network.t_bits;
+           cut = true;
+           edge = Framework.cut_index ci tr.Network.t_sender tr.Network.t_target;
+           cum_cut_bits = Protocol.bits chan;
+         });
+    tr
+  in
+  let inject_a = ref [] and inject_b = ref [] in
+  let quiescent = ref false in
+  (* the loop mirrors Network.run_internal exactly: same termination
+     condition over the union of the halves, same divergence guard *)
+  while
+    (not !quiescent)
+    || not (Network.stepper_all_output alice && Network.stepper_all_output bob)
+  do
+    if Network.stepper_round alice > max_rounds then
+      failwith
+        (Printf.sprintf "Simulate.lockstep: %S did not terminate in %d rounds"
+           algo.Network.name max_rounds);
+    let before = Protocol.bits chan and before_msgs = !cut_messages in
+    let internal_before = !internal_bits in
+    let la = Network.step ~inject:!inject_a alice in
+    let lb = Network.step ~inject:!inject_b bob in
+    let round = la.Network.log_round in
+    List.iter (note_internal round) la.Network.internal;
+    List.iter (note_internal round) lb.Network.internal;
+    inject_b := List.map (cross round) la.Network.outbound;
+    inject_a := List.map (cross round) lb.Network.outbound;
+    trace
+      (Trace.Round
+         {
+           round;
+           cut_bits = Protocol.bits chan - before;
+           cut_messages = !cut_messages - before_msgs;
+           internal_bits = !internal_bits - internal_before;
+           cum_cut_bits = Protocol.bits chan;
+           budget = (round + 1) * cut_size * bandwidth;
+         });
+    quiescent := not (la.Network.sent || lb.Network.sent)
+  done;
+  let rounds = Network.stepper_round alice in
+  let answer =
+    match Network.stepper_output (if side.(0) then alice else bob) 0 with
+    | Some a -> a
+    | None -> assert false
+  in
+  let cut_bits = Protocol.bits chan in
+  let budget = rounds * cut_size * bandwidth in
+  let expected = fam.Framework.f x y in
+  let output = accept answer in
+  {
+    rounds;
+    cut_bits;
+    cut_messages = !cut_messages;
+    internal_bits = !internal_bits;
+    cut_size;
+    bandwidth;
+    budget;
+    answer;
+    output;
+    expected;
+    correct = output = expected;
+    within_budget = cut_bits <= budget;
+  }
+
+(* ---- monomorphic packaging ------------------------------------------ *)
+
+type reference = {
+  ref_answer : int;
+  ref_cut_bits : int;
+  ref_cut_messages : int;
+  ref_rounds : int;
+}
+
+type spec = {
+  sname : string;
+  sfam : Framework.t;
+  scc : [ `Disj | `Eq ];
+  srun : ?trace:Trace.sink -> Bits.t -> Bits.t -> transcript;
+  sref : Bits.t -> Bits.t -> reference;
+}
+
+let make_spec ~name ?(cc = `Disj) fam ~run ~reference =
+  { sname = name; sfam = fam; scc = cc; srun = run; sref = reference }
+
+let gather_spec ?seed ?bandwidth_factor ~name fam ~solver ~accept =
+  let algo = Gather.algo ~root:0 ~f:solver () in
+  {
+    sname = name;
+    sfam = fam;
+    scc = `Disj;
+    srun =
+      (fun ?trace x y ->
+        lockstep ?seed ?bandwidth_factor ?trace fam ~algo ~codec:Codec.gather
+          ~accept x y);
+    sref =
+      (fun x y ->
+        let g = undirected_of "Simulate.gather_spec" fam x y in
+        let answer, cs =
+          Gather.solve_split ?seed ?bandwidth_factor ~side:fam.Framework.side g
+            ~f:solver
+        in
+        {
+          ref_answer = answer;
+          ref_cut_bits = cs.Network.cut_bits;
+          ref_cut_messages = cs.Network.cut_messages;
+          ref_rounds = cs.Network.stats.Network.rounds;
+        });
+  }

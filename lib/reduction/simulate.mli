@@ -1,0 +1,99 @@
+open Ch_cc
+open Ch_core
+open Ch_congest
+
+(** The Theorem 1.1 reduction, executed mechanically.
+
+    Given a family of lower bound graphs (Definition 1.1), an input pair
+    (x, y) and a CONGEST algorithm deciding the family's predicate,
+    {!lockstep} has Alice simulate the V_A vertices and Bob the V_B
+    vertices round by round on two complementary {!Network.stepper}s.
+    Same-side messages are delivered locally for free; every cut-crossing
+    message is encoded by its {!Codec} and pushed through a real
+    {!Protocol.t} channel, which charges exactly its [msg_bits] width.
+
+    Invariants (asserted by the differential tests and the bench):
+    - the charged transcript equals [Network.run_split]'s [cut_bits],
+      [cut_messages] and [rounds] bit-for-bit — the halves replay the
+      full run exactly because both are built on {!Network.stepper};
+    - [cut_bits <= rounds·|E_cut|·B] — the Theorem 1.1 budget;
+    - the decoded answer (vertex 0's output) passed through [accept]
+      equals f(x, y) — Alice and Bob have solved the communication
+      problem at transcript cost, which is the whole reduction. *)
+
+type transcript = {
+  rounds : int;
+  cut_bits : int;  (** bits charged on the two-party channel *)
+  cut_messages : int;
+  internal_bits : int;  (** same-side traffic, simulated for free *)
+  cut_size : int;  (** |E_cut| *)
+  bandwidth : int;  (** B *)
+  budget : int;  (** rounds·|E_cut|·B *)
+  answer : int;  (** the algorithm's output at vertex 0 *)
+  output : bool;  (** [accept answer] — the protocol's decision *)
+  expected : bool;  (** f(x, y) *)
+  correct : bool;  (** output = expected *)
+  within_budget : bool;  (** cut_bits ≤ budget *)
+}
+
+exception Codec_mismatch of { algo : string; declared : int; encoded : int }
+(** A codec produced a payload whose length differs from the declared
+    [msg_bits] — encoding dishonesty, never expected. *)
+
+val lockstep :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?max_rounds:int ->
+  ?trace:Trace.sink ->
+  Framework.t ->
+  algo:('state, 'msg) Network.algo ->
+  codec:'msg Codec.t ->
+  accept:(int -> bool) ->
+  Bits.t ->
+  Bits.t ->
+  transcript
+(** Run the two-party simulation on G_{x,y}.  Only undirected instances
+    are supported; [seed]/[bandwidth_factor]/[max_rounds] default as in
+    {!Network.run}.  @raise Invalid_argument when G_{x,y} is disconnected
+    (outside the CONGEST model — see {!Bound.connected_pairs}). *)
+
+(** {1 Monomorphic packaging}
+
+    A {!spec} hides the algorithm's state/message types so sweeps, the
+    bench and the CLI can treat families uniformly. *)
+
+type reference = {
+  ref_answer : int;
+  ref_cut_bits : int;
+  ref_cut_messages : int;
+  ref_rounds : int;
+}
+(** The [Network.run_split] oracle the transcript is differenced against. *)
+
+type spec = {
+  sname : string;
+  sfam : Framework.t;
+  scc : [ `Disj | `Eq ];  (** which CC(f) bound the family invokes *)
+  srun : ?trace:Trace.sink -> Bits.t -> Bits.t -> transcript;
+  sref : Bits.t -> Bits.t -> reference;
+}
+
+val make_spec :
+  name:string ->
+  ?cc:[ `Disj | `Eq ] ->
+  Framework.t ->
+  run:(?trace:Trace.sink -> Bits.t -> Bits.t -> transcript) ->
+  reference:(Bits.t -> Bits.t -> reference) ->
+  spec
+
+val gather_spec :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  name:string ->
+  Framework.t ->
+  solver:(Ch_graph.Graph.t -> int) ->
+  accept:(int -> bool) ->
+  spec
+(** The generic exact upper bound ({!Gather.algo} rooted at vertex 0 with
+    the family's exact [solver] at the root) packaged for simulation,
+    with {!Gather.solve_split} as the reference oracle. *)

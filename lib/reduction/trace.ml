@@ -1,0 +1,51 @@
+type event =
+  | Msg of {
+      round : int;
+      sender : int;
+      target : int;
+      bits : int;
+      cut : bool;
+      edge : int option;
+      cum_cut_bits : int;
+    }
+  | Round of {
+      round : int;
+      cut_bits : int;
+      cut_messages : int;
+      internal_bits : int;
+      cum_cut_bits : int;
+      budget : int;
+    }
+
+type sink = event -> unit
+
+let null _ = ()
+
+let collector () =
+  let acc = ref [] in
+  ((fun e -> acc := e :: !acc), fun () -> List.rev !acc)
+
+let tee a b e =
+  a e;
+  b e
+
+let to_json = function
+  | Msg { round; sender; target; bits; cut; edge; cum_cut_bits } ->
+      Printf.sprintf
+        "{\"type\": \"msg\", \"round\": %d, \"sender\": %d, \"target\": %d, \
+         \"bits\": %d, \"cut\": %b%s, \"cum_cut_bits\": %d}"
+        round sender target bits cut
+        (match edge with
+        | Some i -> Printf.sprintf ", \"cut_edge\": %d" i
+        | None -> "")
+        cum_cut_bits
+  | Round { round; cut_bits; cut_messages; internal_bits; cum_cut_bits; budget } ->
+      Printf.sprintf
+        "{\"type\": \"round\", \"round\": %d, \"cut_bits\": %d, \
+         \"cut_messages\": %d, \"internal_bits\": %d, \"cum_cut_bits\": %d, \
+         \"budget\": %d}"
+        round cut_bits cut_messages internal_bits cum_cut_bits budget
+
+let jsonl oc e =
+  output_string oc (to_json e);
+  output_char oc '\n'

@@ -1,0 +1,40 @@
+(** Structured observability for the lockstep reduction simulation.
+
+    The simulation emits one {!event} per message and one per round;
+    sinks are plain consumers.  Cut traffic is attributed to the cut-edge
+    index of the family's {!Ch_core.Framework.cut_info} descriptor, and
+    every event carries the cumulative charged cut bits, so a trace
+    replays the whole two-party transcript and its budget line. *)
+
+type event =
+  | Msg of {
+      round : int;
+      sender : int;
+      target : int;
+      bits : int;
+      cut : bool;  (** crossed the V_A/V_B cut (charged on the channel) *)
+      edge : int option;  (** cut-edge index when [cut] *)
+      cum_cut_bits : int;  (** channel total after this message *)
+    }
+  | Round of {
+      round : int;
+      cut_bits : int;  (** charged this round *)
+      cut_messages : int;
+      internal_bits : int;  (** same-side traffic this round, uncharged *)
+      cum_cut_bits : int;
+      budget : int;  (** (round+1)·|E_cut|·B — the Theorem 1.1 line *)
+    }
+
+type sink = event -> unit
+
+val null : sink
+
+val collector : unit -> sink * (unit -> event list)
+(** A sink accumulating events, and a function returning them in order. *)
+
+val tee : sink -> sink -> sink
+
+val to_json : event -> string
+
+val jsonl : out_channel -> sink
+(** One JSON object per line. *)

@@ -318,6 +318,202 @@ let maxcut_max c ~extra =
 let maxcut_stats c = stats_of c.mc
 
 (* ------------------------------------------------------------------ *)
+(* Hamiltonian paths: shared adjacency bitsets for one digraph core   *)
+(* ------------------------------------------------------------------ *)
+
+(* The Theorem 2.2 digraph is ~97% fixed: input pairs add at most k²+k²
+   row-to-row arcs.  The snapshot here is the core's succ/pred bitsets;
+   a query copy-on-writes only the rows its extra arcs touch and runs
+   the search through Hamilton.directed_path_over — no per-pair digraph
+   rebuild, no per-pair full bitset conversion.  Digraphs have no
+   structural-hash module, so the memo keys on (n, sorted arcs). *)
+
+type hampath_tables = { hn : int; hsucc : Bitset.t array; hpred : Bitset.t array }
+
+type hampath = { ht : hampath_tables; hc : counter }
+
+let hampath_lock = Mutex.create ()
+
+let hampath_memo :
+    (int, ((int * (int * int * int) list) * hampath_tables) list) Hashtbl.t =
+  Hashtbl.create 16
+
+let hampath_prepare dg =
+  let key = (Digraph.n dg, Digraph.arcs dg) in
+  let hash = Hashtbl.hash key in
+  Mutex.lock hampath_lock;
+  let hit =
+    List.assoc_opt key
+      (Option.value ~default:[] (Hashtbl.find_opt hampath_memo hash))
+  in
+  Mutex.unlock hampath_lock;
+  match hit with
+  | Some tables -> { ht = tables; hc = { chits = 1; cmisses = 0 } }
+  | None ->
+      let tables =
+        {
+          hn = Digraph.n dg;
+          hsucc = Digraph.succ_bitsets dg;
+          hpred = Digraph.pred_bitsets dg;
+        }
+      in
+      Mutex.lock hampath_lock;
+      let published =
+        match
+          List.assoc_opt key
+            (Option.value ~default:[] (Hashtbl.find_opt hampath_memo hash))
+        with
+        | Some t -> t
+        | None ->
+            Hashtbl.replace hampath_memo hash
+              ((key, tables)
+              :: Option.value ~default:[] (Hashtbl.find_opt hampath_memo hash));
+            tables
+      in
+      Mutex.unlock hampath_lock;
+      { ht = published; hc = { chits = 0; cmisses = 1 } }
+
+let hampath_directed_path c ~extra =
+  c.hc.chits <- c.hc.chits + 1;
+  let t = c.ht in
+  let succ = Array.copy t.hsucc and pred = Array.copy t.hpred in
+  let owned_s = Array.make t.hn false and owned_p = Array.make t.hn false in
+  let touch owned arr v =
+    if not owned.(v) then begin
+      owned.(v) <- true;
+      arr.(v) <- Bitset.copy arr.(v)
+    end
+  in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= t.hn || v < 0 || v >= t.hn then
+        invalid_arg "Cache.hampath_directed_path: arc out of range";
+      touch owned_s succ u;
+      touch owned_p pred v;
+      Bitset.add succ.(u) v;
+      Bitset.add pred.(v) u)
+    extra;
+  Hamilton.directed_path_over ~succ ~pred
+
+let hampath_stats c = stats_of c.hc
+
+(* ------------------------------------------------------------------ *)
+(* Max independent set: conditioned table over the volatile vertices  *)
+(* ------------------------------------------------------------------ *)
+
+(* α(core + extra), where the extra edges live inside [volatile]:
+   any independent set splits as A ⊎ S with A = S∩volatile, so
+
+     α(G) = max over A ⊆ volatile independent in G of
+            |A| + α(G[V ∖ volatile ∖ N(A)])
+
+   and because extra edges never touch V ∖ volatile, both the residual
+   graph and N(A)∖volatile are those of the bare core — tabulated once.
+   A query only has to find the best core-independent A that stays
+   independent under the extra edges, i.e. the first entry (sorted by
+   decreasing value) containing no extra edge.  The families keep the
+   enumeration tiny: rows are cliques, so at most one volatile vertex
+   per row can be selected ((k+1)^4 subsets at k = 2). *)
+
+type mis_entry = { me_mask : int; me_value : int }
+
+type mis_tables = {
+  mi_n : int;
+  mi_vol_index : int array;  (* vertex -> index into volatile, or -1 *)
+  mi_entries : mis_entry array;  (* sorted by decreasing value *)
+}
+
+type mis = { mi : mis_tables; mic : counter }
+
+let mis_memo : mis_tables Memo.t = Memo.create ()
+
+let build_mis_tables g ~volatile =
+  let n = Graph.n g in
+  let vol = Array.of_list volatile in
+  let s = Array.length vol in
+  if s > 62 then invalid_arg "Cache.mis_prepare: too many volatile vertices";
+  let vol_index = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n then invalid_arg "Cache.mis_prepare: bad vertex";
+      vol_index.(v) <- i)
+    vol;
+  let adj = Graph.adjacency g in
+  (* core adjacency restricted to the volatile set, as index masks *)
+  let vadj = Array.make (max s 1) 0 in
+  for i = 0 to s - 1 do
+    for j = 0 to s - 1 do
+      if i <> j && Bitset.mem adj.(vol.(i)) vol.(j) then
+        vadj.(i) <- vadj.(i) lor (1 lsl j)
+    done
+  done;
+  let nonvol = List.filter (fun v -> vol_index.(v) < 0) (List.init n Fun.id) in
+  let entries = ref [] and count = ref 0 in
+  let value_of mask =
+    let nbrs = Bitset.create n in
+    for i = 0 to s - 1 do
+      if mask land (1 lsl i) <> 0 then Bitset.union_into nbrs adj.(vol.(i))
+    done;
+    let rest = List.filter (fun v -> not (Bitset.mem nbrs v)) nonvol in
+    let sub, _ = Graph.induced g rest in
+    let rec popcount acc m = if m = 0 then acc else popcount (acc + (m land 1)) (m lsr 1) in
+    popcount 0 mask + Mis.alpha sub
+  in
+  (* all subsets of volatile independent in the core; masks only ever
+     contain indices < i *)
+  let rec go i mask =
+    if i = s then begin
+      incr count;
+      if !count > 65_536 then
+        invalid_arg "Cache.mis_prepare: too many independent volatile subsets";
+      entries := { me_mask = mask; me_value = value_of mask } :: !entries
+    end
+    else begin
+      go (i + 1) mask;
+      if mask land vadj.(i) = 0 then go (i + 1) (mask lor (1 lsl i))
+    end
+  in
+  go 0 0;
+  let entries = Array.of_list !entries in
+  Array.sort (fun a b -> compare b.me_value a.me_value) entries;
+  { mi_n = n; mi_vol_index = vol_index; mi_entries = entries }
+
+let mis_prepare g ~volatile =
+  let aux = String.concat "," (List.map string_of_int volatile) in
+  let tables, was_hit =
+    Memo.find_or_build mis_memo ~graph:g ~aux ~build:(fun () ->
+        build_mis_tables g ~volatile)
+  in
+  {
+    mi = tables;
+    mic = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
+  }
+
+let mis_alpha c ~extra =
+  c.mic.chits <- c.mic.chits + 1;
+  let t = c.mi in
+  let forbidden =
+    List.map
+      (fun (u, v) ->
+        if u < 0 || u >= t.mi_n || v < 0 || v >= t.mi_n then
+          invalid_arg "Cache.mis_alpha: edge out of range";
+        let iu = t.mi_vol_index.(u) and iv = t.mi_vol_index.(v) in
+        if iu < 0 || iv < 0 then
+          invalid_arg "Cache.mis_alpha: extra edge endpoint not volatile";
+        (1 lsl iu) lor (1 lsl iv))
+      extra
+  in
+  let ok mask = List.for_all (fun p -> mask land p <> p) forbidden in
+  (* the empty subset is always compatible, so the scan terminates *)
+  let rec scan i =
+    if ok t.mi_entries.(i).me_mask then t.mi_entries.(i).me_value
+    else scan (i + 1)
+  in
+  scan 0
+
+let mis_stats c = stats_of c.mic
+
+(* ------------------------------------------------------------------ *)
 (* Dominating set: shared closed balls with copy-on-write patching    *)
 (* ------------------------------------------------------------------ *)
 
@@ -372,4 +568,8 @@ let domset_stats c = stats_of c.dc
 let clear () =
   Memo.clear steiner_memo;
   Memo.clear maxcut_memo;
-  Memo.clear domset_memo
+  Memo.clear mis_memo;
+  Memo.clear domset_memo;
+  Mutex.lock hampath_lock;
+  Hashtbl.reset hampath_memo;
+  Mutex.unlock hampath_lock

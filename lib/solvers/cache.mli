@@ -65,6 +65,42 @@ val maxcut_max : maxcut -> extra:(int * int * int) list -> int
 
 val maxcut_stats : maxcut -> stats
 
+(** {1 Hamiltonian paths: shared adjacency bitsets} *)
+
+type hampath
+
+val hampath_prepare : Digraph.t -> hampath
+(** Snapshot the core digraph's successor/predecessor bitsets, memoized
+    on (n, sorted arc list). *)
+
+val hampath_directed_path : hampath -> extra:(int * int) list -> int list option
+(** [Hamilton.directed_path] of [core + extra]: the shared bitsets are
+    patched copy-on-write on the rows the extra arcs touch, then searched
+    through {!Hamilton.directed_path_over}.  Extra arcs must stay in
+    range; duplicates of core arcs are harmless (bitset inserts). *)
+
+val hampath_stats : hampath -> stats
+
+(** {1 Max independent set: conditioned table over the volatile vertices} *)
+
+type mis
+
+val mis_prepare : Graph.t -> volatile:int list -> mis
+(** For every subset A of [volatile] that is independent in the core,
+    tabulate [|A| + Mis.alpha (core minus volatile minus N(A))] — the best
+    completion of A outside the volatile set, which no volatile-volatile
+    input edge can change.  Entries are sorted by decreasing value.
+    @raise Invalid_argument when there are more than 62 volatile vertices
+    or more than 2^16 core-independent subsets (the families' row cliques
+    keep it at (k+1)^4). *)
+
+val mis_alpha : mis -> extra:(int * int) list -> int
+(** α(core + extra), i.e. exactly [Mis.alpha core_with_extra]: the first
+    (best) tabulated subset containing no [extra] edge.  Every [extra]
+    edge must have both endpoints volatile. *)
+
+val mis_stats : mis -> stats
+
 (** {1 Dominating sets: shared closed balls} *)
 
 type domset

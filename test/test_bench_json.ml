@@ -49,6 +49,7 @@ let () =
       "\"family\": \"mds-k2-exhaustive-inc\"";
       "\"family\": \"steiner-k2-exhaustive-inc\"";
       "\"family\": \"maxcut-k2-exhaustive-inc\"";
+      "\"family\": \"hampath-k2-exhaustive-inc\"";
       "\"pairs\":";
       "\"pairs_per_s\":";
       "\"wall_s_jobs1\":";
@@ -57,6 +58,17 @@ let () =
       "\"cache_misses\":";
       "\"speedup_vs_scratch\":";
       "\"differential_ok\": true";
+      "\"reduction\":";
+      "\"family\": \"mds-k2-reduction\"";
+      "\"family\": \"maxis-k2-reduction\"";
+      "\"family\": \"maxcut-k2-reduction\"";
+      "\"pairs_skipped\":";
+      "\"bits_per_round\":";
+      "\"cc_bits\":";
+      "\"lb_rounds\":";
+      "\"transcript_differential_ok\": true";
+      "\"decisions_ok\": true";
+      "\"within_budget\": true";
     ]
   in
   List.iter
@@ -66,6 +78,8 @@ let () =
     required;
   if contains ~needle:"\"differential_ok\": false" body then
     failwith "differential mismatch reported in bench JSON";
+  if contains ~needle:"\"transcript_differential_ok\": false" body then
+    failwith "reduction transcript mismatch reported in bench JSON";
   (* cleanup *)
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir;

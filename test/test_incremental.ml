@@ -66,6 +66,20 @@ let test_maxcut_graphs () =
     (Maxcut_lb.apply_inputs c)
     (sample_pairs ~input_bits:4 ~samples:12)
 
+(* Hampath's instances are digraphs; difference the sorted arc lists. *)
+let test_hampath_graphs () =
+  let c = Hampath_lb.build_core ~k:2 in
+  List.iteri
+    (fun i (x, y) ->
+      let patched = Hampath_lb.apply_inputs c x y in
+      let fresh = Hampath_lb.build ~k:2 x y in
+      Alcotest.(check bool)
+        (Printf.sprintf "hampath: digraph differential at pair %d" i)
+        true
+        (Digraph.n patched = Digraph.n fresh
+        && Digraph.arcs patched = Digraph.arcs fresh))
+    (sample_pairs ~input_bits:4 ~samples:12)
+
 let test_steiner_graphs () =
   let fam = Steiner_lb.family ~k:2 in
   let c = Steiner_lb.build_core ~k:2 in
@@ -125,6 +139,10 @@ let test_maxcut_sampled () =
   Cache.clear ();
   check_sampled "maxcut" (Maxcut_lb.incremental ~k:2)
     (sample_pairs ~input_bits:4 ~samples:16)
+
+let test_hampath_exhaustive () =
+  Cache.clear ();
+  check_exhaustive "hampath" (Hampath_lb.incremental ~k:2)
 
 (* The _inc verifiers must agree with their scratch counterparts
    through the degenerate of_family descriptor too. *)
@@ -198,6 +216,19 @@ let prop_maxcut_cache =
       Cache.clear ();
       let c = Cache.maxcut_prepare g ~volatile in
       Cache.maxcut_max c ~extra = fst (Ch_solvers.Maxcut.max_cut g'))
+
+let prop_mis_cache =
+  QCheck.Test.make ~count:60 ~name:"Cache.mis_alpha = Mis.alpha"
+    QCheck.(pair (int_range 2 10) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let g = Gen.gnp ~seed n 0.35 in
+      let volatile = List.init ((n / 2) + 1) Fun.id in
+      let extra = random_extra ~seed:(seed + 1) g volatile in
+      let g' = Graph.copy g in
+      List.iter (fun (u, v) -> Graph.add_edge g' u v) extra;
+      Cache.clear ();
+      let c = Cache.mis_prepare g ~volatile in
+      Cache.mis_alpha c ~extra = Ch_solvers.Mis.alpha g')
 
 let prop_domset_cache =
   QCheck.Test.make ~count:60 ~name:"Domset.min_size ~balls:(Cache.domset_balls) = plain"
@@ -310,6 +341,8 @@ let () =
           Alcotest.test_case "maxis core+inputs = build" `Quick test_maxis_graphs;
           Alcotest.test_case "maxcut core+inputs = build" `Quick
             test_maxcut_graphs;
+          Alcotest.test_case "hampath core+inputs = build" `Quick
+            test_hampath_graphs;
           Alcotest.test_case "steiner core+inputs = build" `Quick
             test_steiner_graphs;
         ] );
@@ -320,11 +353,17 @@ let () =
           Alcotest.test_case "maxcut exhaustive" `Slow test_maxcut_exhaustive;
           Alcotest.test_case "steiner sampled" `Slow test_steiner_sampled;
           Alcotest.test_case "maxcut sampled" `Quick test_maxcut_sampled;
+          Alcotest.test_case "hampath exhaustive" `Slow test_hampath_exhaustive;
           Alcotest.test_case "of_family fallback" `Quick test_of_family;
           Alcotest.test_case "verifier counts" `Quick test_verify_counts;
         ] );
       ( "solver caches",
-        [ qt prop_steiner_cache; qt prop_maxcut_cache; qt prop_domset_cache ] );
+        [
+          qt prop_steiner_cache;
+          qt prop_maxcut_cache;
+          qt prop_mis_cache;
+          qt prop_domset_cache;
+        ] );
       ( "memoization",
         [
           Alcotest.test_case "hit/miss counters" `Quick test_memo_counters;

@@ -1,0 +1,271 @@
+open Ch_graph
+open Ch_cc
+open Ch_congest
+open Ch_lbgraphs
+open Ch_solvers
+open Ch_reduction
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- the three Theorem 1.1 target families at k = 2 ------------------ *)
+
+let mds_spec () =
+  Simulate.gather_spec ~name:"mds-k2" (Mds_lb.family ~k:2)
+    ~solver:Domset.min_size
+    ~accept:(fun a -> a <= Mds_lb.target_size ~k:2)
+
+let maxis_spec () =
+  Simulate.gather_spec ~name:"maxis-k2" (Maxis_lb.family ~k:2) ~solver:Mis.alpha
+    ~accept:(fun a -> a >= Maxis_lb.alpha_target ~k:2)
+
+let maxcut_spec () =
+  Simulate.gather_spec ~name:"maxcut-k2" (Maxcut_lb.family ~k:2)
+    ~solver:(fun g -> fst (Maxcut.max_cut g))
+    ~accept:(fun a -> a >= Maxcut_lb.target_weight ~k:2)
+
+let assert_report name (r : Bound.report) =
+  check (name ^ ": transcript = run_split on every pair") true r.Bound.rep_all_match;
+  check (name ^ ": decisions match f(x,y)") true r.Bound.rep_all_correct;
+  check (name ^ ": cut bits within rounds*|Ecut|*B") true
+    r.Bound.rep_all_within_budget
+
+let test_mds_differential () =
+  let spec = mds_spec () in
+  let fam = spec.Simulate.sfam in
+  let pairs, skipped = Bound.connected_pairs fam (Bound.exhaustive_pairs fam) in
+  check_int "only the no-edge corner is disconnected" 1 skipped;
+  let _, report = Bound.sweep spec pairs in
+  check_int "255 pairs" 255 report.Bound.rep_pairs;
+  assert_report "mds" report
+
+let test_maxis_differential () =
+  let spec = maxis_spec () in
+  let fam = spec.Simulate.sfam in
+  let pairs, skipped = Bound.connected_pairs fam (Bound.exhaustive_pairs fam) in
+  check_int "only the all-ones corner is disconnected" 1 skipped;
+  let _, report = Bound.sweep spec pairs in
+  check_int "255 pairs" 255 report.Bound.rep_pairs;
+  assert_report "maxis" report
+
+let test_maxcut_differential () =
+  let spec = maxcut_spec () in
+  let fam = spec.Simulate.sfam in
+  let pairs, skipped =
+    Bound.connected_pairs fam (Bound.sampled_pairs fam ~seed:41 ~samples:4)
+  in
+  check_int "maxcut instances always connected" 0 skipped;
+  let _, report = Bound.sweep spec pairs in
+  check_int "corners + 4 samples" 8 report.Bound.rep_pairs;
+  assert_report "maxcut" report
+
+(* ---- trace regression: the events replay the charged transcript ------ *)
+
+let test_trace_replays_transcript () =
+  let spec = mds_spec () in
+  let x = Bits.random ~seed:7 4 and y = Bits.random ~seed:8 4 in
+  let sink, events = Trace.collector () in
+  let t = spec.Simulate.srun ~trace:sink x y in
+  let r = spec.Simulate.sref x y in
+  check_int "run_split oracle agrees" r.Simulate.ref_cut_bits
+    t.Simulate.cut_bits;
+  let events = events () in
+  let cut_msg_bits, cut_msgs, round_cut_bits, last_cum =
+    List.fold_left
+      (fun (mb, mc, rb, _) ev ->
+        match ev with
+        | Trace.Msg { cut = true; bits; cum_cut_bits; edge; _ } ->
+            check "cut message has a cut-edge index" true (edge <> None);
+            (mb + bits, mc + 1, rb, cum_cut_bits)
+        | Trace.Msg { cut = false; edge; cum_cut_bits; _ } ->
+            check "internal message has no cut-edge index" true (edge = None);
+            (mb, mc, rb, cum_cut_bits)
+        | Trace.Round { cut_bits; cum_cut_bits; _ } ->
+            (mb, mc, rb + cut_bits, cum_cut_bits))
+      (0, 0, 0, 0) events
+  in
+  check_int "sum of cut Msg bits = transcript cut_bits" t.Simulate.cut_bits
+    cut_msg_bits;
+  check_int "sum of Round cut_bits = transcript cut_bits" t.Simulate.cut_bits
+    round_cut_bits;
+  check_int "cut Msg count = transcript cut_messages" t.Simulate.cut_messages
+    cut_msgs;
+  check_int "final cumulative = transcript cut_bits" t.Simulate.cut_bits
+    last_cum;
+  check_int "one Round event per round" t.Simulate.rounds
+    (List.length
+       (List.filter (function Trace.Round _ -> true | _ -> false) events))
+
+let test_trace_json () =
+  let spec = maxis_spec () in
+  let sink, events = Trace.collector () in
+  let _ = spec.Simulate.srun ~trace:sink (Bits.ones 4) (Bits.zeros 4) in
+  List.iter
+    (fun ev ->
+      let s = Trace.to_json ev in
+      check "json object" true
+        (String.length s > 2 && s.[0] = '{' && s.[String.length s - 1] = '}'))
+    (events ())
+
+(* ---- bandwidth accounting: msg_bits is honest for every algorithm ---- *)
+
+(* run [algo] on [g] through a full-graph stepper and hand every message
+   sent to [f] *)
+let iter_messages (algo : ('s, 'm) Network.algo) g f =
+  let t = Network.stepper g algo in
+  let quiescent = ref false in
+  let guard = Network.default_max_rounds g in
+  while (not !quiescent) || not (Network.stepper_all_output t) do
+    if Network.stepper_round t > guard then
+      failwith ("iter_messages: " ^ algo.Network.name ^ " did not terminate");
+    let log = Network.step t in
+    List.iter (fun tr -> f tr.Network.t_bits tr.Network.t_msg) log.Network.internal;
+    quiescent := not log.Network.sent
+  done
+
+let check_codec_on name algo codec g =
+  let bw = Network.bandwidth_for (Graph.n g) in
+  let seen = ref 0 in
+  iter_messages algo g (fun bits msg ->
+      incr seen;
+      check_int
+        (Printf.sprintf "%s: |enc m| = msg_bits m" name)
+        bits
+        (List.length (codec.Codec.enc msg));
+      check (Printf.sprintf "%s: msg_bits <= bandwidth_for n" name) true
+        (bits <= bw));
+  check (name ^ ": exercised some messages") true (!seen > 0)
+
+let test_codec_bfs () =
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected ~seed 17 0.2 in
+      let n = Graph.n g in
+      check_codec_on "bfs" (Bfs.algo ~root:0 ~n) (Codec.bfs ~n) g)
+    [ 1; 2; 3 ]
+
+let test_codec_leader () =
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected ~seed 15 0.2 in
+      let n = Graph.n g in
+      check_codec_on "leader" (Leader.algo ~n) (Codec.leader ~n) g)
+    [ 4; 5; 6 ]
+
+let test_codec_mis_greedy () =
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected ~seed 16 0.25 in
+      check_codec_on "mis-greedy" Mis_greedy.algo Codec.mis_greedy g)
+    [ 7; 8; 9 ]
+
+let test_codec_mds_greedy () =
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected ~seed 12 0.3 in
+      let n = Graph.n g in
+      check_codec_on "mds-greedy" (Mds_greedy.algo ~n) Codec.mds_greedy g)
+    [ 10; 11; 12 ]
+
+let test_codec_gather () =
+  List.iter
+    (fun seed ->
+      let g = Gen.random_weights ~seed (Gen.random_connected ~seed 13 0.25) in
+      check_codec_on "gather"
+        (Gather.algo ~root:0 ~f:Graph.m ())
+        Codec.gather g)
+    [ 13; 14; 15 ];
+  (* the lower-bound instances themselves, where the codec must also hold *)
+  List.iter
+    (fun (fam : Ch_core.Framework.t) ->
+      match fam.Ch_core.Framework.build (Bits.ones 4) (Bits.random ~seed:21 4) with
+      | Ch_core.Framework.Undirected g ->
+          check_codec_on "gather-lb"
+            (Gather.algo ~root:0 ~f:Graph.m ())
+            Codec.gather g
+      | _ -> Alcotest.fail "undirected family expected")
+    [ Mds_lb.family ~k:2; Maxis_lb.family ~k:2; Maxcut_lb.family ~k:2 ]
+
+(* ---- run_split cut accounting vs the stepper-derived trace ----------- *)
+
+let test_run_split_matches_trace () =
+  let fam = Maxis_lb.family ~k:2 in
+  List.iter
+    (fun seed ->
+      let x = Bits.random ~seed 4 and y = Bits.random ~seed:(seed + 100) 4 in
+      let spec = maxis_spec () in
+      let sink, events = Trace.collector () in
+      let t = spec.Simulate.srun ~trace:sink x y in
+      let g =
+        match fam.Ch_core.Framework.build x y with
+        | Ch_core.Framework.Undirected g -> g
+        | _ -> Alcotest.fail "undirected"
+      in
+      let _, cs =
+        Gather.solve_split ~side:fam.Ch_core.Framework.side g ~f:Mis.alpha
+      in
+      let per_round =
+        List.filter_map
+          (function Trace.Round { cut_bits; _ } -> Some cut_bits | _ -> None)
+          (events ())
+      in
+      check_int "run_split cut_bits = sum of per-round trace cut bits"
+        cs.Network.cut_bits
+        (List.fold_left ( + ) 0 per_round);
+      check_int "and equals the charged transcript" cs.Network.cut_bits
+        t.Simulate.cut_bits)
+    [ 31; 32; 33 ]
+
+(* ---- bound report arithmetic ----------------------------------------- *)
+
+let test_report_figures () =
+  let spec = mds_spec () in
+  let fam = spec.Simulate.sfam in
+  let pairs, _ =
+    Bound.connected_pairs fam (Bound.sampled_pairs fam ~seed:3 ~samples:2)
+  in
+  let rows, report = Bound.sweep spec pairs in
+  check_int "rows = pairs" (List.length pairs) (List.length rows);
+  check_int "cc bits for DISJ_K is K" fam.Ch_core.Framework.input_bits
+    report.Bound.rep_cc_bits;
+  check "lb rounds positive" true (report.Bound.rep_lb_rounds > 0.0);
+  check "bits per round positive" true (report.Bound.rep_bits_per_round > 0.0);
+  check "cut matches the framework descriptor" true
+    (report.Bound.rep_cut = Ch_core.Framework.cut_size fam)
+
+let test_exhaustive_guard () =
+  Alcotest.check_raises "K > 5 rejected"
+    (Invalid_argument "Bound.exhaustive_pairs: K > 5") (fun () ->
+      ignore (Bound.exhaustive_pairs (Mds_lb.family ~k:8)))
+
+let () =
+  Alcotest.run "reduction"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "mds k=2 exhaustive" `Slow test_mds_differential;
+          Alcotest.test_case "maxis k=2 exhaustive" `Slow test_maxis_differential;
+          Alcotest.test_case "maxcut k=2 sampled" `Slow test_maxcut_differential;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "events replay transcript" `Quick
+            test_trace_replays_transcript;
+          Alcotest.test_case "json events" `Quick test_trace_json;
+          Alcotest.test_case "run_split vs trace" `Quick
+            test_run_split_matches_trace;
+        ] );
+      ( "bandwidth",
+        [
+          Alcotest.test_case "bfs" `Quick test_codec_bfs;
+          Alcotest.test_case "leader" `Quick test_codec_leader;
+          Alcotest.test_case "mis-greedy" `Quick test_codec_mis_greedy;
+          Alcotest.test_case "mds-greedy" `Quick test_codec_mds_greedy;
+          Alcotest.test_case "gather" `Quick test_codec_gather;
+        ] );
+      ( "bound",
+        [
+          Alcotest.test_case "report figures" `Quick test_report_figures;
+          Alcotest.test_case "exhaustive guard" `Quick test_exhaustive_guard;
+        ] );
+    ]
