@@ -21,6 +21,25 @@ open Ch_cc
 open Ch_core
 open Ch_lbgraphs
 
+(* Families are resolved through the one registry; the two aliases reach
+   construction internals (witness paths, target weights) that sit
+   outside the spec record. *)
+module H = Hampath_lb
+module MC = Maxcut_lb
+
+let reg () = Families.catalog ()
+
+let spec id = Registry.find_exn (reg ()) id
+
+let fam_of ?k id =
+  let s = spec id in
+  s.Registry.scratch (match k with Some k -> k | None -> s.Registry.default_k)
+
+let reduction_of id ~k =
+  match (spec id).Registry.reduction with
+  | Some rd -> rd k
+  | None -> invalid_arg (Printf.sprintf "bench: %s has no reduction" id)
+
 let log2 x = log (float_of_int x) /. log 2.0
 
 let pmap f xs = Pool.parallel_map (Pool.default ()) f xs
@@ -64,7 +83,7 @@ let e1 () =
   let rows =
     pmap
       (fun k ->
-        let fam = Mds_lb.family ~k in
+        let fam = fam_of "mds" ~k in
         let verified = if k <= 4 then quick_verify fam else "-" in
         family_row fam ~verified)
       [ 2; 4; 8; 16; 32; 64; 128; 256 ]
@@ -86,15 +105,15 @@ let e2 () =
   let rows =
     pmap
       (fun k ->
-        let fam = Hampath_lb.path_family ~k in
+        let fam = fam_of "hampath" ~k in
         let verified =
           if k = 2 then quick_verify fam
           else begin
             (* completeness at scale, via the Claim 2.1 witness path *)
             let kk = k * k in
             let x = Bits.of_fun kk (fun b -> b = k + 1) in
-            let dg = Hampath_lb.build ~k x x in
-            let p = Hampath_lb.witness_path ~k x x ~i:1 ~j:1 in
+            let dg = H.build ~k x x in
+            let p = H.witness_path ~k x x ~i:1 ~j:1 in
             if Ch_solvers.Hamilton.is_directed_path dg p then "witness ok"
             else "WITNESS FAIL"
           end
@@ -117,9 +136,9 @@ let e3 () =
         fam.Framework.nvertices (Framework.cut_size fam)
         (quick_verify ~samples:6 fam))
     [
-      Hampath_lb.cycle_family ~k:2;
-      Hampath_lb.undirected_cycle_family ~k:2;
-      Hampath_lb.undirected_path_family ~k:2;
+      fam_of "hamcycle" ~k:2;
+      fam_of "hamcycle-undirected" ~k:2;
+      fam_of "hampath-undirected" ~k:2;
     ];
   Printf.printf
     "  simulation overheads (Lemmas 2.2/2.3): ×%d and ×%d rounds per round.\n"
@@ -128,7 +147,7 @@ let e3 () =
 
 let e4 () =
   header "E4 | Theorem 2.5: minimum 2-ECSS (via Claim 2.7)";
-  let fam = Hampath_lb.ecss_family ~k:2 in
+  let fam = fam_of "2ecss" ~k:2 in
   Printf.printf "  n = %d, cut = %d, verified: %s\n" fam.Framework.nvertices
     (Framework.cut_size fam)
     (quick_verify ~samples:6 fam);
@@ -145,7 +164,7 @@ let e5 () =
   let rows =
     pmap
       (fun k ->
-        let fam = Steiner_lb.family ~k in
+        let fam = fam_of "steiner" ~k in
         let verified = if k = 2 then quick_verify ~samples:6 fam else "-" in
         family_row fam ~verified)
       [ 2; 4; 8; 16; 32; 64 ]
@@ -165,7 +184,7 @@ let e6 () =
   let rows =
     pmap
       (fun k ->
-        let fam = Maxcut_lb.family ~k in
+        let fam = fam_of "maxcut" ~k in
         let verified = if k = 2 then quick_verify ~samples:6 fam else "-" in
         family_row fam ~verified)
       [ 2; 4; 8; 16; 32; 64; 128 ]
@@ -177,7 +196,7 @@ let e6 () =
       lb *. log2 n *. log2 n /. (nf *. nf));
   Printf.printf "  target cut weights M: ";
   List.iter
-    (fun k -> Printf.printf "k=%d → %d  " k (Maxcut_lb.target_weight ~k))
+    (fun k -> Printf.printf "k=%d → %d  " k (MC.target_weight ~k))
     [ 2; 4; 8 ];
   print_newline ()
 
@@ -487,8 +506,8 @@ let e18 () =
     "decisions ok";
   List.iter
     (fun k ->
-      let fam = Mds_lb.family ~k in
-      let target = Mds_lb.target_size ~k in
+      let fam = fam_of "mds" ~k in
+      let rd = reduction_of "mds" ~k in
       let pairs =
         List.init 6 (fun i ->
             ( Bits.random ~seed:(70 + i) ~density:0.7 (k * k),
@@ -497,9 +516,8 @@ let e18 () =
       let sims =
         List.map
           (fun (x, y) ->
-            Framework.simulate_alice_bob fam ~solver:Ch_solvers.Domset.min_size
-              ~accept:(fun gamma -> gamma <= target)
-              x y)
+            Framework.simulate_alice_bob fam ~solver:rd.Registry.rd_solver
+              ~accept:rd.Registry.rd_accept x y)
           pairs
       in
       let ok = List.for_all (fun s -> s.Framework.decision_correct) sims in
@@ -527,7 +545,11 @@ let bechamel_tests () =
   let kparams = Kmds_lb.make_params ~seed:1 ~k:2 ~ell:6 ~t_count:6 ~r:2 () in
   let kgraph = Kmds_lb.build kparams (Bits.random ~seed:3 6) (Bits.random ~seed:4 6) in
   let wgraph = Maxis_approx_lb.build_weighted approx x2 y2 in
-  let mds2 = Mds_lb.build ~k:2 x2 y2 in
+  let undirected inst =
+    match inst with Framework.Undirected g -> g | _ -> assert false
+  in
+  let mds2 = undirected ((fam_of "mds" ~k:2).Framework.build x2 y2) in
+  let mds_rd = reduction_of "mds" ~k:2 in
   let pls_g = Ch_graph.Gen.random_connected ~seed:8 16 0.25 in
   let pls_parent = Ch_graph.Props.bfs_tree pls_g 0 in
   let pls_tree =
@@ -542,18 +564,19 @@ let bechamel_tests () =
     Ch_limits.Split.make g20 ~side:(Array.init 20 (fun v -> v < 10))
   in
   [
-    Test.make ~name:"e1-build-mds-k64" (Staged.stage (fun () -> Mds_lb.build ~k:64 x64 y64));
+    Test.make ~name:"e1-build-mds-k64"
+      (Staged.stage (fun () -> (fam_of "mds" ~k:64).Framework.build x64 y64));
     Test.make ~name:"e2-hampath-build+witness-k16"
       (Staged.stage (fun () ->
-           let dg = Hampath_lb.build ~k:16 x16 y16 in
+           let dg = H.build ~k:16 x16 y16 in
            ignore dg;
-           Hampath_lb.witness_path ~k:16 (Bits.ones 256) (Bits.ones 256) ~i:3 ~j:5));
+           H.witness_path ~k:16 (Bits.ones 256) (Bits.ones 256) ~i:3 ~j:5));
     Test.make ~name:"e5-steiner-transform-k8"
       (Staged.stage (fun () ->
-           (Steiner_lb.family ~k:8).Framework.build (Bits.random ~seed:9 64)
+           (fam_of "steiner" ~k:8).Framework.build (Bits.random ~seed:9 64)
              (Bits.random ~seed:10 64)));
     Test.make ~name:"e6-maxcut-build-k16"
-      (Staged.stage (fun () -> Maxcut_lb.build ~k:16 x16 y16));
+      (Staged.stage (fun () -> (fam_of "maxcut" ~k:16).Framework.build x16 y16));
     Test.make ~name:"e7-maxcut-sample-n20"
       (Staged.stage (fun () -> Ch_congest.Maxcut_sample.run ~seed:3 g20));
     Test.make ~name:"e8-bounded-degree-build-k2"
@@ -579,9 +602,8 @@ let bechamel_tests () =
       (Staged.stage (fun () -> Covering.construct ~seed:3 ~ell:6 ~t_count:7 ~r:2 ()));
     Test.make ~name:"e18-alice-bob-sim-k2"
       (Staged.stage (fun () ->
-           Framework.simulate_alice_bob (Mds_lb.family ~k:2)
-             ~solver:Ch_solvers.Domset.min_size
-             ~accept:(fun gamma -> gamma <= Mds_lb.target_size ~k:2)
+           Framework.simulate_alice_bob (fam_of "mds" ~k:2)
+             ~solver:mds_rd.Registry.rd_solver ~accept:mds_rd.Registry.rd_accept
              (Bits.ones 4) y2));
   ]
 
@@ -628,10 +650,12 @@ let all_experiments =
    Exhaustive sweeps run through [Framework.exhaustive_verdicts] (same
    cost as [verify_exhaustive], but keeping the per-pair trace): the
    failure count is derived from the expected f(x,y) array, and each
-   incremental "<name>-inc" entry is differenced pair by pair against
-   its from-scratch counterpart's trace.  [--smoke] drops the slow
-   from-scratch Steiner/Maxcut sweeps (so those -inc entries carry no
-   differential) for CI-sized runs. *)
+   incremental "<id>-inc" entry is differenced pair by pair against its
+   from-scratch counterpart's trace.  The workload is the registry's
+   incremental slice — every family ported to the core/apply-inputs
+   split is benched scratch-vs-incremental with no per-family wiring
+   here.  [--smoke] drops the slow from-scratch sweeps (so those -inc
+   entries carry no differential) for CI-sized runs. *)
 type ventry = {
   vname : string;
   vpairs : int;
@@ -718,19 +742,31 @@ let verify_benches ~smoke () =
       failwith (Printf.sprintf "verify bench %s: %d failures" name failures);
     entry ~name ~pairs ~wall ~wall1 ()
   in
-  (* sequential lets: each -inc entry needs its scratch trace recorded
-     first, and OCaml list elements evaluate in unspecified order *)
-  let mds_s = bench_scratch ~name:"mds-k2-exhaustive" (Mds_lb.family ~k:2) in
-  let mds_i =
-    bench_inc ~name:"mds-k2-exhaustive-inc" ~scratch_name:"mds-k2-exhaustive"
-      (Mds_lb.incremental ~k:2)
+  (* the from-scratch side of these exhaustive sweeps is too slow for a
+     CI smoke run; their -inc entries still run, without a differential *)
+  let slow_scratch = [ "steiner"; "maxcut"; "hampath" ] in
+  let family_entries =
+    (* concat_map evaluates left to right, and within a family the
+       scratch binding precedes the -inc one — each -inc entry needs its
+       scratch trace recorded first *)
+    List.concat_map
+      (fun s ->
+        let id = s.Registry.id and k = s.Registry.default_k in
+        let scratch_name = Printf.sprintf "%s-k%d-exhaustive" id k in
+        let scratch =
+          if smoke && List.mem id slow_scratch then []
+          else [ bench_scratch ~name:scratch_name (s.Registry.scratch k) ]
+        in
+        let inc =
+          match s.Registry.incremental with
+          | None -> []
+          | Some inc ->
+              [ bench_inc ~name:(scratch_name ^ "-inc") ~scratch_name (inc k) ]
+        in
+        scratch @ inc)
+      (Registry.filter ~incremental:true (reg ()))
   in
-  let maxis_s = bench_scratch ~name:"maxis-k2-exhaustive" (Maxis_lb.family ~k:2) in
-  let maxis_i =
-    bench_inc ~name:"maxis-k2-exhaustive-inc"
-      ~scratch_name:"maxis-k2-exhaustive" (Maxis_lb.incremental ~k:2)
-  in
-  let full =
+  let k4 =
     if smoke then []
     else begin
       let k4_block =
@@ -739,7 +775,7 @@ let verify_benches ~smoke () =
                solves on the k=4 gadget — big enough to time, bounded
                enough for a smoke run (the full 2^16 × 2^16 space is out
                of reach) *)
-            let fam = Mds_lb.family ~k:4 in
+            let fam = fam_of "mds" ~k:4 in
             let xs = Array.of_list (Bits.all 16) in
             let counts =
               Pool.parallel_chunks p ~lo:0 ~hi:(128 * 16) (fun lo hi ->
@@ -759,45 +795,23 @@ let verify_benches ~smoke () =
       let k4_random =
         bench_counts ~name:"mds-k4-random-64" (fun p ->
             Framework.verify_random ~pool:p ~seed:77 ~samples:64
-              (Mds_lb.family ~k:4))
+              (fam_of "mds" ~k:4))
       in
-      let steiner_s =
-        bench_scratch ~name:"steiner-k2-exhaustive" (Steiner_lb.family ~k:2)
-      in
-      let maxcut_s =
-        bench_scratch ~name:"maxcut-k2-exhaustive" (Maxcut_lb.family ~k:2)
-      in
-      let hampath_s =
-        bench_scratch ~name:"hampath-k2-exhaustive"
-          (Hampath_lb.path_family ~k:2)
-      in
-      [ k4_block; k4_random; steiner_s; maxcut_s; hampath_s ]
+      [ k4_block; k4_random ]
     end
   in
-  let steiner_i =
-    bench_inc ~name:"steiner-k2-exhaustive-inc"
-      ~scratch_name:"steiner-k2-exhaustive" (Steiner_lb.incremental ~k:2)
-  in
-  let maxcut_i =
-    bench_inc ~name:"maxcut-k2-exhaustive-inc"
-      ~scratch_name:"maxcut-k2-exhaustive" (Maxcut_lb.incremental ~k:2)
-  in
-  let hampath_i =
-    bench_inc ~name:"hampath-k2-exhaustive-inc"
-      ~scratch_name:"hampath-k2-exhaustive" (Hampath_lb.incremental ~k:2)
-  in
-  [ mds_s; mds_i; maxis_s; maxis_i ]
-  @ full
-  @ [ steiner_i; maxcut_i; hampath_i ]
+  family_entries @ k4
 
 (* Theorem 1.1 reduction sweeps: the lockstep two-party simulation on
    every swept pair, differenced bit-for-bit against the
    [Network.run_split] oracle, with the derived empirical
-   Ω(CC(f)/(|E_cut|·log n)) figure.  MDS and MaxIS sweep the full
-   (connected) 2^4 × 2^4 pair space; the MaxCut gadget's exact solver is
-   ~30ms per pair, so it sweeps the corners plus a sample ([--smoke]
-   shrinks only that sample).  Disconnected pairs are outside the CONGEST
-   model and skipped, with the count reported. *)
+   Ω(CC(f)/(|E_cut|·log n)) figure.  The workload is the registry's
+   reduction slice ([Bound.sweep_registry] at each family's default
+   scale).  Cheap solvers sweep the full (connected) 2^K × 2^K pair
+   space; the MaxCut gadget's exact solver is ~30ms per pair, so it
+   sweeps the corners plus a sample ([--smoke] shrinks only that
+   sample).  Disconnected pairs are outside the CONGEST model and
+   skipped, with the count reported. *)
 type rentry = {
   rname : string;
   rskipped : int;
@@ -807,42 +821,27 @@ type rentry = {
 
 let reduction_benches ~smoke () =
   let open Ch_reduction in
-  let specs =
-    [
-      ( Simulate.gather_spec ~name:"mds-k2-reduction" (Mds_lb.family ~k:2)
-          ~solver:Ch_solvers.Domset.min_size
-          ~accept:(fun a -> a <= Mds_lb.target_size ~k:2),
-        `Exhaustive );
-      ( Simulate.gather_spec ~name:"maxis-k2-reduction" (Maxis_lb.family ~k:2)
-          ~solver:Ch_solvers.Mis.alpha
-          ~accept:(fun a -> a >= Maxis_lb.alpha_target ~k:2),
-        `Exhaustive );
-      ( Simulate.gather_spec ~name:"maxcut-k2-reduction" (Maxcut_lb.family ~k:2)
-          ~solver:(fun g -> fst (Ch_solvers.Maxcut.max_cut g))
-          ~accept:(fun a -> a >= Maxcut_lb.target_weight ~k:2),
-        `Sampled (if smoke then 4 else 20) );
-    ]
-  in
+  let sampled_only = [ "maxcut" ] in
   List.map
-    (fun (spec, mode) ->
-      let fam = spec.Simulate.sfam in
-      let raw =
-        match mode with
-        | `Exhaustive -> Bound.exhaustive_pairs fam
-        | `Sampled samples -> Bound.sampled_pairs fam ~seed:41 ~samples
+    (fun s ->
+      let id = s.Registry.id and k = s.Registry.default_k in
+      let name = Printf.sprintf "%s-k%d-reduction" id k in
+      let exhaustive = not (List.mem id sampled_only) in
+      let samples = if smoke then 4 else 20 in
+      let r, wall =
+        timed (fun () ->
+            Bound.sweep_registry ~seed:41 ~exhaustive ~samples s ~k)
       in
-      let pairs, skipped = Bound.connected_pairs fam raw in
-      let (_, rep), wall = timed (fun () -> Bound.sweep spec pairs) in
-      if
-        not
-          (rep.Bound.rep_all_match && rep.Bound.rep_all_correct
-         && rep.Bound.rep_all_within_budget)
-      then
-        failwith
-          (Printf.sprintf "reduction bench %s: invariant failed"
-             spec.Simulate.sname);
-      { rname = spec.Simulate.sname; rskipped = skipped; rwall = wall; rrep = rep })
-    specs
+      match r with
+      | None -> failwith (Printf.sprintf "reduction bench %s: no reduction" name)
+      | Some (_, rep, skipped) ->
+          if
+            not
+              (rep.Bound.rep_all_match && rep.Bound.rep_all_correct
+             && rep.Bound.rep_all_within_budget)
+          then failwith (Printf.sprintf "reduction bench %s: invariant failed" name);
+          { rname = name; rskipped = skipped; rwall = wall; rrep = rep })
+    (Registry.filter ~reduction:true (reg ()))
 
 let json_escape s =
   String.concat ""

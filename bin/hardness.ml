@@ -1,57 +1,52 @@
 (* Command-line front end: list, inspect, and verify the lower-bound
-   families, and run the Theorem 1.1 Alice-Bob simulation. *)
+   families, and run the Theorem 1.1 Alice-Bob simulation.
+
+   Every subcommand resolves families through the one registry
+   ([Ch_lbgraphs.Families.catalog]) — there is no private family list
+   here, so a family registered in its construction module is
+   immediately listable, verifiable and sweepable. *)
 
 open Cmdliner
 open Ch_cc
 open Ch_core
 open Ch_lbgraphs
 
-let catalog ~k =
-  let approx = Maxis_approx_lb.make_params ~ell:2 ~k:2 () in
-  let kmds r_k = Kmds_lb.make_params ~seed:1 ~k:r_k ~ell:6 ~t_count:6 ~r:2 () in
-  let steiner_p = Steiner_approx_lb.make_params ~seed:1 ~ell:6 ~t_count:5 ~r:2 () in
-  let restricted = Mds_restricted_lb.make_params ~seed:1 ~ell:6 ~t_count:6 ~r:2 () in
-  [
-    ("mds", Mds_lb.family ~k);
-    ("maxis", Maxis_lb.family ~k);
-    ("mvc", Maxis_lb.mvc_family ~k);
-    ("hampath", Hampath_lb.path_family ~k);
-    ("hamcycle", Hampath_lb.cycle_family ~k);
-    ("hamcycle-undirected", Hampath_lb.undirected_cycle_family ~k);
-    ("hampath-undirected", Hampath_lb.undirected_path_family ~k);
-    ("2ecss", Hampath_lb.ecss_family ~k);
-    ("steiner", Steiner_lb.family ~k);
-    ("maxcut", Maxcut_lb.family ~k);
-    ("2spanner", Spanner_lb.family ~k);
-    ("maxis-78-weighted", Maxis_approx_lb.weighted_family approx);
-    ("maxis-78-unweighted", Maxis_approx_lb.unweighted_family approx);
-    ("maxis-56", Maxis_approx_lb.linear_family approx);
-    ("2mds", Kmds_lb.family (kmds 2));
-    ("3mds", Kmds_lb.family (kmds 3));
-    ("steiner-node-weighted", Steiner_approx_lb.node_weighted_family steiner_p);
-    ("steiner-directed", Steiner_approx_lb.directed_family steiner_p);
-    ("mds-restricted", Mds_restricted_lb.family restricted);
-  ]
+let catalog = Families.catalog
 
 let k_arg =
   let doc = "Construction parameter k (a power of two, at least 2)." in
   Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc)
 
 let list_cmd =
-  let run k =
-    Printf.printf "%-24s %8s %8s %6s\n" "family" "n" "K" "cut";
-    List.iter
-      (fun (name, fam) ->
-        Printf.printf "%-24s %8d %8d %6d\n" name fam.Framework.nvertices
-          fam.Framework.input_bits (Framework.cut_size fam))
-      (catalog ~k);
+  let run k json =
+    if json then print_string (Registry.to_json (catalog ()))
+    else begin
+      Printf.printf "%-24s %8s %8s %6s  %-22s %s\n" "family" "n" "K" "cut"
+        "paper" "engines";
+      List.iter
+        (fun s ->
+          let fam = s.Registry.scratch k in
+          let engines =
+            String.concat "+"
+              (("scratch" :: (if s.Registry.incremental <> None then [ "inc" ] else []))
+              @ (if s.Registry.reduction <> None then [ "red" ] else []))
+          in
+          Printf.printf "%-24s %8d %8d %6d  %-22s %s\n" s.Registry.id
+            fam.Framework.nvertices fam.Framework.input_bits
+            (Framework.cut_size fam) s.Registry.paper_ref engines)
+        (Registry.all (catalog ()))
+    end;
     0
   in
+  let json_arg =
+    let doc = "Dump the catalog as JSON (ids, paper refs, engine flags)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
   Cmd.v (Cmd.info "list" ~doc:"List the lower-bound families and their parameters.")
-    Term.(const run $ k_arg)
+    Term.(const run $ k_arg $ json_arg)
 
 let family_arg =
-  let doc = "Family name (see the list command)." in
+  let doc = "Family id (see the list command)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
 
 let samples_arg =
@@ -63,15 +58,28 @@ let exhaustive_arg =
   Arg.(value & flag & info [ "exhaustive" ] ~doc)
 
 let verify_cmd =
-  let run k name samples exhaustive =
-    match List.assoc_opt name (catalog ~k) with
+  let run k name samples exhaustive incremental =
+    match Registry.find (catalog ()) name with
     | None ->
-        Printf.eprintf "unknown family %S; try the list command\n" name;
+        Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
         1
-    | Some fam ->
+    | Some s ->
+        let fam = s.Registry.scratch k in
         let failures, total =
-          if exhaustive then Framework.verify_exhaustive fam
-          else Framework.verify_random ~seed:11 ~samples fam
+          match (incremental, s.Registry.incremental) with
+          | true, None ->
+              Printf.eprintf
+                "family %S has no incremental engine; rerun without \
+                 --incremental\n"
+                name;
+              exit 1
+          | true, Some inc ->
+              let inc = inc k in
+              if exhaustive then fst (Framework.verify_exhaustive_inc inc)
+              else fst (Framework.verify_random_inc ~seed:11 ~samples inc)
+          | false, _ ->
+              if exhaustive then Framework.verify_exhaustive fam
+              else Framework.verify_random ~seed:11 ~samples fam
         in
         let sided = Framework.check_sidedness ~seed:3 ~samples:8 fam in
         Printf.printf
@@ -85,110 +93,115 @@ let verify_cmd =
         Printf.printf "Theorem 1.1 bound at this scale: Ω(%.1f) rounds\n" lb;
         if failures = 0 then 0 else 1
   in
+  let incremental_arg =
+    let doc = "Verify through the memoized incremental engine instead." in
+    Arg.(value & flag & info [ "incremental" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify a family's defining iff-property with the exact solvers.")
-    Term.(const run $ k_arg $ family_arg $ samples_arg $ exhaustive_arg)
+    Term.(
+      const run $ k_arg $ family_arg $ samples_arg $ exhaustive_arg
+      $ incremental_arg)
+
+let reduction_ids () =
+  String.concat ", "
+    (List.map
+       (fun s -> s.Registry.id)
+       (Registry.filter ~reduction:true (catalog ())))
 
 let simulate_cmd =
-  let run k pairs =
-    let fam = Mds_lb.family ~k in
-    let target = Mds_lb.target_size ~k in
-    Printf.printf "Simulating exact-MDS CONGEST on G_{x,y} (k=%d, n=%d, cut=%d)\n" k
-      fam.Framework.nvertices (Framework.cut_size fam);
-    let all_ok = ref true in
-    for i = 0 to pairs - 1 do
-      let x = Bits.random ~seed:(3 * i) ~density:0.7 (k * k) in
-      let y = Bits.random ~seed:((3 * i) + 1) ~density:0.7 (k * k) in
-      let sim =
-        Framework.simulate_alice_bob fam ~solver:Ch_solvers.Domset.min_size
-          ~accept:(fun gamma -> gamma <= target)
-          x y
-      in
-      if not sim.Framework.decision_correct then all_ok := false;
-      Printf.printf "  pair %2d: rounds=%4d  cut bits=%6d  %s\n" i
-        sim.Framework.rounds sim.Framework.cut_bits
-        (if sim.Framework.decision_correct then "correct" else "WRONG")
-    done;
-    if !all_ok then 0 else 1
+  let run k name pairs =
+    match Registry.find (catalog ()) name with
+    | None ->
+        Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
+        1
+    | Some { Registry.reduction = None; _ } ->
+        Printf.eprintf
+          "family %S has no reduction algorithm; families with one: %s\n" name
+          (reduction_ids ());
+        1
+    | Some ({ Registry.reduction = Some rd; _ } as s) ->
+        let fam = s.Registry.scratch k in
+        let { Registry.rd_solver; rd_accept } = rd k in
+        Printf.printf "Simulating %s CONGEST on G_{x,y} (k=%d, n=%d, cut=%d)\n"
+          s.Registry.id k fam.Framework.nvertices (Framework.cut_size fam);
+        let all_ok = ref true in
+        for i = 0 to pairs - 1 do
+          let bits = fam.Framework.input_bits in
+          let x = Bits.random ~seed:(3 * i) ~density:0.7 bits in
+          let y = Bits.random ~seed:((3 * i) + 1) ~density:0.7 bits in
+          let sim =
+            Framework.simulate_alice_bob fam ~solver:rd_solver ~accept:rd_accept
+              x y
+          in
+          if not sim.Framework.decision_correct then all_ok := false;
+          Printf.printf "  pair %2d: rounds=%4d  cut bits=%6d  %s\n" i
+            sim.Framework.rounds sim.Framework.cut_bits
+            (if sim.Framework.decision_correct then "correct" else "WRONG")
+        done;
+        if !all_ok then 0 else 1
+  in
+  let sim_family_arg =
+    let doc = "Family id (must carry a reduction algorithm)." in
+    Arg.(value & pos 0 string "mds" & info [] ~docv:"FAMILY" ~doc)
   in
   let pairs_arg =
     Arg.(value & opt int 5 & info [ "pairs" ] ~doc:"Number of input pairs.")
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Run the Theorem 1.1 Alice-Bob simulation on the MDS family.")
-    Term.(const run $ k_arg $ pairs_arg)
+       ~doc:"Run the Theorem 1.1 Alice-Bob simulation on a family.")
+    Term.(const run $ k_arg $ sim_family_arg $ pairs_arg)
 
 let reduction_cmd =
   let open Ch_reduction in
   let run k name pairs exhaustive trace_file seed =
-    let spec =
-      match name with
-      | "mds" ->
-          Some
-            (Simulate.gather_spec
-               ~name:(Printf.sprintf "mds-k%d" k)
-               (Mds_lb.family ~k) ~solver:Ch_solvers.Domset.min_size
-               ~accept:(fun a -> a <= Mds_lb.target_size ~k))
-      | "maxis" ->
-          Some
-            (Simulate.gather_spec
-               ~name:(Printf.sprintf "maxis-k%d" k)
-               (Maxis_lb.family ~k) ~solver:Ch_solvers.Mis.alpha
-               ~accept:(fun a -> a >= Maxis_lb.alpha_target ~k))
-      | "maxcut" ->
-          Some
-            (Simulate.gather_spec
-               ~name:(Printf.sprintf "maxcut-k%d" k)
-               (Maxcut_lb.family ~k)
-               ~solver:(fun g -> fst (Ch_solvers.Maxcut.max_cut g))
-               ~accept:(fun a -> a >= Maxcut_lb.target_weight ~k))
-      | _ -> None
-    in
-    match spec with
+    match Registry.find (catalog ()) name with
     | None ->
-        Printf.eprintf "unknown reduction family %S; try mds, maxis or maxcut\n"
-          name;
+        Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
         1
-    | Some spec -> (
-        let fam = spec.Simulate.sfam in
+    | Some s -> (
+        let sweep_traced () =
+          match trace_file with
+          | None ->
+              Bound.sweep_registry ~seed ~exhaustive ~samples:pairs s ~k
+          | Some file ->
+              let oc = open_out file in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  Bound.sweep_registry ~trace:(Trace.jsonl oc) ~seed ~exhaustive
+                    ~samples:pairs s ~k)
+        in
         try
-          let raw =
-            if exhaustive then Bound.exhaustive_pairs fam
-            else Bound.sampled_pairs fam ~seed ~samples:pairs
-          in
-          let swept, skipped = Bound.connected_pairs fam raw in
-          let sweep_traced () =
-            match trace_file with
-            | None -> Bound.sweep spec swept
-            | Some file ->
-                let oc = open_out file in
-                Fun.protect
-                  ~finally:(fun () -> close_out oc)
-                  (fun () -> Bound.sweep ~trace:(Trace.jsonl oc) spec swept)
-          in
-          let _, report = sweep_traced () in
-          Format.printf "%a@." Bound.pp_report report;
-          if skipped > 0 then
-            Format.printf
-              "skipped %d disconnected pair%s (outside the CONGEST model)@."
-              skipped
-              (if skipped = 1 then "" else "s");
-          (match trace_file with
-          | Some file -> Format.printf "trace written to %s@." file
-          | None -> ());
-          if
-            report.Bound.rep_all_match && report.Bound.rep_all_correct
-            && report.Bound.rep_all_within_budget
-          then 0
-          else 1
+          match sweep_traced () with
+          | None ->
+              Printf.eprintf
+                "family %S has no reduction algorithm; families with one: %s\n"
+                name (reduction_ids ());
+              1
+          | Some (_, report, skipped) ->
+              Format.printf "%a@." Bound.pp_report report;
+              if skipped > 0 then
+                Format.printf
+                  "skipped %d disconnected pair%s (outside the CONGEST model)@."
+                  skipped
+                  (if skipped = 1 then "" else "s");
+              (match trace_file with
+              | Some file -> Format.printf "trace written to %s@." file
+              | None -> ());
+              if
+                report.Bound.rep_all_match && report.Bound.rep_all_correct
+                && report.Bound.rep_all_within_budget
+              then 0
+              else 1
         with Invalid_argument msg ->
           Printf.eprintf "%s\n" msg;
           1)
   in
-  let family_arg =
-    let doc = "Reduction family: $(b,mds), $(b,maxis) or $(b,maxcut)." in
+  let red_family_arg =
+    let doc = "Family id (must carry a reduction algorithm — see list)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
   in
   let pairs_arg =
@@ -213,8 +226,8 @@ let reduction_cmd =
           two-party transcript, difference it against the network oracle, \
           and report the empirical lower-bound figure.")
     Term.(
-      const run $ k_arg $ family_arg $ pairs_arg $ exhaustive_arg $ trace_arg
-      $ seed_arg)
+      const run $ k_arg $ red_family_arg $ pairs_arg $ exhaustive_arg
+      $ trace_arg $ seed_arg)
 
 let () =
   let info =

@@ -1,0 +1,82 @@
+open Ch_graph
+
+type reduction = { rd_solver : Graph.t -> int; rd_accept : int -> bool }
+
+type spec = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  origin : string;
+  default_k : int;
+  sweep_ks : int list;
+  scratch : int -> Framework.t;
+  incremental : (int -> Framework.incremental) option;
+  reduction : (int -> reduction) option;
+}
+
+(* registration order matters for listings, so keep the list alongside the
+   id index *)
+type t = { specs : spec list; index : (string, spec) Hashtbl.t }
+
+exception Duplicate_id of string
+
+let of_specs specs =
+  let index = Hashtbl.create (List.length specs) in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem index s.id then raise (Duplicate_id s.id);
+      Hashtbl.add index s.id s)
+    specs;
+  { specs; index }
+
+let ids t = List.map (fun s -> s.id) t.specs
+
+let all t = t.specs
+
+let find t id = Hashtbl.find_opt t.index id
+
+let mem t id = Hashtbl.mem t.index id
+
+let unknown_id_message t id =
+  Printf.sprintf "unknown family %S; valid ids: %s" id
+    (String.concat ", " (ids t))
+
+let find_exn t id =
+  match find t id with
+  | Some s -> s
+  | None -> invalid_arg (unknown_id_message t id)
+
+let filter ?incremental ?reduction t =
+  let flag opt present =
+    match opt with None -> true | Some want -> want = present
+  in
+  List.filter
+    (fun s ->
+      flag incremental (s.incremental <> None)
+      && flag reduction (s.reduction <> None))
+    t.specs
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"families\": [\n";
+  List.iteri
+    (fun i s ->
+      let fam = s.scratch s.default_k in
+      Printf.bprintf buf
+        "    {\"id\": \"%s\", \"title\": \"%s\", \"paper_ref\": \"%s\", \
+         \"origin\": \"%s\", \"default_k\": %d, \"incremental\": %b, \
+         \"reduction\": %b, \"n\": %d, \"input_bits\": %d, \"cut\": %d}%s\n"
+        (json_escape s.id) (json_escape s.title) (json_escape s.paper_ref)
+        (json_escape s.origin) s.default_k (s.incremental <> None)
+        (s.reduction <> None) fam.Framework.nvertices
+        fam.Framework.input_bits (Framework.cut_size fam)
+        (if i < List.length t.specs - 1 then "," else ""))
+    t.specs;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf

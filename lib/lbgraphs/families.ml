@@ -1,0 +1,11 @@
+(* Listing order is the historical `hardness list` order: the Section 2
+   exact families, the Section 3 spanner, then the Section 4 gap
+   families. *)
+let all =
+  Mds_lb.specs @ Maxis_lb.specs @ Hampath_lb.specs @ Steiner_lb.specs
+  @ Maxcut_lb.specs @ Spanner_lb.specs @ Maxis_approx_lb.specs
+  @ Kmds_lb.specs @ Steiner_approx_lb.specs @ Mds_restricted_lb.specs
+
+let catalog =
+  let t = lazy (Ch_core.Registry.of_specs all) in
+  fun () -> Lazy.force t

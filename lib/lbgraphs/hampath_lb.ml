@@ -362,3 +362,62 @@ let ecss_family ~k =
             <> None
         | _ -> invalid_arg "expected undirected");
   }
+
+let specs =
+  [
+    {
+      Registry.id = "hampath";
+      title = "directed Hamiltonian path";
+      paper_ref = "Thm 2.2, Fig 2";
+      origin = "Hampath_lb";
+      default_k = 2;
+      sweep_ks = [ 2; 4 ];
+      scratch = (fun k -> path_family ~k);
+      incremental = Some (fun k -> incremental ~k);
+      reduction = None;
+    };
+    {
+      Registry.id = "hamcycle";
+      title = "directed Hamiltonian cycle";
+      paper_ref = "Thm 2.3";
+      origin = "Hampath_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> cycle_family ~k);
+      incremental = None;
+      reduction = None;
+    };
+    {
+      Registry.id = "hamcycle-undirected";
+      title = "undirected Hamiltonian cycle";
+      paper_ref = "Thm 2.4 (Lemma 2.2)";
+      origin = "Hampath_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> undirected_cycle_family ~k);
+      incremental = None;
+      reduction = None;
+    };
+    {
+      Registry.id = "hampath-undirected";
+      title = "undirected Hamiltonian path";
+      paper_ref = "Thm 2.4 (Lemma 2.3)";
+      origin = "Hampath_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> undirected_path_family ~k);
+      incremental = None;
+      reduction = None;
+    };
+    {
+      Registry.id = "2ecss";
+      title = "minimum 2-ECSS";
+      paper_ref = "Thm 2.5 (Claim 2.7)";
+      origin = "Hampath_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> ecss_family ~k);
+      incremental = None;
+      reduction = None;
+    };
+  ]

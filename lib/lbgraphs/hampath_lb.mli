@@ -101,3 +101,7 @@ val ecss_family : k:int -> Ch_core.Framework.t
     2-edge-connected spanning subgraph with exactly n edges iff the cycle
     exists (Claim 2.7); the predicate is decided through that equivalence,
     which test_solvers verifies independently. *)
+
+val specs : Ch_core.Registry.spec list
+(** Registry entries ["hampath"] (incremental), ["hamcycle"],
+    ["hamcycle-undirected"], ["hampath-undirected"] and ["2ecss"]. *)

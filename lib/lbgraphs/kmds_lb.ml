@@ -147,3 +147,85 @@ let gap_holds p x y =
   let g = build p x y in
   let w = fst (Ch_solvers.Domset.min_weight_set ~radius:p.k g) in
   if Commfn.intersecting x y then w <= yes_weight else w > no_weight_exceeds p
+
+(* The topology is fixed: inputs only move the S_i / S̄_i vertex weights
+   between 1 and α.  The core is the all-zero-bits build (every set
+   vertex heavy) and applying a pair overwrites exactly the 2T set
+   weights — nothing to undo. *)
+
+type core = { cp : params; cg : Ch_graph.Graph.t }
+
+let build_core p =
+  let t_count = Array.length p.collection.Covering.sets in
+  { cp = p; cg = build p (Bits.zeros t_count) (Bits.zeros t_count) }
+
+let apply_inputs c x y =
+  let p = c.cp in
+  let t_count = Array.length p.collection.Covering.sets in
+  if Bits.length x <> t_count || Bits.length y <> t_count then
+    invalid_arg "Kmds_lb.apply_inputs: inputs must have T bits";
+  for i = 0 to t_count - 1 do
+    Graph.set_vweight c.cg (Ix.s p i) (if Bits.get x i then 1 else p.alpha);
+    Graph.set_vweight c.cg (Ix.s_bar p i) (if Bits.get y i then 1 else p.alpha)
+  done;
+  c.cg
+
+let incremental p =
+  {
+    Framework.scratch = family p;
+    prepare =
+      (fun () ->
+        (* balls of the pristine core: weight changes never move them *)
+        let c = build_core p in
+        let dc = Ch_solvers.Cache.domset_prepare c.cg ~radius:p.k in
+        {
+          Framework.pbuild = (fun x y -> Framework.Undirected (apply_inputs c x y));
+          pverdict =
+            (fun x y ->
+              let g = apply_inputs c x y in
+              let balls = Ch_solvers.Cache.domset_balls dc ~extra:[] in
+              fst (Ch_solvers.Domset.min_weight_set ~radius:p.k ~balls g)
+              <= yes_weight);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.domset_stats dc in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
+  }
+
+(* registry scale: k selects the covering-collection size; the domination
+   radius is fixed per id *)
+let registry_params ~radius k =
+  let ell, t_count =
+    if k <= 2 then (6, 6) else if k <= 4 then (8, 10) else (10, 20)
+  in
+  make_params ~seed:1 ~k:radius ~ell ~t_count ~r:2 ()
+
+let specs =
+  [
+    {
+      Registry.id = "2mds";
+      title = "weighted 2-MDS log-approx";
+      paper_ref = "Thm 4.4, Fig 5";
+      origin = "Kmds_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> family (registry_params ~radius:2 k));
+      incremental = Some (fun k -> incremental (registry_params ~radius:2 k));
+      reduction = None;
+    };
+    {
+      Registry.id = "3mds";
+      title = "weighted 3-MDS log-approx";
+      paper_ref = "Thm 4.5, Fig 5";
+      origin = "Kmds_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> family (registry_params ~radius:3 k));
+      incremental = Some (fun k -> incremental (registry_params ~radius:3 k));
+      reduction = None;
+    };
+  ]

@@ -36,3 +36,25 @@ val family : params -> Ch_core.Framework.t
 val gap_holds : params -> Bits.t -> Bits.t -> bool
 (** The full gap statement on one instance: weight ≤ 2 when intersecting,
     and > r when disjoint. *)
+
+(** {1 Incremental verification}
+
+    The topology never depends on the inputs — only the 2T set-vertex
+    weights do — so the radius-k closed balls are computed once on the
+    core and every pair is a weight overwrite plus a ball-reusing
+    weighted domination solve. *)
+
+type core
+
+val build_core : params -> core
+
+val apply_inputs : core -> Bits.t -> Bits.t -> Ch_graph.Graph.t
+(** Overwrite the S_i / S̄_i weights for this pair (the shared graph is
+    returned; topology untouched). *)
+
+val incremental : params -> Ch_core.Framework.incremental
+(** Memoized radius-k balls (see {!Ch_solvers.Cache.domset_prepare});
+    verdicts bit-identical to {!family}. *)
+
+val specs : Ch_core.Registry.spec list
+(** Registry entries ["2mds"] and ["3mds"], both incremental. *)

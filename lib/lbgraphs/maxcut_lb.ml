@@ -206,3 +206,24 @@ let incremental ~k =
               });
         });
   }
+
+let specs =
+  [
+    {
+      Registry.id = "maxcut";
+      title = "weighted max cut";
+      paper_ref = "Thm 2.8, Fig 3";
+      origin = "Maxcut_lb";
+      default_k = 2;
+      sweep_ks = [ 2; 4 ];
+      scratch = (fun k -> family ~k);
+      incremental = Some (fun k -> incremental ~k);
+      reduction =
+        Some
+          (fun k ->
+            {
+              Registry.rd_solver = (fun g -> fst (Ch_solvers.Maxcut.max_cut g));
+              rd_accept = (fun a -> a >= target_weight ~k);
+            });
+    };
+  ]

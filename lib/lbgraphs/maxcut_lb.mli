@@ -65,3 +65,6 @@ val incremental : k:int -> Ch_core.Framework.incremental
     enumeration at prepare time, then 2^(4k+2) work per pair.  Like the
     from-scratch exact solver it is limited to n ≤ 30, i.e. k = 2 (the
     prepare raises instead of the solve). *)
+
+val specs : Ch_core.Registry.spec list
+(** Registry entry ["maxcut"]: incremental + Theorem 1.1 reduction. *)

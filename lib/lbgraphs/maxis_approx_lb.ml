@@ -76,9 +76,8 @@ let add_common_structure p g ~row_vertices ~gadget =
       done)
     row_vertices
 
-let build_weighted p x y =
-  if Bits.length x <> p.k * p.k || Bits.length y <> p.k * p.k then
-    invalid_arg "Maxis_approx_lb: inputs must have k^2 bits";
+(* everything but the input-dependent row-row edges *)
+let weighted_core_graph p =
   let g = Graph.create (WIx.n p) in
   for v = 0 to (4 * p.k) - 1 do
     Graph.set_vweight g v p.ell
@@ -99,15 +98,26 @@ let build_weighted p x y =
       sets
   in
   add_common_structure p g ~row_vertices ~gadget:(WIx.gadget p);
-  (* inputs: edge present iff the bit is 0 *)
+  g
+
+(* inputs: edge present iff the bit is 0 *)
+let weighted_input_edges p x y =
+  if Bits.length x <> p.k * p.k || Bits.length y <> p.k * p.k then
+    invalid_arg "Maxis_approx_lb: inputs must have k^2 bits";
+  let acc = ref [] in
   for i = 0 to p.k - 1 do
     for j = 0 to p.k - 1 do
       if not (Bits.get_pair ~k:p.k x i j) then
-        Graph.add_edge g (WIx.row p Mds_lb.A1 i) (WIx.row p Mds_lb.A2 j);
+        acc := (WIx.row p Mds_lb.A1 i, WIx.row p Mds_lb.A2 j) :: !acc;
       if not (Bits.get_pair ~k:p.k y i j) then
-        Graph.add_edge g (WIx.row p Mds_lb.B1 i) (WIx.row p Mds_lb.B2 j)
+        acc := (WIx.row p Mds_lb.B1 i, WIx.row p Mds_lb.B2 j) :: !acc
     done
   done;
+  List.rev !acc
+
+let build_weighted p x y =
+  let g = weighted_core_graph p in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (weighted_input_edges p x y);
   g
 
 let weighted_side p =
@@ -142,6 +152,57 @@ let weighted_family p =
     f = Commfn.intersecting;
   }
 
+(* The inputs only add edges among the 4k row vertices and every row of a
+   set is already a core clique, so the conditioned MWIS table
+   (Cache.mwis) has at most (k+1)^4 entries. *)
+
+type w_core = {
+  wp : params;
+  wg : Graph.t;
+  mutable wapplied : (Bits.t * Bits.t) option;
+}
+
+let build_weighted_core p = { wp = p; wg = weighted_core_graph p; wapplied = None }
+
+let apply_weighted_inputs c x y =
+  let p = c.wp in
+  (match c.wapplied with
+  | Some (px, py) ->
+      List.iter
+        (fun (u, v) -> Graph.remove_edge c.wg u v)
+        (weighted_input_edges p px py)
+  | None -> ());
+  List.iter (fun (u, v) -> Graph.add_edge c.wg u v) (weighted_input_edges p x y);
+  c.wapplied <- Some (x, y);
+  c.wg
+
+let weighted_incremental p =
+  let target = yes_weight p in
+  let volatile = List.init (4 * p.k) Fun.id in
+  {
+    Framework.scratch = weighted_family p;
+    prepare =
+      (fun () ->
+        let c = build_weighted_core p in
+        let mw = Ch_solvers.Cache.mwis_prepare c.wg ~volatile in
+        {
+          Framework.pbuild =
+            (fun x y -> Framework.Undirected (apply_weighted_inputs c x y));
+          pverdict =
+            (fun x y ->
+              Ch_solvers.Cache.mwis_weight mw
+                ~extra:(weighted_input_edges p x y)
+              >= target);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.mwis_stats mw in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Unweighted construction (Theorem 4.1): rows become ℓ-vertex batches *)
 (* ------------------------------------------------------------------ *)
@@ -159,12 +220,11 @@ module UIx = struct
   let n p = (4 * p.k * p.ell) + (4 * (p.ell + p.t) * p.q)
 end
 
-let build_unweighted p x y =
-  if Bits.length x <> p.k * p.k || Bits.length y <> p.k * p.k then
-    invalid_arg "Maxis_approx_lb: inputs must have k^2 bits";
+let ubatch p s i = List.init p.ell (fun xi -> UIx.batch p s i xi)
+
+let unweighted_core_graph p =
   let g = Graph.create (UIx.n p) in
   let sets = [ Mds_lb.A1; Mds_lb.A2; Mds_lb.B1; Mds_lb.B2 ] in
-  let batch s i = List.init p.ell (fun xi -> UIx.batch p s i xi) in
   let connect_batches b1 b2 =
     List.iter (fun u -> List.iter (fun v -> Graph.add_edge g u v) b2) b1
   in
@@ -173,22 +233,36 @@ let build_unweighted p x y =
     (fun s ->
       for i = 0 to p.k - 1 do
         for j = i + 1 to p.k - 1 do
-          connect_batches (batch s i) (batch s j)
+          connect_batches (ubatch p s i) (ubatch p s j)
         done
       done)
     sets;
   let row_vertices =
-    List.concat_map (fun s -> List.init p.k (fun i -> (s, i, batch s i))) sets
+    List.concat_map (fun s -> List.init p.k (fun i -> (s, i, ubatch p s i))) sets
   in
   add_common_structure p g ~row_vertices ~gadget:(UIx.gadget p);
+  g
+
+let unweighted_input_edges p x y =
+  if Bits.length x <> p.k * p.k || Bits.length y <> p.k * p.k then
+    invalid_arg "Maxis_approx_lb: inputs must have k^2 bits";
+  let acc = ref [] in
+  let cross b1 b2 =
+    List.iter (fun u -> List.iter (fun v -> acc := (u, v) :: !acc) b2) b1
+  in
   for i = 0 to p.k - 1 do
     for j = 0 to p.k - 1 do
       if not (Bits.get_pair ~k:p.k x i j) then
-        connect_batches (batch Mds_lb.A1 i) (batch Mds_lb.A2 j);
+        cross (ubatch p Mds_lb.A1 i) (ubatch p Mds_lb.A2 j);
       if not (Bits.get_pair ~k:p.k y i j) then
-        connect_batches (batch Mds_lb.B1 i) (batch Mds_lb.B2 j)
+        cross (ubatch p Mds_lb.B1 i) (ubatch p Mds_lb.B2 j)
     done
   done;
+  List.rev !acc
+
+let build_unweighted p x y =
+  let g = unweighted_core_graph p in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (unweighted_input_edges p x y);
   g
 
 let unweighted_side p =
@@ -221,8 +295,61 @@ let unweighted_family p =
       (fun inst ->
         match inst with
         | Framework.Undirected g -> Ch_solvers.Mis.alpha g >= target
-        | _ -> invalid_arg "expected undirected");
+        | _ -> invalid_arg "unweighted: expected undirected");
     f = Commfn.intersecting;
+  }
+
+(* Volatile vertices: all 4kℓ batch vertices.  A core-independent subset
+   picks vertices of at most one batch per set (batches of a set are
+   pairwise fully connected, batches themselves are edge-free), so the
+   conditioned table has (1 + k(2^ℓ - 1))^4 entries. *)
+
+type u_core = {
+  up : params;
+  ug : Graph.t;
+  mutable uapplied : (Bits.t * Bits.t) option;
+}
+
+let build_unweighted_core p =
+  { up = p; ug = unweighted_core_graph p; uapplied = None }
+
+let apply_unweighted_inputs c x y =
+  let p = c.up in
+  (match c.uapplied with
+  | Some (px, py) ->
+      List.iter
+        (fun (u, v) -> Graph.remove_edge c.ug u v)
+        (unweighted_input_edges p px py)
+  | None -> ());
+  List.iter (fun (u, v) -> Graph.add_edge c.ug u v) (unweighted_input_edges p x y);
+  c.uapplied <- Some (x, y);
+  c.ug
+
+let unweighted_incremental p =
+  let target = yes_weight p in
+  let volatile = List.init (4 * p.k * p.ell) Fun.id in
+  {
+    Framework.scratch = unweighted_family p;
+    prepare =
+      (fun () ->
+        let c = build_unweighted_core p in
+        let mc = Ch_solvers.Cache.mis_prepare c.ug ~volatile in
+        {
+          Framework.pbuild =
+            (fun x y -> Framework.Undirected (apply_unweighted_inputs c x y));
+          pverdict =
+            (fun x y ->
+              Ch_solvers.Cache.mis_alpha mc
+                ~extra:(unweighted_input_edges p x y)
+              >= target);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.mis_stats mc in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -248,14 +375,16 @@ module LIx = struct
   let n p = (2 * p.ell) + (2 * p.k * p.ell) + (2 * (p.ell + p.t) * p.q)
 end
 
-let build_linear p x y =
-  if Bits.length x <> p.k || Bits.length y <> p.k then
-    invalid_arg "Maxis_approx_lb.linear: inputs must have k bits";
+let lbatch p side_b i = List.init p.ell (fun xi -> LIx.batch p side_b i xi)
+
+let lva p = List.init p.ell (fun xi -> LIx.va p xi)
+
+let lvb p = List.init p.ell (fun xi -> LIx.vb p xi)
+
+let linear_core_graph p =
   let g = Graph.create (LIx.n p) in
   let words = codewords p in
-  let batch side_b i = List.init p.ell (fun xi -> LIx.batch p side_b i xi) in
-  let va = List.init p.ell (fun xi -> LIx.va p xi) in
-  let vb = List.init p.ell (fun xi -> LIx.vb p xi) in
+  let batch side_b i = lbatch p side_b i in
   let connect_batches b1 b2 =
     List.iter (fun u -> List.iter (fun v -> Graph.add_edge g u v) b2) b1
   in
@@ -301,11 +430,25 @@ let build_linear p x y =
         done
       done)
     [ false; true ];
-  (* inputs of length k *)
+  g
+
+(* inputs of length k *)
+let linear_input_edges p x y =
+  if Bits.length x <> p.k || Bits.length y <> p.k then
+    invalid_arg "Maxis_approx_lb.linear: inputs must have k bits";
+  let acc = ref [] in
+  let cross b1 b2 =
+    List.iter (fun u -> List.iter (fun v -> acc := (u, v) :: !acc) b2) b1
+  in
   for i = 0 to p.k - 1 do
-    if not (Bits.get x i) then connect_batches va (batch false i);
-    if not (Bits.get y i) then connect_batches vb (batch true i)
+    if not (Bits.get x i) then cross (lva p) (lbatch p false i);
+    if not (Bits.get y i) then cross (lvb p) (lbatch p true i)
   done;
+  List.rev !acc
+
+let build_linear p x y =
+  let g = linear_core_graph p in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (linear_input_edges p x y);
   g
 
 let linear_side p =
@@ -341,3 +484,99 @@ let linear_family p =
         | _ -> invalid_arg "expected undirected");
     f = Commfn.intersecting;
   }
+
+(* Volatile vertices: v_A, v_B and the 2kℓ batch vertices.  v_A/v_B are
+   core-edge-free, each side's batches are pairwise fully connected, so
+   the table has (2^ℓ (1 + k(2^ℓ - 1)))^2 entries. *)
+
+type l_core = {
+  lp : params;
+  lg : Graph.t;
+  mutable lapplied : (Bits.t * Bits.t) option;
+}
+
+let build_linear_core p = { lp = p; lg = linear_core_graph p; lapplied = None }
+
+let apply_linear_inputs c x y =
+  let p = c.lp in
+  (match c.lapplied with
+  | Some (px, py) ->
+      List.iter
+        (fun (u, v) -> Graph.remove_edge c.lg u v)
+        (linear_input_edges p px py)
+  | None -> ());
+  List.iter (fun (u, v) -> Graph.add_edge c.lg u v) (linear_input_edges p x y);
+  c.lapplied <- Some (x, y);
+  c.lg
+
+let linear_incremental p =
+  let target = linear_yes_size p in
+  let volatile =
+    lva p @ lvb p
+    @ List.concat_map
+        (fun side_b -> List.concat_map (fun i -> lbatch p side_b i) (List.init p.k Fun.id))
+        [ false; true ]
+  in
+  {
+    Framework.scratch = linear_family p;
+    prepare =
+      (fun () ->
+        let c = build_linear_core p in
+        let mc = Ch_solvers.Cache.mis_prepare c.lg ~volatile in
+        {
+          Framework.pbuild =
+            (fun x y -> Framework.Undirected (apply_linear_inputs c x y));
+          pverdict =
+            (fun x y ->
+              Ch_solvers.Cache.mis_alpha mc ~extra:(linear_input_edges p x y)
+              >= target);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.mis_stats mc in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
+  }
+
+(* registry scale: k is the construction k; ell/t/q follow make_params
+   defaults (k = 2 gives ell = 2, matching the historical CLI scale) *)
+let registry_params k = make_params ~k ()
+
+let specs =
+  [
+    {
+      Registry.id = "maxis-78-weighted";
+      title = "MaxIS 7/8-approx (weighted)";
+      paper_ref = "Thm 4.3, Fig 4";
+      origin = "Maxis_approx_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> weighted_family (registry_params k));
+      incremental = Some (fun k -> weighted_incremental (registry_params k));
+      reduction = None;
+    };
+    {
+      Registry.id = "maxis-78-unweighted";
+      title = "MaxIS 7/8-approx (unweighted)";
+      paper_ref = "Thm 4.1, Fig 4";
+      origin = "Maxis_approx_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> unweighted_family (registry_params k));
+      incremental = Some (fun k -> unweighted_incremental (registry_params k));
+      reduction = None;
+    };
+    {
+      Registry.id = "maxis-56";
+      title = "MaxIS 5/6-approx (linear variant)";
+      paper_ref = "Thm 4.2";
+      origin = "Maxis_approx_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> linear_family (registry_params k));
+      incremental = Some (fun k -> linear_incremental (registry_params k));
+      reduction = None;
+    };
+  ]

@@ -166,3 +166,35 @@ let mvc_family ~k =
         | Framework.Undirected g -> Ch_solvers.Mis.min_vertex_cover_size g <= target
         | _ -> invalid_arg "mvc family: undirected expected");
   }
+
+let specs =
+  [
+    {
+      Registry.id = "maxis";
+      title = "exact MaxIS";
+      paper_ref = "Sec 2 ([10] reimplementation)";
+      origin = "Maxis_lb";
+      default_k = 2;
+      sweep_ks = [ 2; 4 ];
+      scratch = (fun k -> family ~k);
+      incremental = Some (fun k -> incremental ~k);
+      reduction =
+        Some
+          (fun k ->
+            {
+              Registry.rd_solver = (fun g -> Ch_solvers.Mis.alpha g);
+              rd_accept = (fun a -> a >= alpha_target ~k);
+            });
+    };
+    {
+      Registry.id = "mvc";
+      title = "exact MVC (MaxIS complement)";
+      paper_ref = "Sec 2 ([10] reimplementation)";
+      origin = "Maxis_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> mvc_family ~k);
+      incremental = None;
+      reduction = None;
+    };
+  ]

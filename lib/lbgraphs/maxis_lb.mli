@@ -60,3 +60,6 @@ val incremental : k:int -> Ch_core.Framework.incremental
 
 val mvc_family : k:int -> Ch_core.Framework.t
 (** The complementary vertex-cover view: τ(G) ≤ n − Z. *)
+
+val specs : Ch_core.Registry.spec list
+(** Registry entries ["maxis"] (incremental + reduction) and ["mvc"]. *)

@@ -157,3 +157,24 @@ let incremental ~k =
               });
         });
   }
+
+let specs =
+  [
+    {
+      Registry.id = "mds";
+      title = "exact MDS";
+      paper_ref = "Thm 2.1, Fig 1";
+      origin = "Mds_lb";
+      default_k = 2;
+      sweep_ks = [ 2; 4 ];
+      scratch = (fun k -> family ~k);
+      incremental = Some (fun k -> incremental ~k);
+      reduction =
+        Some
+          (fun k ->
+            {
+              Registry.rd_solver = (fun g -> Ch_solvers.Domset.min_size g);
+              rd_accept = (fun a -> a <= target_size ~k);
+            });
+    };
+  ]

@@ -61,3 +61,6 @@ val incremental : k:int -> Ch_core.Framework.incremental
 (** The incremental descriptor: per-pair edge patching plus shared
     dominating-set balls ({!Ch_solvers.Cache.domset_prepare}) instead of
     a fresh build + BFS sweep per pair. *)
+
+val specs : Ch_core.Registry.spec list
+(** Registry entry ["mds"]: incremental + Theorem 1.1 reduction. *)

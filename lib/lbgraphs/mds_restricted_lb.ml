@@ -89,3 +89,67 @@ let gap_holds p x y =
   let g = build p x y in
   let w = fst (Ch_solvers.Domset.min_weight_set g) in
   if Commfn.intersecting x y then w <= 2 else w > p.collection.Covering.r
+
+(* Fixed topology, weights-only inputs — the same split as Kmds_lb. *)
+
+type core = { cp : params; cg : Ch_graph.Graph.t }
+
+let build_core p =
+  let t_count = Array.length p.collection.Covering.sets in
+  { cp = p; cg = build p (Bits.zeros t_count) (Bits.zeros t_count) }
+
+let apply_inputs c x y =
+  let p = c.cp in
+  let t_count = Array.length p.collection.Covering.sets in
+  if Bits.length x <> t_count || Bits.length y <> t_count then
+    invalid_arg "Mds_restricted_lb.apply_inputs: inputs must have T bits";
+  for i = 0 to t_count - 1 do
+    Graph.set_vweight c.cg (Ix.s p i) (if Bits.get x i then 1 else p.alpha);
+    Graph.set_vweight c.cg (Ix.s_bar p i) (if Bits.get y i then 1 else p.alpha)
+  done;
+  c.cg
+
+let incremental p =
+  {
+    Framework.scratch = family p;
+    prepare =
+      (fun () ->
+        let c = build_core p in
+        let dc = Ch_solvers.Cache.domset_prepare c.cg ~radius:1 in
+        {
+          Framework.pbuild = (fun x y -> Framework.Undirected (apply_inputs c x y));
+          pverdict =
+            (fun x y ->
+              let g = apply_inputs c x y in
+              let balls = Ch_solvers.Cache.domset_balls dc ~extra:[] in
+              fst (Ch_solvers.Domset.min_weight_set ~balls g) <= 2);
+          pstats =
+            (fun () ->
+              let s = Ch_solvers.Cache.domset_stats dc in
+              {
+                Framework.cache_hits = s.Ch_solvers.Cache.hits;
+                cache_misses = s.Ch_solvers.Cache.misses;
+              });
+        });
+  }
+
+let registry_params k =
+  let ell, t_count =
+    if k <= 2 then (6, 6) else if k <= 4 then (8, 10) else (10, 20)
+  in
+  make_params ~seed:1 ~ell ~t_count ~r:2 ()
+
+let specs =
+  [
+    {
+      Registry.id = "mds-restricted";
+      title = "restricted weighted MDS log-approx";
+      paper_ref = "Thm 4.8, Fig 7";
+      origin = "Mds_restricted_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> family (registry_params k));
+      incremental = Some (fun k -> incremental (registry_params k));
+      reduction = None;
+    };
+  ]

@@ -27,3 +27,19 @@ val family : params -> Ch_core.Framework.t
     Alice; the Theorem 4.8 simulation accounts for them separately. *)
 
 val gap_holds : params -> Bits.t -> Bits.t -> bool
+
+(** {1 Incremental verification} — fixed topology, weights-only inputs
+    (the same split as {!Kmds_lb}). *)
+
+type core
+
+val build_core : params -> core
+
+val apply_inputs : core -> Bits.t -> Bits.t -> Ch_graph.Graph.t
+(** Overwrite the S_i / S̄_i weights for this pair. *)
+
+val incremental : params -> Ch_core.Framework.incremental
+(** Memoized radius-1 balls; verdicts bit-identical to {!family}. *)
+
+val specs : Ch_core.Registry.spec list
+(** Registry entry ["mds-restricted"], incremental. *)

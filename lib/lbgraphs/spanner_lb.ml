@@ -38,3 +38,18 @@ let family ~k =
           fst (Ch_solvers.Spanner.min_weight_2_spanner g) <= target
       | _ -> invalid_arg "expected undirected")
     base
+
+let specs =
+  [
+    {
+      Registry.id = "2spanner";
+      title = "weighted 2-spanner";
+      paper_ref = "Thm 3.4 variant";
+      origin = "Spanner_lb";
+      default_k = 2;
+      sweep_ks = [ 2 ];
+      scratch = (fun k -> family ~k);
+      incremental = None;
+      reduction = None;
+    };
+  ]

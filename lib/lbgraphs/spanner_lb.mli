@@ -28,3 +28,6 @@ val hub_reduction : Ch_graph.Graph.t -> w:int -> Ch_graph.Graph.t
 val build : k:int -> Bits.t -> Bits.t -> Ch_graph.Graph.t
 
 val family : k:int -> Ch_core.Framework.t
+
+val specs : Ch_core.Registry.spec list
+(** Registry entry ["2spanner"]. *)

@@ -23,3 +23,39 @@ val directed_family : params -> Ch_core.Framework.t
 val node_weighted_gap_holds : params -> Bits.t -> Bits.t -> bool
 
 val directed_gap_holds : params -> Bits.t -> Bits.t -> bool
+
+(** {1 Incremental verification}
+
+    Node-weighted: fixed topology, weights-only inputs — the connector
+    feasibility table ({!Ch_solvers.Cache.nwsteiner_prepare}) is computed
+    once and every pair is a weight fold.  Directed: the core's reversed
+    adjacency is snapshotted once and each pair's zero-weight set→element
+    arcs ride in as the query delta
+    ({!Ch_solvers.Cache.dsteiner_prepare}). *)
+
+type nw_core
+
+val build_node_weighted_core : params -> nw_core
+
+val apply_node_weighted_inputs : nw_core -> Bits.t -> Bits.t -> Ch_graph.Graph.t
+(** Overwrite the S_i / S̄_i weights for this pair. *)
+
+val node_weighted_incremental : params -> Ch_core.Framework.incremental
+(** Verdicts bit-identical to {!node_weighted_family}. *)
+
+type dir_core
+
+val build_directed_core : params -> dir_core
+
+val apply_directed_inputs : dir_core -> Bits.t -> Bits.t -> Ch_graph.Digraph.t
+(** Swap the previous pair's input arcs for this pair's. *)
+
+val directed_input_arcs : params -> Bits.t -> Bits.t -> (int * int * int) list
+(** The input-dependent zero-weight arcs [(u, v, w)] of a pair. *)
+
+val directed_incremental : params -> Ch_core.Framework.incremental
+(** Verdicts bit-identical to {!directed_family}. *)
+
+val specs : Ch_core.Registry.spec list
+(** Registry entries ["steiner-node-weighted"] and ["steiner-directed"],
+    both incremental. *)

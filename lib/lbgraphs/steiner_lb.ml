@@ -126,3 +126,18 @@ let incremental ~k =
               });
         });
   }
+
+let specs =
+  [
+    {
+      Registry.id = "steiner";
+      title = "Steiner tree (cardinality)";
+      paper_ref = "Thm 2.7";
+      origin = "Steiner_lb";
+      default_k = 2;
+      sweep_ks = [ 2; 4 ];
+      scratch = (fun k -> family ~k);
+      incremental = Some (fun k -> incremental ~k);
+      reduction = None;
+    };
+  ]

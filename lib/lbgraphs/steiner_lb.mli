@@ -45,3 +45,6 @@ val incremental : k:int -> Ch_core.Framework.incremental
     each pair only replays its ≤ 16 input edges over those ids.
     Bit-identical to the scratch
     {!Ch_solvers.Steiner.min_extra_nodes}-based predicate. *)
+
+val specs : Ch_core.Registry.spec list
+(** Registry entry ["steiner"]: incremental. *)

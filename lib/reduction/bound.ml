@@ -129,3 +129,17 @@ let pp_report ppf r =
     r.rep_rounds_max r.rep_cut_bits_max r.rep_budget_max r.rep_bits_per_round
     r.rep_cc_bits r.rep_lb_rounds r.rep_all_correct r.rep_all_match
     r.rep_all_within_budget
+
+let sweep_registry ?trace ?seed:(sample_seed = 41) ?bandwidth_factor
+    ?(exhaustive = false) ?(samples = 8) (s : Registry.spec) ~k =
+  match Simulate.registry_spec ?bandwidth_factor s ~k with
+  | None -> None
+  | Some spec ->
+      let fam = spec.Simulate.sfam in
+      let raw =
+        if exhaustive then exhaustive_pairs fam
+        else sampled_pairs fam ~seed:sample_seed ~samples
+      in
+      let pairs, skipped = connected_pairs fam raw in
+      let rows, report = sweep ?trace spec pairs in
+      Some (rows, report, skipped)

@@ -61,3 +61,19 @@ val sweep :
   row list * report
 
 val pp_report : Format.formatter -> report -> unit
+
+val sweep_registry :
+  ?trace:Trace.sink ->
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?exhaustive:bool ->
+  ?samples:int ->
+  Registry.spec ->
+  k:int ->
+  (row list * report * int) option
+(** The registry-driven sweep: compile a catalog spec's reduction at
+    scale [k] via {!Simulate.registry_spec}, pick the pair set
+    (all 4^K when [exhaustive], else corners + [samples] random pairs
+    from [seed], 41 by default), drop disconnected pairs, and sweep.
+    Returns the rows, the report and the dropped-pair count; [None]
+    when the spec has no reduction algorithm. *)

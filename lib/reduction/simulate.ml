@@ -203,3 +203,15 @@ let gather_spec ?seed ?bandwidth_factor ~name fam ~solver ~accept =
           ref_rounds = cs.Network.stats.Network.rounds;
         });
   }
+
+(* The registry adapter: any catalog spec carrying a reduction algorithm
+   compiles to a gather spec at scale k. *)
+let registry_spec ?seed ?bandwidth_factor (s : Registry.spec) ~k =
+  match s.Registry.reduction with
+  | None -> None
+  | Some rd ->
+      let { Registry.rd_solver; rd_accept } = rd k in
+      Some
+        (gather_spec ?seed ?bandwidth_factor
+           ~name:(Printf.sprintf "%s-k%d" s.Registry.id k)
+           (s.Registry.scratch k) ~solver:rd_solver ~accept:rd_accept)

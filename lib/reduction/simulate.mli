@@ -97,3 +97,11 @@ val gather_spec :
 (** The generic exact upper bound ({!Gather.algo} rooted at vertex 0 with
     the family's exact [solver] at the root) packaged for simulation,
     with {!Gather.solve_split} as the reference oracle. *)
+
+val registry_spec :
+  ?seed:int -> ?bandwidth_factor:int -> Registry.spec -> k:int -> spec option
+(** The registry adapter: {!gather_spec} over a catalog spec's reduction
+    algorithm (solver + acceptance threshold) at scale [k], named
+    ["<id>-k<k>"].  [None] when the spec carries no reduction — the CLI
+    and the bench decide availability by this, not by a hand-written
+    family list. *)

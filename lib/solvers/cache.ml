@@ -427,7 +427,7 @@ type mis = { mi : mis_tables; mic : counter }
 
 let mis_memo : mis_tables Memo.t = Memo.create ()
 
-let build_mis_tables g ~volatile =
+let build_mis_tables ?(weighted = false) g ~volatile =
   let n = Graph.n g in
   let vol = Array.of_list volatile in
   let s = Array.length vol in
@@ -448,6 +448,7 @@ let build_mis_tables g ~volatile =
     done
   done;
   let nonvol = List.filter (fun v -> vol_index.(v) < 0) (List.init n Fun.id) in
+  let vw = Graph.vweights g in
   let entries = ref [] and count = ref 0 in
   let value_of mask =
     let nbrs = Bitset.create n in
@@ -456,8 +457,21 @@ let build_mis_tables g ~volatile =
     done;
     let rest = List.filter (fun v -> not (Bitset.mem nbrs v)) nonvol in
     let sub, _ = Graph.induced g rest in
-    let rec popcount acc m = if m = 0 then acc else popcount (acc + (m land 1)) (m lsr 1) in
-    popcount 0 mask + Mis.alpha sub
+    if weighted then begin
+      (* Graph.induced carries the vertex weights over, so the residual
+         MWIS sees the core's weights unchanged *)
+      let wa = ref 0 in
+      for i = 0 to s - 1 do
+        if mask land (1 lsl i) <> 0 then wa := !wa + vw.(vol.(i))
+      done;
+      !wa + fst (Mis.max_weight_set sub)
+    end
+    else begin
+      let rec popcount acc m =
+        if m = 0 then acc else popcount (acc + (m land 1)) (m lsr 1)
+      in
+      popcount 0 mask + Mis.alpha sub
+    end
   in
   (* all subsets of volatile independent in the core; masks only ever
      contain indices < i *)
@@ -514,6 +528,204 @@ let mis_alpha c ~extra =
 let mis_stats c = stats_of c.mic
 
 (* ------------------------------------------------------------------ *)
+(* Max weight independent set: same conditioning, weighted values      *)
+(* ------------------------------------------------------------------ *)
+
+(* Identical decomposition to [mis_prepare] — any independent set splits
+   as A ⊎ S over the volatile cut — but tabulating
+   w(A) + MWIS(core ∖ volatile ∖ N(A)) with the core's vertex weights.
+   Valid for families whose inputs only add volatile-volatile edges and
+   never touch weights (the Theorem 4.3 gadget). *)
+
+type mwis = mis
+
+let mwis_prepare g ~volatile =
+  let aux = "w;" ^ String.concat "," (List.map string_of_int volatile) in
+  let tables, was_hit =
+    Memo.find_or_build mis_memo ~graph:g ~aux ~build:(fun () ->
+        build_mis_tables ~weighted:true g ~volatile)
+  in
+  {
+    mi = tables;
+    mic = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
+  }
+
+let mwis_weight = mis_alpha
+
+let mwis_stats = mis_stats
+
+(* ------------------------------------------------------------------ *)
+(* Node-weighted Steiner: feasibility of every connector set           *)
+(* ------------------------------------------------------------------ *)
+
+(* Steiner.node_weighted equals min over U ⊇ terminals with G[U]
+   connected of w(U): a minimum tree's vertex set induces a connected
+   subgraph, and a spanning tree of any connected G[U] contains the
+   terminals at weight w(U).  Connectivity of G[U] depends on the core
+   topology alone, so it is tabulated here over every subset of
+   non-terminals; a query only folds the current vertex weights over the
+   feasible masks — which is how the Section 4.4 family (fixed topology,
+   input-dependent weights) answers each pair without a Dreyfus–Wagner
+   run. *)
+
+type nwsteiner_tables = {
+  nw_n : int;
+  nw_terms : int list;  (* sorted terminals *)
+  nw_nonterm : int array;  (* non-terminal vertex per mask bit *)
+  nw_feasible : Bytes.t;  (* 2^|nonterm| flags: G[terms ∪ S] connected *)
+}
+
+type nwsteiner = { nwt : nwsteiner_tables; nwc : counter }
+
+let nwsteiner_memo : nwsteiner_tables Memo.t = Memo.create ()
+
+let build_nwsteiner_tables g ~terminals =
+  let n = Graph.n g in
+  let terminals = List.sort_uniq compare terminals in
+  if terminals = [] then invalid_arg "Cache.nwsteiner_prepare: no terminals";
+  List.iter
+    (fun t ->
+      if t < 0 || t >= n then invalid_arg "Cache.nwsteiner_prepare: bad terminal")
+    terminals;
+  let is_terminal = Array.make n false in
+  List.iter (fun t -> is_terminal.(t) <- true) terminals;
+  let nonterm =
+    Array.of_list (List.filter (fun v -> not is_terminal.(v)) (List.init n Fun.id))
+  in
+  let m = Array.length nonterm in
+  if m > 18 then invalid_arg "Cache.nwsteiner_prepare: too many non-terminals";
+  let edges = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Graph.edges g)) in
+  let feasible = Bytes.make (1 lsl m) '\000' in
+  let sel = Array.make n false in
+  List.iter (fun t -> sel.(t) <- true) terminals;
+  let nterms = List.length terminals in
+  for mask = 0 to (1 lsl m) - 1 do
+    let selected = ref nterms in
+    for i = 0 to m - 1 do
+      let on = mask land (1 lsl i) <> 0 in
+      sel.(nonterm.(i)) <- on;
+      if on then incr selected
+    done;
+    let uf = Union_find.create n in
+    let classes = ref !selected in
+    Array.iter
+      (fun (u, v) -> if sel.(u) && sel.(v) && Union_find.union uf u v then decr classes)
+      edges;
+    if !classes = 1 then Bytes.set feasible mask '\001'
+  done;
+  { nw_n = n; nw_terms = terminals; nw_nonterm = nonterm; nw_feasible = feasible }
+
+let nwsteiner_prepare g ~terminals =
+  let aux =
+    String.concat "," (List.map string_of_int (List.sort_uniq compare terminals))
+  in
+  let tables, was_hit =
+    Memo.find_or_build nwsteiner_memo ~graph:g ~aux ~build:(fun () ->
+        build_nwsteiner_tables g ~terminals)
+  in
+  {
+    nwt = tables;
+    nwc = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
+  }
+
+let nwsteiner_cost c ~weights =
+  c.nwc.chits <- c.nwc.chits + 1;
+  let t = c.nwt in
+  if Array.length weights <> t.nw_n then
+    invalid_arg "Cache.nwsteiner_cost: weights length mismatch";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Steiner.node_weighted: negative weight")
+    weights;
+  let base = List.fold_left (fun acc v -> acc + weights.(v)) 0 t.nw_terms in
+  let m = Array.length t.nw_nonterm in
+  let wsum = Array.make (1 lsl m) 0 in
+  let best = ref max_int in
+  if Bytes.get t.nw_feasible 0 = '\001' then best := base;
+  for mask = 1 to (1 lsl m) - 1 do
+    let low = mask land -mask in
+    wsum.(mask) <- wsum.(mask lxor low) + weights.(t.nw_nonterm.(trailing_zeros mask));
+    if Bytes.get t.nw_feasible mask = '\001' && base + wsum.(mask) < !best then
+      best := base + wsum.(mask)
+  done;
+  if !best = max_int then
+    invalid_arg "Steiner.node_weighted: terminals disconnected"
+  else !best
+
+let nwsteiner_stats c = stats_of c.nwc
+
+(* ------------------------------------------------------------------ *)
+(* Directed Steiner: shared reversed-adjacency snapshot                *)
+(* ------------------------------------------------------------------ *)
+
+(* The Theorem 4.7 arborescence solve is per-pair work (input arcs carry
+   the pair), but the core's reversed-adjacency view is not: a query
+   copies the row array and conses its extra arcs on the touched rows —
+   the shared core rows are untouched tails — then runs
+   Steiner.directed_over.  Memoized like the hampath snapshot, on the
+   sorted arc list plus the query frame. *)
+
+type dsteiner_tables = {
+  dsn : int;
+  dsrev : (int * int) list array;
+  dsroot : int;
+  dsterms : int list;
+}
+
+type dsteiner = { dst : dsteiner_tables; dsc : counter }
+
+let dsteiner_lock = Mutex.create ()
+
+let dsteiner_memo :
+    (int, ((int * (int * int * int) list * int * int list) * dsteiner_tables) list)
+    Hashtbl.t =
+  Hashtbl.create 16
+
+let dsteiner_prepare dg ~root ~terminals =
+  let terminals = List.sort_uniq compare terminals in
+  let key = (Digraph.n dg, Digraph.arcs dg, root, terminals) in
+  let hash = Hashtbl.hash key in
+  let probe () =
+    List.assoc_opt key
+      (Option.value ~default:[] (Hashtbl.find_opt dsteiner_memo hash))
+  in
+  Mutex.lock dsteiner_lock;
+  let hit = probe () in
+  Mutex.unlock dsteiner_lock;
+  match hit with
+  | Some tables -> { dst = tables; dsc = { chits = 1; cmisses = 0 } }
+  | None ->
+      let n = Digraph.n dg in
+      let rev = Array.make n [] in
+      Digraph.iter_arcs (fun u v w -> rev.(v) <- (u, w) :: rev.(v)) dg;
+      let tables = { dsn = n; dsrev = rev; dsroot = root; dsterms = terminals } in
+      Mutex.lock dsteiner_lock;
+      let published =
+        match probe () with
+        | Some t -> t
+        | None ->
+            Hashtbl.replace dsteiner_memo hash
+              ((key, tables)
+              :: Option.value ~default:[] (Hashtbl.find_opt dsteiner_memo hash));
+            tables
+      in
+      Mutex.unlock dsteiner_lock;
+      { dst = published; dsc = { chits = 0; cmisses = 1 } }
+
+let dsteiner_cost c ~extra =
+  c.dsc.chits <- c.dsc.chits + 1;
+  let t = c.dst in
+  let rev = Array.copy t.dsrev in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= t.dsn || v < 0 || v >= t.dsn then
+        invalid_arg "Cache.dsteiner_cost: arc out of range";
+      rev.(v) <- (u, w) :: rev.(v))
+    extra;
+  Steiner.directed_over ~reversed:rev ~root:t.dsroot t.dsterms
+
+let dsteiner_stats c = stats_of c.dsc
+
+(* ------------------------------------------------------------------ *)
 (* Dominating set: shared closed balls with copy-on-write patching    *)
 (* ------------------------------------------------------------------ *)
 
@@ -524,7 +736,7 @@ type domset = { dt : domset_tables; dc : counter }
 let domset_memo : domset_tables Memo.t = Memo.create ()
 
 let domset_prepare g ~radius =
-  if radius <> 1 then invalid_arg "Cache.domset_prepare: radius 1 only";
+  if radius < 1 then invalid_arg "Cache.domset_prepare: radius must be >= 1";
   let aux = string_of_int radius in
   let tables, was_hit =
     Memo.find_or_build domset_memo ~graph:g ~aux ~build:(fun () ->
@@ -541,10 +753,15 @@ let domset_prepare g ~radius =
 
 (* Adding edge {u,v} only changes the closed radius-1 balls of u and v,
    so the patched array shares every untouched ball with the core
-   tables (which solvers only read — see Domset.min_weight_set). *)
+   tables (which solvers only read — see Domset.min_weight_set).  At
+   radius > 1 an extra edge can grow balls far from its endpoints, so
+   the copy-on-write patch is only sound with [extra = []] — the
+   weights-only families (Theorems 4.2/4.4) query exactly that way. *)
 let domset_balls c ~extra =
   c.dc.chits <- c.dc.chits + 1;
   let t = c.dt in
+  if extra <> [] && t.dradius <> 1 then
+    invalid_arg "Cache.domset_balls: extra edges require radius 1";
   let balls = Array.copy t.dballs in
   let owned = Array.make t.dn false in
   let touch v =
@@ -569,7 +786,11 @@ let clear () =
   Memo.clear steiner_memo;
   Memo.clear maxcut_memo;
   Memo.clear mis_memo;
+  Memo.clear nwsteiner_memo;
   Memo.clear domset_memo;
   Mutex.lock hampath_lock;
   Hashtbl.reset hampath_memo;
-  Mutex.unlock hampath_lock
+  Mutex.unlock hampath_lock;
+  Mutex.lock dsteiner_lock;
+  Hashtbl.reset dsteiner_memo;
+  Mutex.unlock dsteiner_lock

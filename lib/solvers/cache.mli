@@ -101,20 +101,78 @@ val mis_alpha : mis -> extra:(int * int) list -> int
 
 val mis_stats : mis -> stats
 
+(** {1 Max weight independent set: conditioned table, weighted values} *)
+
+type mwis
+
+val mwis_prepare : Graph.t -> volatile:int list -> mwis
+(** The weighted twin of {!mis_prepare}: for every core-independent
+    subset A of [volatile], tabulate [w(A) + mwis(core minus volatile
+    minus N(A))] under the core's vertex weights.  Sound for families
+    whose inputs only add volatile-volatile edges and leave the weights
+    fixed (the Theorem 4.3 gadget).  Same limits as {!mis_prepare}. *)
+
+val mwis_weight : mwis -> extra:(int * int) list -> int
+(** The maximum independent-set weight of [core + extra], i.e. exactly
+    [fst (Mis.max_weight_set core_with_extra)].  Every [extra] edge must
+    have both endpoints volatile. *)
+
+val mwis_stats : mwis -> stats
+
+(** {1 Node-weighted Steiner: connector-set feasibility table} *)
+
+type nwsteiner
+
+val nwsteiner_prepare : Graph.t -> terminals:int list -> nwsteiner
+(** Tabulate, for every subset S of non-terminals, whether the subgraph
+    induced on [terminals ∪ S] is connected.  {!Steiner.node_weighted}
+    equals the minimum of [w(terminals ∪ S)] over feasible S, so for
+    fixed-topology families whose inputs only move vertex weights
+    (Theorem 4.4, node-weighted) a per-pair query is a weight fold, not a
+    Dreyfus–Wagner run.  @raise Invalid_argument when there are more than
+    18 non-terminals. *)
+
+val nwsteiner_cost : nwsteiner -> weights:int array -> int
+(** [Steiner.node_weighted] of the core under [weights] (one weight per
+    core vertex): minimum over the feasible connector masks via an
+    incremental subset-sum.  Raises the same [Invalid_argument]s as the
+    from-scratch solver on negative weights or disconnected terminals. *)
+
+val nwsteiner_stats : nwsteiner -> stats
+
+(** {1 Directed Steiner: shared reversed-adjacency snapshot} *)
+
+type dsteiner
+
+val dsteiner_prepare : Digraph.t -> root:int -> terminals:int list -> dsteiner
+(** Snapshot the core's reversed adjacency rows, memoized on
+    (n, sorted arc list, root, terminals) like {!hampath_prepare}. *)
+
+val dsteiner_cost : dsteiner -> extra:(int * int * int) list -> int option
+(** [Steiner.directed ~root terminals] of [core + extra]: the shared
+    rows are patched copy-on-write (extra arcs consed onto the rows they
+    enter), then solved through {!Steiner.directed_over}.  Extra arcs
+    must stay in range; duplicates of core arcs are harmless (the DW
+    relaxation takes minima). *)
+
+val dsteiner_stats : dsteiner -> stats
+
 (** {1 Dominating sets: shared closed balls} *)
 
 type domset
 
 val domset_prepare : Graph.t -> radius:int -> domset
-(** Precompute the closed radius-[radius] balls of the core.  Only
-    [radius = 1] is supported: adding an edge then perturbs exactly the
-    two endpoint balls. *)
+(** Precompute the closed radius-[radius] balls of the core, any
+    [radius >= 1]. *)
 
 val domset_balls : domset -> extra:(int * int) list -> Bitset.t array
 (** Balls of [core + extra]: untouched balls are shared with the core
     tables (copy-on-write on the patched endpoints), so pass the result
     to [Domset.min_size ~balls] / [min_weight_set ~balls] — which only
-    read them — on the patched graph. *)
+    read them — on the patched graph.  With [radius > 1] an extra edge
+    can perturb balls far from its endpoints, so only [extra = []] is
+    accepted there (the weights-only families query exactly that way).
+    @raise Invalid_argument otherwise. *)
 
 val domset_stats : domset -> stats
 

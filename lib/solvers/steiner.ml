@@ -94,19 +94,23 @@ let node_weighted g terminals =
     else ans
   end
 
-let directed dg ~root terminals =
+let directed_over ~reversed ~root terminals =
   check_terminals "Steiner.directed" terminals;
   let terminals = Array.of_list (List.sort_uniq compare terminals) in
-  let n = Digraph.n dg and p = Array.length terminals in
+  let n = Array.length reversed and p = Array.length terminals in
   (* dp[S][v] = cost of an out-arborescence rooted at v covering S; the
      relaxation walks arcs backwards. *)
-  let reversed = Array.make n [] in
-  Digraph.iter_arcs (fun u v w -> reversed.(v) <- (u, w) :: reversed.(v)) dg;
   let edges_of v = reversed.(v) in
   let leaf i row = row.(terminals.(i)) <- 0 in
   let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
   let ans = dp.((1 lsl p) - 1).(root) in
   if ans >= inf then None else Some ans
+
+let directed dg ~root terminals =
+  let n = Digraph.n dg in
+  let reversed = Array.make n [] in
+  Digraph.iter_arcs (fun u v w -> reversed.(v) <- (u, w) :: reversed.(v)) dg;
+  directed_over ~reversed ~root terminals
 
 let min_extra_nodes ?cap g terminals =
   check_terminals "Steiner.min_extra_nodes" terminals;

@@ -20,6 +20,13 @@ val directed : Digraph.t -> root:int -> int list -> int option
 (** Minimum total arc weight of an out-arborescence rooted at [root]
     reaching all terminals; [None] if some terminal is unreachable. *)
 
+val directed_over :
+  reversed:(int * int) list array -> root:int -> int list -> int option
+(** {!directed} over a prebuilt reversed-adjacency view:
+    [reversed.(v)] lists [(u, w)] per arc [u → v].  Lets callers share one
+    core snapshot across many solves, patching only the rows their extra
+    arcs enter — see {!Ch_solvers.Cache}. *)
+
 val min_extra_nodes : ?cap:int -> Graph.t -> int list -> int option
 (** Smallest number of non-terminal vertices [S] such that the subgraph
     induced on [terminals ∪ S] is connected (so the minimum Steiner tree

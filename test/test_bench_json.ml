@@ -1,12 +1,30 @@
 (* Schema regression for the --json bench artifact: run a tiny smoke
    experiment in a temp directory and check the BENCH_<ts>.json it
    writes carries every field the perf-trajectory tooling reads,
-   including the cache counters and the incremental entries. *)
+   including the cache counters and the incremental entries.  Then
+   cross-check it against the `hardness list --json` catalog dump:
+   the catalog's ids must be unique with non-empty paper refs, and
+   every verify/reduction bench entry must name a registered family. *)
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   go 0
+
+(* every string value of ["key": "..."] occurrences, in order *)
+let string_values ~key body =
+  let marker = Printf.sprintf "\"%s\": \"" key in
+  let ml = String.length marker and bl = String.length body in
+  let rec go i acc =
+    if i + ml > bl then List.rev acc
+    else if String.sub body i ml = marker then begin
+      let start = i + ml in
+      let stop = String.index_from body start '"' in
+      go stop (String.sub body start (stop - start) :: acc)
+    end
+    else go (i + 1) acc
+  in
+  go 0 []
 
 let () =
   let exe = Filename.concat (Sys.getcwd ()) Sys.argv.(1) in
@@ -80,6 +98,50 @@ let () =
     failwith "differential mismatch reported in bench JSON";
   if contains ~needle:"\"transcript_differential_ok\": false" body then
     failwith "reduction transcript mismatch reported in bench JSON";
+  (* the registry catalog round-trip: `hardness list --json` *)
+  let hardness = Filename.concat (Sys.getcwd ()) Sys.argv.(2) in
+  let cat_cmd =
+    Printf.sprintf "cd %s && %s list --json > catalog.json 2>> log.txt"
+      (Filename.quote dir) (Filename.quote hardness)
+  in
+  let rc = Sys.command cat_cmd in
+  if rc <> 0 then failwith (Printf.sprintf "hardness list --json exited with %d" rc);
+  let ic = open_in (Filename.concat dir "catalog.json") in
+  let cat = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  if not (contains ~needle:"\"families\":" cat) then
+    failwith "catalog missing \"families\"";
+  let ids = string_values ~key:"id" cat in
+  if ids = [] then failwith "catalog lists no families";
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    failwith "catalog ids are not unique";
+  let refs = string_values ~key:"paper_ref" cat in
+  if List.length refs <> List.length ids then
+    failwith "catalog: paper_ref count differs from id count";
+  List.iter (fun r -> if r = "" then failwith "catalog: empty paper_ref") refs;
+  (* every bench verify/reduction entry names a registered family: the
+     entry names are "<id>-k<k>-exhaustive[-inc]" / "<id>-k<k>-reduction" *)
+  let family_of_entry name =
+    let rec strip i =
+      if i < 0 then name
+      else if
+        i + 2 <= String.length name
+        && String.sub name i 2 = "-k"
+        && i + 2 < String.length name
+        && name.[i + 2] >= '0'
+        && name.[i + 2] <= '9'
+      then String.sub name 0 i
+      else strip (i - 1)
+    in
+    strip (String.length name - 2)
+  in
+  List.iter
+    (fun entry ->
+      if entry <> "" && not (List.mem (family_of_entry entry) ids) then
+        failwith
+          (Printf.sprintf "bench entry %S names unregistered family %S" entry
+             (family_of_entry entry)))
+    (string_values ~key:"family" body);
   (* cleanup *)
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir;

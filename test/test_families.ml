@@ -270,6 +270,69 @@ let test_restricted_mds_family () =
               (Bits.random ~seed:(800 + i) 6))))
 
 (* ------------------------------------------------------------------ *)
+(* The registry: one catalog drives the CLI, bench and these tests     *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_catalog () =
+  let reg = Families.catalog () in
+  let ids = Registry.ids reg in
+  check_int "19 families" 19 (List.length ids);
+  check "ids unique" true
+    (List.length (List.sort_uniq compare ids) = List.length ids);
+  List.iter
+    (fun s ->
+      check (s.Registry.id ^ " paper_ref non-empty") true (s.Registry.paper_ref <> "");
+      check (s.Registry.id ^ " origin non-empty") true (s.Registry.origin <> ""))
+    (Registry.all reg);
+  (* find / find_exn / unknown-id message *)
+  check "find mds" true (Registry.find reg "mds" <> None);
+  check "mem 2mds" true (Registry.mem reg "2mds");
+  (match Registry.find_exn reg "no-such-family" with
+  | exception Invalid_argument msg ->
+      check "unknown-id message lists valid ids" true
+        (String.length msg > 0
+        && String.sub msg 0 14 = "unknown family"
+        &&
+        let rec contains s sub i =
+          if i + String.length sub > String.length s then false
+          else String.sub s i (String.length sub) = sub || contains s sub (i + 1)
+        in
+        contains msg "mds-restricted" 0)
+  | _ -> Alcotest.fail "find_exn should raise on unknown id");
+  (* duplicate registration is rejected *)
+  match Registry.of_specs (Families.all @ [ List.hd Families.all ]) with
+  | exception Registry.Duplicate_id "mds" -> ()
+  | _ -> Alcotest.fail "duplicate id should raise"
+
+(* Every spec with an incremental descriptor: the memoized per-pair path
+   must be bit-identical to the from-scratch solvers over the whole
+   exhaustive k=2 input space. *)
+let registry_differential_case s =
+  let run () =
+    match s.Registry.incremental with
+    | None -> assert false
+    | Some inc ->
+        let inc = inc 2 in
+        let scratch = Framework.exhaustive_verdicts inc.Framework.scratch in
+        let incr, stats = Framework.exhaustive_verdicts_inc inc in
+        Alcotest.(check (array bool)) (s.Registry.id ^ " verdicts") scratch incr;
+        check (s.Registry.id ^ " cache used") true
+          (stats.Framework.cache_hits + stats.Framework.cache_misses > 0)
+  in
+  let slow =
+    (* the scratch side of these exhaustive sweeps dominates the suite *)
+    [ "hampath"; "maxcut"; "steiner"; "maxis-78-unweighted" ]
+  in
+  Alcotest.test_case
+    (s.Registry.id ^ " k=2 exhaustive differential")
+    (if List.mem s.Registry.id slow then `Slow else `Quick)
+    run
+
+let registry_differential_cases =
+  List.map registry_differential_case
+    (Registry.filter ~incremental:true (Families.catalog ()))
+
+(* ------------------------------------------------------------------ *)
 (* Theorem 1.1 end-to-end: Alice and Bob solve DISJ by simulation      *)
 (* ------------------------------------------------------------------ *)
 
@@ -368,4 +431,7 @@ let () =
           Alcotest.test_case "alice-bob simulation" `Quick test_theorem_1_1_simulation;
           Alcotest.test_case "lower bound rates" `Quick test_lower_bound_calculator;
         ] );
+      ( "registry",
+        Alcotest.test_case "catalog" `Quick test_registry_catalog
+        :: registry_differential_cases );
     ]
