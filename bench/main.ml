@@ -15,7 +15,10 @@
    hit/miss counters, incremental-vs-scratch speedup and per-pair
    differential) to BENCH_<timestamp>.json so the perf trajectory is
    tracked per PR.  --smoke drops the slow from-scratch Steiner/Maxcut
-   sweeps from the verify benches. *)
+   sweeps from the verify benches.  --json also switches on the Ch_obs
+   telemetry layer and embeds one report per bench entry in an "obs"
+   section (schedule-independent counters, so identical across CH_JOBS);
+   --no-obs keeps telemetry off to measure the disabled-path overhead. *)
 
 open Ch_cc
 open Ch_core
@@ -44,10 +47,23 @@ let log2 x = log (float_of_int x) /. log 2.0
 
 let pmap f xs = Pool.parallel_map (Pool.default ()) f xs
 
+module Obs = Ch_obs.Obs
+
+(* Monotonic clock: bench walls are immune to wall-clock adjustments. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Obs.Clock.seconds_since t0)
+
+(* Per-entry telemetry capture: when obs is enabled (--json without
+   --no-obs) every bench entry resets the counters before its runs and
+   snapshots the merged report after, so the JSON "obs" section carries
+   one report per entry.  Counter totals are schedule-independent, so
+   the section is identical under CH_JOBS=1 and CH_JOBS=4 — CI greps
+   the counter lines of two runs and diffs them. *)
+let obs_fresh () = if Obs.enabled () then Obs.reset ()
+
+let obs_snap () = if Obs.enabled () then Some (Obs.report ()) else None
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -665,6 +681,7 @@ type ventry = {
   vmisses : int;
   vvs_scratch : float option;  (* scratch wall / incremental wall *)
   vdiff_ok : bool option;  (* per-pair trace equality vs scratch *)
+  vobs : Obs.report option;  (* telemetry for this entry's runs *)
 }
 
 let verify_benches ~smoke () =
@@ -686,11 +703,13 @@ let verify_benches ~smoke () =
       vmisses = misses;
       vvs_scratch = vs_scratch;
       vdiff_ok = diff_ok;
+      vobs = obs_snap ();
     }
   in
   (* from-scratch traces, by name, for the -inc differentials *)
   let traces : (string, bool array * float) Hashtbl.t = Hashtbl.create 8 in
   let bench_scratch ~name fam =
+    obs_fresh ();
     let v, wall = timed (fun () -> Framework.exhaustive_verdicts ~pool fam) in
     let v1, wall1 = timed (fun () -> Framework.exhaustive_verdicts ~pool:pool1 fam) in
     if v <> v1 then
@@ -705,6 +724,7 @@ let verify_benches ~smoke () =
     entry ~name ~pairs:(Array.length v) ~wall ~wall1 ()
   in
   let bench_inc ~name ~scratch_name inc =
+    obs_fresh ();
     let (v, stats), wall =
       timed (fun () -> Framework.exhaustive_verdicts_inc ~pool inc)
     in
@@ -733,6 +753,7 @@ let verify_benches ~smoke () =
       ?vs_scratch ?diff_ok ()
   in
   let bench_counts ~name f =
+    obs_fresh ();
     let r, wall = timed (fun () -> f pool) in
     let r1, wall1 = timed (fun () -> f pool1) in
     if r <> r1 then
@@ -817,6 +838,7 @@ type rentry = {
   rskipped : int;
   rwall : float;
   rrep : Ch_reduction.Bound.report;
+  robs : Obs.report option;  (* telemetry for this entry's sweep *)
 }
 
 let reduction_benches ~smoke () =
@@ -828,9 +850,11 @@ let reduction_benches ~smoke () =
       let name = Printf.sprintf "%s-k%d-reduction" id k in
       let exhaustive = not (List.mem id sampled_only) in
       let samples = if smoke then 4 else 20 in
+      obs_fresh ();
+      let trace = if Obs.enabled () then Some Trace.obs_sink else None in
       let r, wall =
         timed (fun () ->
-            Bound.sweep_registry ~seed:41 ~exhaustive ~samples s ~k)
+            Bound.sweep_registry ?trace ~seed:41 ~exhaustive ~samples s ~k)
       in
       match r with
       | None -> failwith (Printf.sprintf "reduction bench %s: no reduction" name)
@@ -840,7 +864,13 @@ let reduction_benches ~smoke () =
               (rep.Bound.rep_all_match && rep.Bound.rep_all_correct
              && rep.Bound.rep_all_within_budget)
           then failwith (Printf.sprintf "reduction bench %s: invariant failed" name);
-          { rname = name; rskipped = skipped; rwall = wall; rrep = rep })
+          {
+            rname = name;
+            rskipped = skipped;
+            rwall = wall;
+            rrep = rep;
+            robs = obs_snap ();
+          })
     (Registry.filter ~reduction:true (reg ()))
 
 let json_escape s =
@@ -906,6 +936,23 @@ let write_json ~experiment_times ~verify ~reduction =
         rep.rep_all_within_budget
         (if i < List.length reduction - 1 then "," else ""))
     reduction;
+  Buffer.add_string buf "  ],\n";
+  (* one telemetry report per bench entry; the counter objects inside
+     each report sit one per line, so two runs' counter sets diff with
+     plain grep (the CH_JOBS determinism guard in CI does exactly that) *)
+  let obs_entries =
+    List.filter_map (fun e -> Option.map (fun r -> (e.vname, r)) e.vobs) verify
+    @ List.filter_map (fun r -> Option.map (fun o -> (r.rname, o)) r.robs)
+        reduction
+  in
+  Buffer.add_string buf "  \"obs\": [\n";
+  List.iteri
+    (fun i (name, rep) ->
+      Printf.bprintf buf "    {\"family\": \"%s\", \"report\":\n%s    }%s\n"
+        (json_escape name)
+        (Obs.report_json rep)
+        (if i < List.length obs_entries - 1 then "," else ""))
+    obs_entries;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
@@ -916,7 +963,13 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
   let smoke = List.mem "--smoke" args in
-  let args = List.filter (fun a -> a <> "--json" && a <> "--smoke") args in
+  let no_obs = List.mem "--no-obs" args in
+  let args =
+    List.filter (fun a -> a <> "--json" && a <> "--smoke" && a <> "--no-obs") args
+  in
+  (* --json turns telemetry on so the report carries per-entry counters;
+     --no-obs keeps it off to measure the disabled-path overhead *)
+  if json && not no_obs then Obs.set_enabled true;
   let selected =
     match args with
     | [] -> List.filter (fun (id, _) -> id <> "bech") all_experiments

@@ -13,9 +13,50 @@ open Ch_lbgraphs
 
 let catalog = Families.catalog
 
+module Obs = Ch_obs.Obs
+
 let k_arg =
   let doc = "Construction parameter k (a power of two, at least 2)." in
   Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc)
+
+let profile_arg =
+  let doc =
+    "Run under the telemetry layer and print a span-tree profile \
+     (durations, percentages of wall time, solver/cache counters, \
+     histograms) after the normal output."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let obs_out_arg =
+  let doc =
+    "With $(b,--profile), also stream telemetry events (span open/close \
+     and, for reductions, the per-message trace) as JSONL to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with telemetry on: install the optional JSONL event sink,
+   wrap the work in a root span so the profile can attribute (nearly)
+   all wall time, and render the merged report. *)
+let profiled ~root ~obs_out f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let finish =
+    match obs_out with
+    | None -> fun () -> ()
+    | Some file ->
+        let oc = open_out file in
+        Obs.set_sink (Some (Obs.jsonl oc));
+        fun () ->
+          Obs.set_sink None;
+          close_out oc;
+          Printf.printf "telemetry events written to %s\n" file
+  in
+  let sp_root = Obs.span root in
+  let t0 = Obs.Clock.now_ns () in
+  let r = Fun.protect ~finally:finish (fun () -> Obs.with_span sp_root f) in
+  let wall_ns = Int64.sub (Obs.Clock.now_ns ()) t0 in
+  Format.printf "%a" (Obs.pp_profile ~wall_ns) (Obs.report ());
+  r
 
 let list_cmd =
   let run k json =
@@ -58,30 +99,36 @@ let exhaustive_arg =
   Arg.(value & flag & info [ "exhaustive" ] ~doc)
 
 let verify_cmd =
-  let run k name samples exhaustive incremental =
+  let run k name samples exhaustive incremental profile obs_out =
     match Registry.find (catalog ()) name with
     | None ->
         Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
         1
     | Some s ->
         let fam = s.Registry.scratch k in
-        let failures, total =
-          match (incremental, s.Registry.incremental) with
-          | true, None ->
-              Printf.eprintf
-                "family %S has no incremental engine; rerun without \
-                 --incremental\n"
-                name;
-              exit 1
-          | true, Some inc ->
-              let inc = inc k in
-              if exhaustive then fst (Framework.verify_exhaustive_inc inc)
-              else fst (Framework.verify_random_inc ~seed:11 ~samples inc)
-          | false, _ ->
-              if exhaustive then Framework.verify_exhaustive fam
-              else Framework.verify_random ~seed:11 ~samples fam
+        let work () =
+          let failures, total =
+            match (incremental, s.Registry.incremental) with
+            | true, None ->
+                Printf.eprintf
+                  "family %S has no incremental engine; rerun without \
+                   --incremental\n"
+                  name;
+                exit 1
+            | true, Some inc ->
+                let inc = inc k in
+                if exhaustive then fst (Framework.verify_exhaustive_inc inc)
+                else fst (Framework.verify_random_inc ~seed:11 ~samples inc)
+            | false, _ ->
+                if exhaustive then Framework.verify_exhaustive fam
+                else Framework.verify_random ~seed:11 ~samples fam
+          in
+          let sided = Framework.check_sidedness ~seed:3 ~samples:8 fam in
+          (failures, total, sided)
         in
-        let sided = Framework.check_sidedness ~seed:3 ~samples:8 fam in
+        let failures, total, sided =
+          if profile then profiled ~root:"verify" ~obs_out work else work ()
+        in
         Printf.printf
           "%s: property verified on %d/%d input pairs; Definition 1.1 side \
            conditions: %b\n"
@@ -102,7 +149,7 @@ let verify_cmd =
        ~doc:"Verify a family's defining iff-property with the exact solvers.")
     Term.(
       const run $ k_arg $ family_arg $ samples_arg $ exhaustive_arg
-      $ incremental_arg)
+      $ incremental_arg $ profile_arg $ obs_out_arg)
 
 let reduction_ids () =
   String.concat ", "
@@ -156,23 +203,40 @@ let simulate_cmd =
 
 let reduction_cmd =
   let open Ch_reduction in
-  let run k name pairs exhaustive trace_file seed =
+  let run k name pairs exhaustive trace_file seed profile obs_out =
     match Registry.find (catalog ()) name with
     | None ->
         Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
         1
     | Some s -> (
-        let sweep_traced () =
+        (* --trace keeps its raw JSONL file; --profile additionally tees
+           the events into the telemetry layer (reduction.* counters and,
+           with --obs-out, the shared event stream) *)
+        let with_file_sink f =
           match trace_file with
-          | None ->
-              Bound.sweep_registry ~seed ~exhaustive ~samples:pairs s ~k
+          | None -> f None
           | Some file ->
               let oc = open_out file in
               Fun.protect
                 ~finally:(fun () -> close_out oc)
-                (fun () ->
-                  Bound.sweep_registry ~trace:(Trace.jsonl oc) ~seed ~exhaustive
-                    ~samples:pairs s ~k)
+                (fun () -> f (Some (Trace.jsonl oc)))
+        in
+        let sweep_traced () =
+          with_file_sink (fun file_sink ->
+              let trace =
+                if profile then
+                  Some
+                    (match file_sink with
+                    | None -> Trace.obs_sink
+                    | Some fs -> Trace.tee Trace.obs_sink fs)
+                else file_sink
+              in
+              let go () =
+                Bound.sweep_registry ?trace ~seed ~exhaustive ~samples:pairs s
+                  ~k
+              in
+              if profile then profiled ~root:"reduction" ~obs_out go
+              else go ())
         in
         try
           match sweep_traced () with
@@ -227,7 +291,39 @@ let reduction_cmd =
           and report the empirical lower-bound figure.")
     Term.(
       const run $ k_arg $ red_family_arg $ pairs_arg $ exhaustive_arg
-      $ trace_arg $ seed_arg)
+      $ trace_arg $ seed_arg $ profile_arg $ obs_out_arg)
+
+let profile_cmd =
+  let run k name obs_out =
+    match Registry.find (catalog ()) name with
+    | None ->
+        Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
+        1
+    | Some s ->
+        (* the exhaustive sweep through the incremental engine when the
+           family has one (the representative workload: memoized solver
+           caches under the pool), a random sweep otherwise *)
+        let work () =
+          match s.Registry.incremental with
+          | Some inc -> fst (Framework.verify_exhaustive_inc (inc k))
+          | None ->
+              Framework.verify_random ~seed:11 ~samples:32
+                (s.Registry.scratch k)
+        in
+        let failures, total =
+          profiled ~root:("profile:" ^ s.Registry.id) ~obs_out work
+        in
+        Printf.printf "%s: %d/%d pairs verified\n" s.Registry.id
+          (total - failures) total;
+        if failures = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a family's verification workload under the telemetry layer \
+          and render the span-tree profile (per-solver wall time, cache \
+          counters, histograms).")
+    Term.(const run $ k_arg $ family_arg $ obs_out_arg)
 
 let () =
   let info =
@@ -236,4 +332,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ list_cmd; verify_cmd; simulate_cmd; reduction_cmd ]))
+       (Cmd.group info
+          [ list_cmd; verify_cmd; simulate_cmd; reduction_cmd; profile_cmd ]))

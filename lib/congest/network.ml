@@ -1,4 +1,14 @@
 open Ch_graph
+module Obs = Ch_obs.Obs
+
+(* Per-round traffic accounting in the spirit of the paper's Theorem 1.1
+   budget line: every simulated round bumps the round counter and adds
+   its message/bit volume to the totals and the per-round histograms. *)
+let c_rounds = Obs.counter "congest.rounds"
+let c_messages = Obs.counter "congest.messages"
+let c_bits = Obs.counter "congest.bits"
+let h_round_messages = Obs.histogram "congest.round_messages"
+let h_round_bits = Obs.histogram "congest.round_bits"
 
 type ctx = {
   id : int;
@@ -128,6 +138,7 @@ let step ?(inject = []) t =
       t.sp_inboxes.(tr.t_target) <- (tr.t_sender, tr.t_msg) :: t.sp_inboxes.(tr.t_target))
     inject;
   let round = t.sp_round in
+  let messages0 = t.sp_messages and bits0 = t.sp_total_bits in
   let outboxes = Array.make n [] in
   for v = 0 to n - 1 do
     if t.sp_owns.(v) then begin
@@ -175,6 +186,11 @@ let step ?(inject = []) t =
         outbox)
     outboxes;
   t.sp_round <- round + 1;
+  Obs.bump c_rounds;
+  Obs.incr c_messages (t.sp_messages - messages0);
+  Obs.incr c_bits (t.sp_total_bits - bits0);
+  Obs.observe h_round_messages (t.sp_messages - messages0);
+  Obs.observe h_round_bits (t.sp_total_bits - bits0);
   let internal = List.rev !internal and outbound = List.rev !outbound in
   {
     log_round = round;

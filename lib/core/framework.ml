@@ -1,5 +1,16 @@
 open Ch_graph
 open Ch_cc
+module Obs = Ch_obs.Obs
+
+(* Telemetry spans shared by every verification path: [apply_inputs]
+   wraps instance construction, [solver] wraps the predicate (scratch or
+   prepared), [core_build] wraps per-chunk incremental preparation, and
+   [sidedness] wraps Definition 1.1 fingerprint checks.  All no-ops
+   unless Obs is enabled. *)
+let sp_apply = Obs.span "apply_inputs"
+let sp_solver = Obs.span "solver"
+let sp_core = Obs.span "core_build"
+let sp_sided = Obs.span "sidedness"
 
 type instance =
   | Undirected of Graph.t
@@ -86,7 +97,13 @@ let cut_info fam =
 
 let cut_index ci u v = Hashtbl.find_opt ci.ci_index (u, v)
 
-let verify_pair fam x y = fam.predicate (fam.build x y) = fam.f x y
+let build_timed fam x y = Obs.with_span sp_apply (fun () -> fam.build x y)
+
+let verdict_timed fam x y =
+  let inst = build_timed fam x y in
+  Obs.with_span sp_solver (fun () -> fam.predicate inst)
+
+let verify_pair fam x y = verdict_timed fam x y = fam.f x y
 
 (* ---- incremental descriptors ---------------------------------------- *)
 
@@ -120,7 +137,10 @@ let of_family fam =
         });
   }
 
-let verify_pair_inc p fam x y = p.pverdict x y = fam.f x y
+let verify_pair_inc p fam x y =
+  Obs.with_span sp_solver (fun () -> p.pverdict x y) = fam.f x y
+
+let prepare_timed inc = Obs.with_span sp_core inc.prepare
 
 (* Verification fans out over the default domain pool (or [pool]).  The
    pair space is chunked into index ranges merged in range order, and
@@ -157,7 +177,7 @@ let verify_exhaustive_inc ?pool inc =
   let n = Array.length inputs in
   let chunks =
     Pool.parallel_chunks pool ~lo:0 ~hi:(n * n) (fun lo hi ->
-        let p = inc.prepare () in
+        let p = prepare_timed inc in
         let failures = ref 0 in
         for i = lo to hi - 1 do
           if not (verify_pair_inc p fam inputs.(i / n) inputs.(i mod n)) then
@@ -179,7 +199,7 @@ let exhaustive_verdicts ?pool fam =
     Pool.parallel_chunks pool ~lo:0 ~hi:(n * n) (fun lo hi ->
         Array.init (hi - lo) (fun j ->
             let i = lo + j in
-            fam.predicate (fam.build inputs.(i / n) inputs.(i mod n))))
+            verdict_timed fam inputs.(i / n) inputs.(i mod n)))
   in
   Array.concat chunks
 
@@ -190,11 +210,12 @@ let exhaustive_verdicts_inc ?pool inc =
   let n = Array.length inputs in
   let chunks =
     Pool.parallel_chunks pool ~lo:0 ~hi:(n * n) (fun lo hi ->
-        let p = inc.prepare () in
+        let p = prepare_timed inc in
         let v =
           Array.init (hi - lo) (fun j ->
               let i = lo + j in
-              p.pverdict inputs.(i / n) inputs.(i mod n))
+              Obs.with_span sp_solver (fun () ->
+                  p.pverdict inputs.(i / n) inputs.(i mod n)))
         in
         (v, p.pstats ()))
   in
@@ -246,7 +267,7 @@ let verify_random_inc ?pool ~seed ~samples inc =
   let total = samples + 4 in
   let chunks =
     Pool.parallel_chunks pool ~lo:0 ~hi:total (fun lo hi ->
-        let p = inc.prepare () in
+        let p = prepare_timed inc in
         let failures = ref 0 in
         for i = lo to hi - 1 do
           let x, y = random_pair_at fam ~seed i in
@@ -265,21 +286,23 @@ let check_sidedness ?pool ~seed ~samples fam =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let k = fam.input_bits in
   let sample_ok i =
-    let ok = ref true in
-    let x = Bits.random ~seed:(seed + (4 * i)) k in
-    let x' = Bits.random ~seed:(seed + (4 * i) + 1) k in
-    let y = Bits.random ~seed:(seed + (4 * i) + 2) k in
-    let y' = Bits.random ~seed:(seed + (4 * i) + 3) k in
-    let _, b1, c1, _, wb1 = fingerprint fam (fam.build x y) in
-    let _, b2, c2, _, wb2 = fingerprint fam (fam.build x' y) in
-    (* changing x must leave Bob's side and the cut untouched *)
-    if not (b1 = b2 && c1 = c2 && wb1 = wb2) then ok := false;
-    let a1, _, c1, wa1, _ = fingerprint fam (fam.build x y) in
-    let a2, _, c2, wa2, _ = fingerprint fam (fam.build x y') in
-    if not (a1 = a2 && c1 = c2 && wa1 = wa2) then ok := false;
-    (* the vertex count is fixed *)
-    if Graph.n (graph_of (fam.build x y)) <> fam.nvertices then ok := false;
-    !ok
+    Obs.with_span sp_sided (fun () ->
+        let ok = ref true in
+        let x = Bits.random ~seed:(seed + (4 * i)) k in
+        let x' = Bits.random ~seed:(seed + (4 * i) + 1) k in
+        let y = Bits.random ~seed:(seed + (4 * i) + 2) k in
+        let y' = Bits.random ~seed:(seed + (4 * i) + 3) k in
+        let _, b1, c1, _, wb1 = fingerprint fam (build_timed fam x y) in
+        let _, b2, c2, _, wb2 = fingerprint fam (build_timed fam x' y) in
+        (* changing x must leave Bob's side and the cut untouched *)
+        if not (b1 = b2 && c1 = c2 && wb1 = wb2) then ok := false;
+        let a1, _, c1, wa1, _ = fingerprint fam (build_timed fam x y) in
+        let a2, _, c2, wa2, _ = fingerprint fam (build_timed fam x y') in
+        if not (a1 = a2 && c1 = c2 && wa1 = wa2) then ok := false;
+        (* the vertex count is fixed *)
+        if Graph.n (graph_of (build_timed fam x y)) <> fam.nvertices then
+          ok := false;
+        !ok)
   in
   let oks =
     Pool.parallel_chunks pool ~lo:0 ~hi:samples (fun lo hi ->

@@ -164,6 +164,13 @@ let run t tasks =
     || not (Atomic.compare_and_set t.busy false true)
   then run_sequential tasks
   else begin
+    (* propagate the submitter's open-span path so worker-domain spans
+       attach at the same place in the merged telemetry tree (the span
+       tree shape is then independent of CH_JOBS) *)
+    let ctx = Ch_obs.Obs.current_ctx () in
+    let tasks =
+      List.map (fun f i -> Ch_obs.Obs.with_ctx ctx (fun () -> f i)) tasks
+    in
     let b =
       { tasks = Array.of_list tasks; claimed = Array.init n (fun _ -> Atomic.make false) }
     in

@@ -1,0 +1,152 @@
+(** Repo-wide telemetry: monotonic-clock spans, named counters and
+    log-scale histograms, aggregated per worker domain and merged
+    deterministically at report time.
+
+    {1 Determinism contract}
+
+    Counter totals and histogram contents reported by {!report} depend
+    only on the work performed, never on how that work was scheduled
+    across domains: every handle is interned globally by name, every
+    domain accumulates into domain-local storage, and {!report} merges
+    all domains with order-independent sums.  Span {e trees} are merged
+    path-wise (two domains recording [a > b] contribute to the same
+    node), so span counts driven by per-pair work are schedule-
+    independent too; span wall times are measured per domain and summed,
+    so they are stable in shape but not bit-identical across runs.
+
+    {1 Cost model}
+
+    Every operation starts with a single check of the enabled flag; when
+    telemetry is off (the default) the overhead is that one branch.  The
+    flag starts from the [CH_OBS] environment variable ([1]/[true]/
+    [yes]/[on]) and can be flipped programmatically with {!set_enabled}.
+
+    Timing uses the monotonic clock ([clock_gettime(CLOCK_MONOTONIC)] via
+    bechamel's noalloc stub), immune to wall-clock adjustments. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+module Clock : sig
+  val now_ns : unit -> int64
+  (** Monotonic timestamp in nanoseconds.  Always live, independent of
+      the enabled flag — bench timing uses this directly. *)
+
+  val seconds_since : int64 -> float
+  (** [seconds_since t0] is [now_ns () - t0] in seconds. *)
+end
+
+(** {1 Handles}
+
+    Handles are interned globally by name: [counter "x"] called from two
+    modules (or twice) yields the same counter.  Interning takes a
+    mutex; do it once at module init, not on hot paths. *)
+
+type counter
+type span
+type histogram
+
+val counter : string -> counter
+
+val bump : counter -> unit
+(** Add 1 to the calling domain's cell of the counter. *)
+
+val incr : counter -> int -> unit
+(** Add [n] (clamped to [>= 0]) to the calling domain's cell; totals
+    saturate at [max_int] rather than wrapping. *)
+
+val span : string -> span
+
+val with_span : span -> (unit -> 'a) -> 'a
+(** Run the thunk under the span: bumps the span's count, accumulates
+    its monotonic duration, and nests it under the innermost open span
+    of the calling domain.  Exception-safe (the span is closed on
+    raise).  When a sink is installed, emits [span_open]/[span_close]
+    JSONL events. *)
+
+val histogram : string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record a sample into log2-scale buckets: bucket 0 holds samples
+    [<= 0]; bucket [i >= 1] holds samples in [[2^(i-1), 2^i - 1]].
+    Tracks count, (saturating) sum and max alongside the buckets. *)
+
+(** {1 Pool context}
+
+    Worker domains do not inherit the submitting domain's open-span
+    stack.  A pool captures {!current_ctx} at batch submission and wraps
+    each task in {!with_ctx}: the worker's spans then attach under the
+    same span path as the submitter's, so the merged tree has one shape
+    for any [CH_JOBS].  [with_ctx] does not bump counts or accumulate
+    time for the path nodes themselves. *)
+
+type ctx
+
+val current_ctx : unit -> ctx
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+
+(** {1 JSONL sink}
+
+    An optional line sink shared by span events ({!with_span}) and any
+    client that calls {!emit} (e.g. reduction trace events), so solver
+    profiles and reduction traces land in one stream.  Lines are written
+    under a mutex; each line is one JSON object. *)
+
+val set_sink : (string -> unit) option -> unit
+
+val sink_installed : unit -> bool
+(** Whether a sink is currently installed.  Clients that must {e build}
+    an event line (e.g. render JSON) should check this first — {!emit}
+    on [None] is cheap, but constructing the line is not. *)
+
+val emit : string -> unit
+val jsonl : out_channel -> string -> unit
+(** [set_sink (Some (jsonl oc))] writes one line per event to [oc]. *)
+
+(** {1 Reports} *)
+
+type span_report = {
+  sp_name : string;
+  sp_count : int;
+  sp_ns : int64;
+  sp_children : span_report list;  (** sorted by name *)
+}
+
+type bucket = { b_lo : int; b_hi : int; b_count : int }
+
+type hist_report = {
+  h_name : string;
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_buckets : bucket list;  (** non-empty buckets, ascending *)
+}
+
+type report = {
+  r_enabled : bool;
+  r_counters : (string * int) list;  (** every interned counter, by name *)
+  r_spans : span_report list;
+  r_hists : hist_report list;
+}
+
+val report : unit -> report
+(** Merge all domains' telemetry.  Deterministic: counters sorted by
+    name with saturating sums; span trees merged path-wise with children
+    sorted by name; histogram buckets summed. *)
+
+val reset : unit -> unit
+(** Zero all domains' telemetry (interned names survive).  Must not be
+    called while spans are open or a pool batch is in flight. *)
+
+val report_json : report -> string
+(** The report as one JSON object:
+    [{"enabled": .., "counters": [{"name","value"}..],
+      "spans": [{"name","count","total_ns","children"}..],
+      "histograms": [{"name","count","sum","max","buckets"}..]}].
+    Each counter object is emitted on its own line so text tooling can
+    diff counter sets across runs. *)
+
+val pp_profile : ?wall_ns:int64 -> Format.formatter -> report -> unit
+(** Render the span tree with durations and percentages (of [wall_ns]
+    when given, else of the top-level span total), followed by counters
+    (descending by value) and histogram summaries. *)

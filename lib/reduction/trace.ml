@@ -49,3 +49,30 @@ let to_json = function
 let jsonl oc e =
   output_string oc (to_json e);
   output_char oc '\n'
+
+(* Retarget the trace onto the shared telemetry layer: counters and
+   histograms go to Obs aggregation (merged into reports alongside the
+   solver/cache/congest counters), and when an Obs JSONL sink is
+   installed every event lands in the same stream as the span events. *)
+module Obs = Ch_obs.Obs
+
+let c_cut_msgs = Obs.counter "reduction.cut_messages"
+let c_cut_bits = Obs.counter "reduction.cut_bits"
+let c_internal_bits = Obs.counter "reduction.internal_bits"
+let c_rounds = Obs.counter "reduction.rounds"
+let h_round_cut_bits = Obs.histogram "reduction.round_cut_bits"
+
+let obs_sink e =
+  (match e with
+  | Msg { bits; cut; _ } ->
+      if cut then begin
+        Obs.bump c_cut_msgs;
+        Obs.incr c_cut_bits bits
+      end
+      else Obs.incr c_internal_bits bits
+  | Round { cut_bits; _ } ->
+      Obs.bump c_rounds;
+      Obs.observe h_round_cut_bits cut_bits);
+  (* rendering the JSON line costs more than the counters above — skip
+     it entirely unless an event stream is actually attached *)
+  if Obs.sink_installed () then Obs.emit (to_json e)

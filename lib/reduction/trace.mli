@@ -38,3 +38,9 @@ val to_json : event -> string
 
 val jsonl : out_channel -> sink
 (** One JSON object per line. *)
+
+val obs_sink : sink
+(** Retargets events onto the shared {!Ch_obs.Obs} layer: bumps the
+    [reduction.*] counters/histograms and, when an Obs JSONL sink is
+    installed, emits each event's JSON into that stream — reduction
+    traces and solver span events then land in one file. *)

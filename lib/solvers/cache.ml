@@ -1,10 +1,47 @@
 open Ch_graph
+module Obs = Ch_obs.Obs
 
 type stats = { hits : int; misses : int }
 
-type counter = { mutable chits : int; mutable cmisses : int }
+let sp_lookup = Obs.span "cache_lookup"
+let sp_build = Obs.span "cache_build"
 
-let stats_of c = { hits = c.chits; misses = c.cmisses }
+(* One tally per prepared instance, one [kind] per cache family.  The
+   local cell backs the public [stats] reader with the historical
+   semantics (prepare memo-hit → hits=1/misses=0, miss → 0/1; every
+   query bumps hits), while the kind's Obs pair counts repo-wide,
+   schedule-independent totals: [cache.<kind>.queries] is bumped once
+   per query (a per-pair event) and [cache.<kind>.builds] once per
+   table construction (a per-unique-core event now that builds are
+   serialized under the memo lock) — unlike summed per-instance
+   hit/miss cells, neither depends on how the pair space was chunked
+   across domains. *)
+module Tally = struct
+  type kind = { kname : string; kqueries : Obs.counter; kbuilds : Obs.counter }
+
+  let kind kname =
+    {
+      kname;
+      kqueries = Obs.counter ("cache." ^ kname ^ ".queries");
+      kbuilds = Obs.counter ("cache." ^ kname ^ ".builds");
+    }
+
+  type t = { mutable chits : int; mutable cmisses : int; tkind : kind }
+
+  let make k ~was_hit =
+    {
+      chits = (if was_hit then 1 else 0);
+      cmisses = (if was_hit then 0 else 1);
+      tkind = k;
+    }
+
+  let query t =
+    t.chits <- t.chits + 1;
+    Obs.bump t.tkind.kqueries
+
+  let built k = Obs.bump k.kbuilds
+  let stats t = { hits = t.chits; misses = t.cmisses }
+end
 
 (* ------------------------------------------------------------------ *)
 (* Structural-hash memo                                               *)
@@ -28,28 +65,31 @@ module Memo = struct
       (Option.value ~default:[] (Hashtbl.find_opt memo.tbl hash))
 
   (* [(tables, true)] on a memo hit, [(tables, false)] when this call
-     computed them (possibly racing another domain; first insert wins). *)
+     computed them.  The build runs under the memo lock, so each unique
+     (graph, aux) key is built exactly once: racing domains would
+     otherwise duplicate the (expensive) build, and the duplicated
+     solver work would make the telemetry counters schedule-dependent.
+     Contention is negligible — builds are per-core, queries never take
+     this path.  [Fun.protect] keeps the lock exception-safe (builders
+     raise [Invalid_argument] on oversized cores). *)
   let find_or_build memo ~graph ~aux ~build =
     let hash = Props.structural_hash graph in
-    Mutex.lock memo.lock;
-    let hit = probe memo ~graph ~aux ~hash in
-    Mutex.unlock memo.lock;
-    match hit with
-    | Some e -> (e.etables, true)
-    | None ->
-        let tables = build () in
+    Obs.with_span sp_lookup (fun () ->
         Mutex.lock memo.lock;
-        let published =
-          match probe memo ~graph ~aux ~hash with
-          | Some e -> e.etables
-          | None ->
-              let entry = { eg = Graph.copy graph; eaux = aux; etables = tables } in
-              Hashtbl.replace memo.tbl hash
-                (entry :: Option.value ~default:[] (Hashtbl.find_opt memo.tbl hash));
-              tables
-        in
-        Mutex.unlock memo.lock;
-        (published, false)
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock memo.lock)
+          (fun () ->
+            match probe memo ~graph ~aux ~hash with
+            | Some e -> (e.etables, true)
+            | None ->
+                let tables = Obs.with_span sp_build build in
+                let entry =
+                  { eg = Graph.copy graph; eaux = aux; etables = tables }
+                in
+                Hashtbl.replace memo.tbl hash
+                  (entry
+                  :: Option.value ~default:[] (Hashtbl.find_opt memo.tbl hash));
+                (tables, false)))
 
   let clear memo =
     Mutex.lock memo.lock;
@@ -83,10 +123,13 @@ type steiner = {
   sparent : int array;
   sstamp : int array;
   mutable sround : int;
-  sc : counter;
+  sc : Tally.t;
 }
 
 let steiner_memo : steiner_tables Memo.t = Memo.create ()
+let steiner_kind = Tally.kind "steiner"
+let c_steiner_scanned = Obs.counter "cache.steiner.subsets_scanned"
+let h_steiner_scanned = Obs.histogram "cache.steiner.subsets_scanned_per_query"
 
 let count_subsets ~no ~cap =
   let total = ref 0 and c = ref 1 in
@@ -173,6 +216,7 @@ let steiner_prepare g ~terminals ~cap =
   in
   let tables, was_hit =
     Memo.find_or_build steiner_memo ~graph:g ~aux ~build:(fun () ->
+        Tally.built steiner_kind;
         build_steiner_tables g ~terminals ~cap)
   in
   {
@@ -180,11 +224,11 @@ let steiner_prepare g ~terminals ~cap =
     sparent = Array.make 256 0;
     sstamp = Array.make 256 (-1);
     sround = 0;
-    sc = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
+    sc = Tally.make steiner_kind ~was_hit;
   }
 
 let steiner_min_extra c ~extra =
-  c.sc.chits <- c.sc.chits + 1;
+  Tally.query c.sc;
   let t = c.st in
   let n = t.sn in
   List.iter
@@ -208,34 +252,41 @@ let steiner_min_extra c ~extra =
     end
   in
   let exception Hit of int in
-  try
-    for s = 0 to t.scap do
-      for i = t.ssize_start.(s) to t.ssize_start.(s + 1) - 1 do
-        let classes = ref t.sclasses.(i) in
-        if !classes = 1 then raise (Hit s);
-        c.sround <- c.sround + 1;
-        let base = i * n in
-        List.iter
-          (fun (u, v) ->
-            let cu = Char.code (Bytes.get t.scomp (base + u))
-            and cv = Char.code (Bytes.get t.scomp (base + v)) in
-            if cu <> 0xff && cv <> 0xff then begin
-              touch cu;
-              touch cv;
-              let ru = find cu and rv = find cv in
-              if ru <> rv then begin
-                parent.(ru) <- rv;
-                decr classes
-              end
-            end)
-          extra;
-        if !classes = 1 then raise (Hit s)
-      done
-    done;
-    None
-  with Hit s -> Some s
+  let scanned = ref 0 in
+  let result =
+    try
+      for s = 0 to t.scap do
+        for i = t.ssize_start.(s) to t.ssize_start.(s + 1) - 1 do
+          incr scanned;
+          let classes = ref t.sclasses.(i) in
+          if !classes = 1 then raise (Hit s);
+          c.sround <- c.sround + 1;
+          let base = i * n in
+          List.iter
+            (fun (u, v) ->
+              let cu = Char.code (Bytes.get t.scomp (base + u))
+              and cv = Char.code (Bytes.get t.scomp (base + v)) in
+              if cu <> 0xff && cv <> 0xff then begin
+                touch cu;
+                touch cv;
+                let ru = find cu and rv = find cv in
+                if ru <> rv then begin
+                  parent.(ru) <- rv;
+                  decr classes
+                end
+              end)
+            extra;
+          if !classes = 1 then raise (Hit s)
+        done
+      done;
+      None
+    with Hit s -> Some s
+  in
+  Obs.incr c_steiner_scanned !scanned;
+  Obs.observe h_steiner_scanned !scanned;
+  result
 
-let steiner_stats c = stats_of c.sc
+let steiner_stats c = Tally.stats c.sc
 
 (* ------------------------------------------------------------------ *)
 (* Max cut: conditioned table over the volatile vertices              *)
@@ -248,9 +299,10 @@ type maxcut_tables = {
   mtable : int array;  (* Maxcut.conditioned_max of the core *)
 }
 
-type maxcut = { mt : maxcut_tables; mc : counter }
+type maxcut = { mt : maxcut_tables; mc : Tally.t }
 
 let maxcut_memo : maxcut_tables Memo.t = Memo.create ()
+let maxcut_kind = Tally.kind "maxcut"
 
 let build_maxcut_tables g ~volatile =
   let n = Graph.n g in
@@ -271,19 +323,17 @@ let maxcut_prepare g ~volatile =
   let aux = String.concat "," (List.map string_of_int volatile) in
   let tables, was_hit =
     Memo.find_or_build maxcut_memo ~graph:g ~aux ~build:(fun () ->
+        Tally.built maxcut_kind;
         build_maxcut_tables g ~volatile)
   in
-  {
-    mt = tables;
-    mc = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
-  }
+  { mt = tables; mc = Tally.make maxcut_kind ~was_hit }
 
 let trailing_zeros x =
   let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
   if x = 0 then invalid_arg "trailing_zeros 0" else go 0 x
 
 let maxcut_max c ~extra =
-  c.mc.chits <- c.mc.chits + 1;
+  Tally.query c.mc;
   let t = c.mt in
   let s = t.mnvol in
   let adj = Array.make (max s 1) [] in
@@ -315,7 +365,7 @@ let maxcut_max c ~extra =
   done;
   !best
 
-let maxcut_stats c = stats_of c.mc
+let maxcut_stats c = Tally.stats c.mc
 
 (* ------------------------------------------------------------------ *)
 (* Hamiltonian paths: shared adjacency bitsets for one digraph core   *)
@@ -330,51 +380,49 @@ let maxcut_stats c = stats_of c.mc
 
 type hampath_tables = { hn : int; hsucc : Bitset.t array; hpred : Bitset.t array }
 
-type hampath = { ht : hampath_tables; hc : counter }
+type hampath = { ht : hampath_tables; hc : Tally.t }
 
 let hampath_lock = Mutex.create ()
+let hampath_kind = Tally.kind "hampath"
 
 let hampath_memo :
     (int, ((int * (int * int * int) list) * hampath_tables) list) Hashtbl.t =
   Hashtbl.create 16
 
+(* Like [Memo.find_or_build], the build runs under the lock so each
+   unique core is converted exactly once. *)
 let hampath_prepare dg =
   let key = (Digraph.n dg, Digraph.arcs dg) in
   let hash = Hashtbl.hash key in
-  Mutex.lock hampath_lock;
-  let hit =
-    List.assoc_opt key
-      (Option.value ~default:[] (Hashtbl.find_opt hampath_memo hash))
-  in
-  Mutex.unlock hampath_lock;
-  match hit with
-  | Some tables -> { ht = tables; hc = { chits = 1; cmisses = 0 } }
-  | None ->
-      let tables =
-        {
-          hn = Digraph.n dg;
-          hsucc = Digraph.succ_bitsets dg;
-          hpred = Digraph.pred_bitsets dg;
-        }
-      in
+  Obs.with_span sp_lookup (fun () ->
       Mutex.lock hampath_lock;
-      let published =
-        match
-          List.assoc_opt key
-            (Option.value ~default:[] (Hashtbl.find_opt hampath_memo hash))
-        with
-        | Some t -> t
-        | None ->
-            Hashtbl.replace hampath_memo hash
-              ((key, tables)
-              :: Option.value ~default:[] (Hashtbl.find_opt hampath_memo hash));
-            tables
-      in
-      Mutex.unlock hampath_lock;
-      { ht = published; hc = { chits = 0; cmisses = 1 } }
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock hampath_lock)
+        (fun () ->
+          match
+            List.assoc_opt key
+              (Option.value ~default:[] (Hashtbl.find_opt hampath_memo hash))
+          with
+          | Some tables ->
+              { ht = tables; hc = Tally.make hampath_kind ~was_hit:true }
+          | None ->
+              let tables =
+                Obs.with_span sp_build (fun () ->
+                    Tally.built hampath_kind;
+                    {
+                      hn = Digraph.n dg;
+                      hsucc = Digraph.succ_bitsets dg;
+                      hpred = Digraph.pred_bitsets dg;
+                    })
+              in
+              Hashtbl.replace hampath_memo hash
+                ((key, tables)
+                :: Option.value ~default:[]
+                     (Hashtbl.find_opt hampath_memo hash));
+              { ht = tables; hc = Tally.make hampath_kind ~was_hit:false }))
 
 let hampath_directed_path c ~extra =
-  c.hc.chits <- c.hc.chits + 1;
+  Tally.query c.hc;
   let t = c.ht in
   let succ = Array.copy t.hsucc and pred = Array.copy t.hpred in
   let owned_s = Array.make t.hn false and owned_p = Array.make t.hn false in
@@ -395,7 +443,7 @@ let hampath_directed_path c ~extra =
     extra;
   Hamilton.directed_path_over ~succ ~pred
 
-let hampath_stats c = stats_of c.hc
+let hampath_stats c = Tally.stats c.hc
 
 (* ------------------------------------------------------------------ *)
 (* Max independent set: conditioned table over the volatile vertices  *)
@@ -423,9 +471,11 @@ type mis_tables = {
   mi_entries : mis_entry array;  (* sorted by decreasing value *)
 }
 
-type mis = { mi : mis_tables; mic : counter }
+type mis = { mi : mis_tables; mic : Tally.t }
 
 let mis_memo : mis_tables Memo.t = Memo.create ()
+let mis_kind = Tally.kind "mis"
+let mwis_kind = Tally.kind "mwis"
 
 let build_mis_tables ?(weighted = false) g ~volatile =
   let n = Graph.n g in
@@ -496,15 +546,13 @@ let mis_prepare g ~volatile =
   let aux = String.concat "," (List.map string_of_int volatile) in
   let tables, was_hit =
     Memo.find_or_build mis_memo ~graph:g ~aux ~build:(fun () ->
+        Tally.built mis_kind;
         build_mis_tables g ~volatile)
   in
-  {
-    mi = tables;
-    mic = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
-  }
+  { mi = tables; mic = Tally.make mis_kind ~was_hit }
 
 let mis_alpha c ~extra =
-  c.mic.chits <- c.mic.chits + 1;
+  Tally.query c.mic;
   let t = c.mi in
   let forbidden =
     List.map
@@ -525,7 +573,7 @@ let mis_alpha c ~extra =
   in
   scan 0
 
-let mis_stats c = stats_of c.mic
+let mis_stats c = Tally.stats c.mic
 
 (* ------------------------------------------------------------------ *)
 (* Max weight independent set: same conditioning, weighted values      *)
@@ -543,12 +591,10 @@ let mwis_prepare g ~volatile =
   let aux = "w;" ^ String.concat "," (List.map string_of_int volatile) in
   let tables, was_hit =
     Memo.find_or_build mis_memo ~graph:g ~aux ~build:(fun () ->
+        Tally.built mwis_kind;
         build_mis_tables ~weighted:true g ~volatile)
   in
-  {
-    mi = tables;
-    mic = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
-  }
+  { mi = tables; mic = Tally.make mwis_kind ~was_hit }
 
 let mwis_weight = mis_alpha
 
@@ -575,9 +621,10 @@ type nwsteiner_tables = {
   nw_feasible : Bytes.t;  (* 2^|nonterm| flags: G[terms ∪ S] connected *)
 }
 
-type nwsteiner = { nwt : nwsteiner_tables; nwc : counter }
+type nwsteiner = { nwt : nwsteiner_tables; nwc : Tally.t }
 
 let nwsteiner_memo : nwsteiner_tables Memo.t = Memo.create ()
+let nwsteiner_kind = Tally.kind "nwsteiner"
 
 let build_nwsteiner_tables g ~terminals =
   let n = Graph.n g in
@@ -621,15 +668,13 @@ let nwsteiner_prepare g ~terminals =
   in
   let tables, was_hit =
     Memo.find_or_build nwsteiner_memo ~graph:g ~aux ~build:(fun () ->
+        Tally.built nwsteiner_kind;
         build_nwsteiner_tables g ~terminals)
   in
-  {
-    nwt = tables;
-    nwc = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
-  }
+  { nwt = tables; nwc = Tally.make nwsteiner_kind ~was_hit }
 
 let nwsteiner_cost c ~weights =
-  c.nwc.chits <- c.nwc.chits + 1;
+  Tally.query c.nwc;
   let t = c.nwt in
   if Array.length weights <> t.nw_n then
     invalid_arg "Cache.nwsteiner_cost: weights length mismatch";
@@ -651,7 +696,7 @@ let nwsteiner_cost c ~weights =
     invalid_arg "Steiner.node_weighted: terminals disconnected"
   else !best
 
-let nwsteiner_stats c = stats_of c.nwc
+let nwsteiner_stats c = Tally.stats c.nwc
 
 (* ------------------------------------------------------------------ *)
 (* Directed Steiner: shared reversed-adjacency snapshot                *)
@@ -671,9 +716,10 @@ type dsteiner_tables = {
   dsterms : int list;
 }
 
-type dsteiner = { dst : dsteiner_tables; dsc : counter }
+type dsteiner = { dst : dsteiner_tables; dsc : Tally.t }
 
 let dsteiner_lock = Mutex.create ()
+let dsteiner_kind = Tally.kind "dsteiner"
 
 let dsteiner_memo :
     (int, ((int * (int * int * int) list * int * int list) * dsteiner_tables) list)
@@ -688,31 +734,31 @@ let dsteiner_prepare dg ~root ~terminals =
     List.assoc_opt key
       (Option.value ~default:[] (Hashtbl.find_opt dsteiner_memo hash))
   in
-  Mutex.lock dsteiner_lock;
-  let hit = probe () in
-  Mutex.unlock dsteiner_lock;
-  match hit with
-  | Some tables -> { dst = tables; dsc = { chits = 1; cmisses = 0 } }
-  | None ->
-      let n = Digraph.n dg in
-      let rev = Array.make n [] in
-      Digraph.iter_arcs (fun u v w -> rev.(v) <- (u, w) :: rev.(v)) dg;
-      let tables = { dsn = n; dsrev = rev; dsroot = root; dsterms = terminals } in
+  Obs.with_span sp_lookup (fun () ->
       Mutex.lock dsteiner_lock;
-      let published =
-        match probe () with
-        | Some t -> t
-        | None ->
-            Hashtbl.replace dsteiner_memo hash
-              ((key, tables)
-              :: Option.value ~default:[] (Hashtbl.find_opt dsteiner_memo hash));
-            tables
-      in
-      Mutex.unlock dsteiner_lock;
-      { dst = published; dsc = { chits = 0; cmisses = 1 } }
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock dsteiner_lock)
+        (fun () ->
+          match probe () with
+          | Some tables ->
+              { dst = tables; dsc = Tally.make dsteiner_kind ~was_hit:true }
+          | None ->
+              let tables =
+                Obs.with_span sp_build (fun () ->
+                    Tally.built dsteiner_kind;
+                    let n = Digraph.n dg in
+                    let rev = Array.make n [] in
+                    Digraph.iter_arcs (fun u v w -> rev.(v) <- (u, w) :: rev.(v)) dg;
+                    { dsn = n; dsrev = rev; dsroot = root; dsterms = terminals })
+              in
+              Hashtbl.replace dsteiner_memo hash
+                ((key, tables)
+                :: Option.value ~default:[]
+                     (Hashtbl.find_opt dsteiner_memo hash));
+              { dst = tables; dsc = Tally.make dsteiner_kind ~was_hit:false }))
 
 let dsteiner_cost c ~extra =
-  c.dsc.chits <- c.dsc.chits + 1;
+  Tally.query c.dsc;
   let t = c.dst in
   let rev = Array.copy t.dsrev in
   List.iter
@@ -723,7 +769,7 @@ let dsteiner_cost c ~extra =
     extra;
   Steiner.directed_over ~reversed:rev ~root:t.dsroot t.dsterms
 
-let dsteiner_stats c = stats_of c.dsc
+let dsteiner_stats c = Tally.stats c.dsc
 
 (* ------------------------------------------------------------------ *)
 (* Dominating set: shared closed balls with copy-on-write patching    *)
@@ -731,25 +777,24 @@ let dsteiner_stats c = stats_of c.dsc
 
 type domset_tables = { dn : int; dradius : int; dballs : Bitset.t array }
 
-type domset = { dt : domset_tables; dc : counter }
+type domset = { dt : domset_tables; dc : Tally.t }
 
 let domset_memo : domset_tables Memo.t = Memo.create ()
+let domset_kind = Tally.kind "domset"
 
 let domset_prepare g ~radius =
   if radius < 1 then invalid_arg "Cache.domset_prepare: radius must be >= 1";
   let aux = string_of_int radius in
   let tables, was_hit =
     Memo.find_or_build domset_memo ~graph:g ~aux ~build:(fun () ->
+        Tally.built domset_kind;
         {
           dn = Graph.n g;
           dradius = radius;
           dballs = Array.init (Graph.n g) (fun v -> Props.reachable_within g v ~radius);
         })
   in
-  {
-    dt = tables;
-    dc = { chits = (if was_hit then 1 else 0); cmisses = (if was_hit then 0 else 1) };
-  }
+  { dt = tables; dc = Tally.make domset_kind ~was_hit }
 
 (* Adding edge {u,v} only changes the closed radius-1 balls of u and v,
    so the patched array shares every untouched ball with the core
@@ -758,7 +803,7 @@ let domset_prepare g ~radius =
    the copy-on-write patch is only sound with [extra = []] — the
    weights-only families (Theorems 4.2/4.4) query exactly that way. *)
 let domset_balls c ~extra =
-  c.dc.chits <- c.dc.chits + 1;
+  Tally.query c.dc;
   let t = c.dt in
   if extra <> [] && t.dradius <> 1 then
     invalid_arg "Cache.domset_balls: extra edges require radius 1";
@@ -780,7 +825,7 @@ let domset_balls c ~extra =
     extra;
   balls
 
-let domset_stats c = stats_of c.dc
+let domset_stats c = Tally.stats c.dc
 
 let clear () =
   Memo.clear steiner_memo;

@@ -1,4 +1,9 @@
 open Ch_graph
+module Obs = Ch_obs.Obs
+
+let c_nodes = Obs.counter "solver.domset.nodes"
+let c_pruned = Obs.counter "solver.domset.pruned"
+let sp_domset = Obs.span "solver.domset"
 
 let balls g radius =
   Array.init (Graph.n g) (fun v -> Props.reachable_within g v ~radius)
@@ -38,6 +43,7 @@ let solve ~radius ~balls:cached ~weights ~required g =
     in
     let best_w = ref max_int and best_set = ref None in
     let rec go undominated allowed acc chosen =
+      Obs.bump c_nodes;
       if Bitset.is_empty undominated then begin
         if acc < !best_w then begin
           best_w := acc;
@@ -86,6 +92,7 @@ let solve ~radius ~balls:cached ~weights ~required g =
                 go undominated' (Bitset.copy allowed) (acc + weights.(v)) (v :: chosen))
               candidates
           end
+          else Obs.bump c_pruned
         end
       end
     in
@@ -102,7 +109,7 @@ let min_weight_set ?(radius = 1) ?balls ?weights ?required g =
     match weights with Some w -> Array.copy w | None -> Graph.vweights g
   in
   if Array.length weights <> Graph.n g then invalid_arg "Domset: weights length";
-  solve ~radius ~balls ~weights ~required g
+  Obs.with_span sp_domset (fun () -> solve ~radius ~balls ~weights ~required g)
 
 let min_size ?(radius = 1) ?balls g =
   fst (min_weight_set ~radius ?balls ~weights:(Array.make (Graph.n g) 1) g)

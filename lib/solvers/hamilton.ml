@@ -1,4 +1,9 @@
 open Ch_graph
+module Obs = Ch_obs.Obs
+
+let c_nodes = Obs.counter "solver.hamilton.nodes"
+let c_pruned = Obs.counter "solver.hamilton.pruned"
+let sp_ham = Obs.span "solver.hamilton"
 
 type goal = Any_end | End_at of int | Close_to of int
 
@@ -51,12 +56,14 @@ let feasible ctx unvisited current goal =
   !ok && !dead <= 1
 
 let search ctx start goal =
+  Obs.with_span sp_ham (fun () ->
   let order = Array.make ctx.n (-1) in
   let unvisited = Bitset.full ctx.n in
   Bitset.remove unvisited start;
   order.(0) <- start;
   let result = ref None in
   let rec dfs current count =
+    Obs.bump c_nodes;
     if count = ctx.n then begin
       let complete =
         match goal with
@@ -90,9 +97,10 @@ let search ctx start goal =
           Bitset.add unvisited v)
         nexts
     end
+    else Obs.bump c_pruned
   in
   (try dfs start 1 with Found -> ());
-  !result
+  !result)
 
 let make_ctx dg =
   { n = Digraph.n dg; succ = Digraph.succ_bitsets dg; pred = Digraph.pred_bitsets dg }

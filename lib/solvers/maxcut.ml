@@ -1,4 +1,9 @@
 open Ch_graph
+module Obs = Ch_obs.Obs
+
+let c_flips = Obs.counter "solver.maxcut.flips"
+let h_flips = Obs.histogram "solver.maxcut.flips_per_call"
+let sp_maxcut = Obs.span "solver.maxcut"
 
 let cut_weight g side =
   let acc = ref 0 in
@@ -16,30 +21,33 @@ let trailing_zeros x =
   if x = 0 then invalid_arg "trailing_zeros 0" else go 0 x
 
 let max_cut g =
-  let n = Graph.n g in
-  if n > 30 then invalid_arg "Maxcut.max_cut: n > 30";
-  let adjacency = Array.init n (fun v -> Array.of_list (Graph.neighbors_w g v)) in
-  let side = Array.make n false in
-  let best_w = ref 0 and best = Array.make n false in
-  if n > 1 then begin
-    let weight = ref 0 in
-    (* vertex 0 stays on side [false]: cuts come in symmetric pairs *)
-    let steps = (1 lsl (n - 1)) - 1 in
-    for t = 1 to steps do
-      let v = 1 + trailing_zeros t in
-      let delta = ref 0 in
-      Array.iter
-        (fun (u, w) -> if side.(u) = side.(v) then delta := !delta + w else delta := !delta - w)
-        adjacency.(v);
-      weight := !weight + !delta;
-      side.(v) <- not side.(v);
-      if !weight > !best_w then begin
-        best_w := !weight;
-        Array.blit side 0 best 0 n
-      end
-    done
-  end;
-  (!best_w, best)
+  Obs.with_span sp_maxcut (fun () ->
+      let n = Graph.n g in
+      if n > 30 then invalid_arg "Maxcut.max_cut: n > 30";
+      let adjacency = Array.init n (fun v -> Array.of_list (Graph.neighbors_w g v)) in
+      let side = Array.make n false in
+      let best_w = ref 0 and best = Array.make n false in
+      if n > 1 then begin
+        let weight = ref 0 in
+        (* vertex 0 stays on side [false]: cuts come in symmetric pairs *)
+        let steps = (1 lsl (n - 1)) - 1 in
+        Obs.incr c_flips steps;
+        Obs.observe h_flips steps;
+        for t = 1 to steps do
+          let v = 1 + trailing_zeros t in
+          let delta = ref 0 in
+          Array.iter
+            (fun (u, w) -> if side.(u) = side.(v) then delta := !delta + w else delta := !delta - w)
+            adjacency.(v);
+          weight := !weight + !delta;
+          side.(v) <- not side.(v);
+          if !weight > !best_w then begin
+            best_w := !weight;
+            Array.blit side 0 best 0 n
+          end
+        done
+      end;
+      (!best_w, best))
 
 let exists_of_weight g bound = fst (max_cut g) >= bound
 
@@ -49,8 +57,13 @@ let exists_of_weight g bound = fst (max_cut g) >= bound
    cut weight attainable over the remaining vertices for every volatile
    assignment. *)
 let conditioned_max g ~volatile =
+  Obs.with_span sp_maxcut (fun () ->
   let n = Graph.n g in
   if n > 30 then invalid_arg "Maxcut.conditioned_max: n > 30";
+  if n > 0 then begin
+    Obs.incr c_flips ((1 lsl n) - 1);
+    Obs.observe h_flips ((1 lsl n) - 1)
+  end;
   let vol = Array.of_list volatile in
   let s = Array.length vol in
   let pos = Array.make n (-1) in
@@ -95,7 +108,7 @@ let conditioned_max g ~volatile =
       end
     done;
   m.(!va) <- !best;
-  m
+  m)
 
 let local_search ~seed g =
   let n = Graph.n g in

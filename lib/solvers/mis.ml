@@ -1,4 +1,9 @@
 open Ch_graph
+module Obs = Ch_obs.Obs
+
+let c_nodes = Obs.counter "solver.mis.nodes"
+let c_pruned = Obs.counter "solver.mis.pruned"
+let sp_mis = Obs.span "solver.mis"
 
 (* Branch and bound for maximum weight independent sets.
 
@@ -225,6 +230,7 @@ let components d =
 (* Best set of weight strictly above [lb] in [d] (owned, mutated), or
    [None].  Forced weight from kernelization is included in the result. *)
 let rec solve d lb =
+  Obs.bump c_nodes;
   let base, taken, folds = reduce d in
   let lb' = lb - base in
   let finish inner =
@@ -252,7 +258,10 @@ let rec solve d lb =
           finish (Some (w, List.concat_map snd parts))
         else None
     | _ ->
-        if upper_bound d <= lb' then None
+        if upper_bound d <= lb' then begin
+          Obs.bump c_pruned;
+          None
+        end
         else begin
           let v =
             Bitset.fold
@@ -293,10 +302,11 @@ let make_dyn ?weights g =
   { n = Graph.n g; present = Bitset.full (Graph.n g); adj = Graph.adjacency g; weights }
 
 let max_weight_set ?weights g =
-  let d = make_dyn ?weights g in
-  match solve d neg_inf with
-  | Some (w, set) -> (w, List.sort compare set)
-  | None -> assert false
+  Obs.with_span sp_mis (fun () ->
+      let d = make_dyn ?weights g in
+      match solve d neg_inf with
+      | Some (w, set) -> (w, List.sort compare set)
+      | None -> assert false)
 
 let alpha g = fst (max_weight_set ~weights:(Array.make (Graph.n g) 1) g)
 

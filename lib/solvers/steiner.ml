@@ -1,4 +1,10 @@
 open Ch_graph
+module Obs = Ch_obs.Obs
+
+let c_dw_rows = Obs.counter "solver.steiner.dw_rows"
+let c_subsets = Obs.counter "solver.steiner.subsets"
+let h_subsets = Obs.histogram "solver.steiner.subsets_per_query"
+let sp_steiner = Obs.span "solver.steiner"
 
 let inf = max_int / 4
 
@@ -39,6 +45,7 @@ let iter_proper_submasks mask f =
   done
 
 let generic_dw n p ~leaf ~merge_adjust ~edges_of =
+  Obs.incr c_dw_rows (1 lsl p);
   let dp = Array.init (1 lsl p) (fun _ -> Array.make n inf) in
   for i = 0 to p - 1 do
     leaf i dp.(1 lsl i);
@@ -64,47 +71,50 @@ let generic_dw n p ~leaf ~merge_adjust ~edges_of =
 
 let dreyfus_wagner g terminals =
   check_terminals "Steiner.dreyfus_wagner" terminals;
-  let terminals = Array.of_list (List.sort_uniq compare terminals) in
-  let n = Graph.n g and p = Array.length terminals in
-  if p = 1 then 0
-  else begin
-    let edges_of v = Graph.neighbors_w g v in
-    let leaf i row =
-      row.(terminals.(i)) <- 0
-    in
-    let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
-    let ans = dp.((1 lsl p) - 1).(terminals.(0)) in
-    if ans >= inf then invalid_arg "Steiner.dreyfus_wagner: terminals disconnected"
-    else ans
-  end
+  Obs.with_span sp_steiner (fun () ->
+      let terminals = Array.of_list (List.sort_uniq compare terminals) in
+      let n = Graph.n g and p = Array.length terminals in
+      if p = 1 then 0
+      else begin
+        let edges_of v = Graph.neighbors_w g v in
+        let leaf i row =
+          row.(terminals.(i)) <- 0
+        in
+        let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
+        let ans = dp.((1 lsl p) - 1).(terminals.(0)) in
+        if ans >= inf then invalid_arg "Steiner.dreyfus_wagner: terminals disconnected"
+        else ans
+      end)
 
 let node_weighted g terminals =
   check_terminals "Steiner.node_weighted" terminals;
-  let terminals = Array.of_list (List.sort_uniq compare terminals) in
-  let n = Graph.n g and p = Array.length terminals in
-  let w = Graph.vweights g in
-  Array.iter (fun x -> if x < 0 then invalid_arg "Steiner.node_weighted: negative weight") w;
-  if p = 1 then w.(terminals.(0))
-  else begin
-    let edges_of v = List.map (fun u -> (u, w.(u))) (Graph.neighbors g v) in
-    let leaf i row = row.(terminals.(i)) <- w.(terminals.(i)) in
-    let dp = generic_dw n p ~leaf ~merge_adjust:(fun v -> w.(v)) ~edges_of in
-    let ans = dp.((1 lsl p) - 1).(terminals.(0)) in
-    if ans >= inf then invalid_arg "Steiner.node_weighted: terminals disconnected"
-    else ans
-  end
+  Obs.with_span sp_steiner (fun () ->
+      let terminals = Array.of_list (List.sort_uniq compare terminals) in
+      let n = Graph.n g and p = Array.length terminals in
+      let w = Graph.vweights g in
+      Array.iter (fun x -> if x < 0 then invalid_arg "Steiner.node_weighted: negative weight") w;
+      if p = 1 then w.(terminals.(0))
+      else begin
+        let edges_of v = List.map (fun u -> (u, w.(u))) (Graph.neighbors g v) in
+        let leaf i row = row.(terminals.(i)) <- w.(terminals.(i)) in
+        let dp = generic_dw n p ~leaf ~merge_adjust:(fun v -> w.(v)) ~edges_of in
+        let ans = dp.((1 lsl p) - 1).(terminals.(0)) in
+        if ans >= inf then invalid_arg "Steiner.node_weighted: terminals disconnected"
+        else ans
+      end)
 
 let directed_over ~reversed ~root terminals =
   check_terminals "Steiner.directed" terminals;
-  let terminals = Array.of_list (List.sort_uniq compare terminals) in
-  let n = Array.length reversed and p = Array.length terminals in
-  (* dp[S][v] = cost of an out-arborescence rooted at v covering S; the
-     relaxation walks arcs backwards. *)
-  let edges_of v = reversed.(v) in
-  let leaf i row = row.(terminals.(i)) <- 0 in
-  let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
-  let ans = dp.((1 lsl p) - 1).(root) in
-  if ans >= inf then None else Some ans
+  Obs.with_span sp_steiner (fun () ->
+      let terminals = Array.of_list (List.sort_uniq compare terminals) in
+      let n = Array.length reversed and p = Array.length terminals in
+      (* dp[S][v] = cost of an out-arborescence rooted at v covering S; the
+         relaxation walks arcs backwards. *)
+      let edges_of v = reversed.(v) in
+      let leaf i row = row.(terminals.(i)) <- 0 in
+      let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
+      let ans = dp.((1 lsl p) - 1).(root) in
+      if ans >= inf then None else Some ans)
 
 let directed dg ~root terminals =
   let n = Digraph.n dg in
@@ -120,7 +130,9 @@ let min_extra_nodes ?cap g terminals =
   List.iter (fun t -> is_terminal.(t) <- true) terminals;
   let others = List.filter (fun v -> not is_terminal.(v)) (List.init n Fun.id) in
   let cap = match cap with Some c -> min c (List.length others) | None -> List.length others in
+  let tried = ref 0 in
   let connected_with extra =
+    incr tried;
     let sel = Array.make n false in
     List.iter (fun v -> sel.(v) <- true) terminals;
     List.iter (fun v -> sel.(v) <- true) extra;
@@ -153,7 +165,10 @@ let min_extra_nodes ?cap g terminals =
       | () -> sizes (s + 1)
       | exception Hit -> Some s
   in
-  sizes 0
+  let result = Obs.with_span sp_steiner (fun () -> sizes 0) in
+  Obs.incr c_subsets !tried;
+  Obs.observe h_subsets !tried;
+  result
 
 let min_edges ?cap g terminals =
   Option.map

@@ -1,0 +1,74 @@
+#!/bin/sh
+# Telemetry stream guard: validate a JSONL file produced by
+# `hardness ... --profile --obs-out FILE` (or any Obs sink).  Each line
+# must be one JSON object carrying an event discriminator ("ev" for
+# span events, "type" for reduction trace events), and the span stream
+# must be balanced: every span_open matched by a span_close.
+#
+# Usage: scripts/check_obs.sh FILE.jsonl
+set -eu
+
+if [ $# -ne 1 ]; then
+  echo "usage: $0 FILE.jsonl" >&2
+  exit 2
+fi
+file=$1
+
+[ -s "$file" ] || { echo "FAIL: $file is missing or empty" >&2; exit 1; }
+
+fail=0
+lineno=0
+opens=0
+closes=0
+while IFS= read -r line || [ -n "$line" ]; do
+  lineno=$((lineno + 1))
+  case $line in
+    {*}) ;;
+    *)
+      echo "FAIL: $file:$lineno is not a JSON object: $line" >&2
+      fail=1
+      continue
+      ;;
+  esac
+  case $line in
+    *'"ev"'*|*'"type"'*) ;;
+    *)
+      echo "FAIL: $file:$lineno has neither \"ev\" nor \"type\": $line" >&2
+      fail=1
+      ;;
+  esac
+  case $line in
+    *'"ev": "span_open"'*) opens=$((opens + 1)) ;;
+    *'"ev": "span_close"'*) closes=$((closes + 1)) ;;
+  esac
+done < "$file"
+
+if [ "$opens" -ne "$closes" ]; then
+  echo "FAIL: $file has $opens span_open but $closes span_close events" >&2
+  fail=1
+fi
+
+# every line must parse as JSON when a python is around to check
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$file" <<'EOF' || fail=1
+import json, sys
+with open(sys.argv[1]) as f:
+    for i, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError as e:
+            print(f"FAIL: line {i} is not valid JSON: {e}", file=sys.stderr)
+            sys.exit(1)
+        if not isinstance(obj, dict):
+            print(f"FAIL: line {i} is not a JSON object", file=sys.stderr)
+            sys.exit(1)
+EOF
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "obs stream ok: $lineno events, $opens spans balanced"
+fi
+exit "$fail"

@@ -87,6 +87,19 @@ let () =
       "\"transcript_differential_ok\": true";
       "\"decisions_ok\": true";
       "\"within_budget\": true";
+      (* the telemetry section: one report per bench entry, enabled by
+         default under --json *)
+      "\"obs\":";
+      "\"enabled\": true";
+      "\"counters\":";
+      "\"spans\":";
+      "\"histograms\":";
+      "\"name\": \"cache.domset.queries\"";
+      "\"name\": \"solver.domset.nodes\"";
+      "\"name\": \"reduction.rounds\"";
+      "\"name\": \"congest.bits\"";
+      "\"name\": \"core_build\"";
+      "\"total_ns\":";
     ]
   in
   List.iter

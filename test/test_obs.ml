@@ -1,0 +1,137 @@
+(* The telemetry layer's own contract: schedule-independent reports
+   (the same workload on a 1-worker and a 4-worker pool merges to the
+   same counters, histogram buckets, and span-tree shape), saturating
+   counters, log2 bucket boundaries, and a truly dark disabled path. *)
+
+open Ch_core
+module Obs = Ch_obs.Obs
+
+let c_items = Obs.counter "test.items"
+let c_weight = Obs.counter "test.weight"
+let h_vals = Obs.histogram "test.vals"
+let sp_outer = Obs.span "test.outer"
+let sp_inner = Obs.span "test.inner"
+
+(* One deterministic workload: under an outer span, fan 64 items over
+   the pool; each item bumps/increments/observes and opens a nested
+   span.  Everything derives from the item index, never the schedule. *)
+let workload pool =
+  Obs.with_span sp_outer (fun () ->
+      ignore
+        (Pool.parallel_chunks pool ~lo:0 ~hi:64 (fun lo hi ->
+             for i = lo to hi - 1 do
+               Obs.with_span sp_inner (fun () ->
+                   Obs.bump c_items;
+                   Obs.incr c_weight (i * 3);
+                   Obs.observe h_vals (i * i))
+             done;
+             0)))
+
+type sspan = S of string * int * sspan list
+
+let strip_times r =
+  let rec sp s =
+    S (s.Obs.sp_name, s.Obs.sp_count, List.map sp s.Obs.sp_children)
+  in
+  ( r.Obs.r_counters,
+    List.map sp r.Obs.r_spans,
+    List.map
+      (fun h ->
+        (h.Obs.h_name, h.Obs.h_count, h.Obs.h_sum, h.Obs.h_max, h.Obs.h_buckets))
+      r.Obs.r_hists )
+
+let run_report pool =
+  Obs.reset ();
+  workload pool;
+  strip_times (Obs.report ())
+
+let test_merge_determinism () =
+  Obs.set_enabled true;
+  let pool1 = Pool.create ~jobs:1 () and pool4 = Pool.create ~jobs:4 () in
+  let r1 = run_report pool1 and r4 = run_report pool4 in
+  Alcotest.(check bool)
+    "report identical under jobs=1 and jobs=4 (modulo times)" true (r1 = r4);
+  let counters, spans, _ = r4 in
+  Alcotest.(check int) "items" 64 (List.assoc "test.items" counters);
+  Alcotest.(check int) "weight" (3 * 2016) (List.assoc "test.weight" counters);
+  (match List.find_opt (fun (S (n, _, _)) -> n = "test.outer") spans with
+  | Some (S (_, count, children)) ->
+      Alcotest.(check int) "outer count" 1 count;
+      Alcotest.(check bool)
+        "inner nested under outer with count 64" true
+        (List.mem (S ("test.inner", 64, [])) children)
+  | None -> Alcotest.fail "no test.outer span in the merged report");
+  Pool.shutdown pool1;
+  Pool.shutdown pool4
+
+let test_counter_saturation () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Obs.incr c_items (max_int - 1);
+  Obs.incr c_items max_int;
+  Obs.incr c_items (-5) (* negative deltas are clamped to 0 *);
+  let r = Obs.report () in
+  Alcotest.(check int)
+    "sum saturates at max_int" max_int
+    (List.assoc "test.items" r.Obs.r_counters)
+
+let test_histogram_buckets () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  (* one sample per interesting boundary: <=0 land in bucket 0, and
+     bucket i >= 1 covers [2^(i-1), 2^i - 1] *)
+  List.iter (Obs.observe h_vals) [ -3; 0; 1; 2; 3; 4; 7; 8; 1024; 2047 ];
+  let r = Obs.report () in
+  match List.find_opt (fun h -> h.Obs.h_name = "test.vals") r.Obs.r_hists with
+  | None -> Alcotest.fail "no test.vals histogram"
+  | Some h ->
+      Alcotest.(check int) "count" 10 h.Obs.h_count;
+      Alcotest.(check int) "max" 2047 h.Obs.h_max;
+      (* -3 clamps to 0 in the sum *)
+      Alcotest.(check int) "sum" (0 + 0 + 1 + 2 + 3 + 4 + 7 + 8 + 1024 + 2047)
+        h.Obs.h_sum;
+      let count_of lo =
+        match List.find_opt (fun b -> b.Obs.b_lo <= lo && lo <= b.Obs.b_hi) h.Obs.h_buckets with
+        | Some b -> b.Obs.b_count
+        | None -> 0
+      in
+      Alcotest.(check int) "bucket [..0] holds -3 and 0" 2 (count_of 0);
+      Alcotest.(check int) "bucket [1..1]" 1 (count_of 1);
+      Alcotest.(check int) "bucket [2..3] holds 2 and 3" 2 (count_of 2);
+      Alcotest.(check int) "bucket [4..7] holds 4 and 7" 2 (count_of 4);
+      Alcotest.(check int) "bucket [8..15] holds 8" 1 (count_of 8);
+      Alcotest.(check int) "bucket [1024..2047] holds both" 2 (count_of 1024)
+
+let test_disabled_dark () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  Obs.bump c_items;
+  Obs.incr c_weight 1000;
+  Obs.observe h_vals 42;
+  Obs.with_span sp_outer (fun () -> ());
+  let r = Obs.report () in
+  Alcotest.(check bool) "report says disabled" false r.Obs.r_enabled;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check int) (name ^ " stays zero") 0 v)
+    r.Obs.r_counters;
+  Alcotest.(check (list string)) "no spans recorded" []
+    (List.map (fun s -> s.Obs.sp_name) r.Obs.r_spans);
+  Alcotest.(check bool) "no histogram samples" true
+    (List.for_all (fun h -> h.Obs.h_count = 0) r.Obs.r_hists);
+  Obs.set_enabled true
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "merge determinism jobs=1 vs jobs=4" `Quick
+            test_merge_determinism;
+          Alcotest.test_case "counter saturation" `Quick test_counter_saturation;
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "disabled mode records nothing" `Quick
+            test_disabled_dark;
+        ] );
+    ]
