@@ -682,7 +682,29 @@ type ventry = {
   vvs_scratch : float option;  (* scratch wall / incremental wall *)
   vdiff_ok : bool option;  (* per-pair trace equality vs scratch *)
   vobs : Obs.report option;  (* telemetry for this entry's runs *)
+  vnodes : int option;  (* Σ solver.*.nodes over this entry's runs *)
+  vpruned : int option;  (* Σ solver.*.pruned over this entry's runs *)
 }
+
+(* The search-effort totals of a bench entry, folded out of its obs
+   report: every [solver.<name>.nodes] / [.pruned] counter summed.  The
+   pruning-regression guard in CI reads these as first-class fields
+   rather than digging through the "obs" section. *)
+let solver_totals = function
+  | None -> (None, None)
+  | Some rep ->
+      let sum suffix =
+        List.fold_left
+          (fun acc (name, v) ->
+            if
+              String.length name > 7
+              && String.sub name 0 7 = "solver."
+              && Filename.check_suffix name suffix
+            then acc + v
+            else acc)
+          0 rep.Obs.r_counters
+      in
+      (Some (sum ".nodes"), Some (sum ".pruned"))
 
 let verify_benches ~smoke () =
   let pool = Pool.default () and pool1 = Pool.create ~jobs:1 () in
@@ -694,6 +716,8 @@ let verify_benches ~smoke () =
   in
   let entry ~name ~pairs ~wall ~wall1 ?(hits = 0) ?(misses = 0) ?vs_scratch
       ?diff_ok () =
+    let vobs = obs_snap () in
+    let vnodes, vpruned = solver_totals vobs in
     {
       vname = name;
       vpairs = pairs;
@@ -703,7 +727,9 @@ let verify_benches ~smoke () =
       vmisses = misses;
       vvs_scratch = vs_scratch;
       vdiff_ok = diff_ok;
-      vobs = obs_snap ();
+      vobs;
+      vnodes;
+      vpruned;
     }
   in
   (* from-scratch traces, by name, for the -inc differentials *)
@@ -910,8 +936,15 @@ let write_json ~experiment_times ~verify ~reduction =
         (match e.vvs_scratch with
         | Some s -> Printf.sprintf ", \"speedup_vs_scratch\": %.3f" s
         | None -> "")
-        (match e.vdiff_ok with
-        | Some ok -> Printf.sprintf ", \"differential_ok\": %b" ok
+        ((match e.vdiff_ok with
+         | Some ok -> Printf.sprintf ", \"differential_ok\": %b" ok
+         | None -> "")
+        ^ (match e.vnodes with
+          | Some n -> Printf.sprintf ", \"solver_nodes\": %d" n
+          | None -> "")
+        ^
+        match e.vpruned with
+        | Some p -> Printf.sprintf ", \"solver_pruned\": %d" p
         | None -> "")
         (if i < List.length verify - 1 then "," else ""))
     verify;

@@ -122,7 +122,18 @@ type prepared = {
           [pbuild]/[pverdict] call on this prepared value. *)
   pverdict : Bits.t -> Bits.t -> bool;
       (** P(G_{x,y}), equal to [scratch.predicate (scratch.build x y)]
-          but answered from the core caches. *)
+          but answered from the core caches.
+
+          {b Decision-bounded queries.}  Every family predicate is a
+          threshold test ("optimum ≤ target" or "≥ target"), so a
+          [pverdict] need not compute the optimum: it may call the
+          solver's decision form ([Domset.exists_within],
+          [Cache.maxcut_max ~stop_at], [Cache.dsteiner_cost ~cutoff],
+          …), which cancels branch-and-bound subtrees that provably
+          cannot cross the threshold.  The contract is unchanged — the
+          verdict must be bit-identical to the scratch oracle on every
+          pair, which the differential verifiers assert; only the node
+          counts ([solver.*.nodes] in [Ch_obs]) shrink. *)
   pstats : unit -> cache_stats;
 }
 

@@ -23,6 +23,8 @@ let full capacity =
 
 let copy t = { capacity = t.capacity; words = Array.copy t.words }
 
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
 let check t i =
   if i < 0 || i >= t.capacity then
     invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.capacity)
@@ -78,6 +80,10 @@ let subset a b =
   let n = Array.length a.words in
   let rec go w = w >= n || (a.words.(w) land lnot b.words.(w) = 0 && go (w + 1)) in
   go 0
+
+let copy_into dst src =
+  same_capacity dst src;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
 
 let union_into dst src =
   same_capacity dst src;

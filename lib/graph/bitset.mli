@@ -15,6 +15,13 @@ val full : int -> t
 
 val copy : t -> t
 
+val clear : t -> unit
+(** Remove every element (in place). *)
+
+val copy_into : t -> t -> unit
+(** [copy_into dst src] makes [dst] equal to [src] without allocating.
+    The capacities must match. *)
+
 val mem : t -> int -> bool
 
 val add : t -> int -> unit

@@ -184,8 +184,8 @@ let incremental p =
             (fun x y ->
               let g = apply_inputs c x y in
               let balls = Ch_solvers.Cache.domset_balls dc ~extra:[] in
-              fst (Ch_solvers.Domset.min_weight_set ~radius:p.k ~balls g)
-              <= yes_weight);
+              Ch_solvers.Domset.exists_within ~radius:p.k ~balls g
+                ~bound:yes_weight);
           pstats =
             (fun () ->
               let s = Ch_solvers.Cache.domset_stats dc in

@@ -196,7 +196,9 @@ let incremental ~k =
           Framework.pbuild = (fun x y -> Framework.Undirected (apply_inputs c x y));
           pverdict =
             (fun x y ->
-              Ch_solvers.Cache.maxcut_max mc ~extra:(input_edges ~k x y) >= target);
+              Ch_solvers.Cache.maxcut_max ~stop_at:target mc
+                ~extra:(input_edges ~k x y)
+              >= target);
           pstats =
             (fun () ->
               let s = Ch_solvers.Cache.maxcut_stats mc in

@@ -147,7 +147,9 @@ let incremental ~k =
               let balls =
                 Ch_solvers.Cache.domset_balls dc ~extra:(input_edges ~k x y)
               in
-              Ch_solvers.Domset.min_size ~balls g <= target);
+              (* decision-bounded: the incremental sweep only needs the
+                 ≤ target verdict, not the optimum itself *)
+              Ch_solvers.Domset.exists_of_size ~balls g target);
           pstats =
             (fun () ->
               let s = Ch_solvers.Cache.domset_stats dc in

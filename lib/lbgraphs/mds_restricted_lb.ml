@@ -122,7 +122,7 @@ let incremental p =
             (fun x y ->
               let g = apply_inputs c x y in
               let balls = Ch_solvers.Cache.domset_balls dc ~extra:[] in
-              fst (Ch_solvers.Domset.min_weight_set ~balls g) <= 2);
+              Ch_solvers.Domset.exists_within ~balls g ~bound:2);
           pstats =
             (fun () ->
               let s = Ch_solvers.Cache.domset_stats dc in

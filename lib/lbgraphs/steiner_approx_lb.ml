@@ -277,7 +277,7 @@ let directed_incremental p =
           pverdict =
             (fun x y ->
               match
-                Ch_solvers.Cache.dsteiner_cost ds
+                Ch_solvers.Cache.dsteiner_cost ~cutoff:2 ds
                   ~extra:(directed_input_arcs p x y)
               with
               | Some cost -> cost <= 2

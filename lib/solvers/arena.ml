@@ -1,0 +1,46 @@
+open Ch_graph
+
+(* Reusable scratch buffers for the recursive search kernels.  A branch
+   and bound node that needs a temporary bitset or int array takes one
+   from the pool and returns it on the way out; after the first few
+   levels of recursion the pool is warm and the hot path allocates
+   nothing.  Pools follow the searches' stack discipline (acquire at
+   node entry, release at node exit), but nothing enforces it: an
+   exception unwinding past releases just strands buffers in the arena,
+   which is dropped wholesale with the search.  One arena per solver
+   call — arenas are not domain-safe and must not be shared. *)
+
+type t = {
+  cap : int;
+  mutable bits_free : Bitset.t list;
+  mutable ints_free : int array list;
+}
+
+let create cap =
+  if cap < 0 then invalid_arg "Arena.create";
+  { cap; bits_free = []; ints_free = [] }
+
+let capacity a = a.cap
+
+let bits a =
+  match a.bits_free with
+  | b :: rest ->
+      a.bits_free <- rest;
+      Bitset.clear b;
+      b
+  | [] -> Bitset.create a.cap
+
+let put_bits a b =
+  if Bitset.capacity b <> a.cap then invalid_arg "Arena.put_bits: capacity";
+  a.bits_free <- b :: a.bits_free
+
+let ints a =
+  match a.ints_free with
+  | x :: rest ->
+      a.ints_free <- rest;
+      x
+  | [] -> Array.make (max 1 a.cap) 0
+
+let put_ints a x =
+  if Array.length x <> max 1 a.cap then invalid_arg "Arena.put_ints: length";
+  a.ints_free <- x :: a.ints_free

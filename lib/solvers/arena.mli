@@ -1,0 +1,41 @@
+open Ch_graph
+
+(** Reusable scratch buffers for the recursive search kernels.
+
+    Branch-and-bound nodes need short-lived bitsets and int arrays
+    (candidate lists, reachability marks, working copies).  Allocating
+    them per node makes the hot loops GC-bound; an arena hands out
+    buffers from a free pool and takes them back at node exit, so a
+    search allocates O(search depth) buffers total instead of O(nodes).
+
+    Buffers are fixed-capacity ([create n] sizes every buffer for a
+    graph on [n] vertices).  [bits] returns a {e cleared} bitset;
+    [ints] returns an array with {b unspecified} contents — callers
+    track how much of it they filled.  Releasing is optional (an
+    exception may unwind past [put_*]; the stranded buffers die with
+    the arena) but releasing on the normal path is what makes the pool
+    warm.  An arena is single-domain scratch: create one per solver
+    call, never share across domains. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is an empty arena whose bitsets hold
+    [0 .. capacity-1] and whose int arrays have length [capacity]. *)
+
+val capacity : t -> int
+
+val bits : t -> Bitset.t
+(** A cleared bitset from the pool (or freshly allocated). *)
+
+val put_bits : t -> Bitset.t -> unit
+(** Return a bitset to the pool.  @raise Invalid_argument on capacity
+    mismatch. *)
+
+val ints : t -> int array
+(** An int array of length [capacity] from the pool.  Contents are
+    unspecified. *)
+
+val put_ints : t -> int array -> unit
+(** Return an int array to the pool.  @raise Invalid_argument on length
+    mismatch. *)

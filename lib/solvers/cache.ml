@@ -332,7 +332,7 @@ let trailing_zeros x =
   let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
   if x = 0 then invalid_arg "trailing_zeros 0" else go 0 x
 
-let maxcut_max c ~extra =
+let maxcut_max ?stop_at c ~extra =
   Tally.query c.mc;
   let t = c.mt in
   let s = t.mnvol in
@@ -348,21 +348,29 @@ let maxcut_max c ~extra =
       adj.(iv) <- (iu, w) :: adj.(iv))
     extra;
   (* Gray walk over the 2^s volatile assignments: the extra-edge cut
-     weight is maintained incrementally, the core contributes m.(va). *)
+     weight is maintained incrementally, the core contributes m.(va).
+     With [stop_at] the walk ends as soon as the bound is witnessed:
+     the result is then exact below the bound, and any value ≥ the
+     bound certifies the true maximum is too. *)
+  let stop = match stop_at with Some b -> b | None -> max_int in
   let side = Array.make (max s 1) false in
   let best = ref t.mtable.(0) and weight = ref 0 and va = ref 0 in
-  for tt = 1 to (1 lsl s) - 1 do
-    let i = trailing_zeros tt in
-    let delta =
-      List.fold_left
-        (fun acc (j, w) -> if side.(j) = side.(i) then acc + w else acc - w)
-        0 adj.(i)
-    in
-    weight := !weight + delta;
-    side.(i) <- not side.(i);
-    va := !va lxor (1 lsl i);
-    if !weight + t.mtable.(!va) > !best then best := !weight + t.mtable.(!va)
-  done;
+  (try
+     if !best >= stop then raise Exit;
+     for tt = 1 to (1 lsl s) - 1 do
+       let i = trailing_zeros tt in
+       let delta =
+         List.fold_left
+           (fun acc (j, w) -> if side.(j) = side.(i) then acc + w else acc - w)
+           0 adj.(i)
+       in
+       weight := !weight + delta;
+       side.(i) <- not side.(i);
+       va := !va lxor (1 lsl i);
+       if !weight + t.mtable.(!va) > !best then best := !weight + t.mtable.(!va);
+       if !best >= stop then raise Exit
+     done
+   with Exit -> ());
   !best
 
 let maxcut_stats c = Tally.stats c.mc
@@ -456,19 +464,30 @@ let hampath_stats c = Tally.stats c.hc
             |A| + α(G[V ∖ volatile ∖ N(A)])
 
    and because extra edges never touch V ∖ volatile, both the residual
-   graph and N(A)∖volatile are those of the bare core — tabulated once.
-   A query only has to find the best core-independent A that stays
-   independent under the extra edges, i.e. the first entry (sorted by
-   decreasing value) containing no extra edge.  The families keep the
-   enumeration tiny: rows are cliques, so at most one volatile vertex
-   per row can be selected ((k+1)^4 subsets at k = 2). *)
-
-type mis_entry = { me_mask : int; me_value : int }
+   graph and N(A)∖volatile are those of the bare core — so each subset's
+   value depends on the core alone.  The build no longer evaluates every
+   subset eagerly (one exact MIS solve per subset, the dominant cost at
+   larger scales): it only enumerates the masks and stores the
+   admissible upper bound ub(A) = base(A) + value(∅), where value(∅) is
+   the residual optimum with nothing removed — sound because the
+   residual graph of any A is an induced subgraph of the ∅ residual and
+   α/MWIS is monotone under induced subgraphs with non-negative
+   weights.  Entries are sorted by decreasing ub; a query scans in that
+   order, lazily evaluating compatible entries into a shared memo, and
+   stops as soon as the next ub cannot beat the best exact value seen —
+   so only the subsets some query actually needs are ever solved.  The
+   evaluated set is query-determined, not schedule-determined: racing
+   domains serialize on the per-table lock and the second one finds the
+   memo filled, keeping the solver counters deterministic. *)
 
 type mis_tables = {
   mi_n : int;
   mi_vol_index : int array;  (* vertex -> index into volatile, or -1 *)
-  mi_entries : mis_entry array;  (* sorted by decreasing value *)
+  mi_masks : int array;  (* sorted by (ub desc, mask asc) *)
+  mi_ubs : int array;
+  mi_vals : int array;  (* lazy memo; -1 = not evaluated yet *)
+  mi_lock : Mutex.t;
+  mi_eval : int -> int;  (* mask -> exact value, on the frozen core *)
 }
 
 type mis = { mi : mis_tables; mic : Tally.t }
@@ -476,8 +495,13 @@ type mis = { mi : mis_tables; mic : Tally.t }
 let mis_memo : mis_tables Memo.t = Memo.create ()
 let mis_kind = Tally.kind "mis"
 let mwis_kind = Tally.kind "mwis"
+let c_mis_evals = Obs.counter "cache.mis.entries_evaluated"
 
 let build_mis_tables ?(weighted = false) g ~volatile =
+  (* Freeze the core: families patch the caller's graph in place between
+     pairs, and the lazy evaluator below must keep seeing the build-time
+     topology and weights. *)
+  let g = Graph.copy g in
   let n = Graph.n g in
   let vol = Array.of_list volatile in
   let s = Array.length vol in
@@ -499,30 +523,36 @@ let build_mis_tables ?(weighted = false) g ~volatile =
   done;
   let nonvol = List.filter (fun v -> vol_index.(v) < 0) (List.init n Fun.id) in
   let vw = Graph.vweights g in
-  let entries = ref [] and count = ref 0 in
-  let value_of mask =
-    let nbrs = Bitset.create n in
-    for i = 0 to s - 1 do
-      if mask land (1 lsl i) <> 0 then Bitset.union_into nbrs adj.(vol.(i))
-    done;
-    let rest = List.filter (fun v -> not (Bitset.mem nbrs v)) nonvol in
-    let sub, _ = Graph.induced g rest in
+  let base_of mask =
     if weighted then begin
-      (* Graph.induced carries the vertex weights over, so the residual
-         MWIS sees the core's weights unchanged *)
       let wa = ref 0 in
       for i = 0 to s - 1 do
         if mask land (1 lsl i) <> 0 then wa := !wa + vw.(vol.(i))
       done;
-      !wa + fst (Mis.max_weight_set sub)
+      !wa
     end
     else begin
       let rec popcount acc m =
         if m = 0 then acc else popcount (acc + (m land 1)) (m lsr 1)
       in
-      popcount 0 mask + Mis.alpha sub
+      popcount 0 mask
     end
   in
+  let residual_of mask =
+    let nbrs = Bitset.create n in
+    for i = 0 to s - 1 do
+      if mask land (1 lsl i) <> 0 then Bitset.union_into nbrs adj.(vol.(i))
+    done;
+    let rest = List.filter (fun v -> not (Bitset.mem nbrs v)) nonvol in
+    (* Graph.induced carries the vertex weights over, so the residual
+       MWIS sees the core's weights unchanged *)
+    let sub, _ = Graph.induced g rest in
+    if weighted then fst (Mis.max_weight_set sub) else Mis.alpha sub
+  in
+  (* One exact solve at build time: the ∅ residual, which both seeds the
+     memo and caps every other entry from above. *)
+  let rest0 = residual_of 0 in
+  let masks = ref [] and count = ref 0 in
   (* all subsets of volatile independent in the core; masks only ever
      contain indices < i *)
   let rec go i mask =
@@ -530,7 +560,7 @@ let build_mis_tables ?(weighted = false) g ~volatile =
       incr count;
       if !count > 65_536 then
         invalid_arg "Cache.mis_prepare: too many independent volatile subsets";
-      entries := { me_mask = mask; me_value = value_of mask } :: !entries
+      masks := mask :: !masks
     end
     else begin
       go (i + 1) mask;
@@ -538,9 +568,29 @@ let build_mis_tables ?(weighted = false) g ~volatile =
     end
   in
   go 0 0;
-  let entries = Array.of_list !entries in
-  Array.sort (fun a b -> compare b.me_value a.me_value) entries;
-  { mi_n = n; mi_vol_index = vol_index; mi_entries = entries }
+  let keyed = Array.of_list (List.map (fun m -> (base_of m + rest0, m)) !masks) in
+  Array.sort
+    (fun (ua, ma) (ub, mb) -> if ua <> ub then compare ub ua else compare ma mb)
+    keyed;
+  let count = Array.length keyed in
+  let mi_masks = Array.make count 0 in
+  let mi_ubs = Array.make count 0 in
+  let mi_vals = Array.make count (-1) in
+  Array.iteri
+    (fun i (u, mk) ->
+      mi_masks.(i) <- mk;
+      mi_ubs.(i) <- u;
+      if mk = 0 then mi_vals.(i) <- rest0)
+    keyed;
+  {
+    mi_n = n;
+    mi_vol_index = vol_index;
+    mi_masks;
+    mi_ubs;
+    mi_vals;
+    mi_lock = Mutex.create ();
+    mi_eval = (fun mask -> base_of mask + residual_of mask);
+  }
 
 let mis_prepare g ~volatile =
   let aux = String.concat "," (List.map string_of_int volatile) in
@@ -550,6 +600,28 @@ let mis_prepare g ~volatile =
         build_mis_tables g ~volatile)
   in
   { mi = tables; mic = Tally.make mis_kind ~was_hit }
+
+(* Lazy evaluation with double-checked locking: the unlocked probe races
+   only against a single int store (no tearing on immediates), and a
+   stale [-1] just falls through to the locked re-check, so each entry
+   is solved exactly once process-wide. *)
+let mis_entry_value t i =
+  let v = t.mi_vals.(i) in
+  if v >= 0 then v
+  else begin
+    Mutex.lock t.mi_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mi_lock)
+      (fun () ->
+        let v = t.mi_vals.(i) in
+        if v >= 0 then v
+        else begin
+          let v = t.mi_eval t.mi_masks.(i) in
+          t.mi_vals.(i) <- v;
+          Obs.bump c_mis_evals;
+          v
+        end)
+  end
 
 let mis_alpha c ~extra =
   Tally.query c.mic;
@@ -566,12 +638,20 @@ let mis_alpha c ~extra =
       extra
   in
   let ok mask = List.for_all (fun p -> mask land p <> p) forbidden in
-  (* the empty subset is always compatible, so the scan terminates *)
-  let rec scan i =
-    if ok t.mi_entries.(i).me_mask then t.mi_entries.(i).me_value
-    else scan (i + 1)
-  in
-  scan 0
+  (* Scan in decreasing-ub order; stop once no later entry's bound can
+     beat the best exact value.  The empty subset is always compatible,
+     so [best] is eventually set and the scan terminates. *)
+  let nentries = Array.length t.mi_masks in
+  let best = ref min_int in
+  let i = ref 0 in
+  while !i < nentries && t.mi_ubs.(!i) > !best do
+    if ok t.mi_masks.(!i) then begin
+      let v = mis_entry_value t !i in
+      if v > !best then best := v
+    end;
+    incr i
+  done;
+  !best
 
 let mis_stats c = Tally.stats c.mic
 
@@ -757,7 +837,7 @@ let dsteiner_prepare dg ~root ~terminals =
                      (Hashtbl.find_opt dsteiner_memo hash));
               { dst = tables; dsc = Tally.make dsteiner_kind ~was_hit:false }))
 
-let dsteiner_cost c ~extra =
+let dsteiner_cost ?cutoff c ~extra =
   Tally.query c.dsc;
   let t = c.dst in
   let rev = Array.copy t.dsrev in
@@ -767,7 +847,7 @@ let dsteiner_cost c ~extra =
         invalid_arg "Cache.dsteiner_cost: arc out of range";
       rev.(v) <- (u, w) :: rev.(v))
     extra;
-  Steiner.directed_over ~reversed:rev ~root:t.dsroot t.dsterms
+  Steiner.directed_over ?cutoff ~reversed:rev ~root:t.dsroot t.dsterms
 
 let dsteiner_stats c = Tally.stats c.dsc
 

@@ -56,12 +56,15 @@ val maxcut_prepare : Graph.t -> volatile:int list -> maxcut
     vertices — the only vertices input edges may touch.
     @raise Invalid_argument when [n > 30] (the exact solver's limit). *)
 
-val maxcut_max : maxcut -> extra:(int * int * int) list -> int
+val maxcut_max : ?stop_at:int -> maxcut -> extra:(int * int * int) list -> int
 (** The exact maximum cut weight of [core + extra], i.e.
     [fst (Maxcut.max_cut core_with_extra)], computed as
     [max_a (m.(a) + extra_cut a)] over the [2^|volatile|] volatile
     assignments only.  Every [extra] edge [(u, v, w)] must have both
-    endpoints volatile. *)
+    endpoints volatile.  With [~stop_at:b] the scan ends at the first
+    assignment reaching [b]: the result is the true maximum when below
+    [b], and any result ≥ [b] certifies the true maximum is ≥ [b] — so
+    comparisons against [b] are exact either way. *)
 
 val maxcut_stats : maxcut -> stats
 
@@ -86,18 +89,24 @@ val hampath_stats : hampath -> stats
 type mis
 
 val mis_prepare : Graph.t -> volatile:int list -> mis
-(** For every subset A of [volatile] that is independent in the core,
-    tabulate [|A| + Mis.alpha (core minus volatile minus N(A))] — the best
-    completion of A outside the volatile set, which no volatile-volatile
-    input edge can change.  Entries are sorted by decreasing value.
+(** For every subset A of [volatile] that is independent in the core, the
+    table conceptually holds [|A| + Mis.alpha (core minus volatile minus
+    N(A))] — the best completion of A outside the volatile set, which no
+    volatile-volatile input edge can change.  The build is lazy: it
+    enumerates the subsets and stores only the admissible upper bound
+    [|A| + alpha(core minus volatile)] per entry (α is monotone under
+    induced subgraphs); exact values are solved on demand at query time
+    and memoized, so subsets no query needs are never solved.
     @raise Invalid_argument when there are more than 62 volatile vertices
     or more than 2^16 core-independent subsets (the families' row cliques
     keep it at (k+1)^4). *)
 
 val mis_alpha : mis -> extra:(int * int) list -> int
-(** α(core + extra), i.e. exactly [Mis.alpha core_with_extra]: the first
-    (best) tabulated subset containing no [extra] edge.  Every [extra]
-    edge must have both endpoints volatile. *)
+(** α(core + extra), i.e. exactly [Mis.alpha core_with_extra]: scans the
+    compatible subsets (those containing no [extra] edge) in decreasing
+    upper-bound order, lazily evaluating until the next bound cannot beat
+    the best exact value.  Every [extra] edge must have both endpoints
+    volatile. *)
 
 val mis_stats : mis -> stats
 
@@ -148,12 +157,14 @@ val dsteiner_prepare : Digraph.t -> root:int -> terminals:int list -> dsteiner
 (** Snapshot the core's reversed adjacency rows, memoized on
     (n, sorted arc list, root, terminals) like {!hampath_prepare}. *)
 
-val dsteiner_cost : dsteiner -> extra:(int * int * int) list -> int option
+val dsteiner_cost :
+  ?cutoff:int -> dsteiner -> extra:(int * int * int) list -> int option
 (** [Steiner.directed ~root terminals] of [core + extra]: the shared
     rows are patched copy-on-write (extra arcs consed onto the rows they
     enter), then solved through {!Steiner.directed_over}.  Extra arcs
     must stay in range; duplicates of core arcs are harmless (the DW
-    relaxation takes minima). *)
+    relaxation takes minima).  [cutoff] as in {!Steiner.directed}: exact
+    decision against the bound, with dp rows pruned against it. *)
 
 val dsteiner_stats : dsteiner -> stats
 

@@ -16,10 +16,17 @@ let is_dominating ?(radius = 1) g set =
 
 (* Branch and bound.  [balls.(v)] is both "what v dominates" and "who can
    dominate v" (closed balls are symmetric).  Zero-weight vertices are
-   taken up front: adding them is free and only helps. *)
-let solve ~radius ~balls:cached ~weights ~required g =
+   taken up front: adding them is free and only helps.
+
+   [stop_at = Some b] turns the search into an exact decision: the
+   incumbent starts at [b + 1], so only sets of weight ≤ b are ever
+   explored, and the first one found ends the search — the bound check
+   at node entry then cancels subtrees against [b] instead of against a
+   slowly improving incumbent.  Returns [None] when no set within the
+   bound exists (including the undominatable case). *)
+let solve ~radius ~balls:cached ~weights ~required ~stop_at g =
   let n = Graph.n g in
-  if n = 0 then (0, [])
+  if n = 0 then Some (0, [])
   else begin
     let b =
       match cached with
@@ -41,13 +48,17 @@ let solve ~radius ~balls:cached ~weights ~required g =
     let min_positive_weight =
       Array.fold_left (fun acc w -> if w > 0 then min acc w else acc) max_int weights
     in
-    let best_w = ref max_int and best_set = ref None in
+    let best_w = ref (match stop_at with Some b -> b + 1 | None -> max_int) in
+    let best_set = ref None in
+    let exception Hit in
+    let arena = Arena.create n in
     let rec go undominated allowed acc chosen =
       Obs.bump c_nodes;
       if Bitset.is_empty undominated then begin
         if acc < !best_w then begin
           best_w := acc;
-          best_set := Some chosen
+          best_set := Some chosen;
+          if stop_at <> None then raise Hit
         end
       end
       else begin
@@ -75,43 +86,89 @@ let solve ~radius ~balls:cached ~weights ~required g =
                 undominated None
               |> Option.get |> fst
             in
-            let candidates =
-              Bitset.elements (Bitset.inter b.(u) allowed)
-              |> List.sort (fun a c ->
-                     compare
-                       (weights.(a), - Bitset.inter_cardinal b.(a) undominated)
-                       (weights.(c), - Bitset.inter_cardinal b.(c) undominated))
-            in
-            let allowed = Bitset.copy allowed in
-            List.iter
+            (* Candidates into arena arrays, stable insertion sort on
+               (weight, -coverage) — the order the old elements/sort
+               pipeline produced, without the intermediate lists. *)
+            let cand = Arena.ints arena
+            and kw = Arena.ints arena
+            and kc = Arena.ints arena in
+            let m = ref 0 in
+            let pool = Arena.bits arena in
+            Bitset.copy_into pool b.(u);
+            Bitset.inter_into pool allowed;
+            Bitset.iter
               (fun v ->
-                let undominated' = Bitset.diff undominated b.(v) in
-                (* v is excluded from later branches: they cover u some
-                   other way *)
-                Bitset.remove allowed v;
-                go undominated' (Bitset.copy allowed) (acc + weights.(v)) (v :: chosen))
-              candidates
+                cand.(!m) <- v;
+                kw.(!m) <- weights.(v);
+                kc.(!m) <- -Bitset.inter_cardinal b.(v) undominated;
+                incr m)
+              pool;
+            Arena.put_bits arena pool;
+            let m = !m in
+            for i = 1 to m - 1 do
+              let cv = cand.(i) and w1 = kw.(i) and c1 = kc.(i) in
+              let j = ref (i - 1) in
+              while !j >= 0 && (kw.(!j) > w1 || (kw.(!j) = w1 && kc.(!j) > c1)) do
+                cand.(!j + 1) <- cand.(!j);
+                kw.(!j + 1) <- kw.(!j);
+                kc.(!j + 1) <- kc.(!j);
+                decr j
+              done;
+              cand.(!j + 1) <- cv;
+              kw.(!j + 1) <- w1;
+              kc.(!j + 1) <- c1
+            done;
+            let alw = Arena.bits arena in
+            Bitset.copy_into alw allowed;
+            for i = 0 to m - 1 do
+              let v = cand.(i) in
+              let und' = Arena.bits arena in
+              Bitset.copy_into und' undominated;
+              Bitset.diff_into und' b.(v);
+              (* v is excluded from later branches: they cover u some
+                 other way *)
+              Bitset.remove alw v;
+              go und' alw (acc + weights.(v)) (v :: chosen);
+              Arena.put_bits arena und'
+            done;
+            Arena.put_bits arena alw;
+            Arena.put_ints arena cand;
+            Arena.put_ints arena kw;
+            Arena.put_ints arena kc
           end
           else Obs.bump c_pruned
         end
       end
     in
-    go undominated0 allowed0 0 [];
+    (try go undominated0 allowed0 0 [] with Hit -> ());
     match !best_set with
-    | Some set ->
-        (!best_w, List.sort compare (free @ set))
-    | None ->
-        invalid_arg "Domset: graph has an undominatable vertex (empty ball?)"
+    | Some set -> Some (!best_w, List.sort compare (free @ set))
+    | None -> None
   end
 
-let min_weight_set ?(radius = 1) ?balls ?weights ?required g =
+let check_weights ?weights g =
   let weights =
     match weights with Some w -> Array.copy w | None -> Graph.vweights g
   in
   if Array.length weights <> Graph.n g then invalid_arg "Domset: weights length";
-  Obs.with_span sp_domset (fun () -> solve ~radius ~balls ~weights ~required g)
+  weights
+
+let min_weight_set ?(radius = 1) ?balls ?weights ?required g =
+  let weights = check_weights ?weights g in
+  Obs.with_span sp_domset (fun () ->
+      match solve ~radius ~balls ~weights ~required ~stop_at:None g with
+      | Some r -> r
+      | None ->
+          invalid_arg "Domset: graph has an undominatable vertex (empty ball?)")
+
+let exists_within ?(radius = 1) ?balls ?weights ?required g ~bound =
+  let weights = check_weights ?weights g in
+  bound >= 0
+  && Obs.with_span sp_domset (fun () ->
+         solve ~radius ~balls ~weights ~required ~stop_at:(Some bound) g <> None)
 
 let min_size ?(radius = 1) ?balls g =
   fst (min_weight_set ~radius ?balls ~weights:(Array.make (Graph.n g) 1) g)
 
-let exists_of_size ?(radius = 1) g bound = min_size ~radius g <= bound
+let exists_of_size ?(radius = 1) ?balls g bound =
+  exists_within ~radius ?balls ~weights:(Array.make (Graph.n g) 1) g ~bound

@@ -24,11 +24,26 @@ val min_weight_set :
     reads the supplied bitsets (never mutates them), which lets callers
     share precomputed balls across many solves — see {!Ch_solvers.Cache}. *)
 
+val exists_within :
+  ?radius:int ->
+  ?balls:Bitset.t array ->
+  ?weights:int array ->
+  ?required:int list ->
+  Graph.t ->
+  bound:int ->
+  bool
+(** Is there a dominating set of total weight at most [bound]?  Exact
+    decision run as a cost-bounded search: the incumbent is seeded at
+    [bound + 1] so subtrees that cannot beat the bound are cancelled at
+    node entry, and the first witness within the bound ends the search.
+    Equivalent to [fst (min_weight_set …) <= bound], usually much
+    faster.  Parameters as in {!min_weight_set}. *)
+
 val min_size : ?radius:int -> ?balls:Bitset.t array -> Graph.t -> int
 (** γ(G) for [radius = 1].  [balls] as in {!min_weight_set}. *)
 
-val exists_of_size : ?radius:int -> Graph.t -> int -> bool
+val exists_of_size : ?radius:int -> ?balls:Bitset.t array -> Graph.t -> int -> bool
 (** Is there a radius-[radius] dominating set of cardinality at most the
-    given bound? *)
+    given bound?  Decision-bounded (see {!exists_within}). *)
 
 val is_dominating : ?radius:int -> Graph.t -> int list -> bool

@@ -11,31 +11,24 @@ type ctx = { n : int; succ : Bitset.t array; pred : Bitset.t array }
 
 exception Found
 
-(* Feasibility pruning from [current] with [unvisited]:
-   - every unvisited vertex must stay reachable from [current] (for
-     [End_at e], without passing through [e]);
+(* Feasibility pruning from [current] with [unvisited], cheapest cut
+   first:
    - at most one unvisited vertex may be out-dead (no usable out-arc);
-     for [Close_to s] any out-dead vertex must point back to [s]. *)
-let feasible ctx unvisited current goal =
+     for [Close_to s] any out-dead vertex must point back to [s];
+   - every unvisited vertex needs a usable in-arc (from another
+     unvisited vertex or from [current]) — "in-dead" vertices can never
+     be entered;
+   - at most one unvisited vertex may have [current] as its {e only}
+     usable in-source: only one of them can be the next step, and after
+     the step the others are in-dead;
+   - every unvisited vertex must stay reachable from [current] (for
+     [End_at e], without passing through [e]) — checked last, it is the
+     only cut that needs a BFS.
+   The degree cuts never subtract self-loops, so they only ever
+   under-count deadness: conservative, hence sound. *)
+let feasible ctx arena unvisited current goal =
   let blocked = match goal with End_at e -> e | Any_end | Close_to _ -> -1 in
-  let seen = Bitset.create ctx.n in
-  let stack = ref [ current ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | v :: rest ->
-        stack := rest;
-        Bitset.iter
-          (fun u ->
-            if Bitset.mem unvisited u && not (Bitset.mem seen u) then begin
-              Bitset.add seen u;
-              if u <> blocked then stack := u :: !stack
-            end)
-          ctx.succ.(v)
-  done;
-  Bitset.subset unvisited seen
-  &&
-  let dead = ref 0 and ok = ref true in
+  let dead = ref 0 and only_cur = ref 0 and ok = ref true in
   Bitset.iter
     (fun u ->
       let usable = Bitset.inter_cardinal ctx.succ.(u) unvisited in
@@ -45,15 +38,41 @@ let feasible ctx unvisited current goal =
             usable - 1 (* an arc into e forces u to be second-to-last *)
         | _ -> usable
       in
-      if usable = 0 then
-        match goal with
-        | Any_end -> incr dead
-        | End_at e -> if u <> e then incr dead
-        | Close_to s ->
-            incr dead;
-            if not (Bitset.mem ctx.succ.(u) s) then ok := false)
+      (if usable = 0 then
+         match goal with
+         | Any_end -> incr dead
+         | End_at e -> if u <> e then incr dead
+         | Close_to s ->
+             incr dead;
+             if not (Bitset.mem ctx.succ.(u) s) then ok := false);
+      if Bitset.inter_cardinal ctx.pred.(u) unvisited = 0 then
+        if Bitset.mem ctx.pred.(u) current then incr only_cur else ok := false)
     unvisited;
-  !ok && !dead <= 1
+  !ok && !dead <= 1 && !only_cur <= 1
+  &&
+  let seen = Arena.bits arena in
+  let stack = Arena.ints arena in
+  let sp = ref 0 in
+  stack.(0) <- current;
+  incr sp;
+  while !sp > 0 do
+    decr sp;
+    let v = stack.(!sp) in
+    Bitset.iter
+      (fun u ->
+        if Bitset.mem unvisited u && not (Bitset.mem seen u) then begin
+          Bitset.add seen u;
+          if u <> blocked then begin
+            stack.(!sp) <- u;
+            incr sp
+          end
+        end)
+      ctx.succ.(v)
+  done;
+  let reachable = Bitset.subset unvisited seen in
+  Arena.put_bits arena seen;
+  Arena.put_ints arena stack;
+  reachable
 
 let search ctx start goal =
   Obs.with_span sp_ham (fun () ->
@@ -61,6 +80,7 @@ let search ctx start goal =
   let unvisited = Bitset.full ctx.n in
   Bitset.remove unvisited start;
   order.(0) <- start;
+  let arena = Arena.create ctx.n in
   let result = ref None in
   let rec dfs current count =
     Obs.bump c_nodes;
@@ -76,26 +96,52 @@ let search ctx start goal =
         raise Found
       end
     end
-    else if feasible ctx unvisited current goal then begin
-      let nexts =
-        Bitset.elements (Bitset.inter ctx.succ.(current) unvisited)
-        |> List.filter (fun v ->
-               match goal with
-               | End_at e -> v <> e || count + 1 = ctx.n
-               | Any_end | Close_to _ -> true)
-        |> List.sort (fun a b ->
-               compare
-                 (Bitset.inter_cardinal ctx.succ.(a) unvisited)
-                 (Bitset.inter_cardinal ctx.succ.(b) unvisited))
-      in
-      List.iter
+    else if feasible ctx arena unvisited current goal then begin
+      (* Candidates into arena arrays, then a stable insertion sort on
+         ascending branching degree — the same order the old
+         elements/filter/stable-sort pipeline produced, without the
+         intermediate lists. *)
+      let cand = Arena.ints arena and key = Arena.ints arena in
+      let m = ref 0 in
+      let nexts = Arena.bits arena in
+      Bitset.copy_into nexts ctx.succ.(current);
+      Bitset.inter_into nexts unvisited;
+      Bitset.iter
         (fun v ->
-          Bitset.remove unvisited v;
-          order.(count) <- v;
-          dfs v (count + 1);
-          order.(count) <- -1;
-          Bitset.add unvisited v)
-        nexts
+          let keep =
+            match goal with
+            | End_at e -> v <> e || count + 1 = ctx.n
+            | Any_end | Close_to _ -> true
+          in
+          if keep then begin
+            cand.(!m) <- v;
+            key.(!m) <- Bitset.inter_cardinal ctx.succ.(v) unvisited;
+            incr m
+          end)
+        nexts;
+      Arena.put_bits arena nexts;
+      let m = !m in
+      for i = 1 to m - 1 do
+        let kv = key.(i) and cv = cand.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && key.(!j) > kv do
+          key.(!j + 1) <- key.(!j);
+          cand.(!j + 1) <- cand.(!j);
+          decr j
+        done;
+        key.(!j + 1) <- kv;
+        cand.(!j + 1) <- cv
+      done;
+      for i = 0 to m - 1 do
+        let v = cand.(i) in
+        Bitset.remove unvisited v;
+        order.(count) <- v;
+        dfs v (count + 1);
+        order.(count) <- -1;
+        Bitset.add unvisited v
+      done;
+      Arena.put_ints arena cand;
+      Arena.put_ints arena key
     end
     else Obs.bump c_pruned
   in

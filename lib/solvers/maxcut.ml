@@ -49,7 +49,40 @@ let max_cut g =
       end;
       (!best_w, best))
 
-let exists_of_weight g bound = fst (max_cut g) >= bound
+(* Decision variant: the same Gray-code walk as [max_cut], stopped at the
+   first assignment reaching [bound] — typically after a tiny prefix of
+   the 2^(n-1) walk when the answer is yes. *)
+let exists_of_weight g bound =
+  Obs.with_span sp_maxcut (fun () ->
+      let n = Graph.n g in
+      if n > 30 then invalid_arg "Maxcut.exists_of_weight: n > 30";
+      if bound <= 0 then true (* the empty cut weighs 0 *)
+      else if n <= 1 then false
+      else begin
+        let adjacency = Array.init n (fun v -> Array.of_list (Graph.neighbors_w g v)) in
+        let side = Array.make n false in
+        let weight = ref 0 in
+        let steps = (1 lsl (n - 1)) - 1 in
+        let taken = ref 0 and found = ref false in
+        let t = ref 1 in
+        while (not !found) && !t <= steps do
+          let v = 1 + trailing_zeros !t in
+          let delta = ref 0 in
+          Array.iter
+            (fun (u, w) -> if side.(u) = side.(v) then delta := !delta + w else delta := !delta - w)
+            adjacency.(v);
+          weight := !weight + !delta;
+          side.(v) <- not side.(v);
+          incr taken;
+          if !weight >= bound then found := true;
+          incr t
+        done;
+        if Obs.enabled () then begin
+          Obs.incr c_flips !taken;
+          Obs.observe h_flips !taken
+        end;
+        !found
+      end)
 
 (* One full 2^n Gray-code walk with the volatile vertices assigned to the
    high bit positions: each of their 2^s joint assignments is then visited

@@ -11,7 +11,10 @@ val max_cut : Graph.t -> int * bool array
     incremental updates.  @raise Invalid_argument when [n > 30]. *)
 
 val exists_of_weight : Graph.t -> int -> bool
-(** Is there a cut of weight at least the bound?  Same cost as {!max_cut}. *)
+(** Is there a cut of weight at least the bound?  The same Gray-code walk
+    as {!max_cut}, stopped at the first assignment reaching the bound —
+    worst case the full walk, typically a small prefix on yes
+    instances.  @raise Invalid_argument when [n > 30]. *)
 
 val conditioned_max : Graph.t -> volatile:int list -> int array
 (** [conditioned_max g ~volatile] is the table [m] of size

@@ -61,10 +61,8 @@ let clique_bound d =
     d.present;
   List.fold_left (fun acc (_, maxw) -> acc + !maxw) 0 !cliques
 
-let matching_bound d =
+let matching_bound ~total d =
   (* total weight minus, per greedy matching edge, the lighter endpoint *)
-  let total = ref 0 in
-  Bitset.iter (fun v -> total := !total + d.weights.(v)) d.present;
   let unmatched = Bitset.copy d.present in
   let saving = ref 0 in
   Bitset.iter
@@ -80,9 +78,44 @@ let matching_bound d =
         end
       end)
     d.present;
-  !total - !saving
+  total - !saving
 
-let upper_bound d = min (clique_bound d) (matching_bound d)
+(* Staged admissible bounds, cheapest first: the raw present weight
+   prunes most deep nodes on its own; the matching and clique-cover
+   bounds only run when the cheaper stages fail to cut. *)
+let bound_below d lb =
+  let total = ref 0 in
+  Bitset.iter (fun v -> total := !total + d.weights.(v)) d.present;
+  !total <= lb
+  || matching_bound ~total:!total d <= lb
+  || clique_bound d <= lb
+
+(* Greedy max-weight independent set: repeatedly take the vertex
+   maximizing w(v)/(deg(v)+1) — the weighted Turán heuristic — and
+   delete its closed neighborhood.  Seeds branch and bound with a
+   non-trivial incumbent so subtrees fail the bound check at entry
+   instead of being expanded first. *)
+let greedy_incumbent d0 =
+  let d = copy_dyn d0 in
+  let w = ref 0 and set = ref [] in
+  while not (Bitset.is_empty d.present) do
+    let best = ref (-1) and bw = ref 0 and bd = ref 0 in
+    Bitset.iter
+      (fun v ->
+        let dv = deg d v in
+        if !best < 0 || d.weights.(v) * (!bd + 1) > !bw * (dv + 1) then begin
+          best := v;
+          bw := d.weights.(v);
+          bd := dv
+        end)
+      d.present;
+    let v = !best in
+    w := !w + d.weights.(v);
+    set := v :: !set;
+    Bitset.diff_into d.present d.adj.(v);
+    Bitset.remove d.present v
+  done;
+  (!w, !set)
 
 (* Kernelization; mutates [d], returns (forced weight, forced vertices,
    folds in application order). *)
@@ -258,7 +291,7 @@ let rec solve d lb =
           finish (Some (w, List.concat_map snd parts))
         else None
     | _ ->
-        if upper_bound d <= lb' then begin
+        if bound_below d lb' then begin
           Obs.bump c_pruned;
           None
         end
@@ -304,9 +337,12 @@ let make_dyn ?weights g =
 let max_weight_set ?weights g =
   Obs.with_span sp_mis (fun () ->
       let d = make_dyn ?weights g in
-      match solve d neg_inf with
+      let gw, gset = greedy_incumbent d in
+      (* [solve d gw] only returns sets strictly heavier than the greedy
+         incumbent; [None] certifies the incumbent is optimal. *)
+      match solve d gw with
       | Some (w, set) -> (w, List.sort compare set)
-      | None -> assert false)
+      | None -> (gw, List.sort compare gset))
 
 let alpha g = fst (max_weight_set ~weights:(Array.make (Graph.n g) 1) g)
 

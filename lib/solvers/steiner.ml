@@ -3,6 +3,8 @@ module Obs = Ch_obs.Obs
 
 let c_dw_rows = Obs.counter "solver.steiner.dw_rows"
 let c_subsets = Obs.counter "solver.steiner.subsets"
+let c_nodes = Obs.counter "solver.steiner.nodes"
+let c_pruned = Obs.counter "solver.steiner.pruned"
 let h_subsets = Obs.histogram "solver.steiner.subsets_per_query"
 let sp_steiner = Obs.span "solver.steiner"
 
@@ -11,30 +13,103 @@ let inf = max_int / 4
 let check_terminals name terminals =
   if terminals = [] then invalid_arg (name ^ ": no terminals")
 
-(* Dijkstra-style relaxation used by all Dreyfus–Wagner variants: [dist]
-   holds tentative values; [edges_of v] lists [(u, cost of extending from
-   v to u)]. *)
-let relax n dist edges_of =
-  let module Pq = Set.Make (struct
-    type t = int * int
+(* Array-backed binary min-heap on (dist, vertex) pairs, replacing the
+   old [Set.Make]-based queue: no functor instantiation, no polymorphic
+   compare, no per-operation allocation.  One heap is created per
+   Dreyfus–Wagner call and reused across all 2^p rows.  Stale entries
+   (pushed before a better distance arrived) are skipped on pop. *)
+type heap = {
+  mutable hd : int array; (* keys *)
+  mutable hv : int array; (* vertices *)
+  mutable hn : int;
+}
 
-    let compare = compare
-  end) in
-  let pq = ref Pq.empty in
-  for v = 0 to n - 1 do
-    if dist.(v) < inf then pq := Pq.add (dist.(v), v) !pq
+let heap_make n = { hd = Array.make (max 1 n) 0; hv = Array.make (max 1 n) 0; hn = 0 }
+
+let heap_push h d v =
+  if h.hn = Array.length h.hd then begin
+    let cap = 2 * Array.length h.hd in
+    let nd = Array.make cap 0 and nv = Array.make cap 0 in
+    Array.blit h.hd 0 nd 0 h.hn;
+    Array.blit h.hv 0 nv 0 h.hn;
+    h.hd <- nd;
+    h.hv <- nv
+  end;
+  let hd = h.hd and hv = h.hv in
+  (* Sift up by hole-shifting: move parents down into the hole, write
+     the new entry once at its final slot. *)
+  let i = ref h.hn in
+  h.hn <- h.hn + 1;
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if hd.(p) > d then begin
+      hd.(!i) <- hd.(p);
+      hv.(!i) <- hv.(p);
+      i := p
+    end
+    else sifting := false
   done;
-  while not (Pq.is_empty !pq) do
-    let ((d, v) as top) = Pq.min_elt !pq in
-    pq := Pq.remove top !pq;
-    if d = dist.(v) then
-      List.iter
-        (fun (u, c) ->
-          if d + c < dist.(u) then begin
-            dist.(u) <- d + c;
-            pq := Pq.add (dist.(u), u) !pq
-          end)
-        (edges_of v)
+  hd.(!i) <- d;
+  hv.(!i) <- v
+
+let heap_top_d h = h.hd.(0)
+let heap_top_v h = h.hv.(0)
+
+let heap_drop h =
+  h.hn <- h.hn - 1;
+  let n = h.hn in
+  if n > 0 then begin
+    let hd = h.hd and hv = h.hv in
+    let d = hd.(n) and v = hv.(n) in
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= n then sifting := false
+      else begin
+        let c = if l + 1 < n && hd.(l + 1) < hd.(l) then l + 1 else l in
+        if hd.(c) < d then begin
+          hd.(!i) <- hd.(c);
+          hv.(!i) <- hv.(c);
+          i := c
+        end
+        else sifting := false
+      end
+    done;
+    hd.(!i) <- d;
+    hv.(!i) <- v
+  end
+
+(* Dijkstra-style relaxation used by all Dreyfus–Wagner variants: [dist]
+   holds tentative values; [adj.(v)] lists [(u, cost of extending from v
+   to u)].  Tentative values above [bound] are never written: with
+   non-negative costs the popped keys are monotone, so every prefix of a
+   path whose final cost is within [bound] is itself within [bound] —
+   cutting larger values cannot lose any answer ≤ [bound].  [pops]/[cut]
+   accumulate caller-owned stats (flushed to obs once per solve). *)
+let relax ?(bound = inf) ~pops ~cut h n dist adj =
+  h.hn <- 0;
+  for v = 0 to n - 1 do
+    if dist.(v) < inf then heap_push h dist.(v) v
+  done;
+  while h.hn > 0 do
+    let d = heap_top_d h and v = heap_top_v h in
+    heap_drop h;
+    if d = dist.(v) then begin
+      incr pops;
+      let av = adj.(v) in
+      for k = 0 to Array.length av - 1 do
+        let u, c = av.(k) in
+        let nd = d + c in
+        if nd < dist.(u) then
+          if nd <= bound then begin
+            dist.(u) <- nd;
+            heap_push h nd u
+          end
+          else incr cut
+      done
+    end
   done
 
 let iter_proper_submasks mask f =
@@ -44,13 +119,45 @@ let iter_proper_submasks mask f =
     sub := (!sub - 1) land mask
   done
 
-let generic_dw n p ~leaf ~merge_adjust ~edges_of =
-  Obs.incr c_dw_rows (1 lsl p);
+(* The shared Dreyfus–Wagner engine.  [anchor] is the vertex the final
+   answer is read at; after the singleton rows are relaxed we form the
+   star upper bound ub = Σᵢ dp[{i}][anchor] − (p−1)·merge_adjust(anchor)
+   — the cost of merging all p singleton trees at [anchor], a valid dp
+   derivation.  Both dp steps are monotone (merge: a+b−adj(v) with
+   a,b ≥ adj(v); relax: d+c with c ≥ 0), so every entry on the optimal
+   derivation path is ≤ the optimum ≤ ub: entries above the bound can be
+   clamped to [inf] without affecting the answer.  [cutoff] tightens the
+   bound further for decision queries — dp[full][anchor] then holds the
+   true cost when it is ≤ cutoff and [inf] otherwise. *)
+let generic_dw n p ~anchor ?(cutoff = inf) ~leaf ~merge_adjust edges_of =
+  let adj = Array.init n (fun v -> Array.of_list (edges_of v)) in
+  let pops = ref 0 and cut = ref 0 in
+  let h = heap_make n in
   let dp = Array.init (1 lsl p) (fun _ -> Array.make n inf) in
   for i = 0 to p - 1 do
     leaf i dp.(1 lsl i);
-    relax n dp.(1 lsl i) edges_of
+    relax ~bound:cutoff ~pops ~cut h n dp.(1 lsl i) adj
   done;
+  let ub =
+    let s = ref 0 and ok = ref true in
+    for i = 0 to p - 1 do
+      let d = dp.(1 lsl i).(anchor) in
+      if d >= inf then ok := false else s := min inf (!s + d)
+    done;
+    if (not !ok) || !s >= inf then inf
+    else max 0 (!s - ((p - 1) * merge_adjust anchor))
+  in
+  let bound = min ub cutoff in
+  if bound < inf then
+    for i = 0 to p - 1 do
+      let row = dp.(1 lsl i) in
+      for v = 0 to n - 1 do
+        if row.(v) > bound && row.(v) < inf then begin
+          row.(v) <- inf;
+          incr cut
+        end
+      done
+    done;
   for mask = 1 to (1 lsl p) - 1 do
     if mask land (mask - 1) <> 0 then begin
       let row = dp.(mask) in
@@ -58,15 +165,22 @@ let generic_dw n p ~leaf ~merge_adjust ~edges_of =
           if sub < mask lxor sub then ()
           else
             let other = mask lxor sub in
+            let rs = dp.(sub) and ro = dp.(other) in
             for v = 0 to n - 1 do
-              if dp.(sub).(v) < inf && dp.(other).(v) < inf then begin
-                let cand = dp.(sub).(v) + dp.(other).(v) - merge_adjust v in
-                if cand < row.(v) then row.(v) <- cand
+              if rs.(v) < inf && ro.(v) < inf then begin
+                let cand = rs.(v) + ro.(v) - merge_adjust v in
+                if cand < row.(v) then
+                  if cand <= bound then row.(v) <- cand else incr cut
               end
             done);
-      relax n row edges_of
+      relax ~bound ~pops ~cut h n row adj
     end
   done;
+  if Obs.enabled () then begin
+    Obs.incr c_dw_rows (1 lsl p);
+    Obs.incr c_nodes !pops;
+    if !cut > 0 then Obs.incr c_pruned !cut
+  end;
   dp
 
 let dreyfus_wagner g terminals =
@@ -77,10 +191,12 @@ let dreyfus_wagner g terminals =
       if p = 1 then 0
       else begin
         let edges_of v = Graph.neighbors_w g v in
-        let leaf i row =
-          row.(terminals.(i)) <- 0
+        let leaf i row = row.(terminals.(i)) <- 0 in
+        let dp =
+          generic_dw n p ~anchor:terminals.(0) ~leaf
+            ~merge_adjust:(fun _ -> 0)
+            edges_of
         in
-        let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
         let ans = dp.((1 lsl p) - 1).(terminals.(0)) in
         if ans >= inf then invalid_arg "Steiner.dreyfus_wagner: terminals disconnected"
         else ans
@@ -97,13 +213,17 @@ let node_weighted g terminals =
       else begin
         let edges_of v = List.map (fun u -> (u, w.(u))) (Graph.neighbors g v) in
         let leaf i row = row.(terminals.(i)) <- w.(terminals.(i)) in
-        let dp = generic_dw n p ~leaf ~merge_adjust:(fun v -> w.(v)) ~edges_of in
+        let dp =
+          generic_dw n p ~anchor:terminals.(0) ~leaf
+            ~merge_adjust:(fun v -> w.(v))
+            edges_of
+        in
         let ans = dp.((1 lsl p) - 1).(terminals.(0)) in
         if ans >= inf then invalid_arg "Steiner.node_weighted: terminals disconnected"
         else ans
       end)
 
-let directed_over ~reversed ~root terminals =
+let directed_over ?cutoff ~reversed ~root terminals =
   check_terminals "Steiner.directed" terminals;
   Obs.with_span sp_steiner (fun () ->
       let terminals = Array.of_list (List.sort_uniq compare terminals) in
@@ -112,62 +232,170 @@ let directed_over ~reversed ~root terminals =
          relaxation walks arcs backwards. *)
       let edges_of v = reversed.(v) in
       let leaf i row = row.(terminals.(i)) <- 0 in
-      let dp = generic_dw n p ~leaf ~merge_adjust:(fun _ -> 0) ~edges_of in
+      let dp =
+        generic_dw n p ~anchor:root ?cutoff ~leaf
+          ~merge_adjust:(fun _ -> 0)
+          edges_of
+      in
       let ans = dp.((1 lsl p) - 1).(root) in
       if ans >= inf then None else Some ans)
 
-let directed dg ~root terminals =
+let directed ?cutoff dg ~root terminals =
   let n = Digraph.n dg in
   let reversed = Array.make n [] in
   Digraph.iter_arcs (fun u v w -> reversed.(v) <- (u, w) :: reversed.(v)) dg;
-  directed_over ~reversed ~root terminals
+  directed_over ?cutoff ~reversed ~root terminals
 
+(* Smallest S ⊆ V∖T with G[T ∪ S] connected, by iterative deepening over
+   |S|.  The terminal-only components are contracted once up front, so a
+   candidate subset is checked on a union-find over [ncomp] component
+   ids plus one element per chosen candidate — not over all n vertices
+   per subset as before.  The DFS keeps one parent array per depth
+   (child blits parent's, then adds its own unions), and prunes a
+   partial choice when the remaining picks cannot supply enough merges:
+   connecting [cls] classes plus [r] future candidates needs
+   [cls + r − 1] merges, and every merge is incident to a newly added
+   candidate, which contributes at most [maxdtot] of them. *)
 let min_extra_nodes ?cap g terminals =
   check_terminals "Steiner.min_extra_nodes" terminals;
   let n = Graph.n g in
   let terminals = List.sort_uniq compare terminals in
   let is_terminal = Array.make n false in
   List.iter (fun t -> is_terminal.(t) <- true) terminals;
-  let others = List.filter (fun v -> not is_terminal.(v)) (List.init n Fun.id) in
-  let cap = match cap with Some c -> min c (List.length others) | None -> List.length others in
-  let tried = ref 0 in
-  let connected_with extra =
-    incr tried;
-    let sel = Array.make n false in
-    List.iter (fun v -> sel.(v) <- true) terminals;
-    List.iter (fun v -> sel.(v) <- true) extra;
-    let uf = Union_find.create n in
-    let classes = ref (List.length terminals + List.length extra) in
-    Graph.iter_edges
-      (fun u v _ ->
-        if sel.(u) && sel.(v) && Union_find.union uf u v then decr classes)
-      g;
-    !classes = 1
+  let uf = Union_find.create n in
+  Graph.iter_edges
+    (fun u v _ ->
+      if is_terminal.(u) && is_terminal.(v) then ignore (Union_find.union uf u v))
+    g;
+  let comp_id = Array.make n (-1) in
+  let ncomp = ref 0 in
+  List.iter
+    (fun t ->
+      let r = Union_find.find uf t in
+      if comp_id.(r) = -1 then begin
+        comp_id.(r) <- !ncomp;
+        incr ncomp
+      end)
+    terminals;
+  let ncomp = !ncomp in
+  let comp_of t = comp_id.(Union_find.find uf t) in
+  let others =
+    Array.of_list (List.filter (fun v -> not is_terminal.(v)) (List.init n Fun.id))
   in
+  let no = Array.length others in
+  let oidx = Array.make n (-1) in
+  Array.iteri (fun i v -> oidx.(v) <- i) others;
+  (* Candidate adjacency, contracted: component ids it touches, and other
+     candidates it touches. *)
+  let cadj_l = Array.make (max 1 no) [] in
+  let oadj_l = Array.make (max 1 no) [] in
+  Graph.iter_edges
+    (fun u v _ ->
+      let handle a b =
+        let i = oidx.(a) in
+        if i >= 0 then
+          if is_terminal.(b) then cadj_l.(i) <- comp_of b :: cadj_l.(i)
+          else if oidx.(b) >= 0 then oadj_l.(i) <- oidx.(b) :: oadj_l.(i)
+      in
+      handle u v;
+      handle v u)
+    g;
+  let cadj = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) cadj_l in
+  let oadj = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) oadj_l in
+  let maxdtot = ref 0 in
+  for i = 0 to no - 1 do
+    maxdtot := max !maxdtot (Array.length cadj.(i) + Array.length oadj.(i))
+  done;
+  let maxdtot = !maxdtot in
+  let cap = match cap with Some c -> min c no | None -> no in
+  let width = max 1 (ncomp + cap) in
+  let parent = Array.init (cap + 1) (fun _ -> Array.make width 0) in
+  let p0 = parent.(0) in
+  for i = 0 to width - 1 do
+    p0.(i) <- i
+  done;
+  let classes = Array.make (cap + 1) 0 in
+  classes.(0) <- ncomp;
+  let chosen_depth = Array.make (max 1 no) (-1) in
+  let tried = ref 0 and pruned = ref 0 in
   let exception Hit in
-  let rec choose pool k acc =
-    if k = 0 then begin
-      if connected_with acc then raise Hit
+  let rec find pr x =
+    let p = pr.(x) in
+    if p = x then x
+    else begin
+      let r = find pr p in
+      pr.(x) <- r;
+      r
     end
-    else
-      match pool with
-      | [] -> ()
-      | v :: rest ->
-          if List.length pool >= k then begin
-            choose rest (k - 1) (v :: acc);
-            choose rest k acc
+  in
+  let rec down s d start =
+    let pd = parent.(d) and pr = parent.(d + 1) in
+    let e = ncomp + d in
+    let last = no - (s - d) in
+    for i = start to last do
+      Array.blit pd 0 pr 0 width;
+      pr.(e) <- e;
+      let cls = ref (classes.(d) + 1) in
+      let ca = cadj.(i) in
+      for k = 0 to Array.length ca - 1 do
+        let a = find pr ca.(k) and b = find pr e in
+        if a <> b then begin
+          pr.(a) <- b;
+          decr cls
+        end
+      done;
+      let oa = oadj.(i) in
+      for k = 0 to Array.length oa - 1 do
+        let dj = chosen_depth.(oa.(k)) in
+        if dj >= 0 then begin
+          let a = find pr (ncomp + dj) and b = find pr e in
+          if a <> b then begin
+            pr.(a) <- b;
+            decr cls
           end
+        end
+      done;
+      if d + 1 = s then begin
+        incr tried;
+        if !cls = 1 then raise Hit
+      end
+      else begin
+        let r = s - d - 1 in
+        if !cls - 1 + r > r * maxdtot then incr pruned
+        else begin
+          classes.(d + 1) <- !cls;
+          chosen_depth.(i) <- d;
+          down s (d + 1) (i + 1);
+          chosen_depth.(i) <- -1
+        end
+      end
+    done
   in
-  let rec sizes s =
-    if s > cap then None
-    else
-      match choose others s [] with
-      | () -> sizes (s + 1)
-      | exception Hit -> Some s
+  let result =
+    Obs.with_span sp_steiner (fun () ->
+        let rec sizes s =
+          if s > cap then None
+          else if s = 0 then begin
+            incr tried;
+            if ncomp = 1 then Some 0 else sizes 1
+          end
+          else if ncomp - 1 + s > s * maxdtot then begin
+            incr pruned;
+            sizes (s + 1)
+          end
+          else
+            match down s 0 0 with
+            | () -> sizes (s + 1)
+            | exception Hit -> Some s
+        in
+        sizes 0)
   in
-  let result = Obs.with_span sp_steiner (fun () -> sizes 0) in
-  Obs.incr c_subsets !tried;
-  Obs.observe h_subsets !tried;
+  if Obs.enabled () then begin
+    Obs.incr c_subsets !tried;
+    Obs.incr c_nodes !tried;
+    if !pruned > 0 then Obs.incr c_pruned !pruned;
+    Obs.observe h_subsets !tried
+  end;
   result
 
 let min_edges ?cap g terminals =

@@ -16,11 +16,16 @@ val node_weighted : Graph.t -> int list -> int
 (** Minimum total {e vertex} weight of a connected subgraph containing all
     terminals (terminal weights are counted too). *)
 
-val directed : Digraph.t -> root:int -> int list -> int option
+val directed : ?cutoff:int -> Digraph.t -> root:int -> int list -> int option
 (** Minimum total arc weight of an out-arborescence rooted at [root]
-    reaching all terminals; [None] if some terminal is unreachable. *)
+    reaching all terminals; [None] if some terminal is unreachable.
+    With [~cutoff:b] the solve is an exact decision: the result is
+    [Some c] with the true minimum [c] when [c ≤ b], and [None]
+    otherwise — dp entries above the bound are cancelled before they
+    spawn further relaxation work. *)
 
 val directed_over :
+  ?cutoff:int ->
   reversed:(int * int) list array -> root:int -> int list -> int option
 (** {!directed} over a prebuilt reversed-adjacency view:
     [reversed.(v)] lists [(u, w)] per arc [u → v].  Lets callers share one
@@ -31,7 +36,9 @@ val min_extra_nodes : ?cap:int -> Graph.t -> int list -> int option
 (** Smallest number of non-terminal vertices [S] such that the subgraph
     induced on [terminals ∪ S] is connected (so the minimum Steiner tree
     has exactly [|terminals| + |S| - 1] edges in the unweighted case).
-    Searches sizes [0..cap] (default: all). *)
+    Searches sizes [0..cap] (default: all).  Terminal-only components are
+    contracted once per call; candidate subsets whose remaining picks
+    cannot supply enough spanning merges are pruned before enumeration. *)
 
 val min_edges : ?cap:int -> Graph.t -> int list -> int option
 (** Minimum number of edges of a Steiner tree for the terminals, via

@@ -1,0 +1,88 @@
+#!/bin/sh
+# Pruning-regression guard: the branch-and-bound solvers publish their
+# search effort as solver.*.nodes counters, folded into a first-class
+# "solver_nodes" field per verify entry of the --json bench artifact.
+# The counts are pure functions of the workload (schedule-independent,
+# see the CH_JOBS determinism step), so a jump means a pruning rule or
+# bound got weaker — which wall-clock noise would hide.  This compares
+# the pinned workloads of a smoke BENCH json against the recorded
+# baseline and fails on any entry exceeding it by more than 25%.
+#
+# Usage: scripts/check_nodes.sh BENCH.json [baseline.txt]
+#
+# Regenerate the baseline after an intentional solver change:
+#   dune exec bench/main.exe -- e17 --json --smoke
+#   scripts/check_nodes.sh --record BENCH_<ts>.json > scripts/nodes_baseline.txt
+set -eu
+
+record=false
+if [ "${1:-}" = "--record" ]; then
+  record=true
+  shift
+fi
+if [ $# -lt 1 ]; then
+  echo "usage: $0 [--record] BENCH.json [baseline.txt]" >&2
+  exit 2
+fi
+file=$1
+baseline=${2:-"$(dirname "$0")/nodes_baseline.txt"}
+
+if $record; then
+  python3 - "$file" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+print("# per-entry solver_nodes baseline for scripts/check_nodes.sh")
+print("# regenerate: scripts/check_nodes.sh --record BENCH_<ts>.json")
+for e in bench.get("verify", []):
+    if "solver_nodes" in e:
+        print(f'{e["family"]} {e["solver_nodes"]}')
+EOF
+  exit 0
+fi
+
+python3 - "$file" "$baseline" <<'EOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+baseline = {}
+with open(sys.argv[2]) as f:
+    for line in f:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, nodes = line.split()
+        baseline[name] = int(nodes)
+
+entries = {e["family"]: e for e in bench.get("verify", [])}
+fail = False
+checked = 0
+for name, base in sorted(baseline.items()):
+    e = entries.get(name)
+    if e is None:
+        # the baseline pins smoke-run workloads; a full run carries a
+        # superset, a differently-filtered run may miss some
+        print(f"skip: {name} not in this bench run", file=sys.stderr)
+        continue
+    nodes = e.get("solver_nodes")
+    if nodes is None:
+        print(f"FAIL: {name} carries no solver_nodes field "
+              "(bench run without telemetry?)", file=sys.stderr)
+        fail = True
+        continue
+    limit = base + base // 4
+    if nodes > limit:
+        print(f"FAIL: {name} expanded {nodes} search nodes, baseline {base} "
+              f"(limit {limit}) — a pruning rule regressed", file=sys.stderr)
+        fail = True
+    else:
+        print(f"ok: {name} {nodes} nodes <= {limit} (baseline {base})")
+        checked += 1
+
+if not baseline:
+    print("FAIL: baseline is empty", file=sys.stderr)
+    fail = True
+if not fail and checked == 0:
+    print("FAIL: no pinned workload present in this bench run", file=sys.stderr)
+    fail = True
+sys.exit(1 if fail else 0)
+EOF

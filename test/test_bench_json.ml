@@ -76,6 +76,9 @@ let () =
       "\"cache_misses\":";
       "\"speedup_vs_scratch\":";
       "\"differential_ok\": true";
+      (* first-class search-effort totals, folded from the obs counters *)
+      "\"solver_nodes\":";
+      "\"solver_pruned\":";
       "\"reduction\":";
       "\"family\": \"mds-k2-reduction\"";
       "\"family\": \"maxis-k2-reduction\"";

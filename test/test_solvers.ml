@@ -401,6 +401,88 @@ let test_steiner_known () =
     (Steiner.directed (Digraph.of_arcs 3 [ (1, 0) ]) ~root:0 [ 2 ] = None)
 
 (* ------------------------------------------------------------------ *)
+(* Decision-bounded search vs the unbounded optimum                    *)
+(*                                                                    *)
+(* The bounded entry points (exists_within / exists_of_weight /       *)
+(* ?cutoff) prune subtrees that provably cannot cross the bound; each *)
+(* property pins their verdicts to the unbounded optimum with bounds  *)
+(* drawn to straddle it, so both the accept and the reject paths get  *)
+(* exercised.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_domset_exists_within =
+  QCheck.Test.make ~name:"exists_within iff optimum weight <= bound" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 9))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.3 in
+      let rng = Random.State.make [| seed; 17 |] in
+      let weights = Array.init n (fun _ -> 1 + Random.State.int rng 6) in
+      let radius = 1 + Random.State.int rng 2 in
+      let opt = fst (Domset.min_weight_set ~radius ~weights g) in
+      let bound = Random.State.int rng (opt + 3) - 1 in
+      Domset.exists_within ~radius ~weights g ~bound = (opt <= bound))
+
+let prop_domset_exists_of_size =
+  QCheck.Test.make ~name:"exists_of_size iff optimum size <= bound" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.3 in
+      let rng = Random.State.make [| seed; 23 |] in
+      let opt = Domset.min_size g in
+      let bound = Random.State.int rng (opt + 3) - 1 in
+      Domset.exists_of_size g bound = (opt <= bound))
+
+let prop_maxcut_exists_of_weight =
+  QCheck.Test.make ~name:"exists_of_weight iff max cut >= bound" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Gen.random_weights ~seed (Gen.gnp ~seed n 0.5) in
+      let rng = Random.State.make [| seed; 29 |] in
+      let opt = fst (Maxcut.max_cut g) in
+      let bound = Random.State.int rng (opt + 3) - 1 in
+      Maxcut.exists_of_weight g bound = (opt >= bound))
+
+let prop_directed_steiner_cutoff =
+  QCheck.Test.make ~name:"directed steiner ?cutoff is an exact decision" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 2 8))
+    (fun (seed, n) ->
+      let dg = Gen.random_digraph ~seed n 0.4 in
+      let rng = Random.State.make [| seed; 31 |] in
+      let t = List.sort_uniq compare
+          (List.init (min n 3) (fun _ -> Random.State.int rng n)) in
+      let root = List.hd t in
+      let cutoff = Random.State.int rng 6 in
+      match (Steiner.directed ~cutoff dg ~root t, Steiner.directed dg ~root t) with
+      | Some c, Some c' -> c = c' && c <= cutoff
+      | None, Some c' -> c' > cutoff
+      | None, None -> true
+      | Some _, None -> false)
+
+let prop_mwis_witness =
+  QCheck.Test.make ~name:"warm-started MWIS witness is valid" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 11))
+    (fun (seed, n) ->
+      let g = Gen.gnp ~seed n 0.4 in
+      let rng = Random.State.make [| seed; 37 |] in
+      let weights = Array.init n (fun _ -> Random.State.int rng 20) in
+      let w, set = Mis.max_weight_set ~weights g in
+      Mis.is_independent g set
+      && List.fold_left (fun acc v -> acc + weights.(v)) 0 set = w)
+
+let prop_ham_directed_witness =
+  QCheck.Test.make ~name:"pruned directed hamiltonian witnesses are valid" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 8))
+    (fun (seed, n) ->
+      let dg = Gen.random_digraph ~seed n 0.5 in
+      (match Hamilton.directed_path dg with
+      | Some p -> Hamilton.is_directed_path dg p
+      | None -> true)
+      &&
+      match Hamilton.directed_cycle dg with
+      | Some c -> Hamilton.is_directed_cycle dg c
+      | None -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Matching                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -583,6 +665,15 @@ let () =
           qt prop_steiner_cardinality_consistency;
           qt prop_node_steiner_vs_brute;
           qt prop_directed_steiner_symmetric;
+        ] );
+      ( "bounded",
+        [
+          qt prop_domset_exists_within;
+          qt prop_domset_exists_of_size;
+          qt prop_maxcut_exists_of_weight;
+          qt prop_directed_steiner_cutoff;
+          qt prop_mwis_witness;
+          qt prop_ham_directed_witness;
         ] );
       ( "matching",
         [
