@@ -899,13 +899,114 @@ let reduction_benches ~smoke () =
           })
     (Registry.filter ~reduction:true (reg ()))
 
+(* Sharded sweep engine (lib/sweep): a fresh store-backed sweep, a
+   crash-and-resume cycle in the same store, and — full runs only — the
+   large-k sampled workload.  Every merged verdict stream is differenced
+   bit-for-bit against the single-process scratch oracle
+   ([Framework.exhaustive_verdicts] / [sampled_verdicts]) before the
+   entry is recorded, the same discipline as the -inc entries above.
+   The shard counts are pinned (no CH_JOBS / machine dependence) and
+   [--smoke] keeps only the two tiny k=2 exhaustive entries, so the CI
+   run stays timeout-bounded. *)
+type sentry = {
+  sname : string;
+  spairs : int;
+  snshards : int;
+  swall : float;
+  scompleted : int;
+  sresumed : int;
+  srecomputed : int;
+  scorrupt : int;
+  sdiff_ok : bool;
+  sobs : Obs.report option;
+}
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let sweep_benches ~smoke () =
+  let open Ch_sweep in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench_sweep_%d" (Unix.getpid ()))
+  in
+  (* the oracle runs before [obs_fresh], so each entry's obs report (and
+     its sweep.shards.* counters) covers the sweep alone *)
+  let entry ~name ~fam ~mode ~store run =
+    let oracle = Sweep.oracle fam ~mode in
+    obs_fresh ();
+    let o, wall = timed (fun () -> run ~store_dir:(Filename.concat root store)) in
+    if o.Sweep.verdicts <> oracle then
+      failwith (Printf.sprintf "sweep bench %s: differential mismatch" name);
+    if o.Sweep.failures > 0 then
+      failwith (Printf.sprintf "sweep bench %s: %d failures" name o.Sweep.failures);
+    {
+      sname = name;
+      spairs = Array.length o.Sweep.verdicts;
+      snshards = o.Sweep.shards_total;
+      swall = wall;
+      scompleted = o.Sweep.shards_completed;
+      sresumed = o.Sweep.shards_resumed;
+      srecomputed = o.Sweep.shards_recomputed;
+      scorrupt = o.Sweep.artifacts_corrupt;
+      sdiff_ok = true;
+      sobs = obs_snap ();
+    }
+  in
+  let fam2 = fam_of "mds" ~k:2 in
+  let fresh =
+    entry ~name:"mds-k2-sweep-x4" ~fam:fam2 ~mode:Shard.Exhaustive
+      ~store:"fresh" (fun ~store_dir ->
+        Sweep.run ~store_dir fam2 ~mode:Shard.Exhaustive ~shards:4)
+  in
+  let resume =
+    (* interrupt a sweep after two shards, then time the resumed run: it
+       must load the persisted shards (zero recomputation) and still
+       merge to the oracle stream *)
+    (try
+       ignore
+         (Sweep.run
+            ~store_dir:(Filename.concat root "resume")
+            ~fault_after:2 fam2 ~mode:Shard.Exhaustive ~shards:4)
+     with Sweep.Interrupted _ -> ());
+    let e =
+      entry ~name:"mds-k2-sweep-resume4" ~fam:fam2 ~mode:Shard.Exhaustive
+        ~store:"resume" (fun ~store_dir ->
+          Sweep.run ~store_dir fam2 ~mode:Shard.Exhaustive ~shards:4)
+    in
+    if e.sresumed < 2 || e.srecomputed > 0 then
+      failwith "sweep bench resume: expected >= 2 resumed shards, 0 recomputed";
+    e
+  in
+  let big =
+    if smoke then []
+    else begin
+      (* the first large-k sampled workload: 49 152 pairs of the k=4 MDS
+         gadget (12× the largest exhaustive space benched above), cut
+         into 64 shards *)
+      let fam4 = fam_of "mds" ~k:4 in
+      let mode = Shard.Sampled { seed = 11; samples = 49148 } in
+      [
+        entry ~name:"mds-k4-sweep-sample49152" ~fam:fam4 ~mode ~store:"big"
+          (fun ~store_dir -> Sweep.run ~store_dir fam4 ~mode ~shards:64);
+      ]
+    end
+  in
+  let entries = (fresh :: resume :: big) in
+  if Sys.file_exists root then rm_rf root;
+  entries
+
 let json_escape s =
   String.concat ""
     (List.map
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let write_json ~experiment_times ~verify ~reduction =
+let write_json ~experiment_times ~verify ~reduction ~sweep =
   let ts = int_of_float (Unix.time ()) in
   let file = Printf.sprintf "BENCH_%d.json" ts in
   let buf = Buffer.create 1024 in
@@ -970,6 +1071,20 @@ let write_json ~experiment_times ~verify ~reduction =
         (if i < List.length reduction - 1 then "," else ""))
     reduction;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"sweep\": [\n";
+  List.iteri
+    (fun i e ->
+      Printf.bprintf buf
+        "    {\"family\": \"%s\", \"pairs\": %d, \"shards\": %d, \
+         \"wall_s\": %.6f, \"pairs_per_s\": %.1f, \"shards_completed\": %d, \
+         \"shards_resumed\": %d, \"shards_recomputed\": %d, \
+         \"artifacts_corrupt\": %d, \"differential_ok\": %b}%s\n"
+        (json_escape e.sname) e.spairs e.snshards e.swall
+        (float_of_int e.spairs /. e.swall)
+        e.scompleted e.sresumed e.srecomputed e.scorrupt e.sdiff_ok
+        (if i < List.length sweep - 1 then "," else ""))
+    sweep;
+  Buffer.add_string buf "  ],\n";
   (* one telemetry report per bench entry; the counter objects inside
      each report sit one per line, so two runs' counter sets diff with
      plain grep (the CH_JOBS determinism guard in CI does exactly that) *)
@@ -977,6 +1092,7 @@ let write_json ~experiment_times ~verify ~reduction =
     List.filter_map (fun e -> Option.map (fun r -> (e.vname, r)) e.vobs) verify
     @ List.filter_map (fun r -> Option.map (fun o -> (r.rname, o)) r.robs)
         reduction
+    @ List.filter_map (fun e -> Option.map (fun o -> (e.sname, o)) e.sobs) sweep
   in
   Buffer.add_string buf "  \"obs\": [\n";
   List.iteri
@@ -1060,5 +1176,17 @@ let () =
           (if rep.rep_all_match then "differential ok"
            else "DIFFERENTIAL MISMATCH"))
       reduction;
-    write_json ~experiment_times ~verify ~reduction
+    header "Sharded sweep engine (store-backed, resumable)";
+    let sweep = sweep_benches ~smoke () in
+    List.iter
+      (fun e ->
+        Printf.printf
+          "  %-28s %8d pairs  %3d shards  %8.3fs  %10.1f pairs/s  \
+           completed=%d resumed=%d recomputed=%d corrupt=%d  %s\n"
+          e.sname e.spairs e.snshards e.swall
+          (float_of_int e.spairs /. e.swall)
+          e.scompleted e.sresumed e.srecomputed e.scorrupt
+          (if e.sdiff_ok then "differential ok" else "DIFFERENTIAL MISMATCH"))
+      sweep;
+    write_json ~experiment_times ~verify ~reduction ~sweep
   end

@@ -293,6 +293,115 @@ let reduction_cmd =
       const run $ k_arg $ red_family_arg $ pairs_arg $ exhaustive_arg
       $ trace_arg $ seed_arg $ profile_arg $ obs_out_arg)
 
+let sweep_cmd =
+  let open Ch_sweep in
+  let run k name shards resume sample seed procs fault_after check_oracle
+      profile obs_out =
+    match Registry.find (catalog ()) name with
+    | None ->
+        Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
+        1
+    | Some s -> (
+        let fam = s.Registry.scratch k in
+        let mode =
+          match sample with
+          | None -> Shard.Exhaustive
+          | Some samples -> Shard.Sampled { seed; samples }
+        in
+        try
+          let total = Shard.total fam mode in
+          Printf.printf "%s sweep: k=%d, %d pairs, %d shards, store %s\n"
+            s.Registry.id k total shards
+            (match resume with
+            | Some dir -> Filename.concat dir (Sweep.store_key fam ~mode ~shards)
+            | None -> "(scratch)");
+          let work () =
+            Sweep.run ?store_dir:resume ?fault_after ~procs fam ~mode ~shards
+          in
+          let o = if profile then profiled ~root:"sweep" ~obs_out work else work () in
+          Printf.printf
+            "shards: completed=%d resumed=%d recomputed=%d corrupt=%d (of %d)\n"
+            o.Sweep.shards_completed o.Sweep.shards_resumed
+            o.Sweep.shards_recomputed o.Sweep.artifacts_corrupt
+            o.Sweep.shards_total;
+          if o.Sweep.tables_restored > 0 then
+            Printf.printf "memo tables restored from store: %d\n"
+              o.Sweep.tables_restored;
+          Printf.printf "verdicts: %d pairs, %d failures, digest %s\n"
+            (Array.length o.Sweep.verdicts)
+            o.Sweep.failures
+            (Sweep.digest o.Sweep.verdicts);
+          let oracle_ok =
+            if not check_oracle then true
+            else begin
+              let ok = Sweep.oracle fam ~mode = o.Sweep.verdicts in
+              Printf.printf "oracle differential: %s\n"
+                (if ok then "ok" else "MISMATCH");
+              ok
+            end
+          in
+          if o.Sweep.failures = 0 && oracle_ok then 0 else 1
+        with
+        | Sweep.Interrupted done_shards ->
+            Printf.printf
+              "sweep interrupted after %d shard%s; rerun with the same --resume \
+               to continue\n"
+              done_shards
+              (if done_shards = 1 then "" else "s");
+            3
+        | Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            1)
+  in
+  let shards_arg =
+    let doc = "Number of shards to cut the pair space into." in
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Store root: persist per-shard verdict blocks and memo snapshots \
+       under $(docv), and resume from any valid artifacts already there."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
+  in
+  let sample_arg =
+    let doc =
+      "Sweep the 4 corner pairs plus $(docv) seeded samples instead of all \
+       4^K pairs."
+    in
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"M" ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Sampling seed.")
+  in
+  let procs_arg =
+    let doc = "Fan shards out across $(docv) worker processes (needs --resume)." in
+    Arg.(value & opt int 1 & info [ "procs" ] ~docv:"P" ~doc)
+  in
+  let fault_after_arg =
+    let doc =
+      "Crash injection: stop after $(docv) shards are computed and exit 3 \
+       (completed shards persist; resume with the same --resume)."
+    in
+    Arg.(value & opt (some int) None & info [ "fault-after" ] ~docv:"S" ~doc)
+  in
+  let check_oracle_arg =
+    let doc =
+      "Also run the single-process from-scratch sweep in this process and \
+       diff the merged verdict stream against it."
+    in
+    Arg.(value & flag & info [ "check-oracle" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a sharded, resumable verdict sweep over a family's input-pair \
+          space, persisting per-shard blocks to a content-addressed store.")
+    Term.(
+      const run $ k_arg $ family_arg $ shards_arg $ resume_arg $ sample_arg
+      $ seed_arg $ procs_arg $ fault_after_arg $ check_oracle_arg $ profile_arg
+      $ obs_out_arg)
+
 let profile_cmd =
   let run k name obs_out =
     match Registry.find (catalog ()) name with
@@ -333,4 +442,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; verify_cmd; simulate_cmd; reduction_cmd; profile_cmd ]))
+          [ list_cmd; verify_cmd; simulate_cmd; reduction_cmd; sweep_cmd; profile_cmd ]))

@@ -103,6 +103,7 @@ let verdict_timed fam x y =
   let inst = build_timed fam x y in
   Obs.with_span sp_solver (fun () -> fam.predicate inst)
 
+let verdict = verdict_timed
 let verify_pair fam x y = verdict_timed fam x y = fam.f x y
 
 (* ---- incremental descriptors ---------------------------------------- *)
@@ -260,6 +261,17 @@ let verify_random ?pool ~seed ~samples fam =
         !failures)
   in
   (List.fold_left ( + ) 0 counts, total)
+
+let sampled_verdicts ?pool ~seed ~samples fam =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let total = samples + 4 in
+  let chunks =
+    Pool.parallel_chunks pool ~lo:0 ~hi:total (fun lo hi ->
+        Array.init (hi - lo) (fun j ->
+            let x, y = random_pair_at fam ~seed (lo + j) in
+            verdict_timed fam x y))
+  in
+  Array.concat chunks
 
 let verify_random_inc ?pool ~seed ~samples inc =
   let fam = inc.scratch in

@@ -67,6 +67,11 @@ val cut_index : cut_info -> int -> int -> int option
     order, and random samples derive their seeds from the sample index
     alone. *)
 
+val verdict : t -> Bits.t -> Bits.t -> bool
+(** P(G_{x,y}) alone — one cell of the verdict stream, for drivers (the
+    sweep shards) that assemble {!exhaustive_verdicts}-compatible traces
+    pair by pair. *)
+
 val verify_pair : t -> Bits.t -> Bits.t -> bool
 (** Does P(G_{x,y}) = f(x,y) hold for this input pair? *)
 
@@ -167,6 +172,21 @@ val exhaustive_verdicts : ?pool:Pool.t -> t -> bool array
     (x, y) with inputs in {!Bits.all} order — the per-pair trace the
     differential harness compares between paths.
     @raise Invalid_argument when [input_bits > 10]. *)
+
+val random_pair_at : t -> seed:int -> int -> Bits.t * Bits.t
+(** The pair sample index [i] denotes under the documented
+    {!verify_random} derivation: indices 0–3 are the four corner pairs
+    (all-zeros/all-ones combinations, in {!verify_random}'s order) and
+    index [i >= 4] is the pair drawn from seeds
+    [(seed + 2(i-4), seed + 2(i-4) + 1)].  A pure function of [(seed, i)],
+    so any slice of the sample space can be regenerated independently —
+    the sweep scheduler's shards rely on exactly this. *)
+
+val sampled_verdicts : ?pool:Pool.t -> seed:int -> samples:int -> t -> bool array
+(** P(G_{x,y}) for sample indices [0 .. samples + 3] of the
+    {!random_pair_at} space — the from-scratch per-pair trace a sampled
+    sweep is differenced against, as {!exhaustive_verdicts} is for
+    exhaustive sweeps. *)
 
 val exhaustive_verdicts_inc :
   ?pool:Pool.t -> incremental -> bool array * cache_stats

@@ -95,6 +95,30 @@ module Memo = struct
     Mutex.lock memo.lock;
     Hashtbl.reset memo.tbl;
     Mutex.unlock memo.lock
+
+  (* Dump/merge hooks for [Cache.snapshot]/[Cache.restore].  [entries]
+     orders buckets by hash so the dump bytes are a deterministic
+     function of the memo contents; [add_if_absent] re-probes under the
+     lock so restoring never shadows a table the process already built
+     (nor duplicates one restored twice). *)
+  let entries memo =
+    Mutex.lock memo.lock;
+    let l = Hashtbl.fold (fun h es acc -> (h, es) :: acc) memo.tbl [] in
+    Mutex.unlock memo.lock;
+    List.sort (fun (a, _) (b, _) -> compare (a : int) b) l
+
+  let add_if_absent memo ~hash entry =
+    Mutex.lock memo.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock memo.lock)
+      (fun () ->
+        match probe memo ~graph:entry.eg ~aux:entry.eaux ~hash with
+        | Some _ -> false
+        | None ->
+            Hashtbl.replace memo.tbl hash
+              (entry
+              :: Option.value ~default:[] (Hashtbl.find_opt memo.tbl hash));
+            true)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -906,6 +930,88 @@ let domset_balls c ~extra =
   balls
 
 let domset_stats c = Tally.stats c.dc
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore: persistable view of the marshal-safe memos     *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a sweep worker memoizes except the MIS/MWIS tables, which
+   hold a mutex and an evaluation closure and so cannot cross a Marshal
+   boundary — they are rebuilt on demand instead (cheap: the eager part
+   of the build is mask enumeration, the exact solves stay lazy).
+   Buckets are hash-sorted and hampath/dsteiner entries key-sorted, so
+   identical memo contents marshal to identical bytes — which lets the
+   store checksum snapshots like any other block. *)
+type dump = {
+  dump_steiner : (int * steiner_tables Memo.entry list) list;
+  dump_maxcut : (int * maxcut_tables Memo.entry list) list;
+  dump_nwsteiner : (int * nwsteiner_tables Memo.entry list) list;
+  dump_domset : (int * domset_tables Memo.entry list) list;
+  dump_hampath : ((int * (int * int * int) list) * hampath_tables) list;
+  dump_dsteiner :
+    ((int * (int * int * int) list * int * int list) * dsteiner_tables) list;
+}
+
+let snapshot_tag = "chcache1"
+
+let keyed_entries lock tbl =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun _ es acc -> es @ acc) tbl [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let snapshot () =
+  let dump =
+    {
+      dump_steiner = Memo.entries steiner_memo;
+      dump_maxcut = Memo.entries maxcut_memo;
+      dump_nwsteiner = Memo.entries nwsteiner_memo;
+      dump_domset = Memo.entries domset_memo;
+      dump_hampath = keyed_entries hampath_lock hampath_memo;
+      dump_dsteiner = keyed_entries dsteiner_lock dsteiner_memo;
+    }
+  in
+  snapshot_tag ^ Marshal.to_string dump []
+
+let restore_memo memo dumped =
+  List.fold_left
+    (fun acc (hash, es) ->
+      List.fold_left
+        (fun acc e -> if Memo.add_if_absent memo ~hash e then acc + 1 else acc)
+        acc es)
+    0 dumped
+
+let restore_keyed lock tbl dumped =
+  Mutex.lock lock;
+  let added =
+    List.fold_left
+      (fun acc ((key, _) as kt) ->
+        let hash = Hashtbl.hash key in
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt tbl hash) in
+        if List.mem_assoc key bucket then acc
+        else begin
+          Hashtbl.replace tbl hash (kt :: bucket);
+          acc + 1
+        end)
+      0 dumped
+  in
+  Mutex.unlock lock;
+  added
+
+let restore s =
+  let tl = String.length snapshot_tag in
+  if String.length s < tl || String.sub s 0 tl <> snapshot_tag then
+    failwith "Cache.restore: not a cache snapshot";
+  let dump =
+    try (Marshal.from_string s tl : dump)
+    with _ -> failwith "Cache.restore: unparseable snapshot"
+  in
+  restore_memo steiner_memo dump.dump_steiner
+  + restore_memo maxcut_memo dump.dump_maxcut
+  + restore_memo nwsteiner_memo dump.dump_nwsteiner
+  + restore_memo domset_memo dump.dump_domset
+  + restore_keyed hampath_lock hampath_memo dump.dump_hampath
+  + restore_keyed dsteiner_lock dsteiner_memo dump.dump_dsteiner
 
 let clear () =
   Memo.clear steiner_memo;

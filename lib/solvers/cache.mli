@@ -190,3 +190,25 @@ val domset_stats : domset -> stats
 val clear : unit -> unit
 (** Drop every memoized core table (counters of live prepared instances
     are unaffected).  Mainly for tests measuring memo behavior. *)
+
+(** {1 Snapshot / restore}
+
+    The sweep store ([Ch_sweep]) persists the memo tables next to shard
+    verdict blocks, so a resumed sweep starts from the previous run's
+    core tables instead of rebuilding them.  Snapshots carry every memo
+    family except MIS/MWIS, whose tables hold a mutex and an evaluation
+    closure and cannot cross a [Marshal] boundary — those are rebuilt on
+    demand (their exact solves are lazy anyway). *)
+
+val snapshot : unit -> string
+(** A self-contained byte string of the current marshal-safe memo
+    contents, deterministic in those contents (buckets and keyed entries
+    are sorted). *)
+
+val restore : string -> int
+(** Merge a {!snapshot} back in, keeping any table the process already
+    holds (full structural re-check, never a blind overwrite); returns
+    the number of tables added.  @raise Failure on a byte string that is
+    not a cache snapshot or fails to parse — callers checksum snapshots
+    before restoring, so this is a defense-in-depth check, not the
+    integrity mechanism. *)

@@ -1,0 +1,124 @@
+type t = { sdir : string }
+
+type 'a read = Value of 'a | Missing | Corrupt
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ~dir ~key =
+  let sdir = Filename.concat dir key in
+  mkdir_p sdir;
+  { sdir }
+
+let dir t = t.sdir
+
+let block_path t index = Filename.concat t.sdir (Printf.sprintf "shard-%04d.blk" index)
+let snap_path t slot = Filename.concat t.sdir (Printf.sprintf "memo-%d.snap" slot)
+
+(* Killed writers leave only their temp file behind; the rename is the
+   commit point, so a reader never sees a partially written artifact
+   under its final name. *)
+let atomic_write path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else
+    Some
+      (let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+
+let block_tag = "chshard1"
+let snap_tag = "chsnap1"
+
+let write_block t ~index verdicts =
+  let payload =
+    String.init (Array.length verdicts) (fun i ->
+        if verdicts.(i) then '1' else '0')
+  in
+  let header =
+    Printf.sprintf "%s %d %d %s\n" block_tag index (Array.length verdicts)
+      (Digest.to_hex (Digest.string payload))
+  in
+  atomic_write (block_path t index) (header ^ payload ^ "\n")
+
+(* Any deviation — bad tag, short file, index or length mismatch, digest
+   mismatch, stray bytes after the payload — is [Corrupt]: the caller
+   recomputes the shard, it never merges suspect bytes. *)
+let parse_block ~index body =
+  match String.index_opt body '\n' with
+  | None -> Corrupt
+  | Some nl -> (
+      match String.split_on_char ' ' (String.sub body 0 nl) with
+      | [ tag; idx; count; digest ] -> (
+          match (int_of_string_opt idx, int_of_string_opt count) with
+          | Some idx, Some count
+            when tag = block_tag && idx = index && count >= 0
+                 && String.length body = nl + 1 + count + 1
+                 && body.[String.length body - 1] = '\n' ->
+              let payload = String.sub body (nl + 1) count in
+              if Digest.to_hex (Digest.string payload) <> digest then Corrupt
+              else begin
+                let ok = ref true in
+                let verdicts =
+                  Array.init count (fun i ->
+                      match payload.[i] with
+                      | '1' -> true
+                      | '0' -> false
+                      | _ ->
+                          ok := false;
+                          false)
+                in
+                if !ok then Value verdicts else Corrupt
+              end
+          | _ -> Corrupt)
+      | _ -> Corrupt)
+
+let read_block t ~index =
+  match read_file (block_path t index) with
+  | None -> Missing
+  | Some body -> parse_block ~index body
+
+let write_snapshot t ~slot snap =
+  let header =
+    Printf.sprintf "%s %d %s\n" snap_tag (String.length snap)
+      (Digest.to_hex (Digest.string snap))
+  in
+  atomic_write (snap_path t slot) (header ^ snap)
+
+let read_snapshot t ~slot =
+  match read_file (snap_path t slot) with
+  | None -> Missing
+  | Some body -> (
+      match String.index_opt body '\n' with
+      | None -> Corrupt
+      | Some nl -> (
+          match String.split_on_char ' ' (String.sub body 0 nl) with
+          | [ tag; len; digest ] -> (
+              match int_of_string_opt len with
+              | Some len
+                when tag = snap_tag && len >= 0
+                     && String.length body = nl + 1 + len ->
+                  let snap = String.sub body (nl + 1) len in
+                  if Digest.to_hex (Digest.string snap) = digest then Value snap
+                  else Corrupt
+              | _ -> Corrupt)
+          | _ -> Corrupt))
+
+let snapshot_slots t =
+  Sys.readdir t.sdir |> Array.to_list
+  |> List.filter_map (fun f ->
+         match Scanf.sscanf_opt f "memo-%d.snap%!" Fun.id with
+         | Some slot when f = Printf.sprintf "memo-%d.snap" slot -> Some slot
+         | _ -> None)
+  |> List.sort compare

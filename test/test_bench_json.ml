@@ -90,6 +90,15 @@ let () =
       "\"transcript_differential_ok\": true";
       "\"decisions_ok\": true";
       "\"within_budget\": true";
+      (* the sharded sweep-engine section *)
+      "\"sweep\":";
+      "\"family\": \"mds-k2-sweep-x4\"";
+      "\"family\": \"mds-k2-sweep-resume4\"";
+      "\"shards_completed\":";
+      "\"shards_resumed\":";
+      "\"shards_recomputed\":";
+      "\"artifacts_corrupt\":";
+      "\"name\": \"sweep.shards.completed\"";
       (* the telemetry section: one report per bench entry, enabled by
          default under --json *)
       "\"obs\":";
