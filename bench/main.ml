@@ -1000,13 +1000,133 @@ let sweep_benches ~smoke () =
   if Sys.file_exists root then rm_rf root;
   entries
 
+(* Serve daemon (lib/serve): cold vs warm service time for one verify
+   plan over a real localhost Unix socket — daemon thread, framing,
+   scheduler admission and the warm-cache registry all on the measured
+   path.  The daemon runs in-process (threads, not fork: the domain
+   pool is already up, and OCaml 5 forbids fork after domains spawn);
+   the socket hop is real, so cold/warm is exactly what a CLI client
+   sees.  [Cache.clear] before each entry makes the first request
+   genuinely cold; the warm figure is the best of five repeats, and the
+   oracle digest is computed after the roundtrips so its work never
+   pre-warms the server. *)
+type sventry = {
+  svname : string;
+  svpairs : int;
+  svcold_s : float;
+  svwarm_s : float;  (** best of the warm repeats *)
+  svwarm_hit : bool;  (** every repeat answered [warm: true] *)
+  svdigest_ok : bool;  (** every digest equals the in-process oracle *)
+  svobs : Obs.report option;
+}
+
+let serve_benches ~smoke () =
+  let open Ch_serve in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench_serve_%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Server.start
+      {
+        Server.cfg_addr = Server.Unix_socket sock;
+        cfg_workers = 4;
+        cfg_queue_depth = 64;
+        cfg_store_dir = None;
+        cfg_obs_out = None;
+      }
+  in
+  let entry ~name ~family ~k ~vmode =
+    Ch_solvers.Cache.clear ();
+    obs_fresh ();
+    let c = Client.connect ~retries:20 (Server.Unix_socket sock) in
+    let req id =
+      {
+        Protocol.rq_id = id;
+        rq_op = Protocol.Verify { family; k; vmode; engine = Protocol.Auto };
+        rq_deadline_ms = None;
+      }
+    in
+    let get id =
+      match Client.roundtrip c [ req id ] with
+      | [ r ] -> r
+      | _ -> failwith (Printf.sprintf "serve bench %s: bad batch shape" name)
+    in
+    let body r =
+      match r.Protocol.rs_outcome with
+      | Protocol.Payload b -> b
+      | Protocol.Error (code, msg) ->
+          failwith
+            (Printf.sprintf "serve bench %s: %s (%s)" name
+               (Protocol.error_code_to_string code)
+               msg)
+    in
+    let r0, cold = timed (fun () -> get 0) in
+    let repeats = List.init 5 (fun i -> timed (fun () -> get (i + 1))) in
+    Client.close c;
+    let warm =
+      List.fold_left (fun acc (_, w) -> Float.min acc w) Float.infinity repeats
+    in
+    let warm_hit = List.for_all (fun (r, _) -> r.Protocol.rs_warm) repeats in
+    let digest r =
+      match Jsonx.mem "digest" (body r) with
+      | Some (Jsonx.Str d) -> d
+      | _ -> failwith (Printf.sprintf "serve bench %s: no digest" name)
+    in
+    let pairs =
+      match Jsonx.mem "pairs" (body r0) with Some (Jsonx.Int n) -> n | _ -> 0
+    in
+    let fam = fam_of ~k family in
+    let mode =
+      match vmode with
+      | Protocol.Exhaustive -> Ch_sweep.Shard.Exhaustive
+      | Protocol.Sampled { seed; samples } ->
+          Ch_sweep.Shard.Sampled { seed; samples }
+    in
+    let oracle_digest =
+      Ch_sweep.Sweep.digest (Ch_sweep.Sweep.oracle fam ~mode)
+    in
+    let digest_ok =
+      List.for_all (fun (r, _) -> digest r = oracle_digest) ((r0, cold) :: repeats)
+    in
+    if not digest_ok then
+      failwith (Printf.sprintf "serve bench %s: digest mismatch vs oracle" name);
+    {
+      svname = name;
+      svpairs = pairs;
+      svcold_s = cold;
+      svwarm_s = warm;
+      svwarm_hit = warm_hit;
+      svdigest_ok = digest_ok;
+      svobs = obs_snap ();
+    }
+  in
+  let entries =
+    (* the acceptance workload first: repeated node-weighted Steiner at
+       k=2 must serve warm >= 10x faster than cold *)
+    entry ~name:"serve-nwsteiner-k2-x" ~family:"steiner-node-weighted" ~k:2
+      ~vmode:Protocol.Exhaustive
+    :: entry ~name:"serve-mds-k2-x" ~family:"mds" ~k:2
+         ~vmode:Protocol.Exhaustive
+    ::
+    (if smoke then []
+     else
+       [
+         entry ~name:"serve-mds-k4-s2048" ~family:"mds" ~k:4
+           ~vmode:(Protocol.Sampled { seed = 11; samples = 2044 });
+       ])
+  in
+  Server.stop server;
+  entries
+
 let json_escape s =
   String.concat ""
     (List.map
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let write_json ~experiment_times ~verify ~reduction ~sweep =
+let write_json ~experiment_times ~verify ~reduction ~sweep ~serve =
   let ts = int_of_float (Unix.time ()) in
   let file = Printf.sprintf "BENCH_%d.json" ts in
   let buf = Buffer.create 1024 in
@@ -1085,6 +1205,19 @@ let write_json ~experiment_times ~verify ~reduction ~sweep =
         (if i < List.length sweep - 1 then "," else ""))
     sweep;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"serve\": [\n";
+  List.iteri
+    (fun i e ->
+      Printf.bprintf buf
+        "    {\"name\": \"%s\", \"pairs\": %d, \"cold_s\": %.6f, \
+         \"warm_s\": %.6f, \"warm_speedup\": %.2f, \"warm_hit\": %b, \
+         \"digest_ok\": %b}%s\n"
+        (json_escape e.svname) e.svpairs e.svcold_s e.svwarm_s
+        (e.svcold_s /. e.svwarm_s)
+        e.svwarm_hit e.svdigest_ok
+        (if i < List.length serve - 1 then "," else ""))
+    serve;
+  Buffer.add_string buf "  ],\n";
   (* one telemetry report per bench entry; the counter objects inside
      each report sit one per line, so two runs' counter sets diff with
      plain grep (the CH_JOBS determinism guard in CI does exactly that) *)
@@ -1093,6 +1226,9 @@ let write_json ~experiment_times ~verify ~reduction ~sweep =
     @ List.filter_map (fun r -> Option.map (fun o -> (r.rname, o)) r.robs)
         reduction
     @ List.filter_map (fun e -> Option.map (fun o -> (e.sname, o)) e.sobs) sweep
+    @ List.filter_map
+        (fun e -> Option.map (fun o -> (e.svname, o)) e.svobs)
+        serve
   in
   Buffer.add_string buf "  \"obs\": [\n";
   List.iteri
@@ -1188,5 +1324,16 @@ let () =
           e.scompleted e.sresumed e.srecomputed e.scorrupt
           (if e.sdiff_ok then "differential ok" else "DIFFERENTIAL MISMATCH"))
       sweep;
-    write_json ~experiment_times ~verify ~reduction ~sweep
+    header "Serve daemon (cold vs warm over a localhost socket)";
+    let serve = serve_benches ~smoke () in
+    List.iter
+      (fun e ->
+        Printf.printf
+          "  %-28s %8d pairs  cold %8.4fs  warm %8.6fs  ×%.1f  %s%s\n"
+          e.svname e.svpairs e.svcold_s e.svwarm_s
+          (e.svcold_s /. e.svwarm_s)
+          (if e.svwarm_hit then "warm hits" else "NO WARM HIT")
+          (if e.svdigest_ok then "  digest ok" else "  DIGEST MISMATCH"))
+      serve;
+    write_json ~experiment_times ~verify ~reduction ~sweep ~serve
   end

@@ -315,8 +315,18 @@ let sweep_cmd =
             (match resume with
             | Some dir -> Filename.concat dir (Sweep.store_key fam ~mode ~shards)
             | None -> "(scratch)");
+          (* SIGINT/SIGTERM behave like --fault-after at the moment the
+             signal lands: in-flight shards finish and persist, the run
+             raises [Interrupted], the process exits 3 — never a torn
+             store write, and the same --resume continues the sweep. *)
+          let stop = Atomic.make false in
+          let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+          ignore (Sys.signal Sys.sigint on_signal);
+          ignore (Sys.signal Sys.sigterm on_signal);
           let work () =
-            Sweep.run ?store_dir:resume ?fault_after ~procs fam ~mode ~shards
+            Sweep.run ?store_dir:resume ?fault_after ~procs
+              ~should_stop:(fun () -> Atomic.get stop)
+              fam ~mode ~shards
           in
           let o = if profile then profiled ~root:"sweep" ~obs_out work else work () in
           Printf.printf
@@ -434,6 +444,357 @@ let profile_cmd =
           counters, histograms).")
     Term.(const run $ k_arg $ family_arg $ obs_out_arg)
 
+(* ------------------------------------------------------------------ serve *)
+
+let socket_arg =
+  let doc = "Listen on (or connect to) the Unix socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Listen on (or connect to) loopback TCP port $(docv)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"N" ~doc)
+
+let resolve_addr socket port =
+  let open Ch_serve in
+  match (socket, port) with
+  | Some path, None -> Ok (Server.Unix_socket path)
+  | None, Some p -> Ok (Server.Tcp p)
+  | None, None -> Error "pass --socket PATH or --port N"
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+
+let serve_cmd =
+  let open Ch_serve in
+  let run socket port workers queue_depth store obs_out =
+    match resolve_addr socket port with
+    | Error msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        1
+    | Ok addr ->
+        let cfg =
+          {
+            Server.cfg_addr = addr;
+            cfg_workers = workers;
+            cfg_queue_depth = queue_depth;
+            cfg_store_dir = store;
+            cfg_obs_out = obs_out;
+          }
+        in
+        let server = Server.start cfg in
+        (* SIGTERM/SIGINT request a graceful drain: stop accepting,
+           finish queued requests, persist the warm caches, unlink the
+           socket, exit 0. *)
+        let stop = Atomic.make false in
+        let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+        ignore (Sys.signal Sys.sigterm on_signal);
+        ignore (Sys.signal Sys.sigint on_signal);
+        Printf.printf
+          "hardness serve: listening on %s (workers=%d, queue=%d, store=%s, \
+           warm tables=%d)\n\
+           %!"
+          (match addr with
+          | Server.Unix_socket p -> p
+          | Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p)
+          workers queue_depth
+          (Option.value store ~default:"(none)")
+          (Warm.tables_seeded (Server.warm server));
+        while not (Atomic.get stop) do
+          Thread.delay 0.05
+        done;
+        Printf.printf "hardness serve: draining\n%!";
+        Server.stop server;
+        Printf.printf "hardness serve: stopped (warm entries=%d)\n%!"
+          (Warm.entries (Server.warm server));
+        0
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Scheduler worker threads.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound: requests past it are answered \
+             $(b,overloaded) immediately.")
+  in
+  let store_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Sweep store root: seed the warm caches from its memo \
+             snapshots at startup and persist them back on shutdown.")
+  in
+  let serve_obs_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:"Stream per-request telemetry events as JSONL to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification daemon: batched verify/simulate/reduction \
+          requests over a length-prefixed JSON protocol, with warm solver \
+          caches, bounded admission, and graceful SIGTERM drain.")
+    Term.(
+      const run $ socket_arg $ port_arg $ workers_arg $ queue_arg $ store_arg
+      $ serve_obs_arg)
+
+let client_cmd =
+  let open Ch_serve in
+  let jint body name =
+    Option.bind (Jsonx.mem name body) Jsonx.as_int
+  in
+  let jstr body name = Option.bind (Jsonx.mem name body) Jsonx.as_str in
+  let print_response r =
+    match r.Protocol.rs_outcome with
+    | Protocol.Payload body ->
+        Printf.printf "id=%d ok warm=%b micros=%d %s\n" r.Protocol.rs_id
+          r.Protocol.rs_warm r.Protocol.rs_micros (Jsonx.to_string body)
+    | Protocol.Error (code, msg) ->
+        Printf.printf "id=%d error=%s message=%s\n" r.Protocol.rs_id
+          (Protocol.error_code_to_string code)
+          msg
+  in
+  let run op family k samples seed scratch deadline shards pairs repeat bench
+      socket port check_oracle =
+    match resolve_addr socket port with
+    | Error msg ->
+        Printf.eprintf "client: %s\n" msg;
+        1
+    | Ok addr -> (
+        let vmode =
+          match samples with
+          | None -> Protocol.Exhaustive
+          | Some m -> Protocol.Sampled { seed; samples = m }
+        in
+        let need_family () =
+          match family with
+          | Some f -> f
+          | None ->
+              Printf.eprintf "client: op %S needs a FAMILY argument\n" op;
+              exit 2
+        in
+        let opv =
+          match op with
+          | "ping" -> Protocol.Ping
+          | "catalog" -> Protocol.Catalog
+          | "stats" -> Protocol.Stats
+          | "verify" ->
+              Protocol.Verify
+                {
+                  family = need_family ();
+                  k;
+                  vmode;
+                  engine = (if scratch then Protocol.Scratch else Protocol.Auto);
+                }
+          | "simulate" ->
+              Protocol.Simulate { family = need_family (); k; pairs; seed }
+          | "reduction" ->
+              Protocol.Reduction
+                {
+                  family = need_family ();
+                  k;
+                  exhaustive = samples = None;
+                  pairs;
+                  seed;
+                }
+          | "sweep-status" ->
+              Protocol.Sweep_status { family = need_family (); k; shards; vmode }
+          | other ->
+              Printf.eprintf
+                "client: unknown op %S (ping, catalog, stats, verify, \
+                 simulate, reduction, sweep-status)\n"
+                other;
+              exit 2
+        in
+        let request id =
+          { Protocol.rq_id = id; rq_op = opv; rq_deadline_ms = deadline }
+        in
+        (* the in-process oracle digest for verify ops: the served stream
+           must be bit-identical to the library run in this process *)
+        let oracle_digest () =
+          let open Ch_sweep in
+          let spec = Registry.find_exn (catalog ()) (need_family ()) in
+          let fam = spec.Registry.scratch k in
+          let mode =
+            match vmode with
+            | Protocol.Exhaustive -> Shard.Exhaustive
+            | Protocol.Sampled { seed; samples } ->
+                Shard.Sampled { seed; samples }
+          in
+          Sweep.digest (Sweep.oracle fam ~mode)
+        in
+        let check r =
+          match (check_oracle, r.Protocol.rs_outcome) with
+          | false, Protocol.Payload _ -> true
+          | _, Protocol.Error _ -> false
+          | true, Protocol.Payload body -> (
+              match jstr body "digest" with
+              | None -> true (* no digest in this op's body *)
+              | Some d ->
+                  let ok = d = oracle_digest () in
+                  Printf.printf "oracle differential: %s\n"
+                    (if ok then "ok" else "MISMATCH");
+                  ok)
+        in
+        try
+          if bench > 1 then begin
+            (* concurrent connections, one request each; every verdict
+               digest must agree across clients *)
+            let results = Array.make bench None in
+            let threads =
+              List.init bench (fun i ->
+                  Thread.create
+                    (fun () ->
+                      let c = Client.connect ~retries:20 addr in
+                      let rs = Client.roundtrip c [ request i ] in
+                      Client.close c;
+                      results.(i) <- Some rs)
+                    ())
+            in
+            List.iter Thread.join threads;
+            let all = Array.to_list results in
+            if List.exists Option.is_none all then begin
+              Printf.eprintf "client: a bench connection failed\n";
+              1
+            end
+            else begin
+              let responses = List.concat_map Option.get all in
+              List.iter print_response responses;
+              let digests =
+                List.filter_map
+                  (fun r ->
+                    match r.Protocol.rs_outcome with
+                    | Protocol.Payload body -> jstr body "digest"
+                    | Protocol.Error _ -> None)
+                  responses
+              in
+              let agree =
+                match digests with
+                | [] -> true
+                | d :: rest -> List.for_all (( = ) d) rest
+              in
+              Printf.printf "bench: %d clients, digests %s\n" bench
+                (if agree then "agree" else "DISAGREE");
+              let ok = agree && List.for_all check responses in
+              if ok then 0 else 1
+            end
+          end
+          else begin
+            let c = Client.connect ~retries:20 addr in
+            let micros = ref [] in
+            let ok = ref true in
+            for rep = 0 to repeat - 1 do
+              let rs = Client.roundtrip c [ request rep ] in
+              List.iter
+                (fun r ->
+                  print_response r;
+                  (match r.Protocol.rs_outcome with
+                  | Protocol.Payload _ -> micros := r.Protocol.rs_micros :: !micros
+                  | Protocol.Error _ -> ok := false);
+                  if not (check r) then ok := false)
+                rs
+            done;
+            Client.close c;
+            (match List.rev !micros with
+            | cold :: (_ :: _ as warm) ->
+                let best = List.fold_left min max_int warm in
+                Printf.printf "warm_speedup=%.1f\n"
+                  (float_of_int cold /. float_of_int (max 1 best))
+            | _ -> ());
+            if !ok then 0 else 1
+          end
+        with
+        | Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "client: cannot reach daemon: %s\n"
+              (Unix.error_message e);
+            1
+        | Protocol.Protocol_error msg ->
+            Printf.eprintf "client: protocol error: %s\n" msg;
+            1
+        | Failure msg ->
+            Printf.eprintf "client: %s\n" msg;
+            1)
+  in
+  ignore jint;
+  let op_arg =
+    let doc =
+      "Operation: ping, catalog, stats, verify, simulate, reduction or \
+       sweep-status."
+    in
+    Arg.(value & pos 0 string "ping" & info [] ~docv:"OP" ~doc)
+  in
+  let client_family_arg =
+    let doc = "Family id (required by verify/simulate/reduction/sweep-status)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let client_samples_arg =
+    let doc =
+      "Verify the 4 corner pairs plus $(docv) seeded samples instead of all \
+       4^K pairs."
+    in
+    Arg.(value & opt (some int) None & info [ "samples" ] ~docv:"M" ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Sampling seed.")
+  in
+  let scratch_arg =
+    let doc = "Ask the server for the from-scratch engine (default auto)." in
+    Arg.(value & flag & info [ "scratch" ] ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-request deadline: the server answers $(b,deadline_exceeded) when \
+       the request has not started within $(docv) milliseconds."
+    in
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"N" ~doc:"Shard count (sweep-status).")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "pairs" ] ~docv:"N" ~doc:"Input pairs (simulate/reduction).")
+  in
+  let repeat_arg =
+    let doc =
+      "Send the request $(docv) times on one connection and report the \
+       cold-vs-warm speedup."
+    in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"R" ~doc)
+  in
+  let bench_arg =
+    let doc =
+      "Drive $(docv) concurrent connections, one request each, and assert \
+       the served digests agree."
+    in
+    Arg.(value & opt int 1 & info [ "bench" ] ~docv:"C" ~doc)
+  in
+  let check_oracle_arg =
+    let doc =
+      "Also compute the verdict stream in-process and diff its digest \
+       against the served one."
+    in
+    Arg.(value & flag & info [ "check-oracle" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Query a running $(b,hardness serve) daemon: one-shot requests, \
+          warm-cache repeats, and concurrent-connection bench mode with \
+          oracle differentials.")
+    Term.(
+      const run $ op_arg $ client_family_arg $ k_arg $ client_samples_arg
+      $ seed_arg $ scratch_arg $ deadline_arg $ shards_arg $ pairs_arg
+      $ repeat_arg $ bench_arg $ socket_arg $ port_arg $ check_oracle_arg)
+
 let () =
   let info =
     Cmd.info "hardness" ~version:"1.0"
@@ -442,4 +803,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; verify_cmd; simulate_cmd; reduction_cmd; sweep_cmd; profile_cmd ]))
+          [
+            list_cmd;
+            verify_cmd;
+            simulate_cmd;
+            reduction_cmd;
+            sweep_cmd;
+            profile_cmd;
+            serve_cmd;
+            client_cmd;
+          ]))

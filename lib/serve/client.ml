@@ -1,0 +1,34 @@
+type t = { fd : Unix.file_descr }
+
+let sockaddr = function
+  | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Server.Tcp port ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let connect ?(retries = 0) addr =
+  let domain, sa = sockaddr addr in
+  let rec attempt left =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> { fd }
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when left > 0
+      ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Thread.delay 0.1;
+        attempt (left - 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  attempt retries
+
+let roundtrip t reqs =
+  Protocol.write_frame t.fd (Protocol.encode_requests reqs);
+  match Protocol.read_frame t.fd with
+  | None -> raise (Protocol.Protocol_error "connection closed before response")
+  | Some payload -> (
+      match Protocol.decode_responses payload with
+      | Ok rs -> rs
+      | Error msg -> failwith ("Client.roundtrip: bad response: " ^ msg))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

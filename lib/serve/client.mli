@@ -1,0 +1,21 @@
+(** The serve client: blocking request/response over one connection.
+
+    Thin by design — framing and codecs live in {!Protocol}; this module
+    owns only the socket lifecycle (connect with retry, roundtrip,
+    close), shared by [hardness client], the bench's cold/warm pairs and
+    the concurrent-client tests. *)
+
+type t
+
+val connect : ?retries:int -> Server.addr -> t
+(** Connect to a daemon.  [retries] (default 0) retries at 100ms
+    intervals while the socket is absent or refusing — the smoke
+    scripts race daemon startup.  @raise Unix.Unix_error when the
+    last attempt fails. *)
+
+val roundtrip : t -> Protocol.request list -> Protocol.response list
+(** Send one batch, wait for its response frame.
+    @raise Protocol.Protocol_error on a torn or oversized response, and
+    [Failure] on an undecodable one. *)
+
+val close : t -> unit

@@ -1,0 +1,47 @@
+(** A minimal JSON codec for the serve wire protocol.
+
+    The repo deliberately carries no JSON dependency (the bench and the
+    registry render their JSON by hand), but a request {e parser} needs a
+    real grammar, so this module implements just enough of RFC 8259 for
+    the protocol: the seven value forms, string escapes (including
+    [\uXXXX], decoded to UTF-8), and integer/float numbers.
+
+    The codec round-trips: [parse (to_string v)] returns [Ok v] for every
+    value this module can construct, with [Int]/[Float] kept distinct
+    ([Float] renders with a decimal point or exponent even when
+    integral).  Parsing is total — malformed input yields [Error], never
+    an exception — because the bytes come straight off a socket. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no whitespace).  Object fields keep their given
+    order.  @raise Invalid_argument on [Float nan] or infinities — JSON
+    has no spelling for them and the protocol never needs one. *)
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON value spanning the whole string (trailing
+    whitespace allowed).  Errors carry a byte offset. *)
+
+(** {1 Accessors}
+
+    Total lookups used by the protocol decoder: [None] on shape
+    mismatch, so a malformed request degrades to a [bad_request]
+    response instead of an exception. *)
+
+val mem : string -> t -> t option
+(** Field of an [Obj], [None] otherwise. *)
+
+val as_int : t -> int option
+(** [Int n], or a [Float] that is exactly integral. *)
+
+val as_str : t -> string option
+val as_bool : t -> bool option
+val as_arr : t -> t list option

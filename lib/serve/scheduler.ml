@@ -1,0 +1,74 @@
+type t = {
+  q : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  max_depth : int;
+  mutable running : int;  (** jobs currently executing *)
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+}
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.stopping do
+      Condition.wait t.nonempty t.m
+    done;
+    match Queue.take_opt t.q with
+    | Some job ->
+        t.running <- t.running + 1;
+        Mutex.unlock t.m;
+        (try job () with _ -> ());
+        Mutex.lock t.m;
+        t.running <- t.running - 1;
+        Mutex.unlock t.m;
+        loop ()
+    | None ->
+        (* stopping and the queue is dry *)
+        Mutex.unlock t.m
+  in
+  loop ()
+
+let create ~workers ~queue_depth =
+  if workers < 1 then invalid_arg "Scheduler.create: workers must be >= 1";
+  if queue_depth < 1 then
+    invalid_arg "Scheduler.create: queue_depth must be >= 1";
+  let t =
+    {
+      q = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      max_depth = queue_depth;
+      running = 0;
+      stopping = false;
+      threads = [];
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  t
+
+let submit t job =
+  Mutex.lock t.m;
+  let accepted = (not t.stopping) && Queue.length t.q < t.max_depth in
+  if accepted then begin
+    Queue.add job t.q;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.m;
+  accepted
+
+let depth t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n
+
+let drain t =
+  Mutex.lock t.m;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let threads = t.threads in
+  t.threads <- [];
+  Mutex.unlock t.m;
+  if not already then List.iter Thread.join threads

@@ -1,0 +1,32 @@
+(** A bounded admission queue over a fixed worker-thread pool — the
+    server's backpressure stage.
+
+    Connection threads {!submit} one job per request; [submit] never
+    blocks.  Past the configured queue depth it refuses ([false]) and
+    the caller answers [overloaded] immediately — the client learns to
+    back off instead of queueing unboundedly.  Worker threads pop jobs
+    in FIFO order and run them to completion; a job that raises is
+    dropped (jobs wrap their own error reporting).
+
+    Workers are systhreads, not domains: the jobs themselves fan their
+    per-pair work onto the shared domain pool ({!Ch_core.Pool}), whose
+    busy fallback runs a nested batch in the calling thread — so
+    concurrent jobs degrade to sequential pool use rather than
+    deadlock.
+
+    {!drain} is the graceful-shutdown edge: new submissions are refused,
+    queued jobs run to completion, then the workers exit and join. *)
+
+type t
+
+val create : workers:int -> queue_depth:int -> t
+(** @raise Invalid_argument on [workers < 1] or [queue_depth < 1]. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** [false] when the queue is at depth or the scheduler is draining. *)
+
+val depth : t -> int
+(** Jobs currently queued (excluding running ones). *)
+
+val drain : t -> unit
+(** Refuse new work, run the queue dry, join the workers.  Idempotent. *)

@@ -1,0 +1,552 @@
+(* no [open Ch_cc]: it exports its own [Protocol], which would shadow
+   the serve wire protocol *)
+module Bits = Ch_cc.Bits
+module Framework = Ch_core.Framework
+module Registry = Ch_core.Registry
+module Families = Ch_lbgraphs.Families
+module Bound = Ch_reduction.Bound
+module Shard = Ch_sweep.Shard
+module Sweep = Ch_sweep.Sweep
+module Store = Ch_sweep.Store
+module Obs = Ch_obs.Obs
+open Protocol
+
+let c_requests = Obs.counter "serve.requests"
+let c_warm_hits = Obs.counter "serve.requests.warm"
+let c_overloaded = Obs.counter "serve.requests.overloaded"
+let c_deadline = Obs.counter "serve.requests.deadline"
+let c_errors = Obs.counter "serve.requests.errors"
+let sp_request = Obs.span "serve_request"
+
+type addr = Unix_socket of string | Tcp of int
+
+type config = {
+  cfg_addr : addr;
+  cfg_workers : int;
+  cfg_queue_depth : int;
+  cfg_store_dir : string option;
+  cfg_obs_out : string option;
+}
+
+type t = {
+  cfg : config;
+  warm : Warm.t;
+  sched : Scheduler.t;
+  listen_fd : Unix.file_descr;
+  stopping : bool Atomic.t;
+  conns : (Unix.file_descr * Thread.t) list ref;
+  conns_lock : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  obs_oc : out_channel option;
+  mutable stopped : bool;
+  stop_lock : Mutex.t;
+}
+
+let warm t = t.warm
+
+(* control-flow exception inside [exec]: an op-level error with a code *)
+exception Err of error_code * string
+
+(* ------------------------------------------------------------------ ops *)
+
+let find_spec name =
+  match Registry.find (Families.catalog ()) name with
+  | Some s -> s
+  | None ->
+      raise
+        (Err
+           ( Unknown_family,
+             Registry.unknown_id_message (Families.catalog ()) name ))
+
+let shard_mode = function
+  | Exhaustive -> Shard.Exhaustive
+  | Sampled { seed; samples } -> Shard.Sampled { seed; samples }
+
+let vmode_body = function
+  | Exhaustive -> Jsonx.Str "exhaustive"
+  | Sampled { seed; samples } ->
+      Jsonx.Obj [ ("seed", Jsonx.Int seed); ("samples", Jsonx.Int samples) ]
+
+(* The incremental sampled trace: Framework has no sampled_verdicts_inc,
+   so replay the documented sample-index space through one prepared
+   instance — bit-identical to [Framework.sampled_verdicts] of the
+   scratch family by the [pverdict] contract. *)
+let sampled_verdicts_inc inc ~seed ~samples =
+  let prep = inc.Framework.prepare () in
+  Array.init (samples + 4) (fun i ->
+      let x, y = Framework.random_pair_at inc.Framework.scratch ~seed i in
+      prep.Framework.pverdict x y)
+
+let verify_body fam ~k ~vmode ~engine_used ~(cached : Warm.cached) ~source =
+  let lb =
+    Framework.lower_bound_rounds ~input_bits:fam.Framework.input_bits
+      ~cut:(Framework.cut_size fam) ~n:fam.Framework.nvertices
+  in
+  Jsonx.Obj
+    [
+      ("family", Jsonx.Str fam.Framework.name);
+      ("k", Jsonx.Int k);
+      ("engine", Jsonx.Str engine_used);
+      ("mode", vmode_body vmode);
+      ("pairs", Jsonx.Int (Array.length cached.Warm.c_verdicts));
+      ("failures", Jsonx.Int cached.Warm.c_failures);
+      ("sided", Jsonx.Bool cached.Warm.c_sided);
+      ("digest", Jsonx.Str cached.Warm.c_digest);
+      ("lb_rounds", Jsonx.Float lb);
+      ("source", Jsonx.Str source);
+    ]
+
+(* Derive the cached record from a raw verdict stream: failure count
+   against f, the Definition 1.1 sidedness spot-check (the same seeds the
+   verify CLI uses), and the stream digest. *)
+let derive fam ~mode verdicts =
+  let gen = Shard.generator fam mode in
+  let failures = ref 0 in
+  Array.iteri
+    (fun p v ->
+      let x, y = gen p in
+      if v <> fam.Framework.f x y then incr failures)
+    verdicts;
+  {
+    Warm.c_verdicts = verdicts;
+    c_failures = !failures;
+    c_sided = Framework.check_sidedness ~seed:3 ~samples:8 fam;
+    c_digest = Sweep.digest verdicts;
+  }
+
+let exec_verify t ~family ~k ~vmode ~engine =
+  let spec = find_spec family in
+  let fam = spec.Registry.scratch k in
+  let mode = shard_mode vmode in
+  let key = Warm.key fam ~mode in
+  match Warm.find t.warm ~key with
+  | Some cached ->
+      (true, verify_body fam ~k ~vmode ~engine_used:"cache" ~cached ~source:"memory")
+  | None -> (
+      let total = Shard.total fam mode in
+      match Warm.find_block t.warm ~key ~total with
+      | Some verdicts ->
+          let cached = derive fam ~mode verdicts in
+          Warm.remember ~write:false t.warm ~key cached;
+          ( true,
+            verify_body fam ~k ~vmode ~engine_used:"cache" ~cached
+              ~source:"store" )
+      | None ->
+          let engine_used, verdicts =
+            match (engine, spec.Registry.incremental) with
+            | Incremental, None ->
+                raise
+                  (Err
+                     ( Unsupported,
+                       Printf.sprintf "family %S has no incremental engine"
+                         family ))
+            | (Incremental | Auto), Some incf -> (
+                let inc = incf k in
+                match mode with
+                | Shard.Exhaustive ->
+                    ("incremental", fst (Framework.exhaustive_verdicts_inc inc))
+                | Shard.Sampled { seed; samples } ->
+                    ("incremental", sampled_verdicts_inc inc ~seed ~samples))
+            | Scratch, _ | Auto, None ->
+                ("scratch", Sweep.oracle fam ~mode)
+          in
+          let cached = derive fam ~mode verdicts in
+          Warm.remember ~write:true t.warm ~key cached;
+          ( false,
+            verify_body fam ~k ~vmode ~engine_used ~cached ~source:"computed" ))
+
+let exec_simulate ~family ~k ~pairs ~seed =
+  let spec = find_spec family in
+  let rd =
+    match spec.Registry.reduction with
+    | Some rd -> rd k
+    | None ->
+        raise
+          (Err
+             ( Unsupported,
+               Printf.sprintf "family %S has no reduction algorithm" family ))
+  in
+  let fam = spec.Registry.scratch k in
+  let bits = fam.Framework.input_bits in
+  let rows = ref [] in
+  let all_correct = ref true in
+  for i = pairs - 1 downto 0 do
+    let x = Bits.random ~seed:(seed + (3 * i)) ~density:0.7 bits in
+    let y = Bits.random ~seed:(seed + (3 * i) + 1) ~density:0.7 bits in
+    let sim =
+      Framework.simulate_alice_bob fam ~solver:rd.Registry.rd_solver
+        ~accept:rd.Registry.rd_accept x y
+    in
+    if not sim.Framework.decision_correct then all_correct := false;
+    rows :=
+      Jsonx.Obj
+        [
+          ("pair", Jsonx.Int i);
+          ("rounds", Jsonx.Int sim.Framework.rounds);
+          ("cut_bits", Jsonx.Int sim.Framework.cut_bits);
+          ("cut_messages", Jsonx.Int sim.Framework.cut_messages);
+          ("correct", Jsonx.Bool sim.Framework.decision_correct);
+        ]
+      :: !rows
+  done;
+  ( false,
+    Jsonx.Obj
+      [
+        ("family", Jsonx.Str fam.Framework.name);
+        ("k", Jsonx.Int k);
+        ("cut", Jsonx.Int (Framework.cut_size fam));
+        ("pairs", Jsonx.Arr !rows);
+        ("all_correct", Jsonx.Bool !all_correct);
+      ] )
+
+let exec_reduction ~family ~k ~exhaustive ~pairs ~seed =
+  let spec = find_spec family in
+  match Bound.sweep_registry ~seed ~exhaustive ~samples:pairs spec ~k with
+  | None ->
+      raise
+        (Err
+           ( Unsupported,
+             Printf.sprintf "family %S has no reduction algorithm" family ))
+  | Some (_, rep, skipped) ->
+      ( false,
+        Jsonx.Obj
+          [
+            ("family", Jsonx.Str rep.Bound.rep_name);
+            ("k", Jsonx.Int k);
+            ("pairs", Jsonx.Int rep.Bound.rep_pairs);
+            ("skipped", Jsonx.Int skipped);
+            ("cut", Jsonx.Int rep.Bound.rep_cut);
+            ("cc_bits", Jsonx.Int rep.Bound.rep_cc_bits);
+            ("lb_rounds", Jsonx.Float rep.Bound.rep_lb_rounds);
+            ("rounds_max", Jsonx.Int rep.Bound.rep_rounds_max);
+            ("cut_bits_max", Jsonx.Int rep.Bound.rep_cut_bits_max);
+            ("all_correct", Jsonx.Bool rep.Bound.rep_all_correct);
+            ("all_match", Jsonx.Bool rep.Bound.rep_all_match);
+            ("all_within_budget", Jsonx.Bool rep.Bound.rep_all_within_budget);
+          ] )
+
+let exec_sweep_status t ~family ~k ~shards ~vmode =
+  let spec = find_spec family in
+  let fam = spec.Registry.scratch k in
+  let mode = shard_mode vmode in
+  match t.cfg.cfg_store_dir with
+  | None -> (false, Jsonx.Obj [ ("store", Jsonx.Bool false) ])
+  | Some dir ->
+      let key = Sweep.store_key fam ~mode ~shards in
+      let st = Store.open_ ~dir ~key in
+      let total = Shard.total fam mode in
+      let plan = Shard.partition ~total ~shards in
+      let present = ref 0 and corrupt = ref 0 in
+      Array.iter
+        (fun s ->
+          match Store.read_block st ~index:(Shard.index s) with
+          | Store.Value v when Array.length v = Shard.count s -> incr present
+          | Store.Value _ | Store.Corrupt -> incr corrupt
+          | Store.Missing -> ())
+        plan;
+      ( false,
+        Jsonx.Obj
+          [
+            ("store", Jsonx.Bool true);
+            ("key", Jsonx.Str key);
+            ("shards", Jsonx.Int (Array.length plan));
+            ("present", Jsonx.Int !present);
+            ("corrupt", Jsonx.Int !corrupt);
+            ("snapshots", Jsonx.Int (List.length (Store.snapshot_slots st)));
+          ] )
+
+let exec_catalog () =
+  let specs = Registry.all (Families.catalog ()) in
+  ( false,
+    Jsonx.Obj
+      [
+        ( "families",
+          Jsonx.Arr
+            (List.map
+               (fun s ->
+                 Jsonx.Obj
+                   [
+                     ("id", Jsonx.Str s.Registry.id);
+                     ("title", Jsonx.Str s.Registry.title);
+                     ("paper_ref", Jsonx.Str s.Registry.paper_ref);
+                     ("default_k", Jsonx.Int s.Registry.default_k);
+                     ( "incremental",
+                       Jsonx.Bool (s.Registry.incremental <> None) );
+                     ("reduction", Jsonx.Bool (s.Registry.reduction <> None));
+                   ])
+               specs) );
+      ] )
+
+let exec_stats t =
+  ( false,
+    Jsonx.Obj
+      [
+        ("warm_entries", Jsonx.Int (Warm.entries t.warm));
+        ("tables_seeded", Jsonx.Int (Warm.tables_seeded t.warm));
+        ("queue_depth", Jsonx.Int (Scheduler.depth t.sched));
+        ("workers", Jsonx.Int t.cfg.cfg_workers);
+        ("queue_bound", Jsonx.Int t.cfg.cfg_queue_depth);
+        ( "store",
+          match t.cfg.cfg_store_dir with
+          | Some d -> Jsonx.Str d
+          | None -> Jsonx.Null );
+      ] )
+
+let op_tag = function
+  | Ping -> "ping"
+  | Catalog -> "catalog"
+  | Stats -> "stats"
+  | Verify _ -> "verify"
+  | Simulate _ -> "simulate"
+  | Reduction _ -> "reduction"
+  | Sweep_status _ -> "sweep-status"
+
+(* Execute one request (already past admission).  [t0] is the admission
+   timestamp — deadlines measure queueing plus service. *)
+let exec t rq t0 =
+  Obs.bump c_requests;
+  let warm_flag, outcome =
+    try
+      (match rq.rq_deadline_ms with
+      | Some d
+        when Obs.Clock.seconds_since t0 *. 1000. >= float_of_int d ->
+          raise (Err (Deadline_exceeded, Printf.sprintf "deadline %dms" d))
+      | _ -> ());
+      let warm_flag, body =
+        Obs.with_span sp_request (fun () ->
+            match rq.rq_op with
+            | Ping -> (false, Jsonx.Obj [ ("pong", Jsonx.Bool true) ])
+            | Catalog -> exec_catalog ()
+            | Stats -> exec_stats t
+            | Verify { family; k; vmode; engine } ->
+                exec_verify t ~family ~k ~vmode ~engine
+            | Simulate { family; k; pairs; seed } ->
+                exec_simulate ~family ~k ~pairs ~seed
+            | Reduction { family; k; exhaustive; pairs; seed } ->
+                exec_reduction ~family ~k ~exhaustive ~pairs ~seed
+            | Sweep_status { family; k; shards; vmode } ->
+                exec_sweep_status t ~family ~k ~shards ~vmode)
+      in
+      (warm_flag, Payload body)
+    with
+    | Err (code, msg) ->
+        (match code with
+        | Deadline_exceeded -> Obs.bump c_deadline
+        | _ -> Obs.bump c_errors);
+        (false, Error (code, msg))
+    | Invalid_argument msg ->
+        Obs.bump c_errors;
+        (false, Error (Bad_request, msg))
+    | e ->
+        Obs.bump c_errors;
+        (false, Error (Internal, Printexc.to_string e))
+  in
+  if warm_flag then Obs.bump c_warm_hits;
+  let micros =
+    int_of_float (Obs.Clock.seconds_since t0 *. 1e6)
+  in
+  let status =
+    match outcome with
+    | Payload _ -> "ok"
+    | Error (code, _) -> error_code_to_string code
+  in
+  if Obs.sink_installed () then
+    Obs.emit
+      (Jsonx.to_string
+         (Jsonx.Obj
+            [
+              ("ev", Jsonx.Str "serve_request");
+              ("op", Jsonx.Str (op_tag rq.rq_op));
+              ("id", Jsonx.Int rq.rq_id);
+              ("status", Jsonx.Str status);
+              ("warm", Jsonx.Bool warm_flag);
+              ("micros", Jsonx.Int micros);
+            ]));
+  { rs_id = rq.rq_id; rs_outcome = outcome; rs_warm = warm_flag; rs_micros = micros }
+
+(* ---------------------------------------------------------------- batches *)
+
+let serve_batch t reqs =
+  let n = List.length reqs in
+  let slots = Array.make n None in
+  let remaining = ref n in
+  let m = Mutex.create () in
+  let done_ = Condition.create () in
+  let resolve i r =
+    Mutex.lock m;
+    slots.(i) <- Some r;
+    decr remaining;
+    if !remaining = 0 then Condition.signal done_;
+    Mutex.unlock m
+  in
+  List.iteri
+    (fun i rq ->
+      let t0 = Obs.Clock.now_ns () in
+      let accepted = Scheduler.submit t.sched (fun () -> resolve i (exec t rq t0)) in
+      if not accepted then begin
+        Obs.bump c_overloaded;
+        resolve i
+          {
+            rs_id = rq.rq_id;
+            rs_outcome =
+              Error (Overloaded, "admission queue full, retry later");
+            rs_warm = false;
+            rs_micros = 0;
+          }
+      end)
+    reqs;
+  Mutex.lock m;
+  while !remaining > 0 do
+    Condition.wait done_ m
+  done;
+  Mutex.unlock m;
+  Array.to_list (Array.map Option.get slots)
+
+let bad_batch msg =
+  [
+    {
+      rs_id = -1;
+      rs_outcome = Error (Bad_request, msg);
+      rs_warm = false;
+      rs_micros = 0;
+    };
+  ]
+
+(* ------------------------------------------------------------ connections *)
+
+let handle_connection t fd =
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | None -> ()
+    | Some payload ->
+        let responses =
+          match Protocol.decode_requests payload with
+          | Ok reqs -> serve_batch t reqs
+          | Error msg -> bad_batch msg
+        in
+        Protocol.write_frame fd (Protocol.encode_responses responses);
+        loop ()
+  in
+  (try loop () with
+  | Protocol.Protocol_error msg -> (
+      try Protocol.write_frame fd (Protocol.encode_responses (bad_batch msg))
+      with _ -> ())
+  | _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          (* [stop]'s wake connection lands here: drop it and re-check
+             the flag instead of serving it *)
+          if Atomic.get t.stopping then
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          else begin
+            let th = Thread.create (fun () -> handle_connection t fd) () in
+            Mutex.lock t.conns_lock;
+            t.conns := (fd, th) :: !(t.conns);
+            Mutex.unlock t.conns_lock;
+            loop ()
+          end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  loop ()
+
+(* ----------------------------------------------------------- start / stop *)
+
+let bind_listen = function
+  | Unix_socket path ->
+      if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      fd
+
+let start cfg =
+  let obs_oc =
+    match cfg.cfg_obs_out with
+    | None -> None
+    | Some file ->
+        let oc = open_out file in
+        Obs.set_enabled true;
+        Obs.set_sink (Some (Obs.jsonl oc));
+        Some oc
+  in
+  let warm = Warm.create ~store_dir:cfg.cfg_store_dir in
+  let sched =
+    Scheduler.create ~workers:cfg.cfg_workers ~queue_depth:cfg.cfg_queue_depth
+  in
+  let listen_fd = bind_listen cfg.cfg_addr in
+  let t =
+    {
+      cfg;
+      warm;
+      sched;
+      listen_fd;
+      stopping = Atomic.make false;
+      conns = ref [];
+      conns_lock = Mutex.create ();
+      accept_thread = None;
+      obs_oc;
+      stopped = false;
+      stop_lock = Mutex.create ();
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  Mutex.lock t.stop_lock;
+  let already = t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_lock;
+  if not already then begin
+    Atomic.set t.stopping true;
+    (* wake the thread blocked in accept(2) with a throwaway connection
+       — close() doesn't unblock it, and shutdown() on an AF_UNIX
+       listening socket is ENOTCONN, so self-connect is the one portable
+       wake-up *)
+    (try
+       let domain, sa =
+         match t.cfg.cfg_addr with
+         | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+         | Tcp port ->
+             (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+       in
+       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd sa with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* finish queued work — in-flight batches resolve and flush *)
+    Scheduler.drain t.sched;
+    (* wake connection readers with EOF, let them exit, then close *)
+    Mutex.lock t.conns_lock;
+    let conns = !(t.conns) in
+    Mutex.unlock t.conns_lock;
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    Warm.persist t.warm;
+    (match t.cfg.cfg_addr with
+    | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Tcp _ -> ());
+    match t.obs_oc with
+    | Some oc ->
+        Obs.set_sink None;
+        close_out oc
+    | None -> ()
+  end

@@ -1,0 +1,59 @@
+(** The serve daemon: a long-lived process boundary over the verification
+    engine.
+
+    One accept thread takes connections on a Unix or loopback TCP
+    socket; one thread per connection reads request batches
+    ({!Protocol}), fans each request as a job onto the bounded
+    {!Scheduler}, and answers the batch when every slot resolves.  Jobs
+    run the library paths — registry lookup, incremental or scratch
+    verification over the shared domain pool, reduction sweeps — through
+    the {!Warm} registry, so repeat plans are answered from memory or
+    the sweep store.
+
+    {b Backpressure:} a request the scheduler refuses (queue at depth,
+    or draining) resolves to an [overloaded] error immediately — the
+    connection never queues unboundedly.  A request whose [deadline_ms]
+    elapsed before its job started resolves to [deadline_exceeded]
+    without doing the work.
+
+    {b Shutdown} ({!stop}): stop accepting, drain the scheduler (queued
+    jobs finish and their responses flush), wake the connection threads,
+    persist the warm state to the store, unlink the Unix socket.  The
+    caller installs its own SIGTERM/SIGINT handlers and calls [stop] —
+    signal policy stays in the CLI.
+
+    {b Telemetry:} with [cfg_obs_out] the daemon enables {!Ch_obs.Obs}
+    and streams one [serve_request] JSONL event per request (op, id,
+    status, warmth, service micros) alongside the usual span events into
+    that file. *)
+
+type addr = Unix_socket of string | Tcp of int
+
+type config = {
+  cfg_addr : addr;
+  cfg_workers : int;  (** scheduler worker threads *)
+  cfg_queue_depth : int;  (** admission queue bound *)
+  cfg_store_dir : string option;  (** sweep store to seed from / persist to *)
+  cfg_obs_out : string option;  (** JSONL telemetry sink *)
+}
+
+type t
+
+val start : config -> t
+(** Bind, listen, spawn the accept thread, seed the warm registry.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful drain as documented above.  Idempotent. *)
+
+val warm : t -> Warm.t
+(** The daemon's warm registry (the bench reads its counters). *)
+
+(** {1 In-process service}
+
+    The request executor, exposed for differential tests and the bench:
+    [serve_batch t reqs] is exactly what a connection does with a decoded
+    batch — scheduler admission, deadlines, warm lookups — without the
+    socket hop. *)
+
+val serve_batch : t -> Protocol.request list -> Protocol.response list

@@ -521,11 +521,13 @@ let mis_kind = Tally.kind "mis"
 let mwis_kind = Tally.kind "mwis"
 let c_mis_evals = Obs.counter "cache.mis.entries_evaluated"
 
-let build_mis_tables ?(weighted = false) g ~volatile =
-  (* Freeze the core: families patch the caller's graph in place between
-     pairs, and the lazy evaluator below must keep seeing the build-time
-     topology and weights. *)
-  let g = Graph.copy g in
+(* The exact per-mask evaluator over a frozen core, shared by the eager
+   build and the snapshot restore path (which re-derives the closure
+   from an entry's frozen graph + aux, see [rebuild_mis_entry]).
+   Returns the volatile index map plus the two halves of the value:
+   [base_of] (the subset's own size/weight) and [residual_of] (the
+   optimum outside volatile ∖ N(A)). *)
+let mis_evaluator ~weighted g ~volatile =
   let n = Graph.n g in
   let vol = Array.of_list volatile in
   let s = Array.length vol in
@@ -537,14 +539,6 @@ let build_mis_tables ?(weighted = false) g ~volatile =
       vol_index.(v) <- i)
     vol;
   let adj = Graph.adjacency g in
-  (* core adjacency restricted to the volatile set, as index masks *)
-  let vadj = Array.make (max s 1) 0 in
-  for i = 0 to s - 1 do
-    for j = 0 to s - 1 do
-      if i <> j && Bitset.mem adj.(vol.(i)) vol.(j) then
-        vadj.(i) <- vadj.(i) lor (1 lsl j)
-    done
-  done;
   let nonvol = List.filter (fun v -> vol_index.(v) < 0) (List.init n Fun.id) in
   let vw = Graph.vweights g in
   let base_of mask =
@@ -573,6 +567,26 @@ let build_mis_tables ?(weighted = false) g ~volatile =
     let sub, _ = Graph.induced g rest in
     if weighted then fst (Mis.max_weight_set sub) else Mis.alpha sub
   in
+  (vol_index, base_of, residual_of)
+
+let build_mis_tables ?(weighted = false) g ~volatile =
+  (* Freeze the core: families patch the caller's graph in place between
+     pairs, and the lazy evaluator below must keep seeing the build-time
+     topology and weights. *)
+  let g = Graph.copy g in
+  let n = Graph.n g in
+  let vol = Array.of_list volatile in
+  let s = Array.length vol in
+  let vol_index, base_of, residual_of = mis_evaluator ~weighted g ~volatile in
+  let adj = Graph.adjacency g in
+  (* core adjacency restricted to the volatile set, as index masks *)
+  let vadj = Array.make (max s 1) 0 in
+  for i = 0 to s - 1 do
+    for j = 0 to s - 1 do
+      if i <> j && Bitset.mem adj.(vol.(i)) vol.(j) then
+        vadj.(i) <- vadj.(i) lor (1 lsl j)
+    done
+  done;
   (* One exact solve at build time: the ∅ residual, which both seeds the
      memo and caps every other entry from above. *)
   let rest0 = residual_of 0 in
@@ -935,16 +949,27 @@ let domset_stats c = Tally.stats c.dc
 (* Snapshot / restore: persistable view of the marshal-safe memos     *)
 (* ------------------------------------------------------------------ *)
 
-(* Everything a sweep worker memoizes except the MIS/MWIS tables, which
-   hold a mutex and an evaluation closure and so cannot cross a Marshal
-   boundary — they are rebuilt on demand instead (cheap: the eager part
-   of the build is mask enumeration, the exact solves stay lazy).
+(* Every memo family crosses the Marshal boundary.  The MIS/MWIS tables
+   hold a mutex and an evaluation closure, which cannot be marshalled
+   directly: they are projected to the marshal-safe arrays (masks, upper
+   bounds, the lazily-solved values) plus the frozen entry graph and aux
+   string, from which [restore] re-derives a fresh lock and evaluator —
+   so solved entries survive the round trip and unsolved ones stay lazy.
    Buckets are hash-sorted and hampath/dsteiner entries key-sorted, so
    identical memo contents marshal to identical bytes — which lets the
    store checksum snapshots like any other block. *)
+type mis_entry_dump = {
+  dmi_g : Graph.t;  (** the entry's frozen core graph *)
+  dmi_aux : string;  (** ["w;"]-prefixed for MWIS, then the volatile list *)
+  dmi_masks : int array;
+  dmi_ubs : int array;
+  dmi_vals : int array;  (** -1 where still unsolved at snapshot time *)
+}
+
 type dump = {
   dump_steiner : (int * steiner_tables Memo.entry list) list;
   dump_maxcut : (int * maxcut_tables Memo.entry list) list;
+  dump_mis : (int * mis_entry_dump list) list;
   dump_nwsteiner : (int * nwsteiner_tables Memo.entry list) list;
   dump_domset : (int * domset_tables Memo.entry list) list;
   dump_hampath : ((int * (int * int * int) list) * hampath_tables) list;
@@ -952,7 +977,59 @@ type dump = {
     ((int * (int * int * int) list * int * int list) * dsteiner_tables) list;
 }
 
-let snapshot_tag = "chcache1"
+(* Bumped from "chcache1" when the MIS/MWIS projection joined the dump:
+   an old snapshot fails the tag check cleanly (reported corrupt by the
+   sweep store, recomputed) instead of being misparsed. *)
+let snapshot_tag = "chcache2"
+
+(* The volatile list and weighted flag round-trip through the aux string
+   the prepare functions key the memo with: ["w;"] marks MWIS, the rest
+   is the comma-joined volatile vertex list. *)
+let parse_mis_aux aux =
+  let weighted =
+    String.length aux >= 2 && aux.[0] = 'w' && aux.[1] = ';'
+  in
+  let rest =
+    if weighted then String.sub aux 2 (String.length aux - 2) else aux
+  in
+  let volatile =
+    if rest = "" then []
+    else List.map int_of_string (String.split_on_char ',' rest)
+  in
+  (weighted, volatile)
+
+let dump_mis_entry (e : mis_tables Memo.entry) =
+  let t = e.Memo.etables in
+  {
+    dmi_g = e.Memo.eg;
+    dmi_aux = e.Memo.eaux;
+    dmi_masks = t.mi_masks;
+    dmi_ubs = t.mi_ubs;
+    (* copied under no lock: a racing lazy solve can only flip a cell
+       from -1 to its final value, and a stale -1 just re-solves after
+       restore *)
+    dmi_vals = Array.copy t.mi_vals;
+  }
+
+let rebuild_mis_entry d =
+  let weighted, volatile = parse_mis_aux d.dmi_aux in
+  let vol_index, base_of, residual_of =
+    mis_evaluator ~weighted d.dmi_g ~volatile
+  in
+  {
+    Memo.eg = d.dmi_g;
+    eaux = d.dmi_aux;
+    etables =
+      {
+        mi_n = Graph.n d.dmi_g;
+        mi_vol_index = vol_index;
+        mi_masks = d.dmi_masks;
+        mi_ubs = d.dmi_ubs;
+        mi_vals = d.dmi_vals;
+        mi_lock = Mutex.create ();
+        mi_eval = (fun mask -> base_of mask + residual_of mask);
+      };
+  }
 
 let keyed_entries lock tbl =
   Mutex.lock lock;
@@ -965,6 +1042,10 @@ let snapshot () =
     {
       dump_steiner = Memo.entries steiner_memo;
       dump_maxcut = Memo.entries maxcut_memo;
+      dump_mis =
+        List.map
+          (fun (hash, es) -> (hash, List.map dump_mis_entry es))
+          (Memo.entries mis_memo);
       dump_nwsteiner = Memo.entries nwsteiner_memo;
       dump_domset = Memo.entries domset_memo;
       dump_hampath = keyed_entries hampath_lock hampath_memo;
@@ -1006,8 +1087,19 @@ let restore s =
     try (Marshal.from_string s tl : dump)
     with _ -> failwith "Cache.restore: unparseable snapshot"
   in
+  let mis_rebuilt =
+    (* the evaluator rebuild parses the aux string and indexes the frozen
+       graph, so a snapshot with mangled entries fails here rather than
+       poisoning the memo *)
+    try
+      List.map
+        (fun (hash, es) -> (hash, List.map rebuild_mis_entry es))
+        dump.dump_mis
+    with _ -> failwith "Cache.restore: unparseable snapshot"
+  in
   restore_memo steiner_memo dump.dump_steiner
   + restore_memo maxcut_memo dump.dump_maxcut
+  + restore_memo mis_memo mis_rebuilt
   + restore_memo nwsteiner_memo dump.dump_nwsteiner
   + restore_memo domset_memo dump.dump_domset
   + restore_keyed hampath_lock hampath_memo dump.dump_hampath

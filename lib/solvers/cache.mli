@@ -193,12 +193,15 @@ val clear : unit -> unit
 
 (** {1 Snapshot / restore}
 
-    The sweep store ([Ch_sweep]) persists the memo tables next to shard
-    verdict blocks, so a resumed sweep starts from the previous run's
-    core tables instead of rebuilding them.  Snapshots carry every memo
-    family except MIS/MWIS, whose tables hold a mutex and an evaluation
-    closure and cannot cross a [Marshal] boundary — those are rebuilt on
-    demand (their exact solves are lazy anyway). *)
+    The sweep store ([Ch_sweep]) and the serve daemon ([Ch_serve])
+    persist the memo tables, so a resumed sweep — or a freshly started
+    server — begins from a previous run's core tables instead of
+    rebuilding them.  Snapshots carry all seven memo families: the
+    MIS/MWIS tables, whose live form holds a mutex and an evaluation
+    closure, are projected to their marshal-safe arrays (masks, bounds,
+    lazily-solved values) and {!restore} re-derives a fresh lock and
+    evaluator from the entry's frozen graph — solved entries survive the
+    round trip, unsolved ones stay lazy. *)
 
 val snapshot : unit -> string
 (** A self-contained byte string of the current marshal-safe memo

@@ -82,7 +82,8 @@ let child_main st gen fam plan pending ~procs ~fault_after c =
    with
   | rc -> Unix._exit rc)
 
-let run ?pool ?(procs = 1) ?store_dir ?fault_after fam ~mode ~shards =
+let run ?pool ?(procs = 1) ?store_dir ?fault_after
+    ?(should_stop = fun () -> false) fam ~mode ~shards =
   if procs < 1 then invalid_arg "Sweep.run: procs must be >= 1";
   if procs > 1 && store_dir = None then
     invalid_arg "Sweep.run: multi-process sweeps need a store";
@@ -142,6 +143,13 @@ let run ?pool ?(procs = 1) ?store_dir ?fault_after fam ~mode ~shards =
      Pool.run (pool ())
        (List.map
           (fun i _task ->
+            (* [should_stop] (the CLI's signal flag) trips the same
+               atomic as fault injection: in-flight shards finish and
+               persist, pending ones are skipped, the run raises
+               [Interrupted] — a SIGTERM behaves exactly like
+               --fault-after at the moment it lands. *)
+            if (not (Atomic.get interrupted)) && should_stop () then
+              Atomic.set interrupted true;
             if not (Atomic.get interrupted) then begin
               let v = compute_shard gen fam plan.(i) in
               blocks.(i) <- Some v;
@@ -178,9 +186,11 @@ let run ?pool ?(procs = 1) ?store_dir ?fault_after fam ~mode ~shards =
          | _ -> ())
        pending_arr;
      if fault_after = None then
+       (* the parent's recompute fallback honors [should_stop] too: a
+          signal between shards leaves the rest for the next resume *)
        Array.iter
          (fun i ->
-           if Option.is_none blocks.(i) then begin
+           if Option.is_none blocks.(i) && not (should_stop ()) then begin
              let v = compute_shard gen fam plan.(i) in
              Store.write_block st ~index:(Shard.index plan.(i)) v;
              blocks.(i) <- Some v;

@@ -50,6 +50,7 @@ val run :
   ?procs:int ->
   ?store_dir:string ->
   ?fault_after:int ->
+  ?should_stop:(unit -> bool) ->
   Framework.t ->
   mode:Shard.mode ->
   shards:int ->
@@ -74,6 +75,13 @@ val run :
     and persist, pending ones are skipped — and raises {!Interrupted}.
     Under [procs > 1] each worker stops after [s] shards and the parent
     skips its recompute fallback, simulating killed workers.
+
+    [should_stop] is the cooperative-interrupt hook (the CLI points it
+    at its SIGINT/SIGTERM flag): polled before each shard on the
+    single-process path and before each parent-side recompute, it trips
+    the same stop mechanism as [fault_after] — in-flight shards finish
+    and persist, the run raises {!Interrupted}, and a rerun against the
+    same store resumes where the signal landed.
 
     @raise Invalid_argument on [procs < 1], [procs > 1] without
     [store_dir], or a plan outside the {!Shard} limits. *)

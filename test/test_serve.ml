@@ -1,0 +1,636 @@
+(* Tests for the serve daemon: the JSON codec and framing round-trip
+   under qcheck (torn and oversized frames degrade to clean protocol
+   errors, never exceptions), and an in-process daemon on a temp Unix
+   socket serves verdicts bit-identical to the in-process oracle —
+   cold, warm, across engines, and under concurrent clients — while
+   backpressure and deadlines surface as typed error responses. *)
+
+open Ch_core
+open Ch_sweep
+open Ch_serve
+module Cache = Ch_solvers.Cache
+
+let qt = QCheck_alcotest.to_alcotest
+
+(* ---------------------------------------------------------------- *)
+(* Helpers                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let cat = lazy (Ch_lbgraphs.Families.catalog ())
+let fam_of id k = (Registry.find_exn (Lazy.force cat) id).Registry.scratch k
+
+let tmp_counter = ref 0
+
+let temp_dir () =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ch_test_serve_%d_%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_temp_dir f =
+  let d = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+(* One fresh daemon per test: own socket, own warm registry, optional
+   store, stopped (idempotently) on the way out. *)
+let with_server ?(workers = 2) ?(queue_depth = 16) ?(store = false) f =
+  with_temp_dir (fun dir ->
+      let sock = Filename.concat dir "serve.sock" in
+      let t =
+        Server.start
+          {
+            Server.cfg_addr = Server.Unix_socket sock;
+            cfg_workers = workers;
+            cfg_queue_depth = queue_depth;
+            cfg_store_dir =
+              (if store then Some (Filename.concat dir "store") else None);
+            cfg_obs_out = None;
+          }
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop t)
+        (fun () -> f t (Server.Unix_socket sock)))
+
+let verify ?deadline ?(engine = Protocol.Auto) ?(vmode = Protocol.Exhaustive)
+    ~id family k =
+  {
+    Protocol.rq_id = id;
+    rq_op = Protocol.Verify { family; k; vmode; engine };
+    rq_deadline_ms = deadline;
+  }
+
+let body_exn rs =
+  match rs.Protocol.rs_outcome with
+  | Protocol.Payload body -> body
+  | Protocol.Error (c, m) ->
+      Alcotest.failf "request %d failed %s: %s" rs.Protocol.rs_id
+        (Protocol.error_code_to_string c)
+        m
+
+let field name body =
+  match Jsonx.mem name body with
+  | Some v -> v
+  | None -> Alcotest.failf "response body lacks %S" name
+
+let digest_of rs =
+  match Jsonx.as_str (field "digest" (body_exn rs)) with
+  | Some d -> d
+  | None -> Alcotest.fail "digest is not a string"
+
+let oracle_digest id k ~mode =
+  Sweep.digest (Sweep.oracle (fam_of id k) ~mode)
+
+(* ---------------------------------------------------------------- *)
+(* Jsonx: printer/parser round-trip                                 *)
+(* ---------------------------------------------------------------- *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Jsonx.Null;
+        map (fun b -> Jsonx.Bool b) bool;
+        map (fun i -> Jsonx.Int i) (int_range (-1_000_000_000) 1_000_000_000);
+        map (fun f -> Jsonx.Float f) (float_range (-1e9) 1e9);
+        map (fun s -> Jsonx.Str s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map (fun l -> Jsonx.Arr l) (list_size (int_bound 4) (self (n / 2)));
+               map
+                 (fun l -> Jsonx.Obj l)
+                 (list_size (int_bound 4)
+                    (pair (string_size ~gen:printable (int_bound 8)) (self (n / 2))));
+             ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"jsonx print/parse roundtrip"
+    (QCheck.make ~print:Jsonx.to_string json_gen) (fun j ->
+      Jsonx.parse (Jsonx.to_string j) = Ok j)
+
+(* strings that exercise every escape class, including the \uXXXX
+   decoder with a surrogate pair *)
+let test_json_escapes () =
+  let j =
+    Jsonx.Obj
+      [
+        ("quote\"back\\slash", Jsonx.Str "tab\tnl\ncr\rnul\x00bell\x07");
+        ("unicode", Jsonx.Str "caf\xc3\xa9");
+      ]
+  in
+  (match Jsonx.parse (Jsonx.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "escape roundtrip" true (j = j')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Jsonx.parse {|"\u00e9 \ud83d\ude00"|} with
+  | Ok (Jsonx.Str s) ->
+      Alcotest.(check string) "uXXXX to UTF-8" "\xc3\xa9 \xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Jsonx.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "nul"; "\"abc"; "1 2"; "{\"a\" 1}"; "" ]
+
+(* ---------------------------------------------------------------- *)
+(* Framing: pure round-trip, truncation, oversize                   *)
+(* ---------------------------------------------------------------- *)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"frame/unframe roundtrip"
+    (QCheck.make
+       ~print:(Printf.sprintf "%S")
+       QCheck.Gen.(string_size ~gen:char (int_bound 2000)))
+    (fun s ->
+      let f = Protocol.frame s in
+      match Protocol.unframe (f ^ "trailing") ~pos:0 with
+      | Protocol.Frame (p, next) -> p = s && next = String.length f
+      | _ -> false)
+
+let prop_frame_truncated =
+  QCheck.Test.make ~count:300 ~name:"every strict prefix is Need_more"
+    (QCheck.make
+       ~print:(fun (s, salt) -> Printf.sprintf "(%S, %d)" s salt)
+       QCheck.Gen.(
+         pair (string_size ~gen:char (int_bound 500)) (int_bound 1000)))
+    (fun (s, salt) ->
+      let f = Protocol.frame s in
+      let cut = salt mod String.length f in
+      Protocol.unframe (String.sub f 0 cut) ~pos:0 = Protocol.Need_more)
+
+let test_unframe_too_large () =
+  let n = Protocol.max_frame + 1 in
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  (match Protocol.unframe (Bytes.to_string b) ~pos:0 with
+  | Protocol.Too_large m -> Alcotest.(check int) "declared length" n m
+  | _ -> Alcotest.fail "oversized header not rejected");
+  Alcotest.check_raises "frame refuses oversize"
+    (Invalid_argument "Protocol.frame: payload too large") (fun () ->
+      ignore (Protocol.frame (String.make n 'x')))
+
+(* fd-level framing: clean EOF at a boundary is None; EOF mid-header,
+   mid-payload, or an oversized declared length raise Protocol_error *)
+let test_read_frame_errors () =
+  let with_pair f =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close a with Unix.Unix_error _ -> ());
+        try Unix.close b with Unix.Unix_error _ -> ())
+      (fun () -> f a b)
+  in
+  with_pair (fun a b ->
+      Protocol.write_frame a "hello";
+      Unix.close a;
+      (match Protocol.read_frame b with
+      | Some p -> Alcotest.(check string) "payload" "hello" p
+      | None -> Alcotest.fail "EOF before the frame");
+      Alcotest.(check bool) "clean EOF at boundary" true
+        (Protocol.read_frame b = None));
+  List.iter
+    (fun torn ->
+      with_pair (fun a b ->
+          if String.length torn > 0 then
+            ignore (Unix.write_substring a torn 0 (String.length torn));
+          Unix.close a;
+          match Protocol.read_frame b with
+          | _ -> Alcotest.failf "torn frame (%d bytes) not rejected"
+                   (String.length torn)
+          | exception Protocol.Protocol_error _ -> ()))
+    [
+      String.sub (Protocol.frame "0123456789") 0 2 (* mid-header *);
+      String.sub (Protocol.frame "0123456789") 0 7 (* mid-payload *);
+      "\xff\xff\xff\xff" (* declared length far above max_frame *);
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Request/response codec                                           *)
+(* ---------------------------------------------------------------- *)
+
+let sample_requests =
+  [
+    { Protocol.rq_id = 0; rq_op = Protocol.Ping; rq_deadline_ms = None };
+    { Protocol.rq_id = 1; rq_op = Protocol.Catalog; rq_deadline_ms = Some 250 };
+    { Protocol.rq_id = 2; rq_op = Protocol.Stats; rq_deadline_ms = None };
+    verify ~id:3 "mds" 2;
+    verify ~id:4 ~deadline:5 ~engine:Protocol.Incremental
+      ~vmode:(Protocol.Sampled { seed = 7; samples = 40 })
+      "steiner-node-weighted" 3;
+    verify ~id:5 ~engine:Protocol.Scratch "maxis" 2;
+    {
+      Protocol.rq_id = 6;
+      rq_op = Protocol.Simulate { family = "mds"; k = 2; pairs = 3; seed = 42 };
+      rq_deadline_ms = None;
+    };
+    {
+      Protocol.rq_id = 7;
+      rq_op =
+        Protocol.Reduction
+          { family = "mds"; k = 2; exhaustive = true; pairs = 4; seed = 1 };
+      rq_deadline_ms = None;
+    };
+    {
+      Protocol.rq_id = 8;
+      rq_op =
+        Protocol.Sweep_status
+          {
+            family = "mds";
+            k = 2;
+            shards = 4;
+            vmode = Protocol.Sampled { seed = 1; samples = 9 };
+          };
+      rq_deadline_ms = None;
+    };
+  ]
+
+let test_request_codec () =
+  match Protocol.decode_requests (Protocol.encode_requests sample_requests) with
+  | Ok rs ->
+      Alcotest.(check bool) "request roundtrip" true (rs = sample_requests)
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_response_codec () =
+  let rs =
+    [
+      {
+        Protocol.rs_id = 1;
+        rs_outcome = Protocol.Payload (Jsonx.Obj [ ("pong", Jsonx.Bool true) ]);
+        rs_warm = true;
+        rs_micros = 12;
+      };
+      {
+        Protocol.rs_id = 2;
+        rs_outcome = Protocol.Error (Protocol.Overloaded, "queue full");
+        rs_warm = false;
+        rs_micros = 0;
+      };
+    ]
+  in
+  (match Protocol.decode_responses (Protocol.encode_responses rs) with
+  | Ok got -> Alcotest.(check bool) "response roundtrip" true (got = rs)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Protocol.error_code_to_string c)
+        true
+        (Protocol.error_code_of_string (Protocol.error_code_to_string c)
+        = Some c))
+    [
+      Protocol.Bad_request;
+      Protocol.Unknown_family;
+      Protocol.Overloaded;
+      Protocol.Deadline_exceeded;
+      Protocol.Unsupported;
+      Protocol.Internal;
+    ]
+
+let test_request_decode_rejects () =
+  List.iter
+    (fun bad ->
+      match Protocol.decode_requests bad with
+      | Ok _ -> Alcotest.failf "accepted ill-shaped batch %S" bad
+      | Error _ -> ())
+    [
+      "[]";
+      "{}";
+      {|{"requests": 3}|};
+      {|{"requests": [{"op": "verify"}]}|};
+      {|{"requests": [{"id": 1}]}|};
+      {|{"requests": [{"id": 1, "op": "no-such-op"}]}|};
+      {|{"requests": [{"id": 1, "op": "verify", "family": "mds"}]}|};
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Integration: daemon on a temp socket vs the in-process oracle    *)
+(* ---------------------------------------------------------------- *)
+
+let test_ping_catalog_stats () =
+  with_server (fun _t addr ->
+      let c = Client.connect ~retries:20 addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let rs =
+            Client.roundtrip c
+              [
+                { Protocol.rq_id = 7; rq_op = Protocol.Ping; rq_deadline_ms = None };
+                { Protocol.rq_id = 8; rq_op = Protocol.Catalog; rq_deadline_ms = None };
+                { Protocol.rq_id = 9; rq_op = Protocol.Stats; rq_deadline_ms = None };
+              ]
+          in
+          Alcotest.(check (list int))
+            "ids echoed in order" [ 7; 8; 9 ]
+            (List.map (fun r -> r.Protocol.rs_id) rs);
+          let ping, catalog, stats =
+            match rs with
+            | [ a; b; c ] -> (a, b, c)
+            | _ -> Alcotest.fail "expected 3 responses"
+          in
+          Alcotest.(check (option bool))
+            "pong" (Some true)
+            (Jsonx.as_bool (field "pong" (body_exn ping)));
+          let fams =
+            match Jsonx.as_arr (field "families" (body_exn catalog)) with
+            | Some l -> l
+            | None -> Alcotest.fail "families is not an array"
+          in
+          Alcotest.(check bool)
+            "catalog lists every registry family" true
+            (List.length fams = List.length (Registry.all (Lazy.force cat)));
+          Alcotest.(check bool)
+            "catalog includes mds" true
+            (List.exists
+               (fun f ->
+                 Option.bind (Jsonx.mem "id" f) Jsonx.as_str = Some "mds")
+               fams);
+          Alcotest.(check (option int))
+            "stats reports worker count" (Some 2)
+            (Jsonx.as_int (field "workers" (body_exn stats)))))
+
+(* Cold then warm: the first verify computes, the repeat is served from
+   the warm registry, and both digests equal the in-process oracle. *)
+let test_cold_then_warm_matches_oracle () =
+  Cache.clear ();
+  with_server ~store:true (fun _t addr ->
+      let expect = oracle_digest "mds" 2 ~mode:Shard.Exhaustive in
+      let c = Client.connect ~retries:20 addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let cold =
+            match Client.roundtrip c [ verify ~id:1 "mds" 2 ] with
+            | [ r ] -> r
+            | _ -> Alcotest.fail "expected 1 response"
+          in
+          Alcotest.(check bool) "first service is cold" false
+            cold.Protocol.rs_warm;
+          Alcotest.(check string) "cold digest = oracle" expect (digest_of cold);
+          let warm =
+            match Client.roundtrip c [ verify ~id:2 "mds" 2 ] with
+            | [ r ] -> r
+            | _ -> Alcotest.fail "expected 1 response"
+          in
+          Alcotest.(check bool) "repeat is warm" true warm.Protocol.rs_warm;
+          Alcotest.(check string) "warm digest = oracle" expect
+            (digest_of warm);
+          Alcotest.(check (option string))
+            "warm source is the memory tier" (Some "memory")
+            (Jsonx.as_str (field "source" (body_exn warm)))))
+
+(* Four clients, each its own connection and its own socket hop, racing
+   the same two families: every verdict digest equals the oracle's. *)
+let test_concurrent_clients_differential () =
+  Cache.clear ();
+  with_server ~workers:4 (fun _t addr ->
+      let jobs =
+        [ ("mds", 2); ("steiner-node-weighted", 2); ("maxis", 2); ("maxcut", 2) ]
+      in
+      let expected =
+        List.map (fun (id, k) -> oracle_digest id k ~mode:Shard.Exhaustive) jobs
+      in
+      let failures = ref [] in
+      let fail_lock = Mutex.create () in
+      let worker (fam, k) expect =
+        try
+          let c = Client.connect ~retries:20 addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              for i = 0 to 2 do
+                match Client.roundtrip c [ verify ~id:i fam k ] with
+                | [ r ] ->
+                    let d = digest_of r in
+                    if d <> expect then
+                      failwith
+                        (Printf.sprintf "%s k=%d: digest %s <> oracle %s" fam k
+                           d expect)
+                | _ -> failwith "expected 1 response"
+              done)
+        with e ->
+          Mutex.lock fail_lock;
+          failures := Printexc.to_string e :: !failures;
+          Mutex.unlock fail_lock
+      in
+      let threads =
+        List.map2 (fun job exp -> Thread.create (fun () -> worker job exp) ())
+          jobs expected
+      in
+      List.iter Thread.join threads;
+      match !failures with
+      | [] -> ()
+      | fs -> Alcotest.failf "concurrent clients diverged: %s"
+                (String.concat "; " fs))
+
+(* The scratch and incremental engines answer a sampled verify with the
+   same digest, equal to the sampled oracle — each on a fresh daemon so
+   the warm registry cannot shortcut the engine under test. *)
+let test_engines_agree_sampled () =
+  Cache.clear ();
+  let vmode = Protocol.Sampled { seed = 5; samples = 29 } in
+  let mode = Shard.Sampled { seed = 5; samples = 29 } in
+  let expect = oracle_digest "steiner-node-weighted" 2 ~mode in
+  let run engine =
+    with_server (fun t _addr ->
+        match
+          Server.serve_batch t
+            [ verify ~id:0 ~engine ~vmode "steiner-node-weighted" 2 ]
+        with
+        | [ r ] -> digest_of r
+        | _ -> Alcotest.fail "expected 1 response")
+  in
+  Alcotest.(check string) "incremental = oracle" expect
+    (run Protocol.Incremental);
+  Alcotest.(check string) "scratch = oracle" expect (run Protocol.Scratch)
+
+let test_error_responses () =
+  with_server (fun t _addr ->
+      (* unknown family *)
+      (match Server.serve_batch t [ verify ~id:1 "no-such-family" 2 ] with
+      | [ { Protocol.rs_outcome = Protocol.Error (Protocol.Unknown_family, msg); _ } ] ->
+          Alcotest.(check bool) "message names the family" true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "unknown family not rejected");
+      (* an elapsed deadline refuses the work *)
+      match Server.serve_batch t [ verify ~id:2 ~deadline:0 "mds" 2 ] with
+      | [ { Protocol.rs_outcome = Protocol.Error (Protocol.Deadline_exceeded, _); _ } ] ->
+          ()
+      | _ -> Alcotest.fail "deadline_ms=0 not refused")
+
+(* One worker, queue depth one, a burst of eight: the admission queue
+   refuses part of the burst as [overloaded] and serves the rest. *)
+let test_overload_backpressure () =
+  Cache.clear ();
+  with_server ~workers:1 ~queue_depth:1 (fun t _addr ->
+      let reqs =
+        List.init 8 (fun i -> verify ~id:i "steiner-node-weighted" 2)
+      in
+      let rs = Server.serve_batch t reqs in
+      Alcotest.(check int) "one response per request" 8 (List.length rs);
+      let ok, overloaded, other =
+        List.fold_left
+          (fun (ok, ov, other) r ->
+            match r.Protocol.rs_outcome with
+            | Protocol.Payload _ -> (ok + 1, ov, other)
+            | Protocol.Error (Protocol.Overloaded, _) -> (ok, ov + 1, other)
+            | Protocol.Error _ -> (ok, ov, other + 1))
+          (0, 0, 0) rs
+      in
+      Alcotest.(check int) "no other error kind" 0 other;
+      Alcotest.(check bool) "some served" true (ok >= 1);
+      Alcotest.(check bool) "some refused" true (overloaded >= 1))
+
+(* Stop under an in-flight batch: admitted jobs finish, their responses
+   flush to the client, the socket file is unlinked, stop is
+   idempotent, and new connections are refused. *)
+let test_drain_under_load () =
+  Cache.clear ();
+  with_temp_dir (fun dir ->
+      let sock = Filename.concat dir "serve.sock" in
+      let t =
+        Server.start
+          {
+            Server.cfg_addr = Server.Unix_socket sock;
+            cfg_workers = 2;
+            cfg_queue_depth = 16;
+            cfg_store_dir = None;
+            cfg_obs_out = None;
+          }
+      in
+      let result = ref None in
+      let client =
+        Thread.create
+          (fun () ->
+            let c = Client.connect ~retries:20 (Server.Unix_socket sock) in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let reqs = List.init 4 (fun i -> verify ~id:i "mds" 2) in
+                result := Some (Client.roundtrip c reqs)))
+          ()
+      in
+      (* let the batch get admitted, then drain while it is in flight *)
+      Thread.delay 0.05;
+      Server.stop t;
+      Thread.join client;
+      (match !result with
+      | None -> Alcotest.fail "client never got its responses"
+      | Some rs ->
+          Alcotest.(check int) "all responses flushed" 4 (List.length rs);
+          List.iter (fun r -> ignore (body_exn r)) rs);
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock);
+      Server.stop t;
+      (* idempotent *)
+      match Client.connect (Server.Unix_socket sock) with
+      | c ->
+          Client.close c;
+          Alcotest.fail "stopped daemon accepted a connection"
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+          ())
+
+(* The warm state persists through the store: a second daemon on the
+   same store answers its first request warm, from the store tier. *)
+let test_warm_restart_from_store () =
+  Cache.clear ();
+  with_temp_dir (fun dir ->
+      let config sock =
+        {
+          Server.cfg_addr = Server.Unix_socket sock;
+          cfg_workers = 2;
+          cfg_queue_depth = 16;
+          cfg_store_dir = Some (Filename.concat dir "store");
+          cfg_obs_out = None;
+        }
+      in
+      let expect = oracle_digest "mds" 2 ~mode:Shard.Exhaustive in
+      let sock1 = Filename.concat dir "serve1.sock" in
+      let t1 = Server.start (config sock1) in
+      (match Server.serve_batch t1 [ verify ~id:1 "mds" 2 ] with
+      | [ r ] -> Alcotest.(check string) "first daemon" expect (digest_of r)
+      | _ -> Alcotest.fail "expected 1 response");
+      Server.stop t1;
+      Cache.clear ();
+      let sock2 = Filename.concat dir "serve2.sock" in
+      let t2 = Server.start (config sock2) in
+      Fun.protect
+        ~finally:(fun () -> Server.stop t2)
+        (fun () ->
+          match Server.serve_batch t2 [ verify ~id:2 "mds" 2 ] with
+          | [ r ] ->
+              Alcotest.(check bool) "served warm after restart" true
+                r.Protocol.rs_warm;
+              Alcotest.(check string) "restart digest" expect (digest_of r);
+              Alcotest.(check (option string))
+                "from the store tier" (Some "store")
+                (Jsonx.as_str (field "source" (body_exn r)))
+          | _ -> Alcotest.fail "expected 1 response"))
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "jsonx",
+        [
+          qt prop_json_roundtrip;
+          Alcotest.test_case "escapes and malformed input" `Quick
+            test_json_escapes;
+        ] );
+      ( "framing",
+        [
+          qt prop_frame_roundtrip;
+          qt prop_frame_truncated;
+          Alcotest.test_case "oversized frames" `Quick test_unframe_too_large;
+          Alcotest.test_case "torn frames on a socket" `Quick
+            test_read_frame_errors;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_codec;
+          Alcotest.test_case "response roundtrip" `Quick test_response_codec;
+          Alcotest.test_case "ill-shaped batches rejected" `Quick
+            test_request_decode_rejects;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "ping, catalog, stats" `Quick
+            test_ping_catalog_stats;
+          Alcotest.test_case "cold then warm = oracle" `Quick
+            test_cold_then_warm_matches_oracle;
+          Alcotest.test_case "concurrent clients differential" `Quick
+            test_concurrent_clients_differential;
+          Alcotest.test_case "engines agree on sampled mode" `Quick
+            test_engines_agree_sampled;
+          Alcotest.test_case "typed error responses" `Quick
+            test_error_responses;
+          Alcotest.test_case "overload backpressure" `Quick
+            test_overload_backpressure;
+          Alcotest.test_case "drain under load" `Quick test_drain_under_load;
+          Alcotest.test_case "warm restart from the store" `Quick
+            test_warm_restart_from_store;
+        ] );
+    ]

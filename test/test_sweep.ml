@@ -11,6 +11,7 @@ open Ch_core
 open Ch_sweep
 module Obs = Ch_obs.Obs
 module Cache = Ch_solvers.Cache
+module Mis = Ch_solvers.Mis
 
 let qt = QCheck_alcotest.to_alcotest
 
@@ -376,6 +377,89 @@ let test_cache_snapshot_roundtrip () =
   | exception Failure _ -> ());
   Cache.clear ()
 
+(* The MIS/MWIS memo tables hold a mutex and a lazy evaluation closure,
+   so their snapshot form is a projection to marshal-safe arrays and
+   restore re-derives the lock and evaluator.  Check the full round
+   trip: lazily-solved values survive, restored tables answer queries
+   bit-identically to the from-scratch solvers on the patched graph. *)
+let test_mis_snapshot_roundtrip () =
+  Cache.clear ();
+  let mk () =
+    let g = Graph.of_edges 6 [ (0, 3); (1, 4); (2, 5); (3, 4); (4, 5) ] in
+    Graph.set_vweight g 0 3;
+    Graph.set_vweight g 1 5;
+    Graph.set_vweight g 4 7;
+    g
+  in
+  let volatile = [ 0; 1; 2 ] in
+  let extra = [ (0, 1); (1, 2) ] in
+  let patched = mk () in
+  List.iter (fun (u, v) -> Graph.add_edge patched u v) extra;
+  let expect_alpha = Mis.alpha patched in
+  let expect_w = fst (Mis.max_weight_set patched) in
+  let m = Cache.mis_prepare (mk ()) ~volatile in
+  let w = Cache.mwis_prepare (mk ()) ~volatile in
+  Alcotest.(check int) "mis before snapshot" expect_alpha
+    (Cache.mis_alpha m ~extra);
+  Alcotest.(check int) "mwis before snapshot" expect_w
+    (Cache.mwis_weight w ~extra);
+  let snap = Cache.snapshot () in
+  Cache.clear ();
+  let n = Cache.restore snap in
+  Alcotest.(check bool) "restore adds both tables" true (n >= 2);
+  Alcotest.(check int) "second restore adds nothing" 0 (Cache.restore snap);
+  (* fresh prepared instances hit the restored memo and answer exactly *)
+  let m' = Cache.mis_prepare (mk ()) ~volatile in
+  let w' = Cache.mwis_prepare (mk ()) ~volatile in
+  Alcotest.(check int) "mis after restore" expect_alpha
+    (Cache.mis_alpha m' ~extra);
+  Alcotest.(check int) "mwis after restore" expect_w
+    (Cache.mwis_weight w' ~extra);
+  (* unsolved entries stayed lazy and still solve on demand *)
+  Alcotest.(check int) "mis, no extra edges" (Mis.alpha (mk ()))
+    (Cache.mis_alpha m' ~extra:[]);
+  Alcotest.(check int) "mwis, no extra edges"
+    (fst (Mis.max_weight_set (mk ())))
+    (Cache.mwis_weight w' ~extra:[]);
+  Cache.clear ()
+
+(* ---------------------------------------------------------------- *)
+(* Cooperative stop: should_stop behaves like fault injection        *)
+(* ---------------------------------------------------------------- *)
+
+(* A should_stop closure that trips mid-sweep interrupts like
+   --fault-after: finished shards persist, Interrupted carries their
+   count, and a resumed run completes with zero recomputation. *)
+let test_should_stop () =
+  let fam = dummy_fam 4 in
+  let mode = Shard.Exhaustive in
+  let shards = 6 in
+  let pool = Lazy.force serial in
+  with_temp_dir (fun dir ->
+      let calls = ref 0 in
+      let stop () =
+        incr calls;
+        !calls > 2
+      in
+      let persisted =
+        match
+          Sweep.run ~pool ~store_dir:dir ~should_stop:stop fam ~mode ~shards
+        with
+        | _ -> Alcotest.fail "stopped sweep did not raise Interrupted"
+        | exception Sweep.Interrupted n ->
+            Alcotest.(check bool) "stopped mid-sweep" true
+              (n >= 1 && n < shards);
+            n
+      in
+      let o = Sweep.run ~pool ~store_dir:dir fam ~mode ~shards in
+      Alcotest.(check int) "resumed shards" persisted o.Sweep.shards_resumed;
+      Alcotest.(check int) "recomputed shards" 0 o.Sweep.shards_recomputed;
+      Alcotest.(check int) "all shards covered" shards
+        (o.Sweep.shards_resumed + o.Sweep.shards_completed);
+      check_verdicts "stop/resume stream = oracle"
+        (Framework.exhaustive_verdicts fam)
+        o.Sweep.verdicts)
+
 (* Unix.fork is illegal once domains have been created, so this test
    runs first in the suite, before anything touches a multi-domain
    pool (Sweep.run's multi-process path never does; the oracle below
@@ -423,5 +507,9 @@ let () =
           Alcotest.test_case "store corruption" `Quick test_store_corruption;
           Alcotest.test_case "cache snapshot roundtrip" `Quick
             test_cache_snapshot_roundtrip;
+          Alcotest.test_case "mis/mwis snapshot roundtrip" `Quick
+            test_mis_snapshot_roundtrip;
+          Alcotest.test_case "cooperative should_stop + resume" `Quick
+            test_should_stop;
         ] );
     ]
