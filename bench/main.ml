@@ -532,8 +532,9 @@ let e18 () =
       let sims =
         List.map
           (fun (x, y) ->
-            Framework.simulate_alice_bob fam ~solver:rd.Registry.rd_solver
-              ~accept:rd.Registry.rd_accept x y)
+            Framework.simulate_reduction ?partition:rd.Registry.rd_partition
+              fam ~solver:rd.Registry.rd_solver ~accept:rd.Registry.rd_accept x
+              y)
           pairs
       in
       let ok = List.for_all (fun s -> s.Framework.decision_correct) sims in
@@ -618,7 +619,7 @@ let bechamel_tests () =
       (Staged.stage (fun () -> Covering.construct ~seed:3 ~ell:6 ~t_count:7 ~r:2 ()));
     Test.make ~name:"e18-alice-bob-sim-k2"
       (Staged.stage (fun () ->
-           Framework.simulate_alice_bob (fam_of "mds" ~k:2)
+           Framework.simulate_reduction (fam_of "mds" ~k:2)
              ~solver:mds_rd.Registry.rd_solver ~accept:mds_rd.Registry.rd_accept
              (Bits.ones 4) y2));
   ]
@@ -869,7 +870,9 @@ type rentry = {
 
 let reduction_benches ~smoke () =
   let open Ch_reduction in
-  let sampled_only = [ "maxcut" ] in
+  (* exhaustive 4^K sweeps everywhere they stay cheap; maxcut's solver
+     and hampath's Hamiltonian-path search get the sampled pair set *)
+  let sampled_only = [ "maxcut"; "hampath" ] in
   List.map
     (fun s ->
       let id = s.Registry.id and k = s.Registry.default_k in
@@ -1177,14 +1180,16 @@ let write_json ~experiment_times ~verify ~reduction ~sweep ~serve =
       let open Ch_reduction.Bound in
       Printf.bprintf buf
         "    {\"family\": \"%s\", \"pairs\": %d, \"pairs_skipped\": %d, \
-         \"wall_s\": %.6f, \"pairs_per_s\": %.1f, \"cut\": %d, \
+         \"wall_s\": %.6f, \"pairs_per_s\": %.1f, \"parties\": %d, \
+         \"cut\": %d, \
          \"bandwidth\": %d, \"rounds_max\": %d, \"cut_bits_max\": %d, \
          \"budget_max\": %d, \"bits_per_round\": %.2f, \"cc_bits\": %d, \
          \"lb_rounds\": %.3f, \"transcript_differential_ok\": %b, \
          \"decisions_ok\": %b, \"within_budget\": %b}%s\n"
         (json_escape r.rname) rep.rep_pairs r.rskipped r.rwall
         (float_of_int rep.rep_pairs /. r.rwall)
-        rep.rep_cut rep.rep_bandwidth rep.rep_rounds_max rep.rep_cut_bits_max
+        rep.rep_parties rep.rep_cut rep.rep_bandwidth rep.rep_rounds_max
+        rep.rep_cut_bits_max
         rep.rep_budget_max rep.rep_bits_per_round rep.rep_cc_bits
         rep.rep_lb_rounds rep.rep_all_match rep.rep_all_correct
         rep.rep_all_within_budget
@@ -1297,16 +1302,16 @@ let () =
           | Some false -> "  DIFFERENTIAL MISMATCH"
           | None -> ""))
       verify;
-    header "Theorem 1.1 reduction (lockstep transcript vs run_split)";
+    header "Theorem 1.1 reduction (lockstep transcript vs partitioned oracle)";
     let reduction = reduction_benches ~smoke () in
     List.iter
       (fun r ->
         let rep = r.rrep in
         let open Ch_reduction.Bound in
         Printf.printf
-          "  %-22s %5d pairs (%d skipped)  %7.3fs  %8.1f pairs/s  \
+          "  %-22s %5d pairs (%d skipped)  t=%d  %7.3fs  %8.1f pairs/s  \
            %6.1f bits/round  Ω(%.2f) rounds  %s\n"
-          r.rname rep.rep_pairs r.rskipped r.rwall
+          r.rname rep.rep_pairs r.rskipped rep.rep_parties r.rwall
           (float_of_int rep.rep_pairs /. r.rwall)
           rep.rep_bits_per_round rep.rep_lb_rounds
           (if rep.rep_all_match then "differential ok"

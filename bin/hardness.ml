@@ -170,22 +170,42 @@ let simulate_cmd =
         1
     | Some ({ Registry.reduction = Some rd; _ } as s) ->
         let fam = s.Registry.scratch k in
-        let { Registry.rd_solver; rd_accept } = rd k in
-        Printf.printf "Simulating %s CONGEST on G_{x,y} (k=%d, n=%d, cut=%d)\n"
-          s.Registry.id k fam.Framework.nvertices (Framework.cut_size fam);
+        let rd = rd k in
+        let cut =
+          match rd.Registry.rd_partition with
+          | None -> Framework.cut_size fam
+          | Some partition ->
+              Array.length
+                (Framework.multicut_info fam ~partition).Framework.mc_edges
+        in
+        Printf.printf
+          "Simulating %s CONGEST on G_{x,y} (k=%d, n=%d, t=%d, cut=%d)\n"
+          s.Registry.id k fam.Framework.nvertices rd.Registry.rd_parties cut;
+        let connected x y =
+          match fam.Framework.build x y with
+          | Framework.Undirected g -> Ch_graph.Props.connected g
+          | Framework.Directed dg ->
+              Ch_graph.Props.connected (Ch_congest.Network.comm_graph dg)
+          | _ -> true
+        in
         let all_ok = ref true in
         for i = 0 to pairs - 1 do
           let bits = fam.Framework.input_bits in
           let x = Bits.random ~seed:(3 * i) ~density:0.7 bits in
           let y = Bits.random ~seed:((3 * i) + 1) ~density:0.7 bits in
-          let sim =
-            Framework.simulate_alice_bob fam ~solver:rd_solver ~accept:rd_accept
-              x y
-          in
-          if not sim.Framework.decision_correct then all_ok := false;
-          Printf.printf "  pair %2d: rounds=%4d  cut bits=%6d  %s\n" i
-            sim.Framework.rounds sim.Framework.cut_bits
-            (if sim.Framework.decision_correct then "correct" else "WRONG")
+          if not (connected x y) then
+            Printf.printf "  pair %2d: skipped (G_{x,y} disconnected)\n" i
+          else begin
+            let sim =
+              Framework.simulate_reduction ?partition:rd.Registry.rd_partition
+                fam ~solver:rd.Registry.rd_solver
+                ~accept:rd.Registry.rd_accept x y
+            in
+            if not sim.Framework.decision_correct then all_ok := false;
+            Printf.printf "  pair %2d: rounds=%4d  cut bits=%6d  %s\n" i
+              sim.Framework.rounds sim.Framework.cut_bits
+              (if sim.Framework.decision_correct then "correct" else "WRONG")
+          end
         done;
         if !all_ok then 0 else 1
   in
@@ -292,6 +312,118 @@ let reduction_cmd =
     Term.(
       const run $ k_arg $ red_family_arg $ pairs_arg $ exhaustive_arg
       $ trace_arg $ seed_arg $ profile_arg $ obs_out_arg)
+
+(* Round-level trace replay: regenerate the sweep that produced a
+   --trace JSONL file and difference the two event streams round by
+   round.  The simulation is deterministic (seeded per-vertex RNG, fixed
+   sampling derivation), so any divergence — a changed codec, charging
+   rule or stepper schedule — surfaces at the first differing round. *)
+let replay_cmd =
+  let open Ch_reduction in
+  let open Ch_serve in
+  let round_of line =
+    match Jsonx.parse line with
+    | Ok j -> Option.bind (Jsonx.mem "round" j) Jsonx.as_int
+    | Error _ -> None
+  in
+  let run k name pairs exhaustive seed trace_file =
+    match Registry.find (catalog ()) name with
+    | None ->
+        Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
+        1
+    | Some s -> (
+        let recorded =
+          let ic = open_in trace_file in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> ());
+          close_in ic;
+          List.rev !lines
+        in
+        let sink, events = Trace.collector () in
+        match
+          Bound.sweep_registry ~trace:sink ~seed ~exhaustive ~samples:pairs s
+            ~k
+        with
+        | None ->
+            Printf.eprintf
+              "family %S has no reduction algorithm; families with one: %s\n"
+              name (reduction_ids ());
+            1
+        | Some _ -> (
+            let replayed = List.map Trace.to_json (events ()) in
+            let rec diff i rec_lines rep_lines =
+              match (rec_lines, rep_lines) with
+              | [], [] ->
+                  Printf.printf
+                    "trace replay ok: %d events match (%s, k=%d, %s)\n" i
+                    s.Registry.id k
+                    (if exhaustive then "exhaustive"
+                     else Printf.sprintf "pairs=%d seed=%d" pairs seed);
+                  0
+              | a :: _, [] | [], a :: _ ->
+                  Printf.eprintf
+                    "FAIL: traces diverge at event %d%s: one stream ends, the \
+                     other continues with:\n\
+                    \  %s\n"
+                    i
+                    (match round_of a with
+                    | Some r -> Printf.sprintf " (round %d)" r
+                    | None -> "")
+                    a;
+                  1
+              | a :: rest_a, b :: rest_b ->
+                  if String.equal a b then diff (i + 1) rest_a rest_b
+                  else begin
+                    Printf.eprintf
+                      "FAIL: traces diverge at event %d%s:\n\
+                      \  recorded: %s\n\
+                      \  replayed: %s\n"
+                      i
+                      (match round_of b with
+                      | Some r -> Printf.sprintf " (round %d)" r
+                      | None -> "")
+                      a b;
+                    1
+                  end
+            in
+            match recorded with
+            | [] ->
+                Printf.eprintf "FAIL: %s holds no trace events\n" trace_file;
+                1
+            | _ -> diff 0 recorded replayed))
+  in
+  let replay_family_arg =
+    let doc = "Family id the trace was recorded from." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let trace_file_arg =
+    let doc = "The JSONL trace written by $(b,hardness reduction --trace)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let pairs_arg =
+    let doc = "Sampled pairs the recorded sweep used (on top of corners)." in
+    Arg.(value & opt int 8 & info [ "pairs" ] ~doc)
+  in
+  let exhaustive_arg =
+    let doc = "The recorded sweep was exhaustive." in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 41 & info [ "seed" ] ~doc:"Sampling seed used.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run a reduction sweep and difference its trace against a \
+          recorded JSONL trace round by round, failing on the first \
+          divergence — the CI determinism guard for the simulation stack.")
+    Term.(
+      const run $ k_arg $ replay_family_arg $ pairs_arg $ exhaustive_arg
+      $ seed_arg $ trace_file_arg)
 
 let sweep_cmd =
   let open Ch_sweep in
@@ -808,6 +940,7 @@ let () =
             verify_cmd;
             simulate_cmd;
             reduction_cmd;
+            replay_cmd;
             sweep_cmd;
             profile_cmd;
             serve_cmd;

@@ -50,6 +50,16 @@ let own_records ?edge_filter ctx =
   Vweight (v, ctx.Network.vertex_weight)
   :: List.map (fun (u, w, wt) -> Edge (u, w, wt)) edges
 
+(* On a directed network a vertex uploads its out-arcs instead: the
+   [Edge] record keeps its (tail, head) orientation, so the root can
+   rebuild the digraph from the same message vocabulary (and the same
+   codec) as the undirected gather. *)
+let own_arc_records ctx =
+  let v = ctx.Network.id in
+  Vweight (v, ctx.Network.vertex_weight)
+  :: (Array.to_list ctx.Network.out_arcs
+     |> List.map (fun (u, w) -> Edge (v, u, w)))
+
 let reconstruct ~n records =
   let g = Graph.create n in
   List.iter
@@ -60,7 +70,17 @@ let reconstruct ~n records =
     records;
   g
 
-let algo ?edge_filter ~root ~f () : (state, msg) Network.algo =
+let reconstruct_digraph ~n records =
+  let dg = Digraph.create n in
+  List.iter
+    (function
+      | Vweight (v, w) -> Digraph.set_vweight dg v w
+      | Edge (u, v, w) -> Digraph.add_arc ~w dg u v
+      | Dist _ | Child | Done | Answer _ -> assert false)
+    records;
+  dg
+
+let algo_gen ~records ~answer_of ~root () : (state, msg) Network.algo =
   {
     name = "gather";
     init = initial ~root;
@@ -93,7 +113,7 @@ let algo ?edge_filter ~root ~f () : (state, msg) Network.algo =
         end
         else if round = n then begin
           (* phase 2: children discovery + queue initialization *)
-          let records = own_records ?edge_filter ctx in
+          let records = records ctx in
           let st =
             if is_root then { st with collected = records }
             else { st with queue = records }
@@ -131,8 +151,7 @@ let algo ?edge_filter ~root ~f () : (state, msg) Network.algo =
                 (* children report Done only after round n+1, so waiting one
                    extra round for Child messages is safe *)
                 if round > n + 1 && st.pending_children = 0 then begin
-                  let g = reconstruct ~n st.collected in
-                  let a = f g in
+                  let a = answer_of ~n st.collected in
                   ({ st with answer = Some a }, [])
                 end
                 else (st, [])
@@ -168,6 +187,17 @@ let algo ?edge_filter ~root ~f () : (state, msg) Network.algo =
     output = (fun st -> st.answer);
   }
 
+let algo ?edge_filter ~root ~f () =
+  algo_gen
+    ~records:(own_records ?edge_filter)
+    ~answer_of:(fun ~n records -> f (reconstruct ~n records))
+    ~root ()
+
+let directed_algo ~root ~f () =
+  algo_gen ~records:own_arc_records
+    ~answer_of:(fun ~n records -> f (reconstruct_digraph ~n records))
+    ~root ()
+
 let solve ?seed ?bandwidth_factor ?(root = 0) g ~f =
   let states, stats =
     Network.run ?seed ?bandwidth_factor g (algo ~root ~f ())
@@ -179,5 +209,27 @@ let solve ?seed ?bandwidth_factor ?(root = 0) g ~f =
 let solve_split ?seed ?bandwidth_factor ?(root = 0) ~side g ~f =
   let states, cut_stats =
     Network.run_split ?seed ?bandwidth_factor ~side g (algo ~root ~f ())
+  in
+  (Option.get states.(root).answer, cut_stats)
+
+let solve_partitioned ?seed ?bandwidth_factor ?(root = 0) ~partition g ~f =
+  let states, part_stats =
+    Network.run_partitioned ?seed ?bandwidth_factor ~partition g
+      (algo ~root ~f ())
+  in
+  (Option.get states.(root).answer, part_stats)
+
+let solve_directed ?seed ?bandwidth_factor ?(root = 0) dg ~f =
+  let states, stats =
+    Network.run_directed ?seed ?bandwidth_factor dg (directed_algo ~root ~f ())
+  in
+  let answer = Option.get states.(root).answer in
+  Array.iter (fun st -> assert (st.answer = Some answer)) states;
+  (answer, stats)
+
+let solve_directed_split ?seed ?bandwidth_factor ?(root = 0) ~side dg ~f =
+  let states, cut_stats =
+    Network.run_directed_split ?seed ?bandwidth_factor ~side dg
+      (directed_algo ~root ~f ())
   in
   (Option.get states.(root).answer, cut_stats)

@@ -27,6 +27,17 @@ val algo :
   unit ->
   (state, msg) Network.algo
 
+val directed_algo :
+  root:int ->
+  f:(Digraph.t -> int) ->
+  unit ->
+  (state, msg) Network.algo
+(** The gather upper bound on a directed network (run it over
+    {!Network.stepper_directed} or {!Network.run_directed}): each vertex
+    uploads its out-arcs with their orientation intact, the root rebuilds
+    the digraph and answers f(D).  Same message vocabulary and widths as
+    the undirected {!algo}. *)
+
 val solve :
   ?seed:int ->
   ?bandwidth_factor:int ->
@@ -45,3 +56,33 @@ val solve_split :
   f:(Graph.t -> int) ->
   int * Network.cut_stats
 (** {!solve} under {!Network.run_split} bit accounting. *)
+
+val solve_partitioned :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?root:int ->
+  partition:int array ->
+  Graph.t ->
+  f:(Graph.t -> int) ->
+  int * Network.part_stats
+(** {!solve} under {!Network.run_partitioned} multicut accounting — the
+    t-party reference oracle for the lockstep simulation. *)
+
+val solve_directed :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?root:int ->
+  Digraph.t ->
+  f:(Digraph.t -> int) ->
+  int * Network.stats
+(** Every vertex outputs f(D) via {!directed_algo}. *)
+
+val solve_directed_split :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?root:int ->
+  side:bool array ->
+  Digraph.t ->
+  f:(Digraph.t -> int) ->
+  int * Network.cut_stats
+(** {!solve_directed} under two-party cut accounting. *)

@@ -16,6 +16,7 @@ type ctx = {
   neighbors : int array;
   edge_weight : int -> int;
   vertex_weight : int;
+  out_arcs : (int * int) array;
   rng : Random.State.t;
 }
 
@@ -41,7 +42,7 @@ let bandwidth_for ?(factor = 8) n =
   let rec log2_ceil acc v = if v <= 1 then max acc 1 else log2_ceil (acc + 1) ((v + 1) / 2) in
   factor * log2_ceil 0 n
 
-let make_ctxs ?(seed = 0) g =
+let make_ctxs ?(seed = 0) ?(out_arcs = fun _ -> [||]) g =
   Array.init (Graph.n g) (fun v ->
       {
         id = v;
@@ -49,6 +50,7 @@ let make_ctxs ?(seed = 0) g =
         neighbors = Array.of_list (Graph.neighbors g v);
         edge_weight = (fun u -> Graph.edge_weight g v u);
         vertex_weight = Graph.vweight g v;
+        out_arcs = out_arcs v;
         rng = Random.State.make [| seed; v |];
       })
 
@@ -78,12 +80,12 @@ type ('state, 'msg) stepper = {
   mutable sp_max_bits : int;
 }
 
-let stepper ?seed ?bandwidth_factor ?owns g algo =
+let stepper_gen ?seed ?bandwidth_factor ?owns ~out_arcs g algo =
   let n = Graph.n g in
   let owns =
     match owns with Some f -> Array.init n f | None -> Array.make n true
   in
-  let ctxs = make_ctxs ?seed g in
+  let ctxs = make_ctxs ?seed ~out_arcs g in
   {
     sp_g = g;
     sp_algo = algo;
@@ -98,6 +100,20 @@ let stepper ?seed ?bandwidth_factor ?owns g algo =
     sp_total_bits = 0;
     sp_max_bits = 0;
   }
+
+let stepper ?seed ?bandwidth_factor ?owns g algo =
+  stepper_gen ?seed ?bandwidth_factor ?owns ~out_arcs:(fun _ -> [||]) g algo
+
+(* A digraph network communicates over its underlying undirected graph
+   (an arc is a channel in both directions, as in the paper's directed
+   constructions); the orientation itself is data, exposed to each
+   vertex as its sorted out-arc list. *)
+let comm_graph dg = Digraph.to_undirected dg
+
+let stepper_directed ?seed ?bandwidth_factor ?owns dg algo =
+  stepper_gen ?seed ?bandwidth_factor ?owns
+    ~out_arcs:(fun v -> Array.of_list (Digraph.succ_w dg v))
+    (comm_graph dg) algo
 
 let stepper_round t = t.sp_round
 
@@ -204,10 +220,10 @@ let default_max_rounds g = (20 * Graph.n g) + (10 * Graph.m g) + 100
 
 (* ---- whole-network runs, rebuilt on the stepper ---------------------- *)
 
-let run_internal ?seed ?bandwidth_factor ?max_rounds ~on_message g algo =
-  let t = stepper ?seed ?bandwidth_factor g algo in
+let run_internal ?max_rounds ~on_message t =
+  let algo = t.sp_algo in
   let max_rounds =
-    match max_rounds with Some r -> r | None -> default_max_rounds g
+    match max_rounds with Some r -> r | None -> default_max_rounds t.sp_g
   in
   let quiescent = ref false in
   while (not !quiescent) || not (stepper_all_output t) do
@@ -224,22 +240,167 @@ let run_internal ?seed ?bandwidth_factor ?max_rounds ~on_message g algo =
   (Array.map (fun s -> Option.get s) t.sp_states, stepper_stats t)
 
 let run ?seed ?bandwidth_factor ?max_rounds g algo =
-  run_internal ?seed ?bandwidth_factor ?max_rounds
+  run_internal ?max_rounds
     ~on_message:(fun ~sender:_ ~target:_ ~bits:_ -> ())
-    g algo
+    (stepper ?seed ?bandwidth_factor g algo)
+
+let run_directed ?seed ?bandwidth_factor ?max_rounds dg algo =
+  run_internal ?max_rounds
+    ~on_message:(fun ~sender:_ ~target:_ ~bits:_ -> ())
+    (stepper_directed ?seed ?bandwidth_factor dg algo)
+
+(* ---- partitioned runs: one partial stepper per part ------------------ *)
+
+let partition_of_side side = Array.map (fun s -> if s then 0 else 1) side
+
+let partition_parts partition =
+  if Array.length partition = 0 then
+    invalid_arg "Network.partition: empty vertex set";
+  let t = Array.fold_left (fun acc p -> max acc (p + 1)) 0 partition in
+  Array.iter
+    (fun p -> if p < 0 then invalid_arg "Network.partition: negative part id")
+    partition;
+  let sizes = Array.make t 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) partition;
+  Array.iteri
+    (fun p c ->
+      if c = 0 then
+        invalid_arg (Printf.sprintf "Network.partition: part %d is empty" p))
+    sizes;
+  t
+
+type part_stats = {
+  p_parts : int;
+  p_stats : stats;
+  p_cross_bits : int;
+  p_cross_messages : int;
+  p_pair_bits : int array array;
+  p_pair_messages : int array array;
+}
+
+(* The generic engine: [steppers.(p)] simulates part [p]; cross-part
+   transfers are re-injected into the target part at the next step, so
+   the t half-runs reproduce the full run's delivery schedule exactly
+   (inboxes are sorted by sender, so injection order is immaterial). *)
+let run_partitioned_steppers ?max_rounds ~partition steppers =
+  let t = Array.length steppers in
+  let g = steppers.(0).sp_g in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> default_max_rounds g
+  in
+  let pair_bits = Array.make_matrix t t 0 in
+  let pair_messages = Array.make_matrix t t 0 in
+  let cross_bits = ref 0 and cross_messages = ref 0 in
+  let inject = Array.make t [] in
+  let quiescent = ref false in
+  let all_output () = Array.for_all stepper_all_output steppers in
+  while (not !quiescent) || not (all_output ()) do
+    if steppers.(0).sp_round > max_rounds then
+      failwith
+        (Printf.sprintf "Network.run: algorithm %S did not terminate in %d rounds"
+           steppers.(0).sp_algo.name max_rounds);
+    let sent = ref false in
+    let logs =
+      Array.mapi
+        (fun p sp ->
+          let log = step ~inject:inject.(p) sp in
+          inject.(p) <- [];
+          if log.sent then sent := true;
+          log)
+        steppers
+    in
+    Array.iteri
+      (fun p log ->
+        List.iter
+          (fun tr ->
+            let q = partition.(tr.t_target) in
+            pair_bits.(p).(q) <- pair_bits.(p).(q) + tr.t_bits;
+            pair_messages.(p).(q) <- pair_messages.(p).(q) + 1;
+            cross_bits := !cross_bits + tr.t_bits;
+            incr cross_messages;
+            inject.(q) <- tr :: inject.(q))
+          log.outbound)
+      logs;
+    quiescent := not !sent
+  done;
+  let n = Graph.n g in
+  let states =
+    Array.init n (fun v -> Option.get steppers.(partition.(v)).sp_states.(v))
+  in
+  let merged =
+    Array.fold_left
+      (fun acc sp ->
+        let s = stepper_stats sp in
+        {
+          acc with
+          messages = acc.messages + s.messages;
+          total_bits = acc.total_bits + s.total_bits;
+          max_message_bits = max acc.max_message_bits s.max_message_bits;
+        })
+      {
+        rounds = steppers.(0).sp_round;
+        messages = 0;
+        total_bits = 0;
+        max_message_bits = 0;
+        bandwidth = steppers.(0).sp_bandwidth;
+      }
+      steppers
+  in
+  {
+    p_parts = t;
+    p_stats = merged;
+    p_cross_bits = !cross_bits;
+    p_cross_messages = !cross_messages;
+    p_pair_bits = pair_bits;
+    p_pair_messages = pair_messages;
+  }
+  |> fun ps -> (states, ps)
+
+let check_partition ~who ~n partition =
+  if Array.length partition <> n then
+    invalid_arg (Printf.sprintf "Network.%s: partition length" who);
+  partition_parts partition
+
+let run_partitioned ?seed ?bandwidth_factor ?max_rounds ~partition g algo =
+  let t = check_partition ~who:"run_partitioned" ~n:(Graph.n g) partition in
+  let steppers =
+    Array.init t (fun p ->
+        stepper ?seed ?bandwidth_factor ~owns:(fun v -> partition.(v) = p) g algo)
+  in
+  run_partitioned_steppers ?max_rounds ~partition steppers
+
+let run_directed_partitioned ?seed ?bandwidth_factor ?max_rounds ~partition dg
+    algo =
+  let t =
+    check_partition ~who:"run_directed_partitioned" ~n:(Digraph.n dg) partition
+  in
+  let steppers =
+    Array.init t (fun p ->
+        stepper_directed ?seed ?bandwidth_factor
+          ~owns:(fun v -> partition.(v) = p)
+          dg algo)
+  in
+  run_partitioned_steppers ?max_rounds ~partition steppers
 
 type cut_stats = { stats : stats; cut_bits : int; cut_messages : int }
 
+let cut_of_part_stats (states, ps) =
+  ( states,
+    {
+      stats = ps.p_stats;
+      cut_bits = ps.p_cross_bits;
+      cut_messages = ps.p_cross_messages;
+    } )
+
 let run_split ?seed ?bandwidth_factor ?max_rounds ~side g algo =
   if Array.length side <> Graph.n g then invalid_arg "Network.run_split: side length";
-  let cut_bits = ref 0 and cut_messages = ref 0 in
-  let states, stats =
-    run_internal ?seed ?bandwidth_factor ?max_rounds
-      ~on_message:(fun ~sender ~target ~bits ->
-        if side.(sender) <> side.(target) then begin
-          cut_bits := !cut_bits + bits;
-          incr cut_messages
-        end)
-      g algo
-  in
-  (states, { stats; cut_bits = !cut_bits; cut_messages = !cut_messages })
+  cut_of_part_stats
+    (run_partitioned ?seed ?bandwidth_factor ?max_rounds
+       ~partition:(partition_of_side side) g algo)
+
+let run_directed_split ?seed ?bandwidth_factor ?max_rounds ~side dg algo =
+  if Array.length side <> Digraph.n dg then
+    invalid_arg "Network.run_directed_split: side length";
+  cut_of_part_stats
+    (run_directed_partitioned ?seed ?bandwidth_factor ?max_rounds
+       ~partition:(partition_of_side side) dg algo)

@@ -97,6 +97,46 @@ let cut_info fam =
 
 let cut_index ci u v = Hashtbl.find_opt ci.ci_index (u, v)
 
+(* ---- t-party multicut descriptors ------------------------------------ *)
+
+type multicut_info = {
+  mc_parts : int;
+  mc_edges : (int * int) array;
+  mc_index : (int * int, int) Hashtbl.t;
+  mc_part_sizes : int array;
+}
+
+(* Like [cut_info], measured on the zero-input instance: Definition 1.1
+   (and its multiparty analogue) requires the multicut to be input
+   independent, so families registering a partition must keep their
+   input edges inside parts. *)
+let multicut_info fam ~partition =
+  if Array.length partition <> fam.nvertices then
+    invalid_arg "Framework.multicut_info: partition length";
+  let t = Ch_congest.Network.partition_parts partition in
+  let x = Bits.zeros fam.input_bits and y = Bits.zeros fam.input_bits in
+  let g = graph_of (fam.build x y) in
+  let cross = ref [] in
+  Graph.iter_edges
+    (fun u v _ ->
+      if partition.(u) <> partition.(v) then
+        cross :=
+          (if partition.(u) < partition.(v) then (u, v) else (v, u)) :: !cross)
+    g;
+  let edges = Array.of_list !cross in
+  Array.sort compare edges;
+  let index = Hashtbl.create (2 * Array.length edges) in
+  Array.iteri
+    (fun i (a, b) ->
+      Hashtbl.replace index (a, b) i;
+      Hashtbl.replace index (b, a) i)
+    edges;
+  let sizes = Array.make t 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) partition;
+  { mc_parts = t; mc_edges = edges; mc_index = index; mc_part_sizes = sizes }
+
+let multicut_index mc u v = Hashtbl.find_opt mc.mc_index (u, v)
+
 let build_timed fam x y = Obs.with_span sp_apply (fun () -> fam.build x y)
 
 let verdict_timed fam x y =
@@ -337,23 +377,47 @@ type simulation = {
   rounds : int;
 }
 
+type solver =
+  | Graph_solver of (Graph.t -> int)
+  | Digraph_solver of (Digraph.t -> int)
+
+let simulate_reduction ?seed ?bandwidth_factor ?partition fam ~solver ~accept x
+    y =
+  let open Ch_congest in
+  let finish answer ~cut_bits ~cut_messages ~rounds =
+    { decision_correct = accept answer = fam.f x y; cut_bits; cut_messages; rounds }
+  in
+  let of_cut (answer, (cs : Network.cut_stats)) =
+    finish answer ~cut_bits:cs.Network.cut_bits
+      ~cut_messages:cs.Network.cut_messages
+      ~rounds:cs.Network.stats.Network.rounds
+  in
+  match (solver, fam.build x y, partition) with
+  | Graph_solver f, Undirected g, None ->
+      of_cut (Gather.solve_split ?seed ?bandwidth_factor ~side:fam.side g ~f)
+  | Graph_solver f, Undirected g, Some partition ->
+      let answer, ps =
+        Gather.solve_partitioned ?seed ?bandwidth_factor ~partition g ~f
+      in
+      finish answer ~cut_bits:ps.Network.p_cross_bits
+        ~cut_messages:ps.Network.p_cross_messages
+        ~rounds:ps.Network.p_stats.Network.rounds
+  | Digraph_solver f, Directed dg, None ->
+      of_cut
+        (Gather.solve_directed_split ?seed ?bandwidth_factor ~side:fam.side dg
+           ~f)
+  | Digraph_solver _, Directed _, Some _ ->
+      invalid_arg
+        "Framework.simulate_reduction: partitioned directed simulation is not \
+         supported"
+  | Graph_solver _, _, _ ->
+      invalid_arg "Framework.simulate_reduction: undirected instances only"
+  | Digraph_solver _, _, _ ->
+      invalid_arg "Framework.simulate_reduction: directed instances only"
+
 let simulate_alice_bob ?seed ?bandwidth_factor fam ~solver ~accept x y =
-  let g =
-    match fam.build x y with
-    | Undirected g -> g
-    | Directed _ | With_terminals _ | Rooted_digraph _ ->
-        invalid_arg "Framework.simulate_alice_bob: undirected instances only"
-  in
-  let answer, cut_stats =
-    Ch_congest.Gather.solve_split ?seed ?bandwidth_factor ~side:fam.side g
-      ~f:solver
-  in
-  {
-    decision_correct = accept answer = fam.f x y;
-    cut_bits = cut_stats.Ch_congest.Network.cut_bits;
-    cut_messages = cut_stats.Ch_congest.Network.cut_messages;
-    rounds = cut_stats.Ch_congest.Network.stats.Ch_congest.Network.rounds;
-  }
+  simulate_reduction ?seed ?bandwidth_factor fam ~solver:(Graph_solver solver)
+    ~accept x y
 
 let reduce ~name ~transform ~nvertices ~side ~predicate fam =
   {

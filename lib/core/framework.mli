@@ -57,6 +57,25 @@ val cut_index : cut_info -> int -> int -> int option
 (** Index of the cut edge {u,v} in {!field-ci_edges} (either endpoint
     order), or [None] when {u,v} does not cross the cut. *)
 
+type multicut_info = {
+  mc_parts : int;  (** t *)
+  mc_edges : (int * int) array;
+      (** the multicut, oriented (lower part, higher part), sorted *)
+  mc_index : (int * int, int) Hashtbl.t;  (** both orientations → index *)
+  mc_part_sizes : int array;  (** vertices per part *)
+}
+
+val multicut_info : t -> partition:int array -> multicut_info
+(** The t-party analogue of {!cut_info} for a vertex partition: the cross
+    edges of the zero-input instance, indexed for per-edge traffic
+    attribution.  Like the 2-party cut, the multicut must be input
+    independent — families registering a partition keep their input
+    edges inside parts.
+    @raise Invalid_argument on a partition of the wrong length or with
+    an empty part. *)
+
+val multicut_index : multicut_info -> int -> int -> int option
+
 (** {1 Family verification}
 
     The three verifiers fan their (perfectly parallel) input-pair checks
@@ -212,6 +231,30 @@ type simulation = {
   rounds : int;
 }
 
+type solver =
+  | Graph_solver of (Graph.t -> int)
+  | Digraph_solver of (Digraph.t -> int)
+      (** the local decision procedure a reduction runs at the gather
+          root — on the undirected instance, or on the digraph itself
+          for directed constructions (Hamiltonian families) *)
+
+val simulate_reduction :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?partition:int array ->
+  t ->
+  solver:solver ->
+  accept:(int -> bool) ->
+  Bits.t ->
+  Bits.t ->
+  simulation
+(** Run the generic exact CONGEST algorithm (gather + local [solver]) on
+    the instance of (x,y) and check that [accept answer] equals f(x,y).
+    Without [partition] this is the two-party Theorem 1.1 simulation over
+    [fam.side] (undirected or directed per the solver); with [partition]
+    the t-party run charges every cross-part message against the
+    multicut (undirected instances only). *)
+
 val simulate_alice_bob :
   ?seed:int ->
   ?bandwidth_factor:int ->
@@ -225,7 +268,8 @@ val simulate_alice_bob :
     G_{x,y} with Alice simulating V_A and Bob V_B, count the bits crossing
     E_cut, and check that [accept answer] equals f(x,y): the two players
     have solved the communication problem, which is exactly the Theorem
-    1.1 argument.  Only undirected instances are supported. *)
+    1.1 argument.  Only undirected instances are supported.
+    [simulate_reduction] with a [Graph_solver] and no partition. *)
 
 (** {1 Theorem 2.6: reductions between families} *)
 

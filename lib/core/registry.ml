@@ -1,6 +1,34 @@
-open Ch_graph
+type reduction = {
+  rd_parties : int;
+  rd_partition : int array option;
+  rd_solver : Framework.solver;
+  rd_accept : int -> bool;
+}
 
-type reduction = { rd_solver : Graph.t -> int; rd_accept : int -> bool }
+let reduction2 ~solver ~accept =
+  {
+    rd_parties = 2;
+    rd_partition = None;
+    rd_solver = Framework.Graph_solver solver;
+    rd_accept = accept;
+  }
+
+let reduction_directed ~solver ~accept =
+  {
+    rd_parties = 2;
+    rd_partition = None;
+    rd_solver = Framework.Digraph_solver solver;
+    rd_accept = accept;
+  }
+
+let reduction_partitioned ~partition ~solver ~accept =
+  let parties = Ch_congest.Network.partition_parts partition in
+  {
+    rd_parties = parties;
+    rd_partition = Some partition;
+    rd_solver = Framework.Graph_solver solver;
+    rd_accept = accept;
+  }
 
 type spec = {
   id : string;
@@ -68,13 +96,19 @@ let to_json t =
   List.iteri
     (fun i s ->
       let fam = s.scratch s.default_k in
+      let parties =
+        match s.reduction with
+        | None -> ""
+        | Some rd ->
+            Printf.sprintf ", \"parties\": %d" (rd s.default_k).rd_parties
+      in
       Printf.bprintf buf
         "    {\"id\": \"%s\", \"title\": \"%s\", \"paper_ref\": \"%s\", \
          \"origin\": \"%s\", \"default_k\": %d, \"incremental\": %b, \
-         \"reduction\": %b, \"n\": %d, \"input_bits\": %d, \"cut\": %d}%s\n"
+         \"reduction\": %b%s, \"n\": %d, \"input_bits\": %d, \"cut\": %d}%s\n"
         (json_escape s.id) (json_escape s.title) (json_escape s.paper_ref)
         (json_escape s.origin) s.default_k (s.incremental <> None)
-        (s.reduction <> None) fam.Framework.nvertices
+        (s.reduction <> None) parties fam.Framework.nvertices
         fam.Framework.input_bits (Framework.cut_size fam)
         (if i < List.length t.specs - 1 then "," else ""))
     t.specs;

@@ -15,11 +15,38 @@ open Ch_graph
     differential tests pick it up from the catalog. *)
 
 type reduction = {
-  rd_solver : Graph.t -> int;
+  rd_parties : int;
+      (** the simulation's party count: 2 for the classic Alice/Bob
+          split over [Framework.side], t ≥ 3 when a vertex partition is
+          registered *)
+  rd_partition : int array option;
+      (** the t-part vertex partition when [rd_parties > 2]; [None]
+          means the 2-party [side] split *)
+  rd_solver : Framework.solver;
       (** the exact solver of the family's optimisation problem, run at
           the gather root (see [Ch_reduction.Simulate.gather_spec]) *)
   rd_accept : int -> bool;  (** [accept γ ⟺ f(x,y)] at this scale *)
 }
+
+val reduction2 : solver:(Graph.t -> int) -> accept:(int -> bool) -> reduction
+(** The classic 2-party reduction over the family's Alice/Bob side —
+    existing 2-party specs register through this unchanged. *)
+
+val reduction_directed :
+  solver:(Digraph.t -> int) -> accept:(int -> bool) -> reduction
+(** A 2-party reduction on a directed construction: the gather runs over
+    the underlying communication graph and the root solves on the
+    digraph itself (Hamiltonian families). *)
+
+val reduction_partitioned :
+  partition:int array ->
+  solver:(Graph.t -> int) ->
+  accept:(int -> bool) ->
+  reduction
+(** A t-party reduction over a vertex partition (t inferred from the
+    partition); every cross-part message is charged against the
+    part-pair's channel.  @raise Invalid_argument on an invalid
+    partition. *)
 
 type spec = {
   id : string;  (** stable CLI/bench id, e.g. ["mds"] — unique per registry *)
@@ -73,5 +100,6 @@ val unknown_id_message : t -> string -> string
 val to_json : t -> string
 (** The catalog dump behind [hardness list --json]: one object per spec
     with [id], [title], [paper_ref], [origin], [default_k], [incremental]
-    and [reduction] booleans, plus [n]/[input_bits]/[cut] measured on the
-    scratch family at [default_k]. *)
+    and [reduction] booleans (plus the reduction's [parties] when it has
+    one), plus [n]/[input_bits]/[cut] measured on the scratch family at
+    [default_k]. *)

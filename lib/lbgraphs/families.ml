@@ -5,6 +5,7 @@ let all =
   Mds_lb.specs @ Maxis_lb.specs @ Hampath_lb.specs @ Steiner_lb.specs
   @ Maxcut_lb.specs @ Spanner_lb.specs @ Maxis_approx_lb.specs
   @ Kmds_lb.specs @ Steiner_approx_lb.specs @ Mds_restricted_lb.specs
+  @ Bitgadget_lb.specs
 
 let catalog =
   let t = lazy (Ch_core.Registry.of_specs all) in

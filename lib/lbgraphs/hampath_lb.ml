@@ -374,7 +374,15 @@ let specs =
       sweep_ks = [ 2; 4 ];
       scratch = (fun k -> path_family ~k);
       incremental = Some (fun k -> incremental ~k);
-      reduction = None;
+      reduction =
+        (* the directed gather: arcs are uploaded with their orientation,
+           the root decides Hamiltonian-path existence on the digraph *)
+        Some
+          (fun _k ->
+            Registry.reduction_directed
+              ~solver:(fun dg ->
+                if Ch_solvers.Hamilton.directed_path dg <> None then 1 else 0)
+              ~accept:(fun a -> a = 1));
     };
     {
       Registry.id = "hamcycle";

@@ -223,9 +223,8 @@ let specs =
       reduction =
         Some
           (fun k ->
-            {
-              Registry.rd_solver = (fun g -> fst (Ch_solvers.Maxcut.max_cut g));
-              rd_accept = (fun a -> a >= target_weight ~k);
-            });
+            Registry.reduction2
+              ~solver:(fun g -> fst (Ch_solvers.Maxcut.max_cut g))
+              ~accept:(fun a -> a >= target_weight ~k));
     };
   ]

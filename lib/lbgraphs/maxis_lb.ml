@@ -181,10 +181,9 @@ let specs =
       reduction =
         Some
           (fun k ->
-            {
-              Registry.rd_solver = (fun g -> Ch_solvers.Mis.alpha g);
-              rd_accept = (fun a -> a >= alpha_target ~k);
-            });
+            Registry.reduction2
+              ~solver:(fun g -> Ch_solvers.Mis.alpha g)
+              ~accept:(fun a -> a >= alpha_target ~k));
     };
     {
       Registry.id = "mvc";

@@ -174,9 +174,8 @@ let specs =
       reduction =
         Some
           (fun k ->
-            {
-              Registry.rd_solver = (fun g -> Ch_solvers.Domset.min_size g);
-              rd_accept = (fun a -> a <= target_size ~k);
-            });
+            Registry.reduction2
+              ~solver:(fun g -> Ch_solvers.Domset.min_size g)
+              ~accept:(fun a -> a <= target_size ~k));
     };
   ]

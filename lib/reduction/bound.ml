@@ -13,6 +13,7 @@ type report = {
   rep_name : string;
   rep_n : int;
   rep_input_bits : int;
+  rep_parties : int;
   rep_cut : int;
   rep_bandwidth : int;
   rep_pairs : int;
@@ -60,6 +61,8 @@ let connected_pairs fam pairs =
       (fun (x, y) ->
         match fam.Framework.build x y with
         | Framework.Undirected g -> Ch_graph.Props.connected g
+        | Framework.Directed dg ->
+            Ch_graph.Props.connected (Ch_congest.Network.comm_graph dg)
         | _ -> true)
       pairs
   in
@@ -94,6 +97,7 @@ let sweep ?trace (spec : Simulate.spec) pairs =
       rep_name = spec.Simulate.sname;
       rep_n = n;
       rep_input_bits = k;
+      rep_parties = spec.Simulate.sparties;
       rep_cut = cut;
       rep_bandwidth = bandwidth;
       rep_pairs = pairs_n;
@@ -121,11 +125,12 @@ let sweep ?trace (spec : Simulate.spec) pairs =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>%s: n=%d K=%d |Ecut|=%d B=%d@,\
+    "@[<v>%s: n=%d K=%d t=%d |cut|=%d B=%d@,\
      pairs=%d rounds<=%d cut-bits<=%d budget<=%d bits/round=%.1f@,\
      CC(f)>=%d bits => Omega(%.2f) rounds@,\
-     all-correct=%b transcript=run_split=%b within-budget=%b@]"
-    r.rep_name r.rep_n r.rep_input_bits r.rep_cut r.rep_bandwidth r.rep_pairs
+     all-correct=%b transcript=oracle=%b within-budget=%b@]"
+    r.rep_name r.rep_n r.rep_input_bits r.rep_parties r.rep_cut r.rep_bandwidth
+    r.rep_pairs
     r.rep_rounds_max r.rep_cut_bits_max r.rep_budget_max r.rep_bits_per_round
     r.rep_cc_bits r.rep_lb_rounds r.rep_all_correct r.rep_all_match
     r.rep_all_within_budget

@@ -22,7 +22,8 @@ type report = {
   rep_name : string;
   rep_n : int;
   rep_input_bits : int;  (** K *)
-  rep_cut : int;  (** measured |E_cut| *)
+  rep_parties : int;  (** t — 2 unless the family registered a partition *)
+  rep_cut : int;  (** measured |multicut| (= |E_cut| at t=2) *)
   rep_bandwidth : int;  (** B *)
   rep_pairs : int;
   rep_rounds_max : int;
@@ -48,8 +49,9 @@ val sampled_pairs : Framework.t -> seed:int -> samples:int -> (Bits.t * Bits.t) 
 
 val connected_pairs :
   Framework.t -> (Bits.t * Bits.t) list -> (Bits.t * Bits.t) list * int
-(** Drop pairs whose instance is disconnected (outside the CONGEST model —
-    {!Simulate.lockstep} rejects them); also returns how many were
+(** Drop pairs whose instance (communication graph, for directed
+    constructions) is disconnected — outside the CONGEST model;
+    {!Simulate.lockstep} rejects them.  Also returns how many were
     dropped, so sweeps can report rather than silently shrink. *)
 
 val matches : Simulate.transcript -> Simulate.reference -> bool

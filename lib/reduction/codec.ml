@@ -14,6 +14,23 @@ let tag3 c = [ c land 4 <> 0; c land 2 <> 0; c land 1 <> 0 ]
 let length_ok (algo : ('s, 'm) Network.algo) codec msg =
   List.length (codec.enc msg) = algo.Network.msg_bits msg
 
+(* ---- per-party encoder families -------------------------------------- *)
+
+type 'msg family = { fname : string; for_party : int -> 'msg t }
+
+let uniform c = { fname = c.cname; for_party = (fun _ -> c) }
+
+let per_party ~name cs =
+  if Array.length cs = 0 then invalid_arg "Codec.per_party: no parties";
+  {
+    fname = name;
+    for_party =
+      (fun p ->
+        if p < 0 || p >= Array.length cs then
+          invalid_arg "Codec.per_party: party out of range"
+        else cs.(p));
+  }
+
 let bfs ~n = { cname = "bfs"; enc = (fun d -> field ~max:n d) }
 
 let leader ~n =

@@ -24,6 +24,19 @@ val field : max:int -> int -> bool list
 val length_ok : ('s, 'm) Network.algo -> 'm t -> 'm -> bool
 (** [|enc msg| = algo.msg_bits msg] — the encoding-honesty property. *)
 
+type 'msg family = { fname : string; for_party : int -> 'msg t }
+(** A per-party encoder assignment for the t-party simulation: party p
+    encodes its outgoing cross messages with [for_party p].  Every
+    party's codec must still hit the exact [msg_bits] width — the
+    encoding-honesty property is per party. *)
+
+val uniform : 'msg t -> 'msg family
+(** Every party uses the same codec — the 2-party simulations and all
+    current algorithm codecs. *)
+
+val per_party : name:string -> 'msg t array -> 'msg family
+(** [for_party p = cs.(p)].  @raise Invalid_argument out of range. *)
+
 val gather : Gather.msg t
 
 val mds_greedy : Mds_greedy.msg t

@@ -4,6 +4,7 @@ open Ch_core
 open Ch_congest
 
 type transcript = {
+  parties : int;
   rounds : int;
   cut_bits : int;
   cut_messages : int;
@@ -28,56 +29,78 @@ let undirected_of name fam x y =
   | Framework.Rooted_digraph _ ->
       invalid_arg (name ^ ": undirected instances only")
 
-let lockstep ?seed ?bandwidth_factor ?max_rounds ?(trace = Trace.null) fam
-    ~(algo : ('state, 'msg) Network.algo) ~(codec : 'msg Codec.t) ~accept x y =
-  let g = undirected_of "Simulate.lockstep" fam x y in
+let directed_of name fam x y =
+  match fam.Framework.build x y with
+  | Framework.Directed dg -> dg
+  | Framework.Undirected _ | Framework.With_terminals _
+  | Framework.Rooted_digraph _ ->
+      invalid_arg (name ^ ": directed instances only")
+
+(* The generic t-party engine.  [mk_stepper owns] builds the partial
+   stepper a party runs (undirected or directed network); [g] is the
+   communication graph, used for connectivity and the divergence guard.
+   Parts are stepped in index order every round — at t=2 with
+   [partition_of_side] this is exactly the historical Alice-then-Bob
+   schedule, so the old two-party transcripts replay bit-identically. *)
+let lockstep_core ?max_rounds ?(trace = Trace.null) ~name fam ~partition
+    ~(algo : ('state, 'msg) Network.algo) ~(codecs : 'msg Codec.family)
+    ~accept ~g ~mk_stepper x y =
   (* the CONGEST model assumes a connected network; degenerate input pairs
      that disconnect G_{x,y} (e.g. the no-input-edge corner of the MDS
      family) are outside it — Bound.connected_pairs filters them *)
   if not (Props.connected g) then
-    invalid_arg "Simulate.lockstep: G_{x,y} is disconnected";
-  let side = fam.Framework.side in
-  if Array.length side <> Graph.n g then invalid_arg "Simulate.lockstep: side length";
-  let ci = Framework.cut_info fam in
-  let cut_size = Array.length ci.Framework.ci_edges in
-  (* Alice owns V_A, Bob owns V_B.  By Definition 1.1 Alice's half of the
-     graph (and hence her stepper) depends only on x, Bob's only on y —
-     each player really can run their stepper locally. *)
-  let alice =
-    Network.stepper ?seed ?bandwidth_factor ~owns:(fun v -> side.(v)) g algo
+    invalid_arg (name ^ ": G_{x,y} is disconnected");
+  if Array.length partition <> Graph.n g then
+    invalid_arg (name ^ ": partition length");
+  (* rejects empty parts and negative ids — a party with no vertices
+     cannot take part in the simulation *)
+  let t = Network.partition_parts partition in
+  let mc = Framework.multicut_info fam ~partition in
+  let cut_size = Array.length mc.Framework.mc_edges in
+  (* Party p owns partition⁻¹(p).  By Definition 1.1 (and its multiparty
+     analogue) a party's induced subgraph depends only on its own share
+     of the input, so each party really can run its stepper locally. *)
+  let steppers =
+    Array.init t (fun p -> mk_stepper (fun v -> partition.(v) = p))
   in
-  let bob =
-    Network.stepper ?seed ?bandwidth_factor ~owns:(fun v -> not side.(v)) g algo
-  in
-  let bandwidth = Network.stepper_bandwidth alice in
+  let bandwidth = Network.stepper_bandwidth steppers.(0) in
   let max_rounds =
     match max_rounds with Some r -> r | None -> Network.default_max_rounds g
   in
-  let chan = Protocol.create () in
-  let cut_messages = ref 0 and internal_bits = ref 0 in
+  (* one two-party channel per unordered part pair {p, q}: the multicut
+     edge classes of the Theorem 1.1 charging argument *)
+  let chans = Array.init t (fun _ -> Array.init t (fun _ -> Protocol.create ())) in
+  let chan p q = if p < q then chans.(p).(q) else chans.(q).(p) in
+  let charged = ref 0 and cut_messages = ref 0 and internal_bits = ref 0 in
+  let pair_round = Array.make_matrix t t 0 in
   let note_internal round (tr : 'msg Network.transfer) =
     internal_bits := !internal_bits + tr.Network.t_bits;
+    let p = partition.(tr.Network.t_sender) in
     trace
       (Trace.Msg
          {
            round;
            sender = tr.Network.t_sender;
            target = tr.Network.t_target;
+           sender_part = p;
+           target_part = partition.(tr.Network.t_target);
            bits = tr.Network.t_bits;
            cut = false;
            edge = None;
-           cum_cut_bits = Protocol.bits chan;
+           cum_cut_bits = !charged;
          })
   in
-  (* A cut crossing: the sender's player encodes the message and the
-     payload goes through the two-party channel, which charges exactly
+  (* A multicut crossing: the sender's party encodes the message and the
+     payload goes through its part pair's channel, which charges exactly
      its length = msg_bits — so the transcript total is bit-for-bit the
-     run_split cut accounting.  The frame around the payload (which cut
-     edge, the value-dependent field widths) is the round schedule both
-     players share; Theorem 1.1 budgets a B-bit slot per cut edge per
-     round as common knowledge and charges only the payload. *)
+     run_partitioned cross accounting.  The frame around the payload
+     (which cut edge, the value-dependent field widths) is the round
+     schedule all parties share; Theorem 1.1 budgets a B-bit slot per cut
+     edge per round as common knowledge and charges only the payload. *)
   let cross round (tr : 'msg Network.transfer) =
-    let payload = codec.Codec.enc tr.Network.t_msg in
+    let sp = partition.(tr.Network.t_sender)
+    and tp = partition.(tr.Network.t_target) in
+    let payload = (codecs.Codec.for_party sp).Codec.enc tr.Network.t_msg in
     if List.length payload <> tr.Network.t_bits then
       raise
         (Codec_mismatch
@@ -86,65 +109,100 @@ let lockstep ?seed ?bandwidth_factor ?max_rounds ?(trace = Trace.null) fam
              declared = tr.Network.t_bits;
              encoded = List.length payload;
            });
-    ignore (Protocol.send_bits chan (Bits.of_list payload));
+    ignore (Protocol.send_bits (chan sp tp) (Bits.of_list payload));
+    charged := !charged + tr.Network.t_bits;
     incr cut_messages;
+    pair_round.(sp).(tp) <- pair_round.(sp).(tp) + tr.Network.t_bits;
     trace
       (Trace.Msg
          {
            round;
            sender = tr.Network.t_sender;
            target = tr.Network.t_target;
+           sender_part = sp;
+           target_part = tp;
            bits = tr.Network.t_bits;
            cut = true;
-           edge = Framework.cut_index ci tr.Network.t_sender tr.Network.t_target;
-           cum_cut_bits = Protocol.bits chan;
+           edge =
+             Framework.multicut_index mc tr.Network.t_sender
+               tr.Network.t_target;
+           cum_cut_bits = !charged;
          });
     tr
   in
-  let inject_a = ref [] and inject_b = ref [] in
+  let inject = Array.make t [] in
   let quiescent = ref false in
   (* the loop mirrors Network.run_internal exactly: same termination
-     condition over the union of the halves, same divergence guard *)
+     condition over the union of the parts, same divergence guard *)
   while
     (not !quiescent)
-    || not (Network.stepper_all_output alice && Network.stepper_all_output bob)
+    || not (Array.for_all Network.stepper_all_output steppers)
   do
-    if Network.stepper_round alice > max_rounds then
+    if Network.stepper_round steppers.(0) > max_rounds then
       failwith
-        (Printf.sprintf "Simulate.lockstep: %S did not terminate in %d rounds"
+        (Printf.sprintf "%s: %S did not terminate in %d rounds" name
            algo.Network.name max_rounds);
-    let before = Protocol.bits chan and before_msgs = !cut_messages in
+    let before = !charged and before_msgs = !cut_messages in
     let internal_before = !internal_bits in
-    let la = Network.step ~inject:!inject_a alice in
-    let lb = Network.step ~inject:!inject_b bob in
-    let round = la.Network.log_round in
-    List.iter (note_internal round) la.Network.internal;
-    List.iter (note_internal round) lb.Network.internal;
-    inject_b := List.map (cross round) la.Network.outbound;
-    inject_a := List.map (cross round) lb.Network.outbound;
+    let logs =
+      Array.mapi
+        (fun p st ->
+          let l = Network.step ~inject:inject.(p) st in
+          inject.(p) <- [];
+          l)
+        steppers
+    in
+    let round = logs.(0).Network.log_round in
+    Array.iter
+      (fun l -> List.iter (note_internal round) l.Network.internal)
+      logs;
+    (* cross traffic in part order (sender part 0 first), re-injected into
+       the target part's next step — in-flight exactly like the inboxes
+       of the unsplit run, which deliver in ascending sender order *)
+    let next = Array.make t [] in
+    Array.iter
+      (fun l ->
+        List.iter
+          (fun tr ->
+            let tr = cross round tr in
+            let q = partition.(tr.Network.t_target) in
+            next.(q) <- tr :: next.(q))
+          l.Network.outbound)
+      logs;
+    Array.iteri (fun q acc -> inject.(q) <- List.rev acc) next;
+    let pair_bits = ref [] in
+    for p = t - 1 downto 0 do
+      for q = t - 1 downto 0 do
+        if pair_round.(p).(q) > 0 then
+          pair_bits := ((p, q), pair_round.(p).(q)) :: !pair_bits;
+        pair_round.(p).(q) <- 0
+      done
+    done;
     trace
       (Trace.Round
          {
            round;
-           cut_bits = Protocol.bits chan - before;
+           cut_bits = !charged - before;
            cut_messages = !cut_messages - before_msgs;
            internal_bits = !internal_bits - internal_before;
-           cum_cut_bits = Protocol.bits chan;
+           cum_cut_bits = !charged;
            budget = (round + 1) * cut_size * bandwidth;
+           pair_bits = !pair_bits;
          });
-    quiescent := not (la.Network.sent || lb.Network.sent)
+    quiescent := not (Array.exists (fun l -> l.Network.sent) logs)
   done;
-  let rounds = Network.stepper_round alice in
+  let rounds = Network.stepper_round steppers.(0) in
   let answer =
-    match Network.stepper_output (if side.(0) then alice else bob) 0 with
+    match Network.stepper_output steppers.(partition.(0)) 0 with
     | Some a -> a
     | None -> assert false
   in
-  let cut_bits = Protocol.bits chan in
+  let cut_bits = !charged in
   let budget = rounds * cut_size * bandwidth in
   let expected = fam.Framework.f x y in
   let output = accept answer in
   {
+    parties = t;
     rounds;
     cut_bits;
     cut_messages = !cut_messages;
@@ -159,6 +217,34 @@ let lockstep ?seed ?bandwidth_factor ?max_rounds ?(trace = Trace.null) fam
     within_budget = cut_bits <= budget;
   }
 
+let lockstep_partitioned ?seed ?bandwidth_factor ?max_rounds ?trace fam
+    ~partition ~(algo : ('state, 'msg) Network.algo)
+    ~(codecs : 'msg Codec.family) ~accept x y =
+  let name = "Simulate.lockstep_partitioned" in
+  let g = undirected_of name fam x y in
+  lockstep_core ?max_rounds ?trace ~name fam ~partition ~algo ~codecs ~accept
+    ~g
+    ~mk_stepper:(fun owns -> Network.stepper ?seed ?bandwidth_factor ~owns g algo)
+    x y
+
+let lockstep ?seed ?bandwidth_factor ?max_rounds ?trace fam
+    ~(algo : ('state, 'msg) Network.algo) ~(codec : 'msg Codec.t) ~accept x y =
+  lockstep_partitioned ?seed ?bandwidth_factor ?max_rounds ?trace fam
+    ~partition:(Network.partition_of_side fam.Framework.side)
+    ~algo ~codecs:(Codec.uniform codec) ~accept x y
+
+let lockstep_directed ?seed ?bandwidth_factor ?max_rounds ?trace fam
+    ~(algo : ('state, 'msg) Network.algo) ~(codec : 'msg Codec.t) ~accept x y =
+  let name = "Simulate.lockstep_directed" in
+  let dg = directed_of name fam x y in
+  let g = Network.comm_graph dg in
+  lockstep_core ?max_rounds ?trace ~name fam
+    ~partition:(Network.partition_of_side fam.Framework.side)
+    ~algo ~codecs:(Codec.uniform codec) ~accept ~g
+    ~mk_stepper:(fun owns ->
+      Network.stepper_directed ?seed ?bandwidth_factor ~owns dg algo)
+    x y
+
 (* ---- monomorphic packaging ------------------------------------------ *)
 
 type reference = {
@@ -172,12 +258,20 @@ type spec = {
   sname : string;
   sfam : Framework.t;
   scc : [ `Disj | `Eq ];
+  sparties : int;
   srun : ?trace:Trace.sink -> Bits.t -> Bits.t -> transcript;
   sref : Bits.t -> Bits.t -> reference;
 }
 
-let make_spec ~name ?(cc = `Disj) fam ~run ~reference =
-  { sname = name; sfam = fam; scc = cc; srun = run; sref = reference }
+let make_spec ~name ?(cc = `Disj) ?(parties = 2) fam ~run ~reference =
+  {
+    sname = name;
+    sfam = fam;
+    scc = cc;
+    sparties = parties;
+    srun = run;
+    sref = reference;
+  }
 
 let gather_spec ?seed ?bandwidth_factor ~name fam ~solver ~accept =
   let algo = Gather.algo ~root:0 ~f:solver () in
@@ -185,6 +279,7 @@ let gather_spec ?seed ?bandwidth_factor ~name fam ~solver ~accept =
     sname = name;
     sfam = fam;
     scc = `Disj;
+    sparties = 2;
     srun =
       (fun ?trace x y ->
         lockstep ?seed ?bandwidth_factor ?trace fam ~algo ~codec:Codec.gather
@@ -204,14 +299,83 @@ let gather_spec ?seed ?bandwidth_factor ~name fam ~solver ~accept =
         });
   }
 
-(* The registry adapter: any catalog spec carrying a reduction algorithm
-   compiles to a gather spec at scale k. *)
+let gather_spec_directed ?seed ?bandwidth_factor ~name fam ~solver ~accept =
+  let algo = Gather.directed_algo ~root:0 ~f:solver () in
+  {
+    sname = name;
+    sfam = fam;
+    scc = `Disj;
+    sparties = 2;
+    srun =
+      (fun ?trace x y ->
+        lockstep_directed ?seed ?bandwidth_factor ?trace fam ~algo
+          ~codec:Codec.gather ~accept x y);
+    sref =
+      (fun x y ->
+        let dg = directed_of "Simulate.gather_spec_directed" fam x y in
+        let answer, cs =
+          Gather.solve_directed_split ?seed ?bandwidth_factor
+            ~side:fam.Framework.side dg ~f:solver
+        in
+        {
+          ref_answer = answer;
+          ref_cut_bits = cs.Network.cut_bits;
+          ref_cut_messages = cs.Network.cut_messages;
+          ref_rounds = cs.Network.stats.Network.rounds;
+        });
+  }
+
+let gather_spec_partitioned ?seed ?bandwidth_factor ~name fam ~partition
+    ~solver ~accept =
+  let algo = Gather.algo ~root:0 ~f:solver () in
+  {
+    sname = name;
+    sfam = fam;
+    scc = `Disj;
+    sparties = Network.partition_parts partition;
+    srun =
+      (fun ?trace x y ->
+        lockstep_partitioned ?seed ?bandwidth_factor ?trace fam ~partition
+          ~algo
+          ~codecs:(Codec.uniform Codec.gather)
+          ~accept x y);
+    sref =
+      (fun x y ->
+        let g = undirected_of "Simulate.gather_spec_partitioned" fam x y in
+        let answer, ps =
+          Gather.solve_partitioned ?seed ?bandwidth_factor ~partition g
+            ~f:solver
+        in
+        {
+          ref_answer = answer;
+          ref_cut_bits = ps.Network.p_cross_bits;
+          ref_cut_messages = ps.Network.p_cross_messages;
+          ref_rounds = ps.Network.p_stats.Network.rounds;
+        });
+  }
+
+(* The registry adapter: any catalog spec carrying a reduction record
+   compiles to a gather spec at scale k — two-party, t-party or directed
+   two-party depending on what the record registered. *)
 let registry_spec ?seed ?bandwidth_factor (s : Registry.spec) ~k =
   match s.Registry.reduction with
   | None -> None
   | Some rd ->
-      let { Registry.rd_solver; rd_accept } = rd k in
+      let rd = rd k in
+      let name = Printf.sprintf "%s-k%d" s.Registry.id k in
+      let fam = s.Registry.scratch k in
+      let accept = rd.Registry.rd_accept in
       Some
-        (gather_spec ?seed ?bandwidth_factor
-           ~name:(Printf.sprintf "%s-k%d" s.Registry.id k)
-           (s.Registry.scratch k) ~solver:rd_solver ~accept:rd_accept)
+        (match (rd.Registry.rd_solver, rd.Registry.rd_partition) with
+        | Framework.Graph_solver solver, None ->
+            gather_spec ?seed ?bandwidth_factor ~name fam ~solver ~accept
+        | Framework.Graph_solver solver, Some partition ->
+            gather_spec_partitioned ?seed ?bandwidth_factor ~name fam
+              ~partition ~solver ~accept
+        | Framework.Digraph_solver solver, None ->
+            gather_spec_directed ?seed ?bandwidth_factor ~name fam ~solver
+              ~accept
+        | Framework.Digraph_solver _, Some _ ->
+            invalid_arg
+              "Simulate.registry_spec: partitioned directed reductions are \
+               not supported")

@@ -2,33 +2,39 @@ open Ch_cc
 open Ch_core
 open Ch_congest
 
-(** The Theorem 1.1 reduction, executed mechanically.
+(** The Theorem 1.1 reduction, executed mechanically — for t parties.
 
-    Given a family of lower bound graphs (Definition 1.1), an input pair
-    (x, y) and a CONGEST algorithm deciding the family's predicate,
-    {!lockstep} has Alice simulate the V_A vertices and Bob the V_B
-    vertices round by round on two complementary {!Network.stepper}s.
-    Same-side messages are delivered locally for free; every cut-crossing
-    message is encoded by its {!Codec} and pushed through a real
-    {!Protocol.t} channel, which charges exactly its [msg_bits] width.
+    Given a family of lower bound graphs (Definition 1.1, or its
+    multiparty analogue), an input pair (x, y) and a CONGEST algorithm
+    deciding the family's predicate, {!lockstep_partitioned} has party p
+    simulate the vertices of part p round by round on t complementary
+    {!Network.stepper}s.  Same-part messages are delivered locally for
+    free; every multicut-crossing message is encoded by the sender
+    party's {!Codec} and pushed through the real {!Protocol.t} channel of
+    its (sender part, target part) pair, which charges exactly its
+    [msg_bits] width.  {!lockstep} is the historical two-party entry
+    point, now a thin t=2 wrapper via {!Network.partition_of_side}.
 
     Invariants (asserted by the differential tests and the bench):
-    - the charged transcript equals [Network.run_split]'s [cut_bits],
-      [cut_messages] and [rounds] bit-for-bit — the halves replay the
-      full run exactly because both are built on {!Network.stepper};
-    - [cut_bits <= rounds·|E_cut|·B] — the Theorem 1.1 budget;
-    - the decoded answer (vertex 0's output) passed through [accept]
-      equals f(x, y) — Alice and Bob have solved the communication
-      problem at transcript cost, which is the whole reduction. *)
+    - the charged transcript equals [Network.run_partitioned]'s
+      [p_cross_bits]/[p_cross_messages]/[rounds] bit-for-bit (at t=2,
+      [run_split]'s cut accounting) — the parts replay the full run
+      exactly because all are built on {!Network.stepper};
+    - [cut_bits <= rounds·|multicut|·B] — the Theorem 1.1 budget;
+    - the decoded answer (the output of vertex 0, read by the party that
+      owns it) passed through [accept] equals f(x, y) — the parties have
+      solved the communication problem at transcript cost, which is the
+      whole reduction. *)
 
 type transcript = {
+  parties : int;  (** t *)
   rounds : int;
-  cut_bits : int;  (** bits charged on the two-party channel *)
+  cut_bits : int;  (** bits charged over all part-pair channels *)
   cut_messages : int;
-  internal_bits : int;  (** same-side traffic, simulated for free *)
-  cut_size : int;  (** |E_cut| *)
+  internal_bits : int;  (** same-part traffic, simulated for free *)
+  cut_size : int;  (** |multicut| (= |E_cut| at t=2) *)
   bandwidth : int;  (** B *)
-  budget : int;  (** rounds·|E_cut|·B *)
+  budget : int;  (** rounds·|multicut|·B *)
   answer : int;  (** the algorithm's output at vertex 0 *)
   output : bool;  (** [accept answer] — the protocol's decision *)
   expected : bool;  (** f(x, y) *)
@@ -39,6 +45,28 @@ type transcript = {
 exception Codec_mismatch of { algo : string; declared : int; encoded : int }
 (** A codec produced a payload whose length differs from the declared
     [msg_bits] — encoding dishonesty, never expected. *)
+
+val lockstep_partitioned :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?max_rounds:int ->
+  ?trace:Trace.sink ->
+  Framework.t ->
+  partition:int array ->
+  algo:('state, 'msg) Network.algo ->
+  codecs:'msg Codec.family ->
+  accept:(int -> bool) ->
+  Bits.t ->
+  Bits.t ->
+  transcript
+(** Run the t-party simulation on G_{x,y} under [partition] (vertex →
+    part id).  Only undirected instances are supported;
+    [seed]/[bandwidth_factor]/[max_rounds] default as in {!Network.run}.
+    Parts are stepped in index order, so at t=2 the transcript is
+    bit-identical to the historical Alice/Bob schedule.
+    @raise Invalid_argument when G_{x,y} is disconnected (outside the
+    CONGEST model — see {!Bound.connected_pairs}), when the partition has
+    the wrong length, an empty part or a negative id. *)
 
 val lockstep :
   ?seed:int ->
@@ -52,10 +80,26 @@ val lockstep :
   Bits.t ->
   Bits.t ->
   transcript
-(** Run the two-party simulation on G_{x,y}.  Only undirected instances
-    are supported; [seed]/[bandwidth_factor]/[max_rounds] default as in
-    {!Network.run}.  @raise Invalid_argument when G_{x,y} is disconnected
-    (outside the CONGEST model — see {!Bound.connected_pairs}). *)
+(** The two-party simulation: {!lockstep_partitioned} with the family's
+    [side] array as a 2-part partition (Alice = part 0) and a uniform
+    codec. *)
+
+val lockstep_directed :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  ?max_rounds:int ->
+  ?trace:Trace.sink ->
+  Framework.t ->
+  algo:('state, 'msg) Network.algo ->
+  codec:'msg Codec.t ->
+  accept:(int -> bool) ->
+  Bits.t ->
+  Bits.t ->
+  transcript
+(** The two-party simulation over a directed construction: the steppers
+    run on {!Network.stepper_directed} (communication on
+    {!Network.comm_graph}, orientation as local data), cut charging as in
+    {!lockstep}.  Only directed instances are supported. *)
 
 (** {1 Monomorphic packaging}
 
@@ -68,12 +112,14 @@ type reference = {
   ref_cut_messages : int;
   ref_rounds : int;
 }
-(** The [Network.run_split] oracle the transcript is differenced against. *)
+(** The [Network.run_split] / [run_partitioned] oracle the transcript is
+    differenced against. *)
 
 type spec = {
   sname : string;
   sfam : Framework.t;
   scc : [ `Disj | `Eq ];  (** which CC(f) bound the family invokes *)
+  sparties : int;  (** t — 2 unless the family registered a partition *)
   srun : ?trace:Trace.sink -> Bits.t -> Bits.t -> transcript;
   sref : Bits.t -> Bits.t -> reference;
 }
@@ -81,10 +127,12 @@ type spec = {
 val make_spec :
   name:string ->
   ?cc:[ `Disj | `Eq ] ->
+  ?parties:int ->
   Framework.t ->
   run:(?trace:Trace.sink -> Bits.t -> Bits.t -> transcript) ->
   reference:(Bits.t -> Bits.t -> reference) ->
   spec
+(** [parties] defaults to 2. *)
 
 val gather_spec :
   ?seed:int ->
@@ -95,13 +143,37 @@ val gather_spec :
   accept:(int -> bool) ->
   spec
 (** The generic exact upper bound ({!Gather.algo} rooted at vertex 0 with
-    the family's exact [solver] at the root) packaged for simulation,
-    with {!Gather.solve_split} as the reference oracle. *)
+    the family's exact [solver] at the root) packaged for two-party
+    simulation, with {!Gather.solve_split} as the reference oracle. *)
+
+val gather_spec_directed :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  name:string ->
+  Framework.t ->
+  solver:(Ch_graph.Digraph.t -> int) ->
+  accept:(int -> bool) ->
+  spec
+(** {!gather_spec} for directed constructions: {!Gather.directed_algo}
+    under {!lockstep_directed}, with {!Gather.solve_directed_split} as
+    the reference oracle — Hamiltonian families plug in here. *)
+
+val gather_spec_partitioned :
+  ?seed:int ->
+  ?bandwidth_factor:int ->
+  name:string ->
+  Framework.t ->
+  partition:int array ->
+  solver:(Ch_graph.Graph.t -> int) ->
+  accept:(int -> bool) ->
+  spec
+(** {!gather_spec} under a t-part partition: {!lockstep_partitioned} with
+    {!Gather.solve_partitioned} as the reference oracle. *)
 
 val registry_spec :
   ?seed:int -> ?bandwidth_factor:int -> Registry.spec -> k:int -> spec option
-(** The registry adapter: {!gather_spec} over a catalog spec's reduction
-    algorithm (solver + acceptance threshold) at scale [k], named
-    ["<id>-k<k>"].  [None] when the spec carries no reduction — the CLI
-    and the bench decide availability by this, not by a hand-written
-    family list. *)
+(** The registry adapter: the gather spec matching a catalog spec's
+    reduction record (solver + acceptance threshold + optional partition)
+    at scale [k], named ["<id>-k<k>"].  [None] when the spec carries no
+    reduction — the CLI and the bench decide availability by this, not by
+    a hand-written family list. *)

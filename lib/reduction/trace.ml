@@ -3,6 +3,8 @@ type event =
       round : int;
       sender : int;
       target : int;
+      sender_part : int;
+      target_part : int;
       bits : int;
       cut : bool;
       edge : int option;
@@ -15,6 +17,7 @@ type event =
       internal_bits : int;
       cum_cut_bits : int;
       budget : int;
+      pair_bits : ((int * int) * int) list;
     }
 
 type sink = event -> unit
@@ -30,21 +33,46 @@ let tee a b e =
   b e
 
 let to_json = function
-  | Msg { round; sender; target; bits; cut; edge; cum_cut_bits } ->
+  | Msg
+      {
+        round;
+        sender;
+        target;
+        sender_part;
+        target_part;
+        bits;
+        cut;
+        edge;
+        cum_cut_bits;
+      } ->
       Printf.sprintf
         "{\"type\": \"msg\", \"round\": %d, \"sender\": %d, \"target\": %d, \
-         \"bits\": %d, \"cut\": %b%s, \"cum_cut_bits\": %d}"
-        round sender target bits cut
+         \"parts\": \"%d-%d\", \"bits\": %d, \"cut\": %b%s, \
+         \"cum_cut_bits\": %d}"
+        round sender target sender_part target_part bits cut
         (match edge with
         | Some i -> Printf.sprintf ", \"cut_edge\": %d" i
         | None -> "")
         cum_cut_bits
-  | Round { round; cut_bits; cut_messages; internal_bits; cum_cut_bits; budget } ->
+  | Round
+      {
+        round;
+        cut_bits;
+        cut_messages;
+        internal_bits;
+        cum_cut_bits;
+        budget;
+        pair_bits;
+      } ->
       Printf.sprintf
         "{\"type\": \"round\", \"round\": %d, \"cut_bits\": %d, \
          \"cut_messages\": %d, \"internal_bits\": %d, \"cum_cut_bits\": %d, \
-         \"budget\": %d}"
+         \"budget\": %d, \"pair_bits\": {%s}}"
         round cut_bits cut_messages internal_bits cum_cut_bits budget
+        (String.concat ", "
+           (List.map
+              (fun ((p, q), b) -> Printf.sprintf "\"%d-%d\": %d" p q b)
+              pair_bits))
 
 let jsonl oc e =
   output_string oc (to_json e);

@@ -1,20 +1,41 @@
+(* Per-client round-robin: one FIFO queue per client id plus a rotation
+   of client ids with pending work.  A worker serves exactly one job
+   from the head client, then sends that client to the back of the
+   rotation — a chatty connection can fill its own queue but never
+   starves a later-arriving client, which waits at most one job per
+   competing client rather than behind the whole backlog. *)
+
 type t = {
-  q : (unit -> unit) Queue.t;
+  queues : (int, (unit -> unit) Queue.t) Hashtbl.t;
+  rotation : int Queue.t;  (** client ids with pending jobs, each once *)
   m : Mutex.t;
   nonempty : Condition.t;
   max_depth : int;
+  mutable total : int;  (** jobs queued across all clients *)
   mutable running : int;  (** jobs currently executing *)
   mutable stopping : bool;
   mutable threads : Thread.t list;
 }
 
+(* callers hold t.m *)
+let take_next t =
+  match Queue.take_opt t.rotation with
+  | None -> None
+  | Some client ->
+      let q = Hashtbl.find t.queues client in
+      let job = Queue.take q in
+      t.total <- t.total - 1;
+      if Queue.is_empty q then Hashtbl.remove t.queues client
+      else Queue.add client t.rotation;
+      Some job
+
 let worker t =
   let rec loop () =
     Mutex.lock t.m;
-    while Queue.is_empty t.q && not t.stopping do
+    while Queue.is_empty t.rotation && not t.stopping do
       Condition.wait t.nonempty t.m
     done;
-    match Queue.take_opt t.q with
+    match take_next t with
     | Some job ->
         t.running <- t.running + 1;
         Mutex.unlock t.m;
@@ -24,7 +45,7 @@ let worker t =
         Mutex.unlock t.m;
         loop ()
     | None ->
-        (* stopping and the queue is dry *)
+        (* stopping and the queues are dry *)
         Mutex.unlock t.m
   in
   loop ()
@@ -35,10 +56,12 @@ let create ~workers ~queue_depth =
     invalid_arg "Scheduler.create: queue_depth must be >= 1";
   let t =
     {
-      q = Queue.create ();
+      queues = Hashtbl.create 16;
+      rotation = Queue.create ();
       m = Mutex.create ();
       nonempty = Condition.create ();
       max_depth = queue_depth;
+      total = 0;
       running = 0;
       stopping = false;
       threads = [];
@@ -47,11 +70,18 @@ let create ~workers ~queue_depth =
   t.threads <- List.init workers (fun _ -> Thread.create worker t);
   t
 
-let submit t job =
+let submit ?(client = 0) t job =
   Mutex.lock t.m;
-  let accepted = (not t.stopping) && Queue.length t.q < t.max_depth in
+  let accepted = (not t.stopping) && t.total < t.max_depth in
   if accepted then begin
-    Queue.add job t.q;
+    (match Hashtbl.find_opt t.queues client with
+    | Some q -> Queue.add job q
+    | None ->
+        let q = Queue.create () in
+        Queue.add job q;
+        Hashtbl.add t.queues client q;
+        Queue.add client t.rotation);
+    t.total <- t.total + 1;
     Condition.signal t.nonempty
   end;
   Mutex.unlock t.m;
@@ -59,7 +89,7 @@ let submit t job =
 
 let depth t =
   Mutex.lock t.m;
-  let n = Queue.length t.q in
+  let n = t.total in
   Mutex.unlock t.m;
   n
 

@@ -2,11 +2,18 @@
     server's backpressure stage.
 
     Connection threads {!submit} one job per request; [submit] never
-    blocks.  Past the configured queue depth it refuses ([false]) and
-    the caller answers [overloaded] immediately — the client learns to
-    back off instead of queueing unboundedly.  Worker threads pop jobs
-    in FIFO order and run them to completion; a job that raises is
-    dropped (jobs wrap their own error reporting).
+    blocks.  Past the configured queue depth (measured across all
+    clients) it refuses ([false]) and the caller answers [overloaded]
+    immediately — the client learns to back off instead of queueing
+    unboundedly.
+
+    Dispatch is round-robin over clients, not global FIFO: each client
+    id has its own FIFO queue, and workers serve one job from the next
+    client in rotation before moving on.  Jobs of one client still run
+    in submission order, but a connection that floods the queue cannot
+    starve a later-arriving client — it waits at most one job per
+    competing client.  A job that raises is dropped (jobs wrap their own
+    error reporting).
 
     Workers are systhreads, not domains: the jobs themselves fan their
     per-pair work onto the shared domain pool ({!Ch_core.Pool}), whose
@@ -22,8 +29,10 @@ type t
 val create : workers:int -> queue_depth:int -> t
 (** @raise Invalid_argument on [workers < 1] or [queue_depth < 1]. *)
 
-val submit : t -> (unit -> unit) -> bool
-(** [false] when the queue is at depth or the scheduler is draining. *)
+val submit : ?client:int -> t -> (unit -> unit) -> bool
+(** Enqueue on [client]'s queue (0 by default — single-tenant callers
+    keep plain FIFO).  [false] when the total queued count is at depth
+    or the scheduler is draining. *)
 
 val depth : t -> int
 (** Jobs currently queued (excluding running ones). *)

@@ -170,31 +170,54 @@ let exec_simulate ~family ~k ~pairs ~seed =
   let bits = fam.Framework.input_bits in
   let rows = ref [] in
   let all_correct = ref true in
+  let skipped = ref 0 in
+  (* a disconnected instance is outside the CONGEST model (the gather
+     would never terminate) — skip the pair, mirroring
+     Bound.connected_pairs *)
+  let connected x y =
+    match fam.Framework.build x y with
+    | Framework.Undirected g -> Ch_graph.Props.connected g
+    | Framework.Directed dg ->
+        Ch_graph.Props.connected (Ch_congest.Network.comm_graph dg)
+    | _ -> true
+  in
   for i = pairs - 1 downto 0 do
     let x = Bits.random ~seed:(seed + (3 * i)) ~density:0.7 bits in
     let y = Bits.random ~seed:(seed + (3 * i) + 1) ~density:0.7 bits in
-    let sim =
-      Framework.simulate_alice_bob fam ~solver:rd.Registry.rd_solver
-        ~accept:rd.Registry.rd_accept x y
-    in
-    if not sim.Framework.decision_correct then all_correct := false;
-    rows :=
-      Jsonx.Obj
-        [
-          ("pair", Jsonx.Int i);
-          ("rounds", Jsonx.Int sim.Framework.rounds);
-          ("cut_bits", Jsonx.Int sim.Framework.cut_bits);
-          ("cut_messages", Jsonx.Int sim.Framework.cut_messages);
-          ("correct", Jsonx.Bool sim.Framework.decision_correct);
-        ]
-      :: !rows
+    if not (connected x y) then incr skipped
+    else begin
+      let sim =
+        Framework.simulate_reduction ?partition:rd.Registry.rd_partition fam
+          ~solver:rd.Registry.rd_solver ~accept:rd.Registry.rd_accept x y
+      in
+      if not sim.Framework.decision_correct then all_correct := false;
+      rows :=
+        Jsonx.Obj
+          [
+            ("pair", Jsonx.Int i);
+            ("rounds", Jsonx.Int sim.Framework.rounds);
+            ("cut_bits", Jsonx.Int sim.Framework.cut_bits);
+            ("cut_messages", Jsonx.Int sim.Framework.cut_messages);
+            ("correct", Jsonx.Bool sim.Framework.decision_correct);
+          ]
+        :: !rows
+    end
   done;
   ( false,
     Jsonx.Obj
       [
         ("family", Jsonx.Str fam.Framework.name);
         ("k", Jsonx.Int k);
-        ("cut", Jsonx.Int (Framework.cut_size fam));
+        ("parties", Jsonx.Int rd.Registry.rd_parties);
+        ( "cut",
+          Jsonx.Int
+            (match rd.Registry.rd_partition with
+            | None -> Framework.cut_size fam
+            | Some partition ->
+                Array.length
+                  (Framework.multicut_info fam ~partition).Framework.mc_edges)
+        );
+        ("skipped", Jsonx.Int !skipped);
         ("pairs", Jsonx.Arr !rows);
         ("all_correct", Jsonx.Bool !all_correct);
       ] )
@@ -366,7 +389,11 @@ let exec t rq t0 =
 
 (* ---------------------------------------------------------------- batches *)
 
-let serve_batch t reqs =
+(* distinct scheduler client id per accepted connection, so the
+   round-robin dispatcher can interleave batches fairly *)
+let next_client = Atomic.make 0
+
+let serve_batch ?(client = 0) t reqs =
   let n = List.length reqs in
   let slots = Array.make n None in
   let remaining = ref n in
@@ -382,7 +409,9 @@ let serve_batch t reqs =
   List.iteri
     (fun i rq ->
       let t0 = Obs.Clock.now_ns () in
-      let accepted = Scheduler.submit t.sched (fun () -> resolve i (exec t rq t0)) in
+      let accepted =
+        Scheduler.submit ~client t.sched (fun () -> resolve i (exec t rq t0))
+      in
       if not accepted then begin
         Obs.bump c_overloaded;
         resolve i
@@ -415,13 +444,14 @@ let bad_batch msg =
 (* ------------------------------------------------------------ connections *)
 
 let handle_connection t fd =
+  let client = Atomic.fetch_and_add next_client 1 in
   let rec loop () =
     match Protocol.read_frame fd with
     | None -> ()
     | Some payload ->
         let responses =
           match Protocol.decode_requests payload with
-          | Ok reqs -> serve_batch t reqs
+          | Ok reqs -> serve_batch ~client t reqs
           | Error msg -> bad_batch msg
         in
         Protocol.write_frame fd (Protocol.encode_responses responses);

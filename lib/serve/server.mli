@@ -54,6 +54,8 @@ val warm : t -> Warm.t
     The request executor, exposed for differential tests and the bench:
     [serve_batch t reqs] is exactly what a connection does with a decoded
     batch — scheduler admission, deadlines, warm lookups — without the
-    socket hop. *)
+    socket hop.  [client] is the scheduler's fairness key (each real
+    connection gets a distinct one); defaults to 0. *)
 
-val serve_batch : t -> Protocol.request list -> Protocol.response list
+val serve_batch :
+  ?client:int -> t -> Protocol.request list -> Protocol.response list

@@ -83,6 +83,11 @@ let () =
       "\"family\": \"mds-k2-reduction\"";
       "\"family\": \"maxis-k2-reduction\"";
       "\"family\": \"maxcut-k2-reduction\"";
+      (* the directed and multiparty reduction entries *)
+      "\"family\": \"hampath-k2-reduction\"";
+      "\"family\": \"bitgadget-k4-reduction\"";
+      "\"parties\": 2";
+      "\"parties\": 4";
       "\"pairs_skipped\":";
       "\"bits_per_round\":";
       "\"cc_bits\":";

@@ -270,13 +270,72 @@ let test_restricted_mds_family () =
               (Bits.random ~seed:(800 + i) 6))))
 
 (* ------------------------------------------------------------------ *)
+(* Multiparty bit gadgets (sec 2 / arXiv:1901.01630)                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitgadget_k2 () =
+  assert_family ~exhaustive:true "bitgadget k=2" (Bitgadget_lb.family ~k:2)
+
+let test_bitgadget_k4 () =
+  assert_family ~exhaustive:true "bitgadget k=4" (Bitgadget_lb.family ~k:4)
+
+let test_bitgadget_structure () =
+  List.iter
+    (fun k ->
+      let t = Bitgadget.log2 k in
+      let fam = Bitgadget_lb.family ~k in
+      check_int "n = 2k + 6 log k + 2"
+        ((2 * k) + (6 * t) + 2)
+        fam.Framework.nvertices;
+      check_int "two-party cut = 2 log k" (2 * t) (Framework.cut_size fam);
+      let partition = Bitgadget_lb.partition ~k in
+      check_int "4 parts" 4 (Array.fold_left max 0 partition + 1);
+      check_int "partition covers every vertex" fam.Framework.nvertices
+        (Array.length partition);
+      (* the multicut is input-independent: row-gadget code edges plus the
+         side-crossing gadget edges *)
+      let mc =
+        Framework.multicut_info fam ~partition
+      in
+      check_int "multicut = 2kt + 2t"
+        ((2 * k * t) + (2 * t))
+        (Array.length mc.Framework.mc_edges))
+    [ 2; 4; 8 ]
+
+(* the t=4 simulation end-to-end: four parties decide intersection with
+   every cross-part message charged against the multicut *)
+let test_bitgadget_t4_simulation () =
+  let k = 4 in
+  let fam = Bitgadget_lb.family ~k in
+  let target = Bitgadget_lb.target_size ~k in
+  let pairs =
+    (Bits.ones k, Bits.ones k)
+    :: (Bits.ones k, Bits.of_fun k (fun b -> b = 2))
+    :: (List.init 6 (fun i ->
+            (Bits.random ~seed:(60 + i) k, Bits.random ~seed:(70 + i) k))
+       |> List.filter (fun (x, y) -> Bits.popcount x > 0 && Bits.popcount y > 0))
+  in
+  List.iter
+    (fun (x, y) ->
+      let sim =
+        Framework.simulate_reduction ~partition:(Bitgadget_lb.partition ~k) fam
+          ~solver:(Framework.Graph_solver Ch_solvers.Domset.min_size)
+          ~accept:(fun gamma -> gamma <= target)
+          x y
+      in
+      check "t=4 simulation decides intersection" true
+        sim.Framework.decision_correct;
+      check "some bits cross the multicut" true (sim.Framework.cut_bits > 0))
+    pairs
+
+(* ------------------------------------------------------------------ *)
 (* The registry: one catalog drives the CLI, bench and these tests     *)
 (* ------------------------------------------------------------------ *)
 
 let test_registry_catalog () =
   let reg = Families.catalog () in
   let ids = Registry.ids reg in
-  check_int "19 families" 19 (List.length ids);
+  check_int "20 families" 20 (List.length ids);
   check "ids unique" true
     (List.length (List.sort_uniq compare ids) = List.length ids);
   List.iter
@@ -425,6 +484,13 @@ let () =
           Alcotest.test_case "covering designs" `Quick test_covering_property;
           Alcotest.test_case "steiner variants" `Quick test_steiner_approx_families;
           Alcotest.test_case "restricted mds" `Quick test_restricted_mds_family;
+        ] );
+      ( "bit gadgets (multiparty)",
+        [
+          Alcotest.test_case "k=2 exhaustive" `Quick test_bitgadget_k2;
+          Alcotest.test_case "k=4 exhaustive" `Quick test_bitgadget_k4;
+          Alcotest.test_case "structure" `Quick test_bitgadget_structure;
+          Alcotest.test_case "t=4 simulation" `Quick test_bitgadget_t4_simulation;
         ] );
       ( "theorem 1.1",
         [

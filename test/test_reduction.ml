@@ -238,6 +238,138 @@ let test_exhaustive_guard () =
     (Invalid_argument "Bound.exhaustive_pairs: K > 5") (fun () ->
       ignore (Bound.exhaustive_pairs (Mds_lb.family ~k:8)))
 
+(* ---- multiparty conservation laws (qcheck) --------------------------- *)
+
+let qt = QCheck_alcotest.to_alcotest
+let bits_of_int w v = Bits.of_fun w (fun b -> v land (1 lsl b) <> 0)
+
+(* a valid t-part partition of n vertices: parts 0..t-1 all inhabited
+   (vertex p pinned to part p), the rest uniform *)
+let gen_partition n =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun t ->
+    array_size (return n) (int_bound (t - 1)) >>= fun a ->
+    for p = 0 to t - 1 do
+      a.(p) <- p
+    done;
+    return a)
+
+let print_case (partition, xi, yi) =
+  Printf.sprintf "partition=[|%s|] x=%d y=%d"
+    (String.concat ";" (Array.to_list (Array.map string_of_int partition)))
+    xi yi
+
+(* property (i): whatever the partition, the bits the simulation charges
+   through the part-pair channels are exactly the engine's cross-part
+   accounting — nothing leaks, nothing is double-charged *)
+let prop_partition_conservation =
+  let fam = Mds_lb.family ~k:2 in
+  let target = Mds_lb.target_size ~k:2 in
+  let algo () = Gather.algo ~root:0 ~f:Domset.min_size () in
+  QCheck.Test.make ~count:60
+    ~name:"any t-partition: charged cut bits = run_partitioned cross bits"
+    (QCheck.make ~print:print_case
+       QCheck.Gen.(
+         triple
+           (gen_partition fam.Ch_core.Framework.nvertices)
+           (int_bound 15) (int_bound 15)))
+    (fun (partition, xi, yi) ->
+      let x = bits_of_int 4 xi and y = bits_of_int 4 yi in
+      match fam.Ch_core.Framework.build x y with
+      | Ch_core.Framework.Undirected g ->
+          if not (Props.connected g) then true
+          else
+            let t =
+              Simulate.lockstep_partitioned fam ~partition ~algo:(algo ())
+                ~codecs:(Codec.uniform Codec.gather)
+                ~accept:(fun a -> a <= target)
+                x y
+            in
+            let _, ps = Network.run_partitioned ~partition g (algo ()) in
+            t.Simulate.parties = ps.Network.p_parts
+            && t.Simulate.cut_bits = ps.Network.p_cross_bits
+            && t.Simulate.cut_messages = ps.Network.p_cross_messages
+            && t.Simulate.rounds = ps.Network.p_stats.Network.rounds
+      | _ -> false)
+
+(* property (ii): at t=2 the generalized engine is bit-identical to the
+   historical Alice/Bob path — exhaustively, over every connected k=2
+   MDS and MaxIS instance *)
+let test_t2_bit_identity () =
+  List.iter
+    (fun (name, spec) ->
+      let fam = spec.Simulate.sfam in
+      let kbits = fam.Ch_core.Framework.input_bits in
+      for xi = 0 to (1 lsl kbits) - 1 do
+        for yi = 0 to (1 lsl kbits) - 1 do
+          let x = bits_of_int kbits xi and y = bits_of_int kbits yi in
+          match fam.Ch_core.Framework.build x y with
+          | Ch_core.Framework.Undirected g when Props.connected g ->
+              let t = spec.Simulate.srun x y in
+              let r = spec.Simulate.sref x y in
+              let tag what = Printf.sprintf "%s %d/%d %s" name xi yi what in
+              check_int (tag "answer") r.Simulate.ref_answer t.Simulate.answer;
+              check_int (tag "cut bits") r.Simulate.ref_cut_bits
+                t.Simulate.cut_bits;
+              check_int (tag "cut messages") r.Simulate.ref_cut_messages
+                t.Simulate.cut_messages;
+              check_int (tag "rounds") r.Simulate.ref_rounds t.Simulate.rounds;
+              check_int (tag "parties") 2 t.Simulate.parties
+          | _ -> ()
+        done
+      done)
+    [ ("mds", mds_spec ()); ("maxis", maxis_spec ()) ]
+
+(* the t=2 wrapper and an explicit side-derived 2-partition emit the very
+   same trace, event for event *)
+let test_t2_wrapper_trace_identity () =
+  let fam = Mds_lb.family ~k:2 in
+  let target = Mds_lb.target_size ~k:2 in
+  let accept a = a <= target in
+  List.iter
+    (fun seed ->
+      let x = Bits.random ~seed 4 and y = Bits.random ~seed:(seed + 60) 4 in
+      let sink2, events2 = Trace.collector () in
+      let t2 =
+        Simulate.lockstep ~trace:sink2 fam
+          ~algo:(Gather.algo ~root:0 ~f:Domset.min_size ())
+          ~codec:Codec.gather ~accept x y
+      in
+      let sinkp, eventsp = Trace.collector () in
+      let tp =
+        Simulate.lockstep_partitioned ~trace:sinkp fam
+          ~partition:(Network.partition_of_side fam.Ch_core.Framework.side)
+          ~algo:(Gather.algo ~root:0 ~f:Domset.min_size ())
+          ~codecs:(Codec.uniform Codec.gather)
+          ~accept x y
+      in
+      check_int "same cut bits" t2.Simulate.cut_bits tp.Simulate.cut_bits;
+      Alcotest.(check (list string))
+        "identical event streams"
+        (List.map Trace.to_json (events2 ()))
+        (List.map Trace.to_json (eventsp ())))
+    [ 71; 72; 73 ]
+
+(* ---- the first genuinely multiparty workload ------------------------- *)
+
+let test_bitgadget_t4_differential () =
+  match
+    Simulate.registry_spec
+      (Ch_core.Registry.find_exn (Families.catalog ()) "bitgadget")
+      ~k:2
+  with
+  | None -> Alcotest.fail "bitgadget spec carries a reduction"
+  | Some spec ->
+      check_int "t=4" 4 spec.Simulate.sparties;
+      let fam = spec.Simulate.sfam in
+      let pairs, skipped =
+        Bound.connected_pairs fam (Bound.exhaustive_pairs fam)
+      in
+      check "some pool-empty corners are disconnected" true (skipped > 0);
+      let _, report = Bound.sweep spec pairs in
+      assert_report "bitgadget" report;
+      check_int "report says t=4" 4 report.Bound.rep_parties
+
 let () =
   Alcotest.run "reduction"
     [
@@ -267,5 +399,15 @@ let () =
         [
           Alcotest.test_case "report figures" `Quick test_report_figures;
           Alcotest.test_case "exhaustive guard" `Quick test_exhaustive_guard;
+        ] );
+      ( "multiparty",
+        [
+          qt prop_partition_conservation;
+          Alcotest.test_case "t=2 bit-identity (exhaustive)" `Slow
+            test_t2_bit_identity;
+          Alcotest.test_case "t=2 wrapper trace identity" `Quick
+            test_t2_wrapper_trace_identity;
+          Alcotest.test_case "bitgadget t=4 exhaustive differential" `Slow
+            test_bitgadget_t4_differential;
         ] );
     ]

@@ -504,6 +504,62 @@ let test_overload_backpressure () =
       Alcotest.(check bool) "some served" true (ok >= 1);
       Alcotest.(check bool) "some refused" true (overloaded >= 1))
 
+(* Round-robin fairness: with the single worker wedged on a gate job,
+   client 0 floods the queue, then client 1 submits its jobs.  A global
+   FIFO would drain client 0's whole backlog before client 1's first
+   job; the per-client rotation serves the two alternately, so neither
+   starves. *)
+let test_scheduler_fairness () =
+  let sched = Scheduler.create ~workers:1 ~queue_depth:64 in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let gate_open = ref false in
+  let gate_running = ref false in
+  let order = ref [] in
+  let record tag =
+    Mutex.lock m;
+    order := tag :: !order;
+    Mutex.unlock m
+  in
+  (* wedge the worker so every later submission queues behind the gate *)
+  Alcotest.(check bool)
+    "gate admitted" true
+    (Scheduler.submit sched (fun () ->
+         Mutex.lock m;
+         gate_running := true;
+         Condition.broadcast cv;
+         while not !gate_open do
+           Condition.wait cv m
+         done;
+         Mutex.unlock m));
+  Mutex.lock m;
+  while not !gate_running do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      "A admitted" true
+      (Scheduler.submit ~client:0 sched (fun () ->
+           record (Printf.sprintf "A%d" i)))
+  done;
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      "B admitted" true
+      (Scheduler.submit ~client:1 sched (fun () ->
+           record (Printf.sprintf "B%d" i)))
+  done;
+  Alcotest.(check int) "eight queued" 8 (Scheduler.depth sched);
+  Mutex.lock m;
+  gate_open := true;
+  Condition.broadcast cv;
+  Mutex.unlock m;
+  Scheduler.drain sched;
+  Alcotest.(check (list string))
+    "clients alternate, FIFO within each"
+    [ "A1"; "B1"; "A2"; "B2"; "A3"; "B3"; "A4"; "B4" ]
+    (List.rev !order)
+
 (* Stop under an in-flight batch: admitted jobs finish, their responses
    flush to the client, the socket file is unlinked, stop is
    idempotent, and new connections are refused. *)
@@ -629,6 +685,8 @@ let () =
             test_error_responses;
           Alcotest.test_case "overload backpressure" `Quick
             test_overload_backpressure;
+          Alcotest.test_case "scheduler round-robin fairness" `Quick
+            test_scheduler_fairness;
           Alcotest.test_case "drain under load" `Quick test_drain_under_load;
           Alcotest.test_case "warm restart from the store" `Quick
             test_warm_restart_from_store;
