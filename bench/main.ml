@@ -1038,6 +1038,9 @@ let serve_benches ~smoke () =
         cfg_queue_depth = 64;
         cfg_store_dir = None;
         cfg_obs_out = None;
+        (* the sampler stays live during the serve benches — its cost is
+           part of the daemon's steady state *)
+        cfg_sample_period_s = 0.5;
       }
   in
   let entry ~name ~family ~k ~vmode =
@@ -1049,6 +1052,7 @@ let serve_benches ~smoke () =
         Protocol.rq_id = id;
         rq_op = Protocol.Verify { family; k; vmode; engine = Protocol.Auto };
         rq_deadline_ms = None;
+        rq_trace = None;
       }
     in
     let get id =

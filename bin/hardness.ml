@@ -544,8 +544,69 @@ let sweep_cmd =
       $ seed_arg $ procs_arg $ fault_after_arg $ check_oracle_arg $ profile_arg
       $ obs_out_arg)
 
+(* Offline span-tree reconstruction: parse the span_open/span_close
+   events out of a JSONL telemetry capture (one file, or several
+   concatenated — client and server) and render the joined profile.
+   This is how a traced client request becomes one tree: the client's
+   capture and the daemon's capture share the machine monotonic clock
+   and the trace id, so Spanview grafts the server's roots under the
+   client span that contains them. *)
+let profile_from file =
+  let module Jsonx = Ch_serve.Jsonx in
+  let ic = open_in file in
+  let events = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match Jsonx.parse line with
+       | Error _ -> ()
+       | Ok j -> (
+           let str n = Option.bind (Jsonx.mem n j) Jsonx.as_str in
+           let int n = Option.bind (Jsonx.mem n j) Jsonx.as_int in
+           match (str "ev", str "span", int "t_ns") with
+           | Some ("span_open" | "span_close"), Some sp, Some t ->
+               events :=
+                 {
+                   Ch_obs.Spanview.e_open = str "ev" = Some "span_open";
+                   e_span = sp;
+                   e_pid = Option.value (int "pid") ~default:0;
+                   e_domain = Option.value (int "domain") ~default:0;
+                   e_trace = str "trace";
+                   e_t_ns = Int64.of_int t;
+                 }
+                 :: !events
+           | _ -> ())
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match List.rev !events with
+  | [] ->
+      Printf.eprintf "profile: %s holds no span events\n" file;
+      1
+  | events ->
+      let ts = List.map (fun e -> e.Ch_obs.Spanview.e_t_ns) events in
+      let wall_ns =
+        Int64.sub
+          (List.fold_left Int64.max Int64.min_int ts)
+          (List.fold_left Int64.min Int64.max_int ts)
+      in
+      Format.printf "%a"
+        (Obs.pp_profile ~wall_ns)
+        (Ch_obs.Spanview.to_report events);
+      0
+
 let profile_cmd =
-  let run k name obs_out =
+  let run k name from obs_out =
+    match from with
+    | Some file -> profile_from file
+    | None -> (
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "profile: pass a FAMILY id or --from FILE.jsonl\n";
+          exit 2
+    in
     match Registry.find (catalog ()) name with
     | None ->
         Printf.eprintf "%s\n" (Registry.unknown_id_message (catalog ()) name);
@@ -566,15 +627,28 @@ let profile_cmd =
         in
         Printf.printf "%s: %d/%d pairs verified\n" s.Registry.id
           (total - failures) total;
-        if failures = 0 then 0 else 1
+        if failures = 0 then 0 else 1)
+  in
+  let opt_family_arg =
+    let doc = "Family id (omit with $(b,--from))." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let from_arg =
+    let doc =
+      "Replay mode: reconstruct and render the span tree from a JSONL \
+       telemetry capture (client and server captures may be concatenated; \
+       traced spans join across processes) instead of running a workload."
+    in
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"FILE" ~doc)
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Run a family's verification workload under the telemetry layer \
           and render the span-tree profile (per-solver wall time, cache \
-          counters, histograms).")
-    Term.(const run $ k_arg $ family_arg $ obs_out_arg)
+          counters, histograms), or rebuild the tree from a JSONL capture \
+          with $(b,--from).")
+    Term.(const run $ k_arg $ opt_family_arg $ from_arg $ obs_out_arg)
 
 (* ------------------------------------------------------------------ serve *)
 
@@ -596,12 +670,15 @@ let resolve_addr socket port =
 
 let serve_cmd =
   let open Ch_serve in
-  let run socket port workers queue_depth store obs_out =
+  let run socket port workers queue_depth store obs_out sample_period =
     match resolve_addr socket port with
     | Error msg ->
         Printf.eprintf "serve: %s\n" msg;
         1
     | Ok addr ->
+        (* counters and histograms feed the metrics/health ops even
+           without a JSONL sink, so the daemon always runs observed *)
+        Obs.set_enabled true;
         let cfg =
           {
             Server.cfg_addr = addr;
@@ -609,6 +686,7 @@ let serve_cmd =
             cfg_queue_depth = queue_depth;
             cfg_store_dir = store;
             cfg_obs_out = obs_out;
+            cfg_sample_period_s = sample_period;
           }
         in
         let server = Server.start cfg in
@@ -665,15 +743,26 @@ let serve_cmd =
       & info [ "obs-out" ] ~docv:"FILE"
           ~doc:"Stream per-request telemetry events as JSONL to $(docv).")
   in
+  let sample_period_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "sample-period" ] ~docv:"S"
+          ~doc:
+            "Metrics sampler period in seconds: the exposition's rates and \
+             latency quantiles are windowed over snapshots taken this \
+             often.  Non-positive disables the sampler (quantiles fall \
+             back to cumulative).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the verification daemon: batched verify/simulate/reduction \
           requests over a length-prefixed JSON protocol, with warm solver \
-          caches, bounded admission, and graceful SIGTERM drain.")
+          caches, bounded admission, live metrics/health exposition, and \
+          graceful SIGTERM drain.")
     Term.(
       const run $ socket_arg $ port_arg $ workers_arg $ queue_arg $ store_arg
-      $ serve_obs_arg)
+      $ serve_obs_arg $ sample_period_arg)
 
 let client_cmd =
   let open Ch_serve in
@@ -681,18 +770,23 @@ let client_cmd =
     Option.bind (Jsonx.mem name body) Jsonx.as_int
   in
   let jstr body name = Option.bind (Jsonx.mem name body) Jsonx.as_str in
-  let print_response r =
+  (* [raw]: a payload field to print verbatim instead of the JSON line —
+     the metrics op answers the whole exposition page as one string *)
+  let print_response ?raw r =
     match r.Protocol.rs_outcome with
-    | Protocol.Payload body ->
-        Printf.printf "id=%d ok warm=%b micros=%d %s\n" r.Protocol.rs_id
-          r.Protocol.rs_warm r.Protocol.rs_micros (Jsonx.to_string body)
+    | Protocol.Payload body -> (
+        match Option.bind raw (jstr body) with
+        | Some text -> print_string text
+        | None ->
+            Printf.printf "id=%d ok warm=%b micros=%d %s\n" r.Protocol.rs_id
+              r.Protocol.rs_warm r.Protocol.rs_micros (Jsonx.to_string body))
     | Protocol.Error (code, msg) ->
         Printf.printf "id=%d error=%s message=%s\n" r.Protocol.rs_id
           (Protocol.error_code_to_string code)
           msg
   in
   let run op family k samples seed scratch deadline shards pairs repeat bench
-      socket port check_oracle =
+      socket port check_oracle trace_id obs_out =
     match resolve_addr socket port with
     | Error msg ->
         Printf.eprintf "client: %s\n" msg;
@@ -715,6 +809,8 @@ let client_cmd =
           | "ping" -> Protocol.Ping
           | "catalog" -> Protocol.Catalog
           | "stats" -> Protocol.Stats
+          | "metrics" -> Protocol.Metrics
+          | "health" -> Protocol.Health
           | "verify" ->
               Protocol.Verify
                 {
@@ -738,13 +834,38 @@ let client_cmd =
               Protocol.Sweep_status { family = need_family (); k; shards; vmode }
           | other ->
               Printf.eprintf
-                "client: unknown op %S (ping, catalog, stats, verify, \
-                 simulate, reduction, sweep-status)\n"
+                "client: unknown op %S (ping, catalog, stats, metrics, \
+                 health, verify, simulate, reduction, sweep-status)\n"
                 other;
               exit 2
         in
+        let raw = if op = "metrics" then Some "text" else None in
         let request id =
-          { Protocol.rq_id = id; rq_op = opv; rq_deadline_ms = deadline }
+          {
+            Protocol.rq_id = id;
+            rq_op = opv;
+            rq_deadline_ms = deadline;
+            rq_trace = trace_id;
+          }
+        in
+        (* with --obs-out, capture this process's own span events (under
+           --trace-id, stamped with it): concatenated with the daemon's
+           capture, [hardness profile --from] joins them into one tree *)
+        let with_client_obs f =
+          match obs_out with
+          | None -> f ()
+          | Some file ->
+              Obs.set_enabled true;
+              Obs.reset ();
+              let oc = open_out file in
+              Obs.set_sink (Some (Obs.jsonl oc));
+              Fun.protect
+                ~finally:(fun () ->
+                  Obs.set_sink None;
+                  close_out oc)
+                (fun () ->
+                  Obs.with_trace trace_id (fun () ->
+                      Obs.with_span (Obs.span "client_request") f))
         in
         (* the in-process oracle digest for verify ops: the served stream
            must be bit-identical to the library run in this process *)
@@ -774,6 +895,7 @@ let client_cmd =
                   ok)
         in
         try
+          with_client_obs @@ fun () ->
           if bench > 1 then begin
             (* concurrent connections, one request each; every verdict
                digest must agree across clients *)
@@ -796,7 +918,7 @@ let client_cmd =
             end
             else begin
               let responses = List.concat_map Option.get all in
-              List.iter print_response responses;
+              List.iter (print_response ?raw) responses;
               let digests =
                 List.filter_map
                   (fun r ->
@@ -824,7 +946,7 @@ let client_cmd =
               let rs = Client.roundtrip c [ request rep ] in
               List.iter
                 (fun r ->
-                  print_response r;
+                  print_response ?raw r;
                   (match r.Protocol.rs_outcome with
                   | Protocol.Payload _ -> micros := r.Protocol.rs_micros :: !micros
                   | Protocol.Error _ -> ok := false);
@@ -855,8 +977,8 @@ let client_cmd =
   ignore jint;
   let op_arg =
     let doc =
-      "Operation: ping, catalog, stats, verify, simulate, reduction or \
-       sweep-status."
+      "Operation: ping, catalog, stats, metrics, health, verify, simulate, \
+       reduction or sweep-status."
     in
     Arg.(value & pos 0 string "ping" & info [] ~docv:"OP" ~doc)
   in
@@ -916,16 +1038,298 @@ let client_cmd =
     in
     Arg.(value & flag & info [ "check-oracle" ] ~doc)
   in
+  let trace_id_arg =
+    let doc =
+      "Send $(docv) as the request's trace id: the daemon runs the request \
+       under it, so both sides' telemetry events carry the same id and \
+       join into one span tree."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-id" ] ~docv:"ID" ~doc)
+  in
+  let client_obs_arg =
+    let doc =
+      "Capture this client's own span events as JSONL to $(docv) \
+       (stamped with $(b,--trace-id) when given); concatenate with the \
+       daemon's capture and render via $(b,hardness profile --from)."
+    in
+    Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Query a running $(b,hardness serve) daemon: one-shot requests, \
-          warm-cache repeats, and concurrent-connection bench mode with \
-          oracle differentials.")
+          warm-cache repeats, metrics scrapes, and concurrent-connection \
+          bench mode with oracle differentials.")
     Term.(
       const run $ op_arg $ client_family_arg $ k_arg $ client_samples_arg
       $ seed_arg $ scratch_arg $ deadline_arg $ shards_arg $ pairs_arg
-      $ repeat_arg $ bench_arg $ socket_arg $ port_arg $ check_oracle_arg)
+      $ repeat_arg $ bench_arg $ socket_arg $ port_arg $ check_oracle_arg
+      $ trace_id_arg $ client_obs_arg)
+
+(* ------------------------------------------------------------------- top *)
+
+(* One exposition sample: [name{k="v",...} value].  The parser mirrors
+   Expose's renderer (dogfooding: top sees exactly what a scraper sees),
+   including label-value unescaping. *)
+type msample = {
+  m_name : string;
+  m_labels : (string * string) list;
+  m_value : float;
+}
+
+let parse_sample line =
+  let n = String.length line in
+  if n = 0 || line.[0] = '#' then None
+  else begin
+    let i = ref 0 in
+    while !i < n && line.[!i] <> '{' && line.[!i] <> ' ' do
+      incr i
+    done;
+    if !i = 0 || !i >= n then None
+    else begin
+      let name = String.sub line 0 !i in
+      let labels = ref [] in
+      let ok = ref true in
+      if line.[!i] = '{' then begin
+        incr i;
+        while !ok && !i < n && line.[!i] <> '}' do
+          let ks = !i in
+          while !i < n && line.[!i] <> '=' do
+            incr i
+          done;
+          if !i + 1 >= n || line.[!i + 1] <> '"' then ok := false
+          else begin
+            let key = String.sub line ks (!i - ks) in
+            i := !i + 2;
+            let b = Buffer.create 8 in
+            let fin = ref false in
+            while (not !fin) && !i < n do
+              (match line.[!i] with
+              | '\\' when !i + 1 < n ->
+                  incr i;
+                  Buffer.add_char b
+                    (match line.[!i] with 'n' -> '\n' | c -> c)
+              | '"' -> fin := true
+              | c -> Buffer.add_char b c);
+              incr i
+            done;
+            if not !fin then ok := false
+            else begin
+              labels := (key, Buffer.contents b) :: !labels;
+              if !i < n && line.[!i] = ',' then incr i
+            end
+          end
+        done;
+        if !i < n && line.[!i] = '}' then incr i else ok := false
+      end;
+      if not !ok then None
+      else begin
+        while !i < n && line.[!i] = ' ' do
+          incr i
+        done;
+        match float_of_string_opt (String.sub line !i (n - !i)) with
+        | Some v ->
+            Some { m_name = name; m_labels = List.rev !labels; m_value = v }
+        | None -> None
+      end
+    end
+  end
+
+let top_cmd =
+  let open Ch_serve in
+  let value ?(default = 0.) samples name =
+    match
+      List.find_opt (fun s -> s.m_name = name && s.m_labels = []) samples
+    with
+    | Some s -> s.m_value
+    | None -> default
+  in
+  let quantile samples name q =
+    List.find_opt
+      (fun s ->
+        s.m_name = name && List.assoc_opt "quantile" s.m_labels = Some q)
+      samples
+    |> Option.fold ~none:"-" ~some:(fun s -> Printf.sprintf "%.0f" s.m_value)
+  in
+  let render addr_str samples =
+    let v = value samples in
+    Printf.printf "hardness top — %s   uptime %.0fs   window %.1fs (%d samples)\n"
+      addr_str
+      (v "ch_serve_uptime_seconds")
+      (v "ch_serve_sampler_window_seconds")
+      (int_of_float (v "ch_serve_sampler_samples"));
+    Printf.printf
+      "req/s %.1f   queue %d   running %d/%d workers   warm entries %d   \
+       warm rate %.2f\n"
+      (v "ch_serve_requests_per_second")
+      (int_of_float (v "ch_serve_queue_depth"))
+      (int_of_float (v "ch_serve_running"))
+      (int_of_float (v "ch_serve_workers"))
+      (int_of_float (v "ch_serve_warm_entries"))
+      (v "ch_serve_warm_rate");
+    Printf.printf "queue wait us: p50 %s  p90 %s  p99 %s\n"
+      (quantile samples "ch_serve_queue_wait_us" "0.5")
+      (quantile samples "ch_serve_queue_wait_us" "0.9")
+      (quantile samples "ch_serve_queue_wait_us" "0.99");
+    let clients =
+      List.filter (fun s -> s.m_name = "ch_serve_queue_depth_client") samples
+    in
+    if clients <> [] then begin
+      Printf.printf "per-client queue:";
+      List.iter
+        (fun s ->
+          Printf.printf " %s=%d"
+            (Option.value (List.assoc_opt "client" s.m_labels) ~default:"?")
+            (int_of_float s.m_value))
+        clients;
+      print_newline ()
+    end;
+    (* op table: every summary named ch_serve_op_<tag>_us with traffic *)
+    let op_of s =
+      let p = "ch_serve_op_" and sfx = "_us_count" in
+      if
+        String.starts_with ~prefix:p s.m_name
+        && String.ends_with ~suffix:sfx s.m_name
+        && s.m_value > 0.
+      then
+        Some
+          ( String.sub s.m_name (String.length p)
+              (String.length s.m_name - String.length p - String.length sfx),
+            int_of_float s.m_value )
+      else None
+    in
+    let ops = List.filter_map op_of samples in
+    if ops <> [] then begin
+      Printf.printf "%-14s %8s %8s %8s %8s  (us)\n" "op" "count" "p50" "p90"
+        "p99";
+      List.iter
+        (fun (tag, count) ->
+          let h = "ch_serve_op_" ^ tag ^ "_us" in
+          Printf.printf "%-14s %8d %8s %8s %8s\n" tag count
+            (quantile samples h "0.5") (quantile samples h "0.9")
+            (quantile samples h "0.99"))
+        ops
+    end;
+    let rates =
+      List.filter (fun s -> s.m_name = "ch_cache_hit_rate") samples
+    in
+    if rates <> [] then begin
+      Printf.printf "cache hit rate:";
+      List.iter
+        (fun s ->
+          Printf.printf " %s=%.3f"
+            (Option.value (List.assoc_opt "kind" s.m_labels) ~default:"?")
+            s.m_value)
+        rates;
+      print_newline ()
+    end;
+    let fams =
+      List.filter_map
+        (fun s ->
+          let p = "ch_serve_family_" and sfx = "_pairs" in
+          if
+            String.starts_with ~prefix:p s.m_name
+            && String.ends_with ~suffix:sfx s.m_name
+          then
+            Some
+              ( String.sub s.m_name (String.length p)
+                  (String.length s.m_name - String.length p
+                 - String.length sfx),
+                int_of_float s.m_value )
+          else None)
+        samples
+    in
+    if fams <> [] then begin
+      Printf.printf "family pairs served:";
+      List.iter (fun (f, n) -> Printf.printf " %s=%d" f n) fams;
+      print_newline ()
+    end
+  in
+  let run socket port interval iters plain =
+    match resolve_addr socket port with
+    | Error msg ->
+        Printf.eprintf "top: %s\n" msg;
+        1
+    | Ok addr -> (
+        let addr_str =
+          match addr with
+          | Server.Unix_socket p -> p
+          | Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
+        in
+        try
+          let c = Client.connect ~retries:20 addr in
+          let fetch () =
+            match
+              Client.roundtrip c
+                [
+                  {
+                    Protocol.rq_id = 0;
+                    rq_op = Protocol.Metrics;
+                    rq_deadline_ms = None;
+                    rq_trace = None;
+                  };
+                ]
+            with
+            | [ { Protocol.rs_outcome = Protocol.Payload body; _ } ] ->
+                Option.bind (Jsonx.mem "text" body) Jsonx.as_str
+            | _ -> None
+          in
+          let code = ref 0 in
+          let i = ref 0 in
+          let continue () = !code = 0 && (iters = 0 || !i < iters) in
+          while continue () do
+            incr i;
+            (match fetch () with
+            | None ->
+                Printf.eprintf "top: daemon answered no metrics\n";
+                code := 1
+            | Some text ->
+                let samples =
+                  List.filter_map parse_sample
+                    (String.split_on_char '\n' text)
+                in
+                if not plain then print_string "\027[H\027[2J";
+                render addr_str samples;
+                flush stdout);
+            if continue () then Thread.delay interval
+          done;
+          Client.close c;
+          !code
+        with
+        | Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "top: cannot reach daemon: %s\n"
+              (Unix.error_message e);
+            1
+        | Protocol.Protocol_error msg ->
+            Printf.eprintf "top: protocol error: %s\n" msg;
+            1
+        | Failure msg ->
+            Printf.eprintf "top: %s\n" msg;
+            1)
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Seconds between refreshes.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Stop after $(docv) refreshes (0 = run until interrupted).")
+  in
+  let plain_arg =
+    let doc = "No screen clearing between refreshes (for logs and CI)." in
+    Arg.(value & flag & info [ "plain" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running daemon, built on the metrics op: request \
+          rate, queue depths, per-op latency quantiles, cache hit rates \
+          and per-family throughput, refreshed until interrupted.")
+    Term.(
+      const run $ socket_arg $ port_arg $ interval_arg $ iters_arg $ plain_arg)
 
 let () =
   let info =
@@ -945,4 +1349,6 @@ let () =
             profile_cmd;
             serve_cmd;
             client_cmd;
+            top_cmd;
+            Bench_diff.cmd;
           ]))

@@ -103,6 +103,7 @@ type dstate = {
      accumulates elapsed time) from with_ctx frames (position only) *)
   mutable dstack : (node * int64) list;
   ddomain : int;
+  mutable dtrace : string option;
 }
 
 let all_states : dstate list ref = ref []
@@ -116,6 +117,7 @@ let dls_key =
           droot = new_node (-1);
           dstack = [];
           ddomain = (Domain.self () :> int);
+          dtrace = None;
         }
       in
       Mutex.lock registry_lock;
@@ -209,13 +211,20 @@ let jsonl oc line =
   output_string oc line;
   output_char oc '\n'
 
+(* [getpid] is called per event, never cached at module init: forked
+   sweep workers would otherwise stamp their parent's pid. *)
 let emit_span_event ev sid st =
   if !sink <> None then
     emit
-      (Printf.sprintf "{\"ev\": %S, \"span\": %S, \"domain\": %d, \"t_ns\": %Ld}"
+      (Printf.sprintf
+         "{\"ev\": %S, \"span\": %S, \"domain\": %d, \"pid\": %d%s, \"t_ns\": %Ld}"
          ev
          (locked_name span_names sid)
-         st.ddomain (Clock.now_ns ()))
+         st.ddomain (Unix.getpid ())
+         (match st.dtrace with
+         | Some t -> Printf.sprintf ", \"trace\": %S" t
+         | None -> "")
+         (Clock.now_ns ()))
 
 (* ---- spans ---- *)
 
@@ -272,6 +281,20 @@ let with_ctx ctx f =
     st.dstack <- [ (node, Int64.min_int) ];
     Fun.protect ~finally:(fun () -> st.dstack <- saved) f
   end
+
+(* ---- trace context ---- *)
+
+(* One slot per domain, not per systhread: threads sharing a domain also
+   share its span stack, so trace attribution has exactly the same
+   tolerance as span nesting under concurrent systhreads. *)
+let set_trace t = (state ()).dtrace <- t
+let current_trace () = (state ()).dtrace
+
+let with_trace t f =
+  let st = state () in
+  let saved = st.dtrace in
+  st.dtrace <- t;
+  Fun.protect ~finally:(fun () -> st.dtrace <- saved) f
 
 (* ---- reports ---- *)
 
@@ -382,6 +405,171 @@ let reset () =
       st.dstack <- [])
     !all_states;
   Mutex.unlock registry_lock
+
+(* ---- quantiles ---- *)
+
+let quantile h q =
+  if h.h_count <= 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.h_count))) in
+    let rec go seen = function
+      | [] -> max h.h_max 0
+      | b :: rest ->
+          let seen = seen + b.b_count in
+          if seen >= rank then max b.b_hi 0 else go seen rest
+    in
+    go 0 h.h_buckets
+  end
+
+(* ---- snapshots ---- *)
+
+module Snapshot = struct
+  (* Marshal of the merged report behind a magic header.  Snapshots only
+     ever cross between processes running the same binary (forked sweep
+     workers), which is exactly Marshal's compatibility contract; the
+     header lets [absorb] reject arbitrary bytes before unmarshalling,
+     and the sweep store's checksum layer rejects torn payloads. *)
+  let magic = "chobsnap1\n"
+
+  let capture () = magic ^ Marshal.to_string (report ()) []
+
+  let absorb s =
+    let fail () = failwith "Obs.Snapshot.absorb: not an obs snapshot" in
+    let mlen = String.length magic in
+    if String.length s < mlen || String.sub s 0 mlen <> magic then fail ();
+    let r =
+      match (Marshal.from_string s mlen : report) with
+      | r -> r
+      | exception _ -> fail ()
+    in
+    if !enabled_flag then begin
+      let st = state () in
+      List.iter (fun (name, v) -> incr (counter name) v) r.r_counters;
+      List.iter
+        (fun h ->
+          if h.h_count > 0 then begin
+            let id = histogram h.h_name in
+            if id >= Array.length st.dhists then
+              st.dhists <- grown st.dhists None id;
+            let cell =
+              match st.dhists.(id) with
+              | Some c -> c
+              | None ->
+                  let c = new_hcell () in
+                  st.dhists.(id) <- Some c;
+                  c
+            in
+            (* [bucket_of b_lo] recovers the bucket index: bucket i >= 1
+               starts at 2^(i-1), and bucket 0's lower bound (min_int)
+               maps back to 0. *)
+            List.iter
+              (fun b ->
+                let i = bucket_of b.b_lo in
+                cell.hbuckets.(i) <- cell.hbuckets.(i) + b.b_count)
+              h.h_buckets;
+            cell.hcount <- cell.hcount + h.h_count;
+            cell.hsum <- sat_add cell.hsum h.h_sum;
+            if h.h_max > cell.hmax then cell.hmax <- h.h_max
+          end)
+        r.r_hists;
+      let rec absorb_sp parent sp =
+        let node = child_node parent (span sp.sp_name) in
+        node.ncount <- sat_add node.ncount sp.sp_count;
+        node.nns <- Int64.add node.nns sp.sp_ns;
+        List.iter (absorb_sp node) sp.sp_children
+      in
+      List.iter (absorb_sp st.droot) r.r_spans
+    end
+end
+
+(* ---- time series ---- *)
+
+module Series = struct
+  type sample = { s_t_ns : int64; s_report : report }
+  type t = { ring : sample option array; mutable head : int; mutable len : int }
+
+  let create ?(capacity = 120) () =
+    let capacity = max 2 capacity in
+    { ring = Array.make capacity None; head = 0; len = 0 }
+
+  let capacity t = Array.length t.ring
+  let length t = t.len
+
+  let sample ?now_ns t =
+    let now = match now_ns with Some n -> n | None -> Clock.now_ns () in
+    t.ring.(t.head) <- Some { s_t_ns = now; s_report = report () };
+    t.head <- (t.head + 1) mod Array.length t.ring;
+    if t.len < Array.length t.ring then t.len <- t.len + 1
+
+  (* i = 0 is the oldest retained sample, i = len - 1 the newest *)
+  let get t i =
+    let cap = Array.length t.ring in
+    let idx = ((t.head - t.len + i) mod cap + cap) mod cap in
+    match t.ring.(idx) with Some s -> s | None -> invalid_arg "Series.get"
+
+  let newest t = get t (t.len - 1)
+  let oldest t = get t 0
+
+  let window_s t =
+    if t.len < 2 then 0.
+    else Int64.to_float (Int64.sub (newest t).s_t_ns (oldest t).s_t_ns) /. 1e9
+
+  let counter_value r name =
+    match List.assoc_opt name r.r_counters with Some v -> v | None -> 0
+
+  let delta t name =
+    if t.len < 2 then 0
+    else
+      max 0
+        (counter_value (newest t).s_report name
+        - counter_value (oldest t).s_report name)
+
+  let rate t name =
+    let w = window_s t in
+    if w <= 0. then 0. else float_of_int (delta t name) /. w
+
+  let find_hist r name = List.find_opt (fun h -> h.h_name = name) r.r_hists
+
+  let hist_total t name =
+    if t.len = 0 then None else find_hist (newest t).s_report name
+
+  (* windowed histogram: newest cumulative buckets minus oldest.  The
+     max field cannot be windowed from cumulative state; it keeps the
+     newest cumulative max (documented log-scale approximation). *)
+  let hist_delta t name =
+    if t.len < 2 then None
+    else
+      match find_hist (newest t).s_report name with
+      | None -> None
+      | Some hn ->
+          let old_h = find_hist (oldest t).s_report name in
+          let old_bucket lo =
+            match old_h with
+            | None -> 0
+            | Some ho -> (
+                match List.find_opt (fun b -> b.b_lo = lo) ho.h_buckets with
+                | Some b -> b.b_count
+                | None -> 0)
+          in
+          let buckets =
+            List.filter_map
+              (fun b ->
+                let c = b.b_count - old_bucket b.b_lo in
+                if c > 0 then Some { b with b_count = c } else None)
+              hn.h_buckets
+          in
+          let oc, os =
+            match old_h with Some h -> (h.h_count, h.h_sum) | None -> (0, 0)
+          in
+          Some
+            {
+              hn with
+              h_count = max 0 (hn.h_count - oc);
+              h_sum = max 0 (hn.h_sum - os);
+              h_buckets = buckets;
+            }
+end
 
 (* ---- rendering ---- *)
 

@@ -85,6 +85,24 @@ type ctx
 val current_ctx : unit -> ctx
 val with_ctx : ctx -> (unit -> 'a) -> 'a
 
+(** {1 Trace context}
+
+    A request-scoped identifier stamped onto every span event the
+    calling domain emits, so one logical request can be joined across
+    process boundaries (client, daemon, forked workers) from their JSONL
+    sinks.  The slot is per {e domain}, like the span stack: systhreads
+    sharing a domain share it, so attribution under concurrent
+    same-domain requests is best-effort — exactly the tolerance the span
+    stack already has.  Independent of the enabled flag (setting a trace
+    while disabled is cheap and harmless). *)
+
+val set_trace : string option -> unit
+val current_trace : unit -> string option
+
+val with_trace : string option -> (unit -> 'a) -> 'a
+(** Run the thunk with the calling domain's trace id set, restoring the
+    previous value on exit (exception-safe). *)
+
 (** {1 JSONL sink}
 
     An optional line sink shared by span events ({!with_span}) and any
@@ -137,6 +155,81 @@ val report : unit -> report
 val reset : unit -> unit
 (** Zero all domains' telemetry (interned names survive).  Must not be
     called while spans are open or a pool batch is in flight. *)
+
+val quantile : hist_report -> float -> int
+(** [quantile h q] is the upper bound of the log2 bucket holding the
+    sample of rank [ceil (q * count)] (clamped to [[1, count]]); [0] on
+    an empty histogram or when the rank lands in the [<= 0] bucket.  A
+    deterministic upper estimate: the true sample lies within a factor
+    of 2 below the returned bound. *)
+
+(** {1 Snapshots}
+
+    Obs state serialized for a process boundary: a forked sweep worker
+    {!Snapshot.capture}s its merged report before [_exit], persists it
+    via the sweep store, and the coordinator {!Snapshot.absorb}s it so
+    worker-side counters, histograms and span trees survive the fork.
+    The payload is a Marshal of the report behind a magic header — valid
+    only between processes running the same binary, which is what a fork
+    guarantees. *)
+
+module Snapshot : sig
+  val capture : unit -> string
+  (** The merged report of all domains, serialized. *)
+
+  val absorb : string -> unit
+  (** Merge a captured snapshot into the calling domain: counters and
+      histogram cells add in (saturating), span trees merge path-wise
+      from the root with exact counts and nanoseconds.  No-op while
+      telemetry is disabled.
+      @raise Failure when the payload is not an obs snapshot. *)
+end
+
+(** {1 Time series}
+
+    A fixed-capacity ring of timestamped {!report} snapshots, sampled
+    periodically by a long-lived process (the serve daemon's sampler
+    thread), answering "what happened over the retained window":
+    counter deltas and rates, and windowed histograms for live latency
+    quantiles.  Sampling is read-only with respect to the registry, so
+    it never perturbs counter determinism. *)
+
+module Series : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Ring capacity in samples (default 120, minimum 2); once full, each
+      new sample overwrites the oldest. *)
+
+  val capacity : t -> int
+
+  val length : t -> int
+  (** Samples currently retained, [<= capacity]. *)
+
+  val sample : ?now_ns:int64 -> t -> unit
+  (** Append one snapshot of the merged report.  [now_ns] overrides the
+      timestamp (tests); defaults to the monotonic clock. *)
+
+  val window_s : t -> float
+  (** Seconds between the oldest and newest retained samples; [0] with
+      fewer than two samples. *)
+
+  val delta : t -> string -> int
+  (** Newest minus oldest value of a counter over the window (clamped to
+      [>= 0]); [0] with fewer than two samples or an unknown name. *)
+
+  val rate : t -> string -> float
+  (** [delta / window_s]; [0] on an empty window. *)
+
+  val hist_total : t -> string -> hist_report option
+  (** The named histogram as of the newest sample (cumulative). *)
+
+  val hist_delta : t -> string -> hist_report option
+  (** The named histogram restricted to the window: newest buckets minus
+      oldest, count and sum differenced; [h_max] keeps the newest
+      cumulative max (a log-scale approximation).  [None] with fewer
+      than two samples or an unknown name. *)
+end
 
 val report_json : report -> string
 (** The report as one JSON object:

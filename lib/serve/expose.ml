@@ -1,0 +1,127 @@
+(* Prometheus-style text exposition of the live Obs registry.
+
+   Counters render as monotone counters, histograms as summaries with
+   p50/p90/p99 quantile lines computed from the log2 buckets —
+   windowed over the sampler's retained ring when a Series with at
+   least two samples is supplied (so the quantiles answer "right now",
+   not "since boot"), cumulative otherwise.  _count/_sum stay
+   cumulative, per the usual summary convention.  Everything else the
+   daemon wants visible (queue depths, warm entries, req/s) comes in as
+   explicit gauges. *)
+
+module Obs = Ch_obs.Obs
+
+(* metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* — dots and dashes
+   from obs names (cache.mds-k2.builds) map to underscores *)
+let sanitize_name s =
+  let ok_first c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let ok c = ok_first c || (c >= '0' && c <= '9') in
+  let b = Buffer.create (String.length s + 1) in
+  String.iteri
+    (fun i c ->
+      if i = 0 && not (ok_first c) then begin
+        Buffer.add_char b '_';
+        if ok c then Buffer.add_char b c
+      end
+      else Buffer.add_char b (if ok c then c else '_'))
+    s;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+(* label values escape backslash, double quote and newline *)
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let labels_str = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k)
+                 (escape_label_value v))
+             ls)
+      ^ "}"
+
+let line b name labels value =
+  Buffer.add_string b (sanitize_name name);
+  Buffer.add_string b (labels_str labels);
+  Buffer.add_char b ' ';
+  Buffer.add_string b value;
+  Buffer.add_char b '\n'
+
+let typ b name kind =
+  Buffer.add_string b
+    (Printf.sprintf "# TYPE %s %s\n" (sanitize_name name) kind)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+type gauge = {
+  g_name : string;
+  g_labels : (string * string) list;
+  g_value : float;
+}
+
+let gauge ?(labels = []) name value =
+  { g_name = name; g_labels = labels; g_value = value }
+
+let prefix = "ch_"
+
+let quantiles = [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ]
+
+let render ?(gauges = []) ?series (r : Obs.report) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let m = prefix ^ name in
+      typ b m "counter";
+      line b m [] (string_of_int v))
+    r.Obs.r_counters;
+  List.iter
+    (fun (h : Obs.hist_report) ->
+      let m = prefix ^ h.Obs.h_name in
+      typ b m "summary";
+      (* quantiles from the sampler window when one is live *)
+      let qh =
+        match series with
+        | Some s -> (
+            match Obs.Series.hist_delta s h.Obs.h_name with
+            | Some d when d.Obs.h_count > 0 -> d
+            | _ -> h)
+        | None -> h
+      in
+      List.iter
+        (fun (qs, q) ->
+          line b m
+            [ ("quantile", qs) ]
+            (string_of_int (Obs.quantile qh q)))
+        quantiles;
+      line b (m ^ "_sum") [] (string_of_int h.Obs.h_sum);
+      line b (m ^ "_count") [] (string_of_int h.Obs.h_count))
+    r.Obs.r_hists;
+  (* one TYPE line per gauge family, then every labeled sample *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      let m = prefix ^ g.g_name in
+      if not (Hashtbl.mem seen m) then begin
+        Hashtbl.add seen m ();
+        typ b m "gauge"
+      end;
+      line b m g.g_labels (float_str g.g_value))
+    gauges;
+  Buffer.contents b

@@ -1,0 +1,38 @@
+(** Prometheus-style text exposition of the live {!Ch_obs.Obs} registry.
+
+    One line per sample: [ch_<name>{<labels>} <value>], preceded by a
+    [# TYPE] comment per family.  Counters render as counters,
+    histograms as summaries with p50/p90/p99 quantile lines from the
+    log2 buckets — windowed over a supplied {!Ch_obs.Obs.Series} when it
+    holds at least two samples (live quantiles), cumulative otherwise;
+    [_sum]/[_count] stay cumulative.  Gauges are the caller's: queue
+    depths, warm entries, request rates.
+
+    Names are sanitized to [[a-zA-Z_:][a-zA-Z0-9_:]*] (anything else
+    becomes ['_']); label values escape backslash, quote and newline.
+    All metric names carry the [ch_] prefix. *)
+
+val sanitize_name : string -> string
+(** Map an obs/family name onto the exposition charset: invalid
+    characters become ['_'], a leading digit gets a ['_'] prefix, the
+    empty string becomes ["_"]. *)
+
+val escape_label_value : string -> string
+(** Escape backslash, double quote and newline for a label value
+    position. *)
+
+type gauge = {
+  g_name : string;  (** unprefixed, unsanitized — {!render} handles both *)
+  g_labels : (string * string) list;
+  g_value : float;
+}
+
+val gauge : ?labels:(string * string) list -> string -> float -> gauge
+
+val prefix : string
+(** ["ch_"], prepended to every metric name. *)
+
+val render :
+  ?gauges:gauge list -> ?series:Ch_obs.Obs.Series.t -> Ch_obs.Obs.report ->
+  string
+(** The full exposition page for one report snapshot. *)

@@ -6,6 +6,8 @@ type op =
   | Ping
   | Catalog
   | Stats
+  | Metrics
+  | Health
   | Verify of { family : string; k : int; vmode : vmode; engine : engine }
   | Simulate of { family : string; k : int; pairs : int; seed : int }
   | Reduction of {
@@ -17,7 +19,12 @@ type op =
     }
   | Sweep_status of { family : string; k : int; shards : int; vmode : vmode }
 
-type request = { rq_id : int; rq_op : op; rq_deadline_ms : int option }
+type request = {
+  rq_id : int;
+  rq_op : op;
+  rq_deadline_ms : int option;
+  rq_trace : string option;
+}
 
 type error_code =
   | Bad_request
@@ -69,6 +76,8 @@ let op_fields = function
   | Ping -> [ ("op", Jsonx.Str "ping") ]
   | Catalog -> [ ("op", Jsonx.Str "catalog") ]
   | Stats -> [ ("op", Jsonx.Str "stats") ]
+  | Metrics -> [ ("op", Jsonx.Str "metrics") ]
+  | Health -> [ ("op", Jsonx.Str "health") ]
   | Verify { family; k; vmode; engine } ->
       [
         ("op", Jsonx.Str "verify");
@@ -105,9 +114,14 @@ let op_fields = function
 
 let request_json r =
   let base = ("id", Jsonx.Int r.rq_id) :: op_fields r.rq_op in
-  match r.rq_deadline_ms with
+  let base =
+    match r.rq_deadline_ms with
+    | None -> base
+    | Some d -> base @ [ ("deadline_ms", Jsonx.Int d) ]
+  in
+  match r.rq_trace with
   | None -> Jsonx.Obj base
-  | Some d -> Jsonx.Obj (base @ [ ("deadline_ms", Jsonx.Int d) ])
+  | Some t -> Jsonx.Obj (base @ [ ("trace", Jsonx.Str t) ])
 
 let encode_requests rs =
   Jsonx.to_string
@@ -188,6 +202,8 @@ let decode_op v =
   | "ping" -> Ok Ping
   | "catalog" -> Ok Catalog
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
+  | "health" -> Ok Health
   | "verify" ->
       let* family = str_field "family" v in
       let* k = int_field "k" v in
@@ -225,7 +241,8 @@ let decode_request v =
   let rq_deadline_ms =
     Option.bind (Jsonx.mem "deadline_ms" v) Jsonx.as_int
   in
-  Ok { rq_id; rq_op; rq_deadline_ms }
+  let rq_trace = Option.bind (Jsonx.mem "trace" v) Jsonx.as_str in
+  Ok { rq_id; rq_op; rq_deadline_ms; rq_trace }
 
 let decode_requests s =
   let* v = Jsonx.parse s in
@@ -361,6 +378,77 @@ let read_frame fd =
   Bytes.unsafe_to_string payload
 
 let read_frame fd = try Some (read_frame fd) with Exit -> None
+
+(* A length-prefixed frame never starts with "GET " (that header would
+   decode as a 1.2 GiB length, far over [max_frame]), so sniffing the
+   first four bytes cleanly separates framed clients from a plain HTTP
+   scrape (curl, Prometheus) on the same socket. *)
+type first = First_frame of string | Http_get of string
+
+let read_first fd =
+  let hdr = Bytes.create 4 in
+  let first =
+    try Unix.read fd hdr 0 4
+    with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+  in
+  if first < 0 then really_read fd hdr 0 4
+  else if first = 0 then raise Exit
+  else really_read fd hdr first (4 - first);
+  if Bytes.to_string hdr = "GET " then begin
+    (* drain the rest of the request line and the headers; a metrics
+       scrape has no business sending more than 8 KiB of them *)
+    let b = Buffer.create 256 in
+    let one = Bytes.create 1 in
+    let stop = ref false in
+    while not !stop do
+      if Buffer.length b > 8192 then
+        raise (Protocol_error "oversized HTTP request");
+      let n =
+        try Unix.read fd one 0 1
+        with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      in
+      if n = 0 then stop := true
+      else if n > 0 then begin
+        Buffer.add_char b (Bytes.get one 0);
+        let s = Buffer.contents b in
+        let l = String.length s in
+        if
+          (l >= 3 && String.sub s (l - 3) 3 = "\n\r\n")
+          || (l >= 2 && String.sub s (l - 2) 2 = "\n\n")
+        then stop := true
+      end
+    done;
+    let all = Buffer.contents b in
+    let line =
+      match String.index_opt all '\n' with
+      | Some i -> String.sub all 0 i
+      | None -> all
+    in
+    (* the sniffed header already consumed "GET ", so the path is the
+       first token of what remains *)
+    let path =
+      match String.split_on_char ' ' (String.trim line) with
+      | p :: _ when p <> "" -> p
+      | _ -> "/"
+    in
+    Http_get path
+  end
+  else begin
+    let len =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if len > max_frame then
+      raise
+        (Protocol_error (Printf.sprintf "frame of %d bytes exceeds limit" len));
+    let payload = Bytes.create len in
+    really_read fd payload 0 len;
+    First_frame (Bytes.unsafe_to_string payload)
+  end
+
+let read_first fd = try Some (read_first fd) with Exit -> None
 
 let write_frame fd payload =
   let framed = frame payload in

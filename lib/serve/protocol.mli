@@ -29,6 +29,8 @@ type op =
   | Ping
   | Catalog
   | Stats
+  | Metrics  (** Prometheus-style text exposition of the live registry *)
+  | Health  (** liveness summary: uptime, queue depth, warm entries *)
   | Verify of { family : string; k : int; vmode : vmode; engine : engine }
   | Simulate of { family : string; k : int; pairs : int; seed : int }
   | Reduction of {
@@ -40,7 +42,16 @@ type op =
     }
   | Sweep_status of { family : string; k : int; shards : int; vmode : vmode }
 
-type request = { rq_id : int; rq_op : op; rq_deadline_ms : int option }
+type request = {
+  rq_id : int;
+  rq_op : op;
+  rq_deadline_ms : int option;
+  rq_trace : string option;
+      (** client-chosen trace id, stamped onto every span event the
+          daemon emits while serving this request (wire field
+          ["trace"]), so client- and server-side JSONL sinks join into
+          one tree *)
+}
 
 type error_code =
   | Bad_request  (** unparseable or ill-shaped request *)
@@ -99,3 +110,22 @@ val read_frame : Unix.file_descr -> string option
 
 val write_frame : Unix.file_descr -> string -> unit
 (** @raise Invalid_argument above {!max_frame}. *)
+
+(** {1 First-read sniffing}
+
+    A framed payload never begins with the bytes ["GET "] — as a length
+    header they would decode to ~1.2 GiB, far above {!max_frame} — so
+    the server sniffs a connection's first four bytes to also answer
+    plain HTTP scrapes ([curl], Prometheus) on the same socket. *)
+
+type first =
+  | First_frame of string  (** a normal framed payload *)
+  | Http_get of string
+      (** an HTTP GET; the payload is the request path.  The request
+          line and headers (8 KiB cap) have been drained — the caller
+          writes a minimal HTTP response and closes. *)
+
+val read_first : Unix.file_descr -> first option
+(** First read on a fresh connection: [None] on clean EOF.
+    @raise Protocol_error on a torn frame or an oversized HTTP
+    request. *)

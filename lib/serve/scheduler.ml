@@ -93,6 +93,21 @@ let depth t =
   Mutex.unlock t.m;
   n
 
+let depths t =
+  Mutex.lock t.m;
+  let ds =
+    Hashtbl.fold (fun client q acc -> (client, Queue.length q) :: acc) t.queues
+      []
+  in
+  Mutex.unlock t.m;
+  List.sort compare ds
+
+let running t =
+  Mutex.lock t.m;
+  let n = t.running in
+  Mutex.unlock t.m;
+  n
+
 let drain t =
   Mutex.lock t.m;
   let already = t.stopping in

@@ -37,5 +37,14 @@ val submit : ?client:int -> t -> (unit -> unit) -> bool
 val depth : t -> int
 (** Jobs currently queued (excluding running ones). *)
 
+val depths : t -> (int * int) list
+(** Per-client queued counts [(client, jobs)], sorted by client id;
+    clients with an empty queue are absent.  The metrics exposition
+    emits these as gauges, so one client starving behind its own
+    backlog is visible from outside. *)
+
+val running : t -> int
+(** Jobs currently executing on worker threads. *)
+
 val drain : t -> unit
 (** Refuse new work, run the queue dry, join the workers.  Idempotent. *)

@@ -24,8 +24,18 @@
 
     {b Telemetry:} with [cfg_obs_out] the daemon enables {!Ch_obs.Obs}
     and streams one [serve_request] JSONL event per request (op, id,
-    status, warmth, service micros) alongside the usual span events into
-    that file. *)
+    status, warmth, queue wait vs execution micros, optional trace id)
+    alongside the usual span events into that file.  Every request runs
+    under its [rq_trace] ({!Ch_obs.Obs.with_trace}), so server-side span
+    events carry the id the client chose and a cross-process span tree
+    joins up.  The [metrics] and [health] ops answer from the live
+    registry; [metrics] renders the Prometheus-style page ({!Expose})
+    with rates and latency quantiles windowed over a background sampler
+    that snapshots the registry every [cfg_sample_period_s] seconds
+    (non-positive disables the sampler — quantiles fall back to
+    cumulative).  A connection whose first bytes are an HTTP [GET] gets
+    a one-shot plain-text answer ([/metrics], [/health]) instead of the
+    framed protocol. *)
 
 type addr = Unix_socket of string | Tcp of int
 
@@ -35,6 +45,8 @@ type config = {
   cfg_queue_depth : int;  (** admission queue bound *)
   cfg_store_dir : string option;  (** sweep store to seed from / persist to *)
   cfg_obs_out : string option;  (** JSONL telemetry sink *)
+  cfg_sample_period_s : float;
+      (** metrics sampler period; [<= 0.] disables the sampler thread *)
 }
 
 type t

@@ -18,6 +18,7 @@ let dir t = t.sdir
 
 let block_path t index = Filename.concat t.sdir (Printf.sprintf "shard-%04d.blk" index)
 let snap_path t slot = Filename.concat t.sdir (Printf.sprintf "memo-%d.snap" slot)
+let obs_path t slot = Filename.concat t.sdir (Printf.sprintf "obs-%d.snap" slot)
 
 (* Killed writers leave only their temp file behind; the rename is the
    commit point, so a reader never sees a partially written artifact
@@ -40,6 +41,7 @@ let read_file path =
 
 let block_tag = "chshard1"
 let snap_tag = "chsnap1"
+let obs_tag = "chobs1"
 
 let write_block t ~index verdicts =
   let payload =
@@ -89,36 +91,55 @@ let read_block t ~index =
   | None -> Missing
   | Some body -> parse_block ~index body
 
-let write_snapshot t ~slot snap =
+(* memo and obs snapshots share one checksummed wrapper; only the tag
+   and filename differ *)
+let write_tagged tag path payload =
   let header =
-    Printf.sprintf "%s %d %s\n" snap_tag (String.length snap)
-      (Digest.to_hex (Digest.string snap))
+    Printf.sprintf "%s %d %s\n" tag (String.length payload)
+      (Digest.to_hex (Digest.string payload))
   in
-  atomic_write (snap_path t slot) (header ^ snap)
+  atomic_write path (header ^ payload)
 
-let read_snapshot t ~slot =
-  match read_file (snap_path t slot) with
+let read_tagged tag path =
+  match read_file path with
   | None -> Missing
   | Some body -> (
       match String.index_opt body '\n' with
       | None -> Corrupt
       | Some nl -> (
           match String.split_on_char ' ' (String.sub body 0 nl) with
-          | [ tag; len; digest ] -> (
+          | [ t; len; digest ] -> (
               match int_of_string_opt len with
               | Some len
-                when tag = snap_tag && len >= 0
-                     && String.length body = nl + 1 + len ->
-                  let snap = String.sub body (nl + 1) len in
-                  if Digest.to_hex (Digest.string snap) = digest then Value snap
+                when t = tag && len >= 0 && String.length body = nl + 1 + len
+                ->
+                  let payload = String.sub body (nl + 1) len in
+                  if Digest.to_hex (Digest.string payload) = digest then
+                    Value payload
                   else Corrupt
               | _ -> Corrupt)
           | _ -> Corrupt))
 
-let snapshot_slots t =
+(* [<prefix><slot>.snap] filenames whose slot round-trips exactly *)
+let slots_matching t ~prefix =
   Sys.readdir t.sdir |> Array.to_list
   |> List.filter_map (fun f ->
-         match Scanf.sscanf_opt f "memo-%d.snap%!" Fun.id with
-         | Some slot when f = Printf.sprintf "memo-%d.snap" slot -> Some slot
-         | _ -> None)
+         let plen = String.length prefix and flen = String.length f in
+         if flen > plen + 5 && String.sub f 0 plen = prefix then
+           match
+             int_of_string_opt (String.sub f plen (flen - plen - 5))
+           with
+           | Some slot when f = Printf.sprintf "%s%d.snap" prefix slot ->
+               Some slot
+           | _ -> None
+         else None)
   |> List.sort compare
+
+let write_snapshot t ~slot snap = write_tagged snap_tag (snap_path t slot) snap
+let read_snapshot t ~slot = read_tagged snap_tag (snap_path t slot)
+let snapshot_slots t = slots_matching t ~prefix:"memo-"
+let write_obs t ~slot snap = write_tagged obs_tag (obs_path t slot) snap
+let read_obs t ~slot = read_tagged obs_tag (obs_path t slot)
+let obs_slots t = slots_matching t ~prefix:"obs-"
+
+let remove_obs t ~slot = try Sys.remove (obs_path t slot) with Sys_error _ -> ()

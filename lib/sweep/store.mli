@@ -5,6 +5,7 @@
     {v
     <root>/<key>/shard-<index %04d>.blk   per-shard verdict block
     <root>/<key>/memo-<slot>.snap         per-worker Cache snapshot
+    <root>/<key>/obs-<slot>.snap          per-worker Obs snapshot
     v}
 
     The key ({!Sweep.store_key}) folds in the core's structural hash and
@@ -18,7 +19,8 @@
     Block format (text): a [chshard1 <index> <count> <md5>] header line,
     then the [count] verdicts as one ['0']/['1'] line; [md5] is the
     payload digest.  Snapshot format: a [chsnap1 <len> <md5>] header
-    line, then the [len] raw snapshot bytes. *)
+    line, then the [len] raw snapshot bytes.  Obs snapshots use the
+    same wrapper with a [chobs1] tag. *)
 
 type t
 
@@ -44,3 +46,19 @@ val read_snapshot : t -> slot:int -> string read
 
 val snapshot_slots : t -> int list
 (** Slots with a snapshot file present, ascending. *)
+
+(** {1 Obs snapshots}
+
+    A forked sweep worker's parting {!Ch_obs.Obs.Snapshot} — written
+    beside its memo snapshot, absorbed by the coordinator right after
+    [waitpid], then removed so a later resume cannot double-count the
+    same work. *)
+
+val write_obs : t -> slot:int -> string -> unit
+val read_obs : t -> slot:int -> string read
+
+val obs_slots : t -> int list
+(** Slots with an obs snapshot present, ascending. *)
+
+val remove_obs : t -> slot:int -> unit
+(** Delete one obs snapshot; a missing file is not an error. *)

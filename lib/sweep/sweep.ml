@@ -61,23 +61,35 @@ let compute_shard gen fam s =
 let child_main st gen fam plan pending ~procs ~fault_after c =
   (match
      try
-       let computed = ref 0 in
-       List.iteri
-         (fun pos i ->
-           if
-             pos mod procs = c
-             && match fault_after with Some f -> !computed < f | None -> true
-           then begin
-             Store.write_block st
-               ~index:(Shard.index plan.(i))
-               (compute_shard gen fam plan.(i));
-             incr computed
-           end)
-         pending;
-       (* a faulted worker simulates a kill: no parting snapshot *)
-       if fault_after = None then
-         Store.write_snapshot st ~slot:(c + 1) (Cache.snapshot ());
-       0
+       (* The fork copied the parent's accumulated telemetry; drop it so
+          the parting obs snapshot holds only this worker's own work
+          (the parent still reports its copy), but keep the parent's
+          open-span path so worker spans merge at the same tree
+          position. *)
+       let obs_ctx = Obs.current_ctx () in
+       if Obs.enabled () then Obs.reset ();
+       Obs.with_ctx obs_ctx (fun () ->
+           let computed = ref 0 in
+           List.iteri
+             (fun pos i ->
+               if
+                 pos mod procs = c
+                 &&
+                 match fault_after with Some f -> !computed < f | None -> true
+               then begin
+                 Store.write_block st
+                   ~index:(Shard.index plan.(i))
+                   (compute_shard gen fam plan.(i));
+                 incr computed
+               end)
+             pending;
+           (* a faulted worker simulates a kill: no parting snapshots *)
+           if fault_after = None then begin
+             Store.write_snapshot st ~slot:(c + 1) (Cache.snapshot ());
+             if Obs.enabled () then
+               Store.write_obs st ~slot:(c + 1) (Obs.Snapshot.capture ())
+           end;
+           0)
      with _ -> 2
    with
   | rc -> Unix._exit rc)
@@ -174,6 +186,18 @@ let run ?pool ?(procs = 1) ?store_dir ?fault_after
            | pid -> pid)
      in
      List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+     (* Merge the workers' parting obs snapshots into this process, then
+        remove them: the shards they cover are in the store now, so a
+        later resume must not re-absorb the same work.  A snapshot that
+        fails to parse is dropped — telemetry is best-effort, verdict
+        blocks have their own integrity path. *)
+     List.iter
+       (fun slot ->
+         (match Store.read_obs st ~slot with
+         | Store.Value s -> ( try Obs.Snapshot.absorb s with Failure _ -> ())
+         | Store.Missing | Store.Corrupt -> ());
+         Store.remove_obs st ~slot)
+       (Store.obs_slots st);
      (* Collect what the workers delivered, then recompute anything a
         crashed worker never wrote — unless this run is itself the
         faulted one, where missing shards are the point. *)

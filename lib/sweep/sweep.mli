@@ -18,7 +18,14 @@ module Pool = Ch_core.Pool
     this run), [sweep.shards.resumed] (loaded from the store),
     [sweep.shards.recomputed] (computed where a corrupt artifact sat)
     and [sweep.store.corrupt] (corrupt artifacts detected) exactly once
-    per run, so the counters are schedule- and worker-independent. *)
+    per run, so the counters are schedule- and worker-independent.
+    Forked workers do not lose their telemetry either: each worker
+    resets the state it inherited from the fork, and writes an
+    {!Ch_obs.Obs.Snapshot} of its own counters, histograms and span tree
+    into the store before [_exit]; the parent absorbs every worker
+    snapshot right after [waitpid] and removes it (a resume must not
+    re-absorb finished work).  Coordinator totals under [procs > 1] are
+    therefore bit-identical to a single-process run of the same plan. *)
 
 type outcome = {
   verdicts : bool array;  (** the merged stream, one cell per pair index *)

@@ -121,6 +121,180 @@ let test_disabled_dark () =
     (List.for_all (fun h -> h.Obs.h_count = 0) r.Obs.r_hists);
   Obs.set_enabled true
 
+(* Quantile vs brute force: on any sample set, the log2-bucket quantile
+   is an upper bound on the exact order statistic, within a factor of 2
+   (the bucket width guarantee). *)
+let test_quantile_vs_brute_force () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let st = ref 123 in
+  let next () =
+    (* xorshift; spread across several bucket magnitudes *)
+    st := !st lxor (!st lsl 13);
+    st := !st lxor (!st lsr 7);
+    st := !st lxor (!st lsl 17);
+    abs !st mod 10_000
+  in
+  let values = List.init 500 (fun _ -> next ()) in
+  List.iter (Obs.observe h_vals) values;
+  let r = Obs.report () in
+  let h =
+    match
+      List.find_opt (fun h -> h.Obs.h_name = "test.vals") r.Obs.r_hists
+    with
+    | Some h -> h
+    | None -> Alcotest.fail "no test.vals histogram"
+  in
+  let sorted = List.sort compare values |> Array.of_list in
+  List.iter
+    (fun q ->
+      let rank =
+        max 1 (int_of_float (Float.ceil (q *. float_of_int h.Obs.h_count)))
+      in
+      let exact = sorted.(rank - 1) in
+      let est = Obs.quantile h q in
+      if not (est >= exact && est <= max ((2 * exact) - 1) 0) then
+        Alcotest.failf "q=%.2f: estimate %d outside [%d, %d]" q est exact
+          (max ((2 * exact) - 1) 0))
+    [ 0.01; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  (* empty histogram and out-of-range q *)
+  Obs.reset ();
+  let r = Obs.report () in
+  let h =
+    List.find (fun h -> h.Obs.h_name = "test.vals") r.Obs.r_hists
+  in
+  Alcotest.(check int) "empty histogram" 0 (Obs.quantile h 0.5)
+
+(* The ring: wraparound, counter deltas/rates over the retained window,
+   and windowed histograms. *)
+let test_series_ring () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let s = Obs.Series.create ~capacity:4 () in
+  Alcotest.(check int) "capacity" 4 (Obs.Series.capacity s);
+  Alcotest.(check int) "empty delta" 0 (Obs.Series.delta s "test.items");
+  Alcotest.(check (float 0.)) "empty window" 0. (Obs.Series.window_s s);
+  (* sample i at t = i seconds, after adding i to the counter and
+     observing one histogram value of i *)
+  for i = 1 to 10 do
+    Obs.incr c_items i;
+    Obs.observe h_vals i;
+    Obs.Series.sample ~now_ns:(Int64.of_int (i * 1_000_000_000)) s
+  done;
+  Alcotest.(check int) "wrapped to capacity" 4 (Obs.Series.length s);
+  (* retained window is samples 7..10: cumulative counter went from
+     1+..+7 = 28 to 1+..+10 = 55 *)
+  Alcotest.(check int) "delta over window" 27 (Obs.Series.delta s "test.items");
+  Alcotest.(check (float 1e-6)) "window seconds" 3. (Obs.Series.window_s s);
+  Alcotest.(check (float 1e-6)) "rate" 9. (Obs.Series.rate s "test.items");
+  Alcotest.(check int) "unknown counter" 0 (Obs.Series.delta s "no.such");
+  (match Obs.Series.hist_total s "test.vals" with
+  | Some h -> Alcotest.(check int) "cumulative count" 10 h.Obs.h_count
+  | None -> Alcotest.fail "no cumulative histogram");
+  (match Obs.Series.hist_delta s "test.vals" with
+  | Some d ->
+      Alcotest.(check int) "windowed count" 3 d.Obs.h_count;
+      Alcotest.(check int) "windowed sum" (8 + 9 + 10) d.Obs.h_sum;
+      Alcotest.(check int)
+        "windowed buckets hold the window's samples" 3
+        (List.fold_left (fun a b -> a + b.Obs.b_count) 0 d.Obs.h_buckets)
+  | None -> Alcotest.fail "no windowed histogram");
+  Alcotest.(check bool) "unknown histogram" true
+    (Obs.Series.hist_delta s "no.such" = None)
+
+(* Snapshot: capture → reset → absorb reproduces the exact report
+   (modulo span timings, which absorb sums); absorbing twice doubles
+   counters; garbage is refused. *)
+let test_snapshot_roundtrip () =
+  Obs.set_enabled true;
+  let pool = Pool.create ~jobs:1 () in
+  Obs.reset ();
+  workload pool;
+  Pool.shutdown pool;
+  let before = strip_times (Obs.report ()) in
+  let snap = Obs.Snapshot.capture () in
+  Obs.reset ();
+  Obs.Snapshot.absorb snap;
+  let after = strip_times (Obs.report ()) in
+  Alcotest.(check bool) "absorb reproduces the report" true (before = after);
+  Obs.Snapshot.absorb snap;
+  let r2 = Obs.report () in
+  Alcotest.(check int)
+    "second absorb doubles counters" 128
+    (List.assoc "test.items" r2.Obs.r_counters);
+  Alcotest.check_raises "garbage refused"
+    (Failure "Obs.Snapshot.absorb: not an obs snapshot") (fun () ->
+      Obs.Snapshot.absorb "not a snapshot at all");
+  (* disabled: absorb is a no-op *)
+  Obs.set_enabled false;
+  Obs.reset ();
+  Obs.Snapshot.absorb snap;
+  Obs.set_enabled true;
+  let r3 = Obs.report () in
+  Alcotest.(check int)
+    "absorb while disabled records nothing" 0
+    (List.assoc "test.items" r3.Obs.r_counters)
+
+(* Spanview: two process streams with the same trace join into one
+   tree by time containment; a root with a different trace stays
+   separate; stray closes are dropped. *)
+let test_spanview_join () =
+  let ev ?trace ~pid ~t name opened =
+    {
+      Ch_obs.Spanview.e_open = opened;
+      e_span = name;
+      e_pid = pid;
+      e_domain = 0;
+      e_trace = trace;
+      e_t_ns = Int64.of_int t;
+    }
+  in
+  let events =
+    [
+      (* client process: one traced request spanning the whole window *)
+      ev ~trace:"t-1" ~pid:1 ~t:0 "client_request" true;
+      (* server process: the traced request executes inside it *)
+      ev ~trace:"t-1" ~pid:2 ~t:10 "serve_request" true;
+      ev ~trace:"t-1" ~pid:2 ~t:20 "engine" true;
+      ev ~trace:"t-1" ~pid:2 ~t:30 "engine" false;
+      ev ~trace:"t-1" ~pid:2 ~t:90 "serve_request" false;
+      (* a differently-traced root inside the same interval: must NOT
+         graft under client_request *)
+      ev ~trace:"t-2" ~pid:3 ~t:40 "other" true;
+      ev ~trace:"t-2" ~pid:3 ~t:50 "other" false;
+      (* a stray close with no matching open: dropped *)
+      ev ~pid:1 ~t:60 "stray" false;
+      ev ~trace:"t-1" ~pid:1 ~t:100 "client_request" false;
+    ]
+  in
+  let roots = Ch_obs.Spanview.forest events in
+  let names = List.map (fun s -> s.Obs.sp_name) roots in
+  Alcotest.(check (list string))
+    "two roots: joined tree + foreign trace" [ "client_request"; "other" ]
+    (List.sort compare names);
+  let client =
+    List.find (fun s -> s.Obs.sp_name = "client_request") roots
+  in
+  (match client.Obs.sp_children with
+  | [ sr ] ->
+      Alcotest.(check string) "server grafted under client" "serve_request"
+        sr.Obs.sp_name;
+      Alcotest.(check (list string))
+        "engine nested in serve_request" [ "engine" ]
+        (List.map (fun s -> s.Obs.sp_name) sr.Obs.sp_children)
+  | cs ->
+      Alcotest.failf "client_request has %d children, expected 1"
+        (List.length cs));
+  (* same-trace half-open intervals: an unclosed span closes at the
+     last event time and still forms a root *)
+  let dangling =
+    [ ev ~pid:9 ~t:0 "lonely" true; ev ~pid:9 ~t:5 "inner" true ]
+  in
+  match Ch_obs.Spanview.forest dangling with
+  | [ { Obs.sp_name = "lonely"; sp_children = [ i ]; _ } ] ->
+      Alcotest.(check string) "inner kept" "inner" i.Obs.sp_name
+  | _ -> Alcotest.fail "dangling opens not closed at stream end"
+
 let () =
   Alcotest.run "obs"
     [
@@ -133,5 +307,22 @@ let () =
             test_histogram_buckets;
           Alcotest.test_case "disabled mode records nothing" `Quick
             test_disabled_dark;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "quantile vs brute force" `Quick
+            test_quantile_vs_brute_force;
+          Alcotest.test_case "ring wraparound, delta, rate" `Quick
+            test_series_ring;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "capture/reset/absorb roundtrip" `Quick
+            test_snapshot_roundtrip;
+        ] );
+      ( "spanview",
+        [
+          Alcotest.test_case "cross-stream trace join" `Quick
+            test_spanview_join;
         ] );
     ]

@@ -9,6 +9,7 @@ open Ch_core
 open Ch_sweep
 open Ch_serve
 module Cache = Ch_solvers.Cache
+module Obs = Ch_obs.Obs
 
 let qt = QCheck_alcotest.to_alcotest
 
@@ -57,19 +58,24 @@ let with_server ?(workers = 2) ?(queue_depth = 16) ?(store = false) f =
             cfg_store_dir =
               (if store then Some (Filename.concat dir "store") else None);
             cfg_obs_out = None;
+            cfg_sample_period_s = 0.05;
           }
       in
       Fun.protect
         ~finally:(fun () -> Server.stop t)
         (fun () -> f t (Server.Unix_socket sock)))
 
-let verify ?deadline ?(engine = Protocol.Auto) ?(vmode = Protocol.Exhaustive)
-    ~id family k =
+let verify ?deadline ?trace ?(engine = Protocol.Auto)
+    ?(vmode = Protocol.Exhaustive) ~id family k =
   {
     Protocol.rq_id = id;
     rq_op = Protocol.Verify { family; k; vmode; engine };
     rq_deadline_ms = deadline;
+    rq_trace = trace;
   }
+
+let simple ~id op =
+  { Protocol.rq_id = id; rq_op = op; rq_deadline_ms = None; rq_trace = None }
 
 let body_exn rs =
   match rs.Protocol.rs_outcome with
@@ -233,18 +239,24 @@ let test_read_frame_errors () =
 
 let sample_requests =
   [
-    { Protocol.rq_id = 0; rq_op = Protocol.Ping; rq_deadline_ms = None };
-    { Protocol.rq_id = 1; rq_op = Protocol.Catalog; rq_deadline_ms = Some 250 };
-    { Protocol.rq_id = 2; rq_op = Protocol.Stats; rq_deadline_ms = None };
+    { Protocol.rq_id = 0; rq_op = Protocol.Ping; rq_deadline_ms = None;
+      rq_trace = None };
+    { Protocol.rq_id = 1; rq_op = Protocol.Catalog; rq_deadline_ms = Some 250;
+      rq_trace = None };
+    { Protocol.rq_id = 2; rq_op = Protocol.Stats; rq_deadline_ms = None;
+      rq_trace = Some "trace-abc" };
+    simple ~id:9 Protocol.Metrics;
+    simple ~id:10 Protocol.Health;
     verify ~id:3 "mds" 2;
     verify ~id:4 ~deadline:5 ~engine:Protocol.Incremental
       ~vmode:(Protocol.Sampled { seed = 7; samples = 40 })
       "steiner-node-weighted" 3;
-    verify ~id:5 ~engine:Protocol.Scratch "maxis" 2;
+    verify ~id:5 ~engine:Protocol.Scratch ~trace:"t/esc\"ape" "maxis" 2;
     {
       Protocol.rq_id = 6;
       rq_op = Protocol.Simulate { family = "mds"; k = 2; pairs = 3; seed = 42 };
       rq_deadline_ms = None;
+      rq_trace = None;
     };
     {
       Protocol.rq_id = 7;
@@ -252,6 +264,7 @@ let sample_requests =
         Protocol.Reduction
           { family = "mds"; k = 2; exhaustive = true; pairs = 4; seed = 1 };
       rq_deadline_ms = None;
+      rq_trace = None;
     };
     {
       Protocol.rq_id = 8;
@@ -264,6 +277,7 @@ let sample_requests =
             vmode = Protocol.Sampled { seed = 1; samples = 9 };
           };
       rq_deadline_ms = None;
+      rq_trace = None;
     };
   ]
 
@@ -338,9 +352,9 @@ let test_ping_catalog_stats () =
           let rs =
             Client.roundtrip c
               [
-                { Protocol.rq_id = 7; rq_op = Protocol.Ping; rq_deadline_ms = None };
-                { Protocol.rq_id = 8; rq_op = Protocol.Catalog; rq_deadline_ms = None };
-                { Protocol.rq_id = 9; rq_op = Protocol.Stats; rq_deadline_ms = None };
+                simple ~id:7 Protocol.Ping;
+                simple ~id:8 Protocol.Catalog;
+                simple ~id:9 Protocol.Stats;
               ]
           in
           Alcotest.(check (list int))
@@ -550,6 +564,9 @@ let test_scheduler_fairness () =
            record (Printf.sprintf "B%d" i)))
   done;
   Alcotest.(check int) "eight queued" 8 (Scheduler.depth sched);
+  Alcotest.(check (list (pair int int)))
+    "per-client depths" [ (0, 4); (1, 4) ]
+    (Scheduler.depths sched);
   Mutex.lock m;
   gate_open := true;
   Condition.broadcast cv;
@@ -575,6 +592,7 @@ let test_drain_under_load () =
             cfg_queue_depth = 16;
             cfg_store_dir = None;
             cfg_obs_out = None;
+            cfg_sample_period_s = 0.05;
           }
       in
       let result = ref None in
@@ -620,6 +638,7 @@ let test_warm_restart_from_store () =
           cfg_queue_depth = 16;
           cfg_store_dir = Some (Filename.concat dir "store");
           cfg_obs_out = None;
+          cfg_sample_period_s = 0.;
         }
       in
       let expect = oracle_digest "mds" 2 ~mode:Shard.Exhaustive in
@@ -644,6 +663,257 @@ let test_warm_restart_from_store () =
                 "from the store tier" (Some "store")
                 (Jsonx.as_str (field "source" (body_exn r)))
           | _ -> Alcotest.fail "expected 1 response"))
+
+(* ---------------------------------------------------------------- *)
+(* Observability: exposition format, metrics/health ops, HTTP GET,   *)
+(* trace propagation                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let check_contains label text needle =
+  if not (contains text needle) then
+    Alcotest.failf "%s: %S not found in:\n%s" label needle text
+
+(* the sanitizer and escaper against the exposition grammar, then a
+   full render with hostile names and label values *)
+let test_exposition_format () =
+  Alcotest.(check string)
+    "dots and dashes" "cache_mds_k2_builds"
+    (Expose.sanitize_name "cache.mds-k2.builds");
+  Alcotest.(check string) "leading digit" "_9lives" (Expose.sanitize_name "9lives");
+  Alcotest.(check string) "empty" "_" (Expose.sanitize_name "");
+  Alcotest.(check string)
+    "escapes" "a\\\\b\\\"c\\nd"
+    (Expose.escape_label_value "a\\b\"c\nd");
+  let text =
+    Expose.render
+      ~gauges:[ Expose.gauge ~labels:[ ("kind", "we\"ird\n\\") ] "g.x" 1.5 ]
+      {
+        Obs.r_enabled = true;
+        r_counters = [ ("a.b", 3) ];
+        r_spans = [];
+        r_hists =
+          [
+            {
+              Obs.h_name = "lat.us";
+              h_count = 4;
+              h_sum = 22;
+              h_max = 9;
+              h_buckets =
+                [
+                  { Obs.b_lo = 1; b_hi = 1; b_count = 1 };
+                  { Obs.b_lo = 4; b_hi = 7; b_count = 2 };
+                  { Obs.b_lo = 8; b_hi = 15; b_count = 1 };
+                ];
+            };
+          ];
+      }
+  in
+  check_contains "counter" text "# TYPE ch_a_b counter\nch_a_b 3\n";
+  check_contains "summary type" text "# TYPE ch_lat_us summary";
+  check_contains "p50" text "ch_lat_us{quantile=\"0.5\"} 7";
+  check_contains "p99" text "ch_lat_us{quantile=\"0.99\"} 15";
+  check_contains "sum/count" text "ch_lat_us_sum 22\nch_lat_us_count 4";
+  check_contains "escaped gauge" text
+    "ch_g_x{kind=\"we\\\"ird\\n\\\\\"} 1.5";
+  (* every non-comment line matches the exposition grammar *)
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        let sp = String.index line ' ' in
+        let metric = String.sub line 0 sp in
+        let name_end =
+          match String.index_opt metric '{' with
+          | Some i -> i
+          | None -> String.length metric
+        in
+        Alcotest.(check string)
+          ("sanitized: " ^ line)
+          (String.sub metric 0 name_end)
+          (Expose.sanitize_name (String.sub metric 0 name_end))
+      end)
+    (String.split_on_char '\n' text)
+
+let with_obs_enabled f =
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let test_metrics_health_ops () =
+  Cache.clear ();
+  with_obs_enabled @@ fun () ->
+  with_server (fun t _addr ->
+      (* traffic first, so counters, per-op histograms and cache rates
+         have something to say *)
+      (match Server.serve_batch t [ verify ~id:1 "mds" 2 ] with
+      | [ r ] -> ignore (body_exn r)
+      | _ -> Alcotest.fail "expected 1 response");
+      (* let the 0.05s sampler retain at least two snapshots *)
+      Thread.delay 0.15;
+      match
+        Server.serve_batch t
+          [ simple ~id:2 Protocol.Metrics; simple ~id:3 Protocol.Health ]
+      with
+      | [ m; h ] ->
+          let text =
+            match Jsonx.as_str (field "text" (body_exn m)) with
+            | Some s -> s
+            | None -> Alcotest.fail "metrics text is not a string"
+          in
+          check_contains "requests counter" text
+            "# TYPE ch_serve_requests counter";
+          check_contains "per-op latency quantiles" text
+            "ch_serve_op_verify_us{quantile=\"0.5\"}";
+          check_contains "queue wait summary" text
+            "# TYPE ch_serve_queue_wait_us summary";
+          check_contains "workers gauge" text "# TYPE ch_serve_workers gauge";
+          check_contains "cache hit rate" text "ch_cache_hit_rate{kind=\"";
+          check_contains "per-family throughput" text "ch_serve_family_mds";
+          Alcotest.(check bool)
+            "sampler window live" true
+            (match Jsonx.as_int (field "samples" (body_exn m)) with
+            | Some n -> n >= 2
+            | None -> false);
+          Alcotest.(check (option string))
+            "health ok" (Some "ok")
+            (Jsonx.as_str (field "status" (body_exn h)));
+          Alcotest.(check (option int))
+            "health workers" (Some 2)
+            (Jsonx.as_int (field "workers" (body_exn h)))
+      | _ -> Alcotest.fail "expected 2 responses")
+
+(* A plain-text scraper on the same socket: the first-read sniffer
+   answers HTTP and closes, without disturbing framed clients. *)
+let test_http_get () =
+  with_obs_enabled @@ fun () ->
+  with_server (fun _t addr ->
+      let sock =
+        match addr with
+        | Server.Unix_socket p -> p
+        | Server.Tcp _ -> Alcotest.fail "expected a unix socket"
+      in
+      let http path =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        let req = "GET " ^ path ^ " HTTP/1.0\r\nHost: x\r\n\r\n" in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 1024 in
+        let b = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd b 0 4096 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf b 0 n;
+              drain ()
+        in
+        drain ();
+        Unix.close fd;
+        Buffer.contents buf
+      in
+      let metrics = http "/metrics" in
+      check_contains "status line" metrics "HTTP/1.0 200 OK";
+      check_contains "content type" metrics "text/plain; version=0.0.4";
+      check_contains "a metric" metrics "ch_serve_workers";
+      check_contains "health" (http "/health") "ok";
+      check_contains "404" (http "/nope") "404 Not Found";
+      (* framed clients still work on the same listener afterwards *)
+      let c = Client.connect ~retries:20 addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.roundtrip c [ simple ~id:1 Protocol.Ping ] with
+          | [ r ] -> ignore (body_exn r)
+          | _ -> Alcotest.fail "expected 1 response"))
+
+(* End-to-end trace: a traced request's span events and its
+   serve_request JSONL line all carry the client-chosen id, and the
+   captured stream folds back into a tree rooted at serve_request. *)
+let test_trace_propagation () =
+  Cache.clear ();
+  with_temp_dir (fun dir ->
+      let sock = Filename.concat dir "serve.sock" in
+      let obs_file = Filename.concat dir "obs.jsonl" in
+      let t =
+        Server.start
+          {
+            Server.cfg_addr = Server.Unix_socket sock;
+            cfg_workers = 1;
+            cfg_queue_depth = 8;
+            cfg_store_dir = None;
+            cfg_obs_out = Some obs_file;
+            cfg_sample_period_s = 0.;
+          }
+      in
+      (match Server.serve_batch t [ verify ~id:1 ~trace:"t-123" "mds" 2 ] with
+      | [ r ] -> ignore (body_exn r)
+      | _ -> Alcotest.fail "expected 1 response");
+      Server.stop t;
+      Obs.set_enabled false;
+      let lines =
+        let ic = open_in obs_file in
+        let ls = ref [] in
+        (try
+           while true do
+             ls := input_line ic :: !ls
+           done
+         with End_of_file -> ());
+        close_in ic;
+        List.rev !ls
+      in
+      let jmem name j = Jsonx.mem name j in
+      let jstr name j = Option.bind (jmem name j) Jsonx.as_str in
+      let jint name j = Option.bind (jmem name j) Jsonx.as_int in
+      let parsed =
+        List.filter_map
+          (fun l -> match Jsonx.parse l with Ok j -> Some j | Error _ -> None)
+          lines
+      in
+      (* the serve_request event carries the trace *)
+      Alcotest.(check bool)
+        "serve_request JSONL carries trace" true
+        (List.exists
+           (fun j ->
+             jstr "ev" j = Some "serve_request"
+             && jstr "trace" j = Some "t-123"
+             && jmem "queue_us" j <> None
+             && jmem "exec_us" j <> None)
+           parsed);
+      (* span events carry it too, and fold into a serve_request tree *)
+      let events =
+        List.filter_map
+          (fun j ->
+            match (jstr "ev" j, jstr "span" j, jint "t_ns" j) with
+            | Some (("span_open" | "span_close") as ev), Some sp, Some t ->
+                Some
+                  {
+                    Ch_obs.Spanview.e_open = ev = "span_open";
+                    e_span = sp;
+                    e_pid = Option.value (jint "pid" j) ~default:0;
+                    e_domain = Option.value (jint "domain" j) ~default:0;
+                    e_trace = jstr "trace" j;
+                    e_t_ns = Int64.of_int t;
+                  }
+            | _ -> None)
+          parsed
+      in
+      Alcotest.(check bool)
+        "a traced serve_request span_open exists" true
+        (List.exists
+           (fun e ->
+             e.Ch_obs.Spanview.e_open
+             && e.Ch_obs.Spanview.e_span = "serve_request"
+             && e.Ch_obs.Spanview.e_trace = Some "t-123")
+           events);
+      let report = Ch_obs.Spanview.to_report events in
+      let rec has_span name (sp : Obs.span_report) =
+        sp.Obs.sp_name = name || List.exists (has_span name) sp.Obs.sp_children
+      in
+      Alcotest.(check bool)
+        "stream folds into a serve_request tree" true
+        (List.exists (has_span "serve_request") report.Obs.r_spans))
 
 (* ---------------------------------------------------------------- *)
 
@@ -690,5 +960,15 @@ let () =
           Alcotest.test_case "drain under load" `Quick test_drain_under_load;
           Alcotest.test_case "warm restart from the store" `Quick
             test_warm_restart_from_store;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "exposition format and escaping" `Quick
+            test_exposition_format;
+          Alcotest.test_case "metrics and health ops" `Quick
+            test_metrics_health_ops;
+          Alcotest.test_case "HTTP GET scrape" `Quick test_http_get;
+          Alcotest.test_case "trace propagation and span join" `Quick
+            test_trace_propagation;
         ] );
     ]

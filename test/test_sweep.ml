@@ -460,20 +460,60 @@ let test_should_stop () =
         (Framework.exhaustive_verdicts fam)
         o.Sweep.verdicts)
 
+(* Span shape and counts, with the wall-clock timings stripped. *)
+type sshape = S of string * int * sshape list
+
+let rec sspan sp =
+  S (sp.Obs.sp_name, sp.Obs.sp_count, List.map sspan sp.Obs.sp_children)
+
+let obs_totals () =
+  let r = Obs.report () in
+  (r.Obs.r_counters, List.map sspan r.Obs.r_spans)
+
 (* Unix.fork is illegal once domains have been created, so this test
    runs first in the suite, before anything touches a multi-domain
-   pool (Sweep.run's multi-process path never does; the oracle below
-   may, after the forks are done). *)
+   pool (Sweep.run's multi-process path never does; the serial rerun
+   below pins jobs=1, which spawns no domains either).
+
+   Beyond the verdict stream, the coordinator's obs totals must be
+   bit-identical to a serial in-process run of the same sweep: the
+   forked workers' counters and spans travel back through the store
+   as parting snapshots, so nothing the workers measured is lost.
+   The mds family is the probe — its scratch verdicts drive the
+   domset solver, whose node/prune counters are deterministic per
+   pair and accumulate entirely inside the workers. *)
 let test_multiprocess_matches_oracle () =
-  let fam = dummy_fam 4 in
+  let fam = Lazy.force mds_fam in
   let mode = Shard.Exhaustive in
-  with_temp_dir (fun dir ->
-      let o = Sweep.run ~procs:2 ~store_dir:dir fam ~mode ~shards:7 in
-      Alcotest.(check int) "failures" 0 o.Sweep.failures;
-      Alcotest.(check int) "completed" 7 o.Sweep.shards_completed;
-      check_verdicts "two-process sweep = oracle"
-        (Framework.exhaustive_verdicts fam)
-        o.Sweep.verdicts)
+  let shards = 7 in
+  let oracle = Framework.exhaustive_verdicts fam in
+  let was_enabled = Obs.enabled () in
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was_enabled) @@ fun () ->
+  Obs.set_enabled true;
+  Obs.reset ();
+  let o2, multi_totals =
+    with_temp_dir (fun dir ->
+        let o = Sweep.run ~procs:2 ~store_dir:dir fam ~mode ~shards in
+        (o, obs_totals ()))
+  in
+  Alcotest.(check int) "failures" 0 o2.Sweep.failures;
+  Alcotest.(check int) "completed" shards o2.Sweep.shards_completed;
+  check_verdicts "two-process sweep = oracle" oracle o2.Sweep.verdicts;
+  Obs.reset ();
+  let o1, serial_totals =
+    with_temp_dir (fun dir ->
+        let o =
+          Sweep.run ~pool:(Lazy.force serial) ~store_dir:dir fam ~mode ~shards
+        in
+        (o, obs_totals ()))
+  in
+  Alcotest.(check int) "serial failures" 0 o1.Sweep.failures;
+  check_verdicts "serial sweep = oracle" oracle o1.Sweep.verdicts;
+  Alcotest.(check (list (pair string int)))
+    "coordinator counter totals = serial totals" (fst serial_totals)
+    (fst multi_totals);
+  Alcotest.(check bool) "merged span forest = serial span forest" true
+    (snd serial_totals = snd multi_totals)
 
 (* ---------------------------------------------------------------- *)
 
